@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables or
+figures under pytest-benchmark, printing the reproduced rows/series
+(with ``-s``) and asserting the paper's qualitative shape.  Benchmarks
+run the experiments in ``fast`` mode so the whole harness stays under a
+minute; the ``repro-experiments --all`` CLI produces full-resolution
+output.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment result outside of captured assertions."""
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+    return _show

@@ -1,0 +1,19 @@
+"""Equation 1 benchmark: topology bounds vs exact path analysis."""
+
+from repro.experiments import eq1_bounds
+
+
+def test_eq1_bound_containment(benchmark, show):
+    result = benchmark(eq1_bounds.run, fast=True)
+    show(result)
+    for row in result.rows:
+        assert row["contained"], row
+        assert row["lower"] <= row["upper"] + 1e-12
+    # Disjoint topologies sit on the best-case bound.
+    disjoint = [r for r in result.rows if r["case"].startswith("disjoint")]
+    for row in disjoint:
+        assert abs(row["exact"] - row["upper"]) < 1e-9
+    # Nested topologies sit on the worst-case bound.
+    nested = [r for r in result.rows if r["case"].startswith("nested")]
+    for row in nested:
+        assert abs(row["exact"] - row["lower"]) < 1e-9

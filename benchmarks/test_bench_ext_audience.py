@@ -1,0 +1,19 @@
+"""Extension benchmark: heterogeneous multicast audience."""
+
+from repro.experiments import ext_audience
+
+
+def test_heterogeneous_audience(benchmark, show):
+    result = benchmark.pedantic(ext_audience.run, kwargs={"fast": True},
+                                rounds=2, iterations=1)
+    show(result)
+    rows = {row["scheme"]: row for row in result.rows}
+    # Clean paths are fully served by everyone.
+    for row in result.rows:
+        assert row["lan"] >= 0.999
+    # Quality ordering on degraded paths: spread offsets beat adjacent
+    # copies; the erasure code (below its cliff) beats both.
+    saida = next(v for k, v in rows.items() if k.startswith("saida"))
+    assert rows["offsets(1,7)"]["satellite"] >= \
+        rows["emss(2,1)"]["satellite"] - 0.02
+    assert saida["mobile"] >= rows["emss(2,1)"]["mobile"]

@@ -1,0 +1,14 @@
+"""Extension benchmark: Gilbert-Elliott burst loss (paper future work)."""
+
+from repro.experiments import ext_burst_loss
+
+
+def test_burst_loss_vs_iid(benchmark, show):
+    result = benchmark.pedantic(ext_burst_loss.run, kwargs={"fast": True},
+                                rounds=2, iterations=1)
+    show(result)
+    adjacent = result.series["emss(2,1)"]
+    spread = result.series["offsets(1,7)"]
+    # Adjacent-copy EMSS suffers under the longest bursts relative to
+    # the spread-offset construction at the same mean loss rate.
+    assert spread.y[-1] > adjacent.y[-1]

@@ -1,0 +1,18 @@
+"""Extension benchmark: Section 5 constructions head-to-head."""
+
+from repro.experiments import ext_design
+
+
+def test_design_constructions(benchmark, show):
+    result = benchmark.pedantic(ext_design.run, kwargs={"fast": True},
+                                rounds=2, iterations=1)
+    show(result)
+    rows = {row["method"]: row for row in result.rows}
+    assert all(row["satisfied"] for row in result.rows)
+    structured = [row for name, row in rows.items()
+                  if name.startswith(("DP", "optimized"))]
+    probabilistic = next(row for name, row in rows.items()
+                         if name.startswith("probabilistic"))
+    # Structured policies are at least as cheap as random placement.
+    for row in structured:
+        assert row["hashes/pkt"] <= probabilistic["hashes/pkt"] + 0.5

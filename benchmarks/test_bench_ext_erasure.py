@@ -1,0 +1,25 @@
+"""Extension benchmark: erasure-coded authentication vs hash chains."""
+
+from repro.experiments import ext_erasure
+
+
+def test_erasure_vs_chaining(benchmark, show):
+    result = benchmark.pedantic(ext_erasure.run, kwargs={"fast": True},
+                                rounds=2, iterations=1)
+    show(result)
+    saida = result.series["saida (exact)"]
+    emss = result.series["emss(2,1) (exact)"]
+    # Below the cliff SAIDA dominates; above it, it collapses below
+    # everything (cliff vs slope).
+    assert saida.y[0] > emss.y[0]
+    assert saida.y[-1] < 0.2
+    # Burst robustness: SAIDA is essentially burst-indifferent while
+    # adjacent-copy EMSS is crushed.
+    saida_burst = result.series["saida vs burst"]
+    emss_burst = result.series["emss(2,1) vs burst"]
+    assert min(saida_burst.y) > 0.85
+    assert max(emss_burst.y) < min(saida_burst.y)
+    # Cost: SAIDA pays more bytes per packet than the hash chains.
+    costs = {row["scheme"]: row["bytes/pkt"] for row in result.rows}
+    saida_cost = next(v for k, v in costs.items() if k.startswith("saida"))
+    assert saida_cost > costs["emss(2,1)"]

@@ -1,0 +1,19 @@
+"""Extension benchmark: the Eq. 8/10 independence-assumption gap."""
+
+from repro.experiments import ext_independence_gap
+
+
+def test_independence_gap(benchmark, show):
+    result = benchmark.pedantic(ext_independence_gap.run,
+                                kwargs={"fast": True}, rounds=2,
+                                iterations=1)
+    show(result)
+    for row in result.rows:
+        # Recurrences upper-bound the exact Monte Carlo values.
+        assert row["EMSS exact MC"] <= row["EMSS Eq.8"] + 0.03
+        assert row["AC exact MC"] <= row["AC Eq.10"] + 0.03
+    # The gap widens with block size (geometric decay vs fixed point).
+    small, large = result.rows[0], result.rows[-1]
+    gap_small = small["EMSS Eq.8"] - small["EMSS exact MC"]
+    gap_large = large["EMSS Eq.8"] - large["EMSS exact MC"]
+    assert gap_large > gap_small

@@ -1,0 +1,24 @@
+"""Extension benchmark: ablating the protected-P_sign assumption."""
+
+import pytest
+
+from repro.experiments import ext_psign_replication
+
+
+def test_psign_replication_ablation(benchmark, show):
+    result = benchmark.pedantic(ext_psign_replication.run,
+                                kwargs={"fast": True}, rounds=2,
+                                iterations=1)
+    show(result)
+    for p in (0.1, 0.3):
+        empirical = result.series[f"empirical p={p:g}"]
+        predicted = result.series[f"predicted p={p:g}"]
+        # Replication monotonically recovers q_min...
+        assert empirical.y[-1] >= empirical.y[0] - 0.02
+        # ...following the (1 - p^c) model.
+        for e, pr in zip(empirical.y, predicted.y):
+            assert e == pytest.approx(pr, abs=0.12)
+    # Overhead grows linearly with copies (Eq. 3).
+    by_copies = {(r["p"], r["copies"]): r["bytes/pkt"]
+                 for r in result.rows}
+    assert by_copies[(0.1, 4)] > by_copies[(0.1, 1)]

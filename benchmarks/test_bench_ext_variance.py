@@ -1,0 +1,19 @@
+"""Extension benchmark: q_i dispersion and the tapered-copies remedy."""
+
+from repro.experiments import ext_variance
+
+
+def test_variance_and_taper(benchmark, show):
+    result = benchmark.pedantic(ext_variance.run, kwargs={"fast": True},
+                                rounds=2, iterations=1)
+    show(result)
+    rows = {row["construction"]: row for row in result.rows}
+    # Rohatgi has (relatively) the widest dispersion and a dead tail.
+    assert rows["rohatgi"]["rel. dispersion"] > \
+        rows["emss(2,1)"]["rel. dispersion"]
+    assert rows["rohatgi"]["q_min"] < 0.01
+    # The paper's remedy: far packets with more spread copies beat the
+    # uniform scheme on both flatness and the worst packet.
+    assert rows["tapered 2->4"]["rel. dispersion"] < \
+        rows["emss(2,1)"]["rel. dispersion"]
+    assert rows["tapered 2->4"]["q_min"] > rows["emss(2,1)"]["q_min"]

@@ -1,0 +1,16 @@
+"""Extension benchmark: byte-level streams vs the graph abstraction."""
+
+import pytest
+
+from repro.experiments import ext_wire_validation
+
+
+def test_wire_vs_graph(benchmark, show):
+    result = benchmark.pedantic(ext_wire_validation.run,
+                                kwargs={"fast": True}, rounds=2,
+                                iterations=1)
+    show(result)
+    for row in result.rows:
+        assert row["wire q_min"] == pytest.approx(row["graph q_min"],
+                                                  abs=0.15)
+        assert row["wire forged"] == 0

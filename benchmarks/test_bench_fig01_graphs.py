@@ -1,0 +1,19 @@
+"""Figure 1 & 2 benchmark: dependence-graph construction and rendering."""
+
+from repro.experiments import fig01_graphs, fig02_tesla_graph
+
+
+def test_fig1_dependence_graphs(benchmark):
+    result = benchmark(fig01_graphs.run, fast=True)
+    schemes = {row["scheme"] for row in result.rows}
+    assert {"rohatgi", "emss(2,1)", "ac(2,2)"} <= schemes
+    assert not any("WARNING" in note for note in result.notes)
+
+
+def test_fig2_tesla_graph(benchmark):
+    result = benchmark(fig02_tesla_graph.run, fast=True)
+    by_lag = {row["lag"]: row for row in result.rows}
+    # 2n+1 vertices regardless of lag; key coverage shrinks with index.
+    assert by_lag[1]["vertices"] == 13
+    assert by_lag[1]["keys for P_1"] == 6
+    assert by_lag[1]["keys for P_n"] == 1

@@ -1,0 +1,24 @@
+"""Figure 3 benchmark: TESLA q_min surface over (mu, sigma)."""
+
+import pytest
+
+from repro.analysis import tesla as tesla_analysis
+from repro.experiments import fig03_tesla_mu_sigma
+
+
+def test_fig3_surface(benchmark, show):
+    result = benchmark(fig03_tesla_mu_sigma.run, fast=True)
+    show(result)
+    # Paper shape: q_min drops as either mu (alpha) or sigma increases.
+    for series in result.series.values():
+        assert list(series.y) == sorted(series.y, reverse=True)
+    at_alpha0 = [series.y[0] for series in result.series.values()]
+    # sigma ordering at alpha=0 (larger sigma, lower q_min).
+    assert at_alpha0 == sorted(at_alpha0, reverse=True)
+
+
+def test_fig3_point_values(benchmark):
+    """Eq. 7 point checks at T_disclose=1s, p=0.1."""
+    value = benchmark(tesla_analysis.q_min_alpha, 0.1, 1.0, 0.5, 0.25)
+    # alpha=0.5, sigma=0.25: Phi(2) = 0.977 -> q_min = 0.9 * 0.977.
+    assert value == pytest.approx(0.9 * 0.97725, abs=1e-4)

@@ -1,0 +1,21 @@
+"""Figure 4 benchmark: TESLA q_min vs T_disclose/sigma and loss."""
+
+import pytest
+
+from repro.experiments import fig04_tesla_disclose_loss
+
+
+def test_fig4_normalized_curves(benchmark, show):
+    result = benchmark(fig04_tesla_disclose_loss.run, fast=True)
+    show(result)
+    for label, series in result.series.items():
+        # q_min rises monotonically with the normalized disclosure delay.
+        assert list(series.y) == sorted(series.y)
+    # At a generous ratio the curves become loss-limited: q_min ~ 1-p.
+    assert result.series["alpha=0.2,p=0.6"].y[-1] == pytest.approx(
+        0.4, abs=0.01)
+    # Larger alpha (mean delay closer to T_disclose) always hurts.
+    for p_text in ("0", "0.3", "0.6", "0.9"):
+        low = result.series[f"alpha=0.2,p={p_text}"]
+        high = result.series[f"alpha=0.8,p={p_text}"]
+        assert all(h <= l + 1e-12 for l, h in zip(low.y, high.y))

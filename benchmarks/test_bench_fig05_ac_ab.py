@@ -1,0 +1,26 @@
+"""Figure 5 benchmark: augmented-chain q_min over the (a, b) grid."""
+
+from repro.analysis import augmented_chain as ac_analysis
+from repro.experiments import fig05_ac_ab
+
+
+def test_fig5_parameter_grid(benchmark, show):
+    result = benchmark(fig05_ac_ab.run, fast=True)
+    show(result)
+    # q_min never decreases when a grows (at any p, b).
+    for series in result.series.values():
+        rounded = [round(y, 12) for y in series.y]
+        assert rounded == sorted(rounded)
+    assert not any("WARNING" in note for note in result.notes)
+
+
+def test_fig5_strong_sensitivity_at_high_loss(benchmark):
+    """At p=0.5 the (a, b) dependence is strong, as the paper plots."""
+    def sweep():
+        return {
+            (a, b): ac_analysis.q_min(1000, a, b, 0.5)
+            for a in (2, 5, 8) for b in (1, 4, 8)
+        }
+
+    values = benchmark(sweep)
+    assert values[(8, 8)] > 3 * values[(2, 1)]

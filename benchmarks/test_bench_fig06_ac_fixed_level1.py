@@ -1,0 +1,14 @@
+"""Figure 6 benchmark: AC q_min vs b at fixed first-level size."""
+
+from repro.experiments import fig06_ac_fixed_level1
+
+
+def test_fig6_insensitive_to_b(benchmark, show):
+    result = benchmark(fig06_ac_fixed_level1.run, fast=True)
+    show(result)
+    # Paper: "q_min is relatively insensitive to the variation of b"
+    # once the first level is held constant.
+    for row in result.rows:
+        assert row["tail spread"] <= 0.02
+    for series in result.series.values():
+        assert max(series.y) - min(series.y) < 0.1

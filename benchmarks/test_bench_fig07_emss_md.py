@@ -1,0 +1,27 @@
+"""Figure 7 benchmark: EMSS q_min over (m, d)."""
+
+from repro.analysis import emss as emss_analysis
+from repro.experiments import fig07_emss_md
+
+
+def test_fig7_m_and_d_sweeps(benchmark, show):
+    result = benchmark(fig07_emss_md.run, fast=True)
+    show(result)
+    # m-curves never decrease; the final step is a small fraction of
+    # the total climb ("levels off at m ~ 2-4").
+    for p in (0.1, 0.3, 0.5):
+        series = result.series[f"vs m (d=1), p={p:g}"]
+        assert list(series.y) == sorted(series.y)
+    for row in result.rows:
+        assert row["gain at last m step"] <= max(
+            0.15 * row["total gain over m"], 1e-9)
+
+
+def test_fig7_d_insensitivity(benchmark):
+    """q_min(d) moves < 3% until m*d reaches ~20% of the block."""
+    def spread():
+        base = emss_analysis.q_min(1000, 2, 1, 0.3)
+        return max(abs(emss_analysis.q_min(1000, 2, d, 0.3) - base)
+                   for d in (2, 5, 10, 20, 50, 100))
+
+    assert benchmark(spread) < 0.03

@@ -1,0 +1,23 @@
+"""Figure 8 benchmark: four-scheme q_min comparison over p and n."""
+
+from repro.experiments import fig08_scheme_compare
+
+
+def test_fig8_comparison(benchmark, show):
+    result = benchmark(fig08_scheme_compare.run, fast=True)
+    show(result)
+    assert not any("WARNING" in note for note in result.notes)
+    # Rohatgi collapses with n; EMSS/AC/TESLA are n-robust.
+    check_row = result.rows[0]
+    assert check_row["rohatgi"] < 1e-3
+    assert check_row["emss(2,1)"] > 0.9
+    assert check_row["ac(3,3)"] > 0.9
+    # Loss sweep: every scheme's q_min is non-increasing in p.
+    for label, series in result.series.items():
+        if label.startswith("vs p:"):
+            assert list(series.y) == sorted(series.y, reverse=True)
+    # TESLA (generous T_disclose) leads everyone at the largest p.
+    tesla_label = next(l for l in result.series if l.startswith("vs p: tesla"))
+    tesla_tail = result.series[tesla_label].y[-1]
+    for label in ("vs p: rohatgi", "vs p: emss(2,1)", "vs p: ac(3,3)"):
+        assert tesla_tail > result.series[label].y[-1]

@@ -1,0 +1,16 @@
+"""Figure 9 benchmark: close-up of the robust schemes vs block size."""
+
+from repro.experiments import fig09_blocksize
+
+
+def test_fig9_blocksize_closeup(benchmark, show):
+    result = benchmark(fig09_blocksize.run, fast=True)
+    show(result)
+    rows = {(row["p"], key): value
+            for row in result.rows for key, value in row.items()
+            if key != "p"}
+    # EMSS tracks AC tightly at p=0.1.
+    assert rows[(0.1, "max |EMSS - AC| over n")] < 0.02
+    # TESLA's q_min is exactly flat in n.
+    assert rows[(0.1, "TESLA spread over n")] == 0.0
+    assert rows[(0.5, "TESLA spread over n")] == 0.0

@@ -1,0 +1,26 @@
+"""Figure 10 benchmark: the overhead-and-delay table."""
+
+from repro.experiments import fig10_overhead_delay
+
+
+def test_fig10_overhead_delay_table(benchmark, show):
+    result = benchmark(fig10_overhead_delay.run, fast=True)
+    show(result)
+    rows = {row["scheme"]: row for row in result.rows}
+    # Hash-chained schemes are an order cheaper than per-packet ones.
+    for chained in ("rohatgi", "emss(2,1)", "ac(3,3)"):
+        assert rows[chained]["bytes/pkt"] < rows["sign-each"]["bytes/pkt"]
+        assert rows[chained]["bytes/pkt"] < rows["wong-lam"]["bytes/pkt"]
+    # Delay/buffer profile: Rohatgi and the per-packet schemes verify
+    # instantly; EMSS/AC wait for the block signature; TESLA waits for
+    # key disclosure.
+    assert rows["rohatgi"]["delay (slots)"] == 0
+    assert rows["wong-lam"]["delay (slots)"] == 0
+    assert rows["sign-each"]["delay (slots)"] == 0
+    assert rows["emss(2,1)"]["delay (slots)"] == 127
+    assert rows["ac(3,3)"]["delay (slots)"] > 0
+    assert rows[[k for k in rows if k.startswith("tesla")][0]][
+        "delay (slots)"] > 0
+    # Receiver buffering is the price of loss tolerance.
+    assert rows["emss(2,1)"]["msg buffer"] > 0
+    assert rows["rohatgi"]["msg buffer"] == 0

@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper figure — these watch the building blocks every experiment
+leans on: recurrence solving, vectorized Monte Carlo, graph
+construction, block packetization and receiver throughput.
+"""
+
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.core.recurrence import solve_recurrence
+from repro.crypto.signatures import HmacStubSigner, RsaSigner
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.emss import EmssScheme
+from repro.simulation.receiver import ChainReceiver
+from repro.simulation.sender import make_payloads
+
+
+def test_recurrence_n1000(benchmark):
+    result = benchmark(solve_recurrence, 1000, [1, 2], 0.1)
+    assert 0.98 < result.q_min < 1.0
+
+
+def test_graph_monte_carlo_n500(benchmark):
+    graph = EmssScheme(2, 1).build_graph(500)
+
+    result = benchmark(graph_monte_carlo, graph, 0.1, 2000, 7)
+    assert 0.0 < result.q_min <= 1.0
+
+
+def test_ac_graph_construction_n1000(benchmark):
+    scheme = AugmentedChainScheme(3, 3)
+    graph = benchmark(scheme.build_graph, 1000)
+    assert graph.edge_count > 1500
+
+
+def test_block_packetization_n128(benchmark):
+    scheme = EmssScheme(2, 1)
+    signer = HmacStubSigner(key=b"bench")
+    payloads = make_payloads(128)
+    packets = benchmark(scheme.make_block, payloads, signer)
+    assert len(packets) == 128
+
+
+def test_receiver_throughput_n128(benchmark):
+    scheme = EmssScheme(2, 1)
+    signer = HmacStubSigner(key=b"bench")
+    packets = scheme.make_block(make_payloads(128), signer)
+
+    def consume():
+        receiver = ChainReceiver(signer)
+        for packet in packets:
+            receiver.receive(packet, 0.0)
+        return receiver.verified_count()
+
+    assert benchmark(consume) == 128
+
+
+def test_rsa_sign_and_verify(benchmark):
+    signer = RsaSigner.generate(1024)
+    message = b"benchmark message"
+
+    def roundtrip():
+        return signer.verify(message, signer.sign(message))
+
+    assert benchmark(roundtrip)
+
+
+def test_exact_chain_n1000(benchmark):
+    from repro.analysis.exact_chain import exact_q_min
+
+    value = benchmark(exact_q_min, 1000, 3, 0.2)
+    assert 0.0 < value < 1.0
+
+
+def test_exact_periodic_reach12_n400(benchmark):
+    from repro.analysis.exact_periodic import exact_periodic_q_min
+
+    value = benchmark(exact_periodic_q_min, 400, [1, 5, 12], 0.2)
+    assert 0.0 < value < 1.0
+
+
+def test_exact_markov_n1000(benchmark):
+    from repro.analysis.exact_chain_markov import gilbert_elliott_q_min
+
+    value = benchmark(gilbert_elliott_q_min, 1000, 2, 0.1, 4.0)
+    assert 0.0 <= value < 1.0
+
+
+def test_reed_solomon_block128(benchmark):
+    from repro.crypto.reed_solomon import rs_decode, rs_encode
+
+    blob = bytes(range(256)) * 10  # ~2.5 KB auth blob
+
+    def roundtrip():
+        shares = rs_encode(blob, 128, 64)
+        return rs_decode(list(enumerate(shares))[:64], 64)
+
+    assert benchmark(roundtrip) == blob
+
+
+def test_diversity_menger_n200(benchmark):
+    from repro.core.diversity import disjoint_path_count
+
+    graph = EmssScheme(2, 1).build_graph(200)
+    assert benchmark(disjoint_path_count, graph, 1) == 2

@@ -1,0 +1,21 @@
+"""Section 3 worked-example benchmark: the Rohatgi metric suite."""
+
+import pytest
+
+from repro.experiments import sec3_example
+
+
+def test_sec3_rohatgi_example(benchmark, show):
+    result = benchmark.pedantic(sec3_example.run, kwargs={"fast": True},
+                                rounds=3, iterations=1)
+    show(result)
+    metric_row = result.rows[0]
+    assert metric_row["delay slots"] == 0
+    assert metric_row["hash buffer"] == 1
+    assert metric_row["msg buffer"] == 0
+    for row in result.rows[1:]:
+        # Closed form == exact paths == Monte Carlo (sampling error).
+        assert row["q_min exact-paths"] == pytest.approx(
+            row["q_min closed"], rel=1e-9)
+        assert row["q_min monte-carlo"] == pytest.approx(
+            row["q_min closed"], abs=0.05)

@@ -1,0 +1,156 @@
+"""Augmented-chain analysis: the two-level recurrence of Eq. 10.
+
+Packets are labeled ``(x, y)`` as in the paper (see
+:mod:`repro.schemes.augmented_chain`): ``y = 0`` are the first-level
+chain packets, ``y in 1..b`` the inserted second level.  The first
+level is solved first —
+
+    ``q(x,0) = 1 - [1-(1-p)q(x-1,0)][1-(1-p)q(x-a,0)]``,
+    ``q(x,0) = 1`` for ``x <= a``
+
+— and its values seed the second level:
+
+    ``q(x,y) = 1 - [1-(1-p)q(x,y+1)][1-(1-p)q(x,0)]`` for ``1 <= y < b``,
+    ``q(x,b) = 1 - [1-(1-p)q(x+1,0)][1-(1-p)q(x,0)]``.
+
+Boundary handling at the far-from-signature end mirrors the paper's
+near-signature condition: references past the last first-level packet
+take ``q = 1``, i.e. those few earliest-sent packets are linked
+directly to the signed packet (the block builder realizes exactly
+that).  Any less generous treatment leaves a boundary tail of
+single-link packets whose decaying ``q`` would dominate ``q_min`` at
+every block size — an artifact that would contradict the paper's
+Fig. 9 observation that AC tracks EMSS closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["AcProfile", "q_profile", "q_min", "chain_count"]
+
+
+@dataclass(frozen=True)
+class AcProfile:
+    """Solved Eq. 10 profile for one ``C_{a,b}`` instance.
+
+    Attributes
+    ----------
+    chain:
+        ``q(x, 0)`` by chain index ``x`` (0-based).
+    inserted:
+        ``q(x, y)`` keyed by ``(x, y)`` for ``y in 1..b``.
+    """
+
+    n: int
+    a: int
+    b: int
+    p: float
+    chain: List[float]
+    inserted: Dict[Tuple[int, int], float]
+
+    @property
+    def q_min(self) -> float:
+        """Minimum over every packet of the block."""
+        values = list(self.chain) + list(self.inserted.values())
+        if not values:
+            raise AnalysisError("empty augmented-chain profile")
+        return min(values)
+
+    def q_of_reversed_index(self, i: int) -> float:
+        """``q_i`` by the paper's reversed index (1 = nearest signature)."""
+        x, y = (i - 1) // (self.b + 1), i % (self.b + 1)
+        if y == 0:
+            if x >= len(self.chain):
+                raise AnalysisError(f"no chain packet {x} in this block")
+            return self.chain[x]
+        value = self.inserted.get((x, y))
+        if value is None:
+            raise AnalysisError(f"no packet ({x},{y}) in this block")
+        return value
+
+
+def chain_count(n: int, b: int) -> int:
+    """First-level packets in a block of total size ``n`` (1 signature)."""
+    if n < 2:
+        raise AnalysisError(f"block needs >= 2 packets, got {n}")
+    return (n - 1) // (b + 1)
+
+
+def _combine(dependencies: List[Optional[float]], p: float) -> float:
+    """``1 - Π (1 - (1-p)·q_dep)`` over the dependence branches.
+
+    ``None`` marks a branch that clamps to the signed root (the unit
+    boundary): the root is assumed received, so that branch succeeds
+    with certainty and the whole product collapses to 0.
+    """
+    product = 1.0
+    for q_dep in dependencies:
+        if q_dep is None:
+            return 1.0
+        product *= 1.0 - (1.0 - p) * q_dep
+    return 1.0 - product
+
+
+def q_profile(n: int, a: int, b: int, p: float) -> AcProfile:
+    """Solve Eq. 10 for ``C_{a,b}`` over a block of ``n`` packets.
+
+    Parameters
+    ----------
+    n:
+        Total block size (data packets plus the signature packet).
+    a, b:
+        Augmented-chain parameters (``a >= 2``, ``b >= 1``).
+    p:
+        iid loss rate.
+    """
+    if a < 2 or b < 1:
+        raise AnalysisError(f"C_(a,b) needs a >= 2, b >= 1, got ({a}, {b})")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    n_data = n - 1
+    chains = chain_count(n, b)
+    if chains < 1:
+        raise AnalysisError(
+            f"block of {n} has no complete first-level packet for b={b}"
+        )
+    # ---- level 1: the chain --------------------------------------------
+    chain: List[float] = []
+    for x in range(chains):
+        if x <= a:
+            chain.append(1.0)
+            continue
+        chain.append(_combine([chain[x - 1], chain[x - a]], p))
+    # ---- level 2: inserted packets -------------------------------------
+    inserted: Dict[Tuple[int, int], float] = {}
+
+    def chain_q(x: int) -> Optional[float]:
+        """``q(x,0)``; ``None`` = reference past the block (root branch)."""
+        if x >= chains:
+            return None
+        return chain[x]
+
+    max_reversed = n_data
+    for x in range((max_reversed // (b + 1)) + 1):
+        # y = b first (needs only chain values), then downward.
+        for y in range(b, 0, -1):
+            i = x * (b + 1) + y
+            if i > max_reversed:
+                continue
+            if y == b:
+                dependencies = [chain_q(x + 1), chain_q(x)]
+            else:
+                upper = inserted.get((x, y + 1))
+                if i + 1 > max_reversed:
+                    upper = None  # top of the block: links to the root
+                dependencies = [upper, chain_q(x)]
+            inserted[(x, y)] = _combine(dependencies, p)
+    return AcProfile(n=n, a=a, b=b, p=p, chain=chain, inserted=inserted)
+
+
+def q_min(n: int, a: int, b: int, p: float) -> float:
+    """``q_min`` of ``C_{a,b}`` (the Fig. 5/6 quantity)."""
+    return q_profile(n, a, b, p).q_min

@@ -1,0 +1,106 @@
+"""Receiver-delay distributions: the random component of Section 3.
+
+The paper splits receiver delay into a deterministic part ``t_d``
+(Eq. 4 — a graph property, see :mod:`repro.core.metrics`) and a random
+part from network jitter: with i.i.d. per-packet delays ``t_r``, the
+worst-case total delay is
+
+    ``D_worst = t_d(worst) + t_r(P_k) − t_r(P_i)``
+
+for the arrival that completes verification vs the packet's own
+arrival, and "the pdf of D_worst can then be easily determined from
+the joint distribution of the random delays".  Under the paper's
+Gaussian model (Eq. 5) the difference of two independent
+``N(μ, σ²)`` variables is ``N(0, 2σ²)``, so
+
+    ``D_worst ~ N(t_d·T_transmit, 2σ²)``.
+
+This module provides that distribution and quantile/CDF helpers, and
+is validated against the simulator's measured verification delays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.graph import DependenceGraph
+from repro.core.metrics import max_deterministic_delay
+from repro.exceptions import AnalysisError
+from repro.network.delay import gaussian_cdf
+
+__all__ = ["DelayDistribution", "worst_delay_distribution"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class DelayDistribution:
+    """A Gaussian receiver-delay law ``N(mean, std²)``.
+
+    Attributes
+    ----------
+    mean:
+        Deterministic component in seconds (``t_d · T_transmit``).
+    std:
+        Standard deviation of the random component (``σ·√2`` for the
+        difference of two iid per-packet jitters).
+    """
+
+    mean: float
+    std: float
+
+    def cdf(self, t: float) -> float:
+        """``P{D_worst <= t}``."""
+        if self.std == 0.0:
+            return 1.0 if t >= self.mean else 0.0
+        return gaussian_cdf((t - self.mean) / self.std)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (bisection on the CDF)."""
+        if not 0.0 < q < 1.0:
+            raise AnalysisError(f"quantile must be in (0, 1), got {q}")
+        if self.std == 0.0:
+            return self.mean
+        lo = self.mean - 10.0 * self.std
+        hi = self.mean + 10.0 * self.std
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if self.cdf(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    def buffer_time_for(self, coverage: float) -> float:
+        """Delay budget covering a ``coverage`` fraction of packets.
+
+        The provisioning question behind the paper's buffer
+        discussion: how long must a receiver be prepared to wait so
+        only ``1 − coverage`` of verifications miss the budget?
+        """
+        return self.quantile(coverage)
+
+
+def worst_delay_distribution(graph: DependenceGraph, t_transmit: float,
+                             jitter_std: float) -> DelayDistribution:
+    """The ``D_worst`` law for a scheme graph under Gaussian jitter.
+
+    Parameters
+    ----------
+    graph:
+        The scheme's dependence-graph; its Eq. 4 deterministic delay
+        (in slots) sets the mean.
+    t_transmit:
+        Seconds per packet slot.
+    jitter_std:
+        ``σ`` of the per-packet end-to-end delay (Eq. 5); the mean
+        network delay cancels in the difference.
+    """
+    if t_transmit <= 0:
+        raise AnalysisError(f"t_transmit must be > 0, got {t_transmit}")
+    if jitter_std < 0:
+        raise AnalysisError(f"jitter std must be >= 0, got {jitter_std}")
+    slots = max_deterministic_delay(graph)
+    return DelayDistribution(mean=slots * t_transmit,
+                             std=jitter_std * _SQRT2)

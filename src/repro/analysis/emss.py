@@ -1,0 +1,69 @@
+"""EMSS analysis via the paper's recurrence (Eq. 8 and Eq. 9).
+
+``E_{m,d}`` in signature-rooted indexing has the offset set
+``A = {d, 2d, ..., m·d}``; Eq. 9 then gives
+
+    ``q_i = 1 - Π_{a∈A} [1 - (1-p)·q_{i-a}]``, ``q_i = 1 for i <= m·d``.
+
+Eq. 8 is the ``E_{2,1}`` instance.  A closed-form floor follows from
+the recurrence's fixed point: for ``E_{2,1}`` the profile decreases
+monotonically to ``q_∞ = 1 - (p/(1-p))²`` (real for ``p < 1/2``),
+which the paper quotes as EMSS's ``q_min`` lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.recurrence import RecurrenceResult, solve_recurrence
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "offsets_for",
+    "q_profile",
+    "q_min",
+    "q_min_lower_bound_e21",
+    "generic_q_min",
+]
+
+
+def offsets_for(m: int, d: int) -> List[int]:
+    """The Eq. 9 offset set of ``E_{m,d}``: ``{d, 2d, ..., m·d}``."""
+    if m < 1 or d < 1:
+        raise AnalysisError(f"E_(m,d) needs m, d >= 1, got ({m}, {d})")
+    return [k * d for k in range(1, m + 1)]
+
+
+def q_profile(n: int, m: int, d: int, p: float) -> RecurrenceResult:
+    """Per-packet ``q_i`` of ``E_{m,d}`` over a block of ``n`` packets.
+
+    Indexing is signature-rooted (``q[0]`` is ``P_sign``'s, always 1).
+    """
+    return solve_recurrence(n, offsets_for(m, d), p)
+
+
+def q_min(n: int, m: int, d: int, p: float) -> float:
+    """``q_min`` of ``E_{m,d}`` (the Fig. 7 quantity)."""
+    return q_profile(n, m, d, p).q_min
+
+
+def generic_q_min(n: int, offsets: Sequence[int], p: float) -> float:
+    """``q_min`` for an arbitrary offset set ``A`` (general Eq. 9)."""
+    return solve_recurrence(n, offsets, p).q_min
+
+
+def q_min_lower_bound_e21(p: float) -> float:
+    """Fixed-point floor of Eq. 8: ``1 - (p/(1-p))²`` for ``p < 1/2``.
+
+    Derivation: at the fixed point ``q* = 1 - u²`` with
+    ``u = 1 - (1-p)q*``; substituting gives ``(1-p)u² - u + p = 0``
+    whose relevant root is ``u = p/(1-p)``.  The recurrence decreases
+    monotonically from 1 toward ``q*``, so ``q_min >= q*`` for every
+    block size.
+    """
+    if not 0.0 <= p < 0.5:
+        raise AnalysisError(
+            f"fixed-point bound requires p in [0, 0.5), got {p}"
+        )
+    u = p / (1.0 - p)
+    return 1.0 - u * u

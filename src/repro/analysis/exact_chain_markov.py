@@ -1,0 +1,143 @@
+"""Exact chain analysis under Markov (bursty) loss — the paper's
+future work, solved analytically.
+
+The conclusion of the paper: "It is also interesting to extend the
+derivations to other loss models like the m-state Markov model."  For
+EMSS ``E_{m,1}`` (offsets ``{1..m}``) the extension is exact: under an
+m-state Markov loss channel, the pair
+
+    (channel state, current run of unverifiable packets)
+
+is itself a Markov chain — the run evolves exactly as in
+:mod:`repro.analysis.exact_chain`, but the per-packet loss probability
+now depends on the channel state, and the two components are
+*correlated* (a long run is evidence of a BAD channel state), which is
+precisely what burst loss changes.  Evaluating the joint distribution
+packet by packet gives exact ``q_i`` in ``O(n · s · m)`` for ``s``
+channel states.
+
+The per-packet probabilities condition correctly on receipt:
+``q_i = P{received and run < m} / P{received}``, where both
+probabilities weigh channel states by their loss rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.network.loss import GilbertElliottLoss
+
+__all__ = [
+    "markov_chain_q_profile",
+    "markov_chain_q_min",
+    "gilbert_elliott_q_min",
+]
+
+
+def _stationary(transition: np.ndarray) -> np.ndarray:
+    states = transition.shape[0]
+    a = np.vstack([transition.T - np.eye(states), np.ones(states)])
+    b = np.zeros(states + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return np.clip(pi, 0.0, None) / np.clip(pi, 0.0, None).sum()
+
+
+def markov_chain_q_profile(n: int, m: int,
+                           transition: Sequence[Sequence[float]],
+                           loss_rates: Sequence[float],
+                           initial: Optional[Sequence[float]] = None
+                           ) -> List[float]:
+    """Exact ``[q_1 .. q_n]`` of ``E_{m,1}`` under Markov loss.
+
+    Parameters
+    ----------
+    n:
+        Block size including ``P_sign`` (assumed received; its slot
+        still advances the channel state).
+    m:
+        Offset reach: the scheme is EMSS ``E_{m,1}``.
+    transition:
+        Row-stochastic channel transition matrix.
+    loss_rates:
+        Per-channel-state loss probability.
+    initial:
+        Distribution over channel states at the first packet; defaults
+        to the stationary distribution.
+
+    Returns
+    -------
+    list of float
+        ``q_i = P{verifiable | received}`` per packet
+        (signature-rooted indexing).
+    """
+    if n < 1:
+        raise AnalysisError(f"block size must be >= 1, got {n}")
+    if m < 1:
+        raise AnalysisError(f"offset reach must be >= 1, got {m}")
+    matrix = np.asarray(transition, dtype=float)
+    rates = np.asarray(loss_rates, dtype=float)
+    states = rates.shape[0]
+    if matrix.shape != (states, states):
+        raise AnalysisError("transition matrix shape mismatch")
+    if np.any(rates < 0) or np.any(rates > 1):
+        raise AnalysisError("loss rates must lie in [0, 1]")
+    if np.any(matrix < 0) or np.any(np.abs(matrix.sum(axis=1) - 1) > 1e-9):
+        raise AnalysisError("transition matrix must be row-stochastic")
+    if initial is None:
+        channel = _stationary(matrix)
+    else:
+        channel = np.asarray(initial, dtype=float)
+        if channel.shape != (states,) or abs(channel.sum() - 1) > 1e-9:
+            raise AnalysisError("initial distribution malformed")
+    # joint[s, r] = P{channel state s, unverifiable run r}, r in 0..m
+    # (r = m absorbing).  P_sign occupies the first slot: received by
+    # assumption, so the run starts at 0; the channel still steps.
+    joint = np.zeros((states, m + 1))
+    joint[:, 0] = channel
+    joint = np.einsum("sr,st->tr", joint, matrix)
+    profile = [1.0]
+    for _ in range(2, n + 1):
+        receive = 1.0 - rates  # per-state receipt probability
+        p_received = float((joint.sum(axis=1) * receive).sum())
+        p_verifiable = float((joint[:, :m].sum(axis=1) * receive).sum())
+        if p_received > 0:
+            profile.append(p_verifiable / p_received)
+        else:
+            # Receipt has probability zero (all-loss states): fall back
+            # to the unweighted run distribution, matching the iid
+            # convention "could this packet verify if it arrived".
+            profile.append(float(joint[:, :m].sum()))
+        # Advance the run component, then the channel component.
+        advanced = np.zeros_like(joint)
+        for r in range(m):
+            advanced[:, 0] += joint[:, r] * receive       # verified: reset
+            advanced[:, r + 1] += joint[:, r] * rates     # lost: extend
+        advanced[:, m] += joint[:, m]                     # absorbing
+        joint = np.einsum("sr,st->tr", advanced, matrix)
+    return profile
+
+
+def markov_chain_q_min(n: int, m: int,
+                       transition: Sequence[Sequence[float]],
+                       loss_rates: Sequence[float]) -> float:
+    """Exact ``q_min`` of ``E_{m,1}`` under Markov loss."""
+    return min(markov_chain_q_profile(n, m, transition, loss_rates))
+
+
+def gilbert_elliott_q_min(n: int, m: int, loss_rate: float,
+                          mean_burst: float) -> float:
+    """Exact ``q_min`` of ``E_{m,1}`` on a Gilbert–Elliott channel.
+
+    Convenience wrapper: parameterize by mean loss rate and mean burst
+    length, as the burst experiments do.
+    """
+    model = GilbertElliottLoss.from_rate_and_burst(loss_rate, mean_burst)
+    transition = [
+        [1.0 - model.p_good_to_bad, model.p_good_to_bad],
+        [model.p_bad_to_good, 1.0 - model.p_bad_to_good],
+    ]
+    return markov_chain_q_min(n, m, transition, [0.0, 1.0])

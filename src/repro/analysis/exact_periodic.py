@@ -1,0 +1,112 @@
+"""Exact evaluation of arbitrary periodic offset schemes.
+
+:mod:`repro.analysis.exact_chain` solves ``A = {1..m}`` with an
+(m+1)-state run-length chain.  For an *arbitrary* positive offset set
+``A`` — say ``{1, 7}`` or ``{2, 3, 5}`` — the verifiability process is
+still Markov, but the state must remember the verifiability of the
+last ``K = max(A)`` packets: a bitmask of ``K`` bits, giving an exact
+``O(n · 2^K)`` transfer-matrix evaluation.  This is the paper's
+"signal-flow graph" direction made concrete: the scheme's exact loss
+behaviour is the repeated application of one linear operator.
+
+Semantics (signature-rooted indexing, ``P_1 = P_sign`` always
+received): packet ``i`` is verifiable iff it is received and some
+``P_{i-a}``, ``a ∈ A``, is verifiable — with branches clamped to the
+root (``i - a <= 1``) always succeeding.
+
+Feasible up to ``max(A) ≈ 16`` (65k states); beyond that, fall back to
+Monte Carlo.  Used to validate the Eq. 9 recurrence's error for
+non-contiguous offset sets and to give the design toolkit exact
+evaluations for small policies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["exact_periodic_q_profile", "exact_periodic_q_min"]
+
+_MAX_REACH = 16
+
+
+def _clean_offsets(offsets: Sequence[int]) -> Tuple[int, ...]:
+    cleaned = tuple(sorted(set(offsets)))
+    if not cleaned:
+        raise AnalysisError("offset set must be non-empty")
+    if any(a < 1 for a in cleaned):
+        raise AnalysisError(f"offsets must be positive: {offsets}")
+    if cleaned[-1] > _MAX_REACH:
+        raise AnalysisError(
+            f"max offset {cleaned[-1]} exceeds exact-evaluation reach "
+            f"{_MAX_REACH}; use Monte Carlo"
+        )
+    return cleaned
+
+
+def exact_periodic_q_profile(n: int, offsets: Sequence[int],
+                             p: float) -> List[float]:
+    """Exact ``[q_1 .. q_n]`` for offset set ``A`` under iid loss.
+
+    Parameters
+    ----------
+    n:
+        Block size including ``P_sign``.
+    offsets:
+        Positive offsets ``A`` (each packet relies on ``P_{i-a}``);
+        ``max(A) <= 16``.
+    p:
+        iid loss rate.
+
+    Notes
+    -----
+    The state is the verifiability bitmask of the last ``K`` packets
+    (bit ``k`` = packet ``k+1`` positions back).  The root's certainty
+    is encoded by starting, for each position ``i <= K+1``, from the
+    exact joint distribution grown step by step — positions whose
+    branch clamps to the root are verifiable whenever received.
+    """
+    a_set = _clean_offsets(offsets)
+    if n < 1:
+        raise AnalysisError(f"block size must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    reach = a_set[-1]
+    survive = 1.0 - p
+    # distribution over bitmasks of the last `reach` verifiability bits;
+    # bit k (value 1 << k) is the packet k+1 positions back.
+    distribution: Dict[int, float] = {1: 1.0} if reach >= 1 else {0: 1.0}
+    # Start: position 1 is the root, verifiable with certainty -> the
+    # "1 position back" bit is set when we stand at position 2.
+    profile = [1.0]
+    for i in range(2, n + 1):
+        # Probability the current packet would be verifiable given
+        # receipt: some offset branch alive (or clamped to the root).
+        clamp = any(i - a <= 1 for a in a_set)
+        alive = 0.0
+        for state, probability in distribution.items():
+            if clamp or any(state >> (a - 1) & 1 for a in a_set):
+                alive += probability
+        profile.append(alive if not clamp else 1.0)
+        # Advance the joint distribution by one position.
+        advanced: Dict[int, float] = {}
+        for state, probability in distribution.items():
+            supported = clamp or any(state >> (a - 1) & 1 for a in a_set)
+            shifted = (state << 1) & ((1 << reach) - 1)
+            if supported:
+                verifiable_state = shifted | 1
+                advanced[verifiable_state] = advanced.get(
+                    verifiable_state, 0.0) + probability * survive
+                advanced[shifted] = advanced.get(
+                    shifted, 0.0) + probability * p
+            else:
+                advanced[shifted] = advanced.get(
+                    shifted, 0.0) + probability
+        distribution = advanced
+    return profile
+
+
+def exact_periodic_q_min(n: int, offsets: Sequence[int], p: float) -> float:
+    """Exact ``q_min`` for an arbitrary offset set (reach <= 16)."""
+    return min(exact_periodic_q_profile(n, offsets, p))

@@ -1,0 +1,50 @@
+"""Closed-form analysis of the Gennaro–Rohatgi chain (paper Sec. 3 example).
+
+With ``P_sign = P_1`` assumed received and iid loss ``p``, packet
+``P_i`` verifies iff the ``i - 2`` packets strictly between it and the
+signature all arrive:
+
+* ``q_i = (1-p)^{i-2}`` for ``i >= 2`` (``q_1 = q_2 = 1``),
+* ``q_min = (1-p)^{n-2}``.
+
+(The paper's prose also prints ``(1-p)^{i-1}``; that exponent is
+inconsistent with its own "``(i-2)`` packets in between" and its
+``q_min`` — see DESIGN.md.  The forms here match both the example's
+``q_min`` and exact path analysis, which tests verify.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["q_i", "q_profile", "q_min"]
+
+
+def _check(n: int, p: float) -> None:
+    if n < 2:
+        raise AnalysisError(f"Rohatgi block needs n >= 2, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+
+
+def q_i(i: int, p: float) -> float:
+    """Authentication probability of ``P_i`` (send order, ``P_1`` signed)."""
+    if i < 1:
+        raise AnalysisError(f"packet index must be >= 1, got {i}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    return (1.0 - p) ** max(i - 2, 0)
+
+
+def q_profile(n: int, p: float) -> List[float]:
+    """``[q_1, ..., q_n]`` for a block of size ``n``."""
+    _check(n, p)
+    return [q_i(i, p) for i in range(1, n + 1)]
+
+
+def q_min(n: int, p: float) -> float:
+    """``q_min = (1-p)^{n-2}`` — collapses exponentially in ``n``."""
+    _check(n, p)
+    return (1.0 - p) ** (n - 2)

@@ -1,0 +1,73 @@
+"""Closed-form analysis of the SAIDA erasure-coded baseline.
+
+With an ``(n, k)`` erasure code, a received packet verifies iff at
+least ``k − 1`` of the other ``n − 1`` packets also arrive, so under
+iid loss
+
+    ``q_i = P{Binomial(n−1, 1−p) >= k−1}``  — identical for every i.
+
+The profile is perfectly flat (zero variance, compare the paper's
+Sec. 3 variance discussion), and ``q`` behaves as a cliff around
+``p ≈ 1 − k/n`` rather than the recurrences' smooth decay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["q_i", "q_profile", "q_min", "loss_cliff"]
+
+
+def _binomial_tail(trials: int, success: float, minimum: int) -> float:
+    """``P{Binomial(trials, success) >= minimum}`` exactly."""
+    if minimum <= 0:
+        return 1.0
+    if minimum > trials:
+        return 0.0
+    total = 0.0
+    for wins in range(minimum, trials + 1):
+        total += (math.comb(trials, wins)
+                  * success ** wins
+                  * (1.0 - success) ** (trials - wins))
+    return min(total, 1.0)
+
+
+def _check(n: int, k: int, p: float) -> None:
+    if n < 1:
+        raise AnalysisError(f"block needs >= 1 packet, got {n}")
+    if not 1 <= k <= n:
+        raise AnalysisError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+
+
+def q_i(n: int, k: int, p: float) -> float:
+    """Authentication probability of any packet (they are all equal)."""
+    _check(n, k, p)
+    return _binomial_tail(n - 1, 1.0 - p, k - 1)
+
+
+def q_profile(n: int, k: int, p: float) -> List[float]:
+    """The (flat) per-packet profile."""
+    value = q_i(n, k, p)
+    return [value] * n
+
+
+def q_min(n: int, k: int, p: float) -> float:
+    """``q_min`` — equal to every ``q_i``; the variance is exactly 0."""
+    return q_i(n, k, p)
+
+
+def loss_cliff(n: int, k: int) -> float:
+    """The loss rate around which ``q`` collapses: ``1 − k/n``.
+
+    Below the cliff the code almost surely reconstructs; above it,
+    almost surely not — the transition sharpens as ``n`` grows (law of
+    large numbers).
+    """
+    if n < 1 or not 1 <= k <= n:
+        raise AnalysisError(f"need 1 <= k <= n, got k={k}, n={n}")
+    return 1.0 - k / n

@@ -1,0 +1,112 @@
+"""TESLA analysis (paper Sec. 3.2 + Eq. 6/7 with the Gaussian model).
+
+Verifiability of ``P_i`` factors into two terms:
+
+* ``λ_i = 1 - p^{n+1-i}`` — the MAC key for ``P_i`` is recoverable
+  from *any* of the later key disclosures (one-way chain), so only the
+  loss of all ``n+1-i`` remaining disclosures defeats it;
+* ``ξ_i = P{t_i <= T_disclose}`` — the security condition: the packet
+  must arrive before its key is disclosed.  Under the Gaussian
+  end-to-end delay ``N(μ, σ²)`` of Eq. 5, ``ξ = Φ((T_disclose−μ)/σ)``.
+
+Hence ``q_i = (1 - p^{n+1-i})·Φ((T_d−μ)/σ)`` (Eq. 6) and
+``q_min = (1-p)·Φ((T_d−μ)/σ)`` (Eq. 7, attained at ``i = n``).  The
+paper parameterizes ``μ = α·T_disclose`` with ``0 <= α <= 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import AnalysisError
+from repro.network.delay import gaussian_cdf
+
+__all__ = [
+    "xi",
+    "lambda_i",
+    "q_i",
+    "q_profile",
+    "q_min",
+    "q_min_alpha",
+    "q_min_normalized",
+]
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+
+
+def xi(t_disclose: float, mu: float, sigma: float) -> float:
+    """``ξ = Φ((T_disclose − μ)/σ)`` — the delay/security-condition term.
+
+    ``sigma = 0`` degenerates to a step function.
+    """
+    if t_disclose <= 0:
+        raise AnalysisError(f"T_disclose must be > 0, got {t_disclose}")
+    if sigma < 0:
+        raise AnalysisError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0.0:
+        return 1.0 if t_disclose >= mu else 0.0
+    return gaussian_cdf((t_disclose - mu) / sigma)
+
+
+def lambda_i(i: int, n: int, p: float) -> float:
+    """``λ_i = 1 - p^{n+1-i}``: some later disclosure arrives."""
+    if not 1 <= i <= n:
+        raise AnalysisError(f"packet index {i} outside [1, {n}]")
+    _check_p(p)
+    return 1.0 - p ** (n + 1 - i)
+
+
+def q_i(i: int, n: int, p: float, t_disclose: float, mu: float,
+        sigma: float) -> float:
+    """Eq. 6: ``q_i = λ_i · ξ``."""
+    return lambda_i(i, n, p) * xi(t_disclose, mu, sigma)
+
+
+def q_profile(n: int, p: float, t_disclose: float, mu: float,
+              sigma: float) -> List[float]:
+    """``[q_1 .. q_n]`` over the chain lifetime."""
+    if n < 1:
+        raise AnalysisError(f"need n >= 1, got {n}")
+    return [q_i(i, n, p, t_disclose, mu, sigma) for i in range(1, n + 1)]
+
+
+def q_min(n: int, p: float, t_disclose: float, mu: float,
+          sigma: float) -> float:
+    """Eq. 7: ``q_min = (1-p)·ξ`` (the last packet is worst off).
+
+    ``n`` only asserts well-formedness — the paper's ``q_min`` is
+    block-size independent, which is why TESLA's Fig. 8/9 curves are
+    flat in ``n``.
+    """
+    if n < 1:
+        raise AnalysisError(f"need n >= 1, got {n}")
+    _check_p(p)
+    return (1.0 - p) * xi(t_disclose, mu, sigma)
+
+
+def q_min_alpha(p: float, t_disclose: float, alpha: float,
+                sigma: float) -> float:
+    """``q_min`` with the paper's ``μ = α·T_disclose`` parameterization.
+
+    The Fig. 3 surface is this function over ``(α, σ)``.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise AnalysisError(f"alpha must be in [0, 1], got {alpha}")
+    return q_min(1, p, t_disclose, alpha * t_disclose, sigma)
+
+
+def q_min_normalized(p: float, ratio: float, alpha: float) -> float:
+    """``q_min`` against the normalized delay ``T_disclose/σ`` (Fig. 4).
+
+    With ``μ = α·T_disclose``, ``(T_d − μ)/σ = (1−α)·(T_d/σ)``, so the
+    curve depends only on the ratio and ``α``.
+    """
+    _check_p(p)
+    if ratio <= 0:
+        raise AnalysisError(f"T_disclose/sigma must be > 0, got {ratio}")
+    if not 0.0 <= alpha <= 1.0:
+        raise AnalysisError(f"alpha must be in [0, 1], got {alpha}")
+    return (1.0 - p) * gaussian_cdf((1.0 - alpha) * ratio)

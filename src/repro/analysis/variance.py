@@ -1,0 +1,114 @@
+"""Dispersion of the per-packet authentication probabilities.
+
+Section 3 of the paper: "each packet in a block has a different
+authentication probability and this may vary widely from packet to
+packet ... Some schemes have a smaller variance of authentication
+probability compared to others" — and the design remedy, "to minimize
+the variance ... we should introduce more paths for a packet which is
+farther away from P_sign".
+
+This module turns that discussion into numbers: summary statistics of
+a ``q_i`` profile, and a helper that builds the paper's remedy — a
+*tapered* offset scheme that gives far packets more hash copies than
+near ones — for comparison against uniform constructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.graph import DependenceGraph
+from repro.exceptions import AnalysisError, SchemeParameterError
+
+__all__ = ["ProfileStats", "profile_stats", "build_tapered_graph"]
+
+
+@dataclass(frozen=True)
+class ProfileStats:
+    """Summary statistics of a per-packet ``q_i`` profile."""
+
+    mean: float
+    variance: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def spread(self) -> float:
+        """``max − min`` — the crudest dispersion measure."""
+        return self.maximum - self.minimum
+
+
+def profile_stats(profile: Sequence[float]) -> ProfileStats:
+    """Statistics of a ``q_i`` profile (any indexing convention).
+
+    Parameters
+    ----------
+    profile:
+        Per-packet probabilities; values outside [0, 1] are rejected.
+    """
+    values = list(profile)
+    if not values:
+        raise AnalysisError("empty probability profile")
+    if any(not 0.0 <= v <= 1.0 + 1e-12 for v in values):
+        raise AnalysisError("probabilities must lie in [0, 1]")
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return ProfileStats(mean=mean, variance=variance, minimum=min(values),
+                        maximum=max(values), count=len(values))
+
+
+def build_tapered_graph(n: int, near_copies: int = 2, far_copies: int = 4,
+                        taper_start: float = 0.5) -> DependenceGraph:
+    """The paper's variance remedy as a concrete construction.
+
+    Packets close to the signature (in verification order) get
+    ``near_copies`` hash copies; packets beyond ``taper_start`` of the
+    block get ``far_copies`` — "storing its hash in more locations in
+    a dispersed manner" exactly where the paths are longest.
+
+    Copies are placed at exponentially spread distances (1, 2, 4, …)
+    toward the signature so added paths are diverse rather than
+    overlapping.  Keep ``near_copies >= 2``: a single-copy region is a
+    bare chain whose geometric collapse drags down every packet whose
+    paths cross it, defeating the taper entirely.
+
+    Parameters
+    ----------
+    n:
+        Block size; vertex ``n`` signs (send-last convention).
+    near_copies, far_copies:
+        Hash copies for the near and far regions.
+    taper_start:
+        Fraction of the block (by distance from the signature) where
+        the far region begins.
+    """
+    if n < 2:
+        raise SchemeParameterError(f"block needs >= 2 packets, got {n}")
+    if near_copies < 1 or far_copies < near_copies:
+        raise SchemeParameterError(
+            "need 1 <= near_copies <= far_copies"
+        )
+    if not 0.0 <= taper_start <= 1.0:
+        raise SchemeParameterError(f"taper_start in [0, 1], got {taper_start}")
+    graph = DependenceGraph(n, root=n)
+    threshold = int((n - 1) * taper_start)
+    for s in range(1, n):
+        distance_from_sign = n - s  # send-order distance to the root
+        copies = far_copies if distance_from_sign > threshold else near_copies
+        targets = set()
+        spread = 1
+        for _ in range(copies):
+            targets.add(min(s + spread, n))
+            spread *= 2
+        for carrier in targets:
+            if carrier != s and not graph.has_edge(carrier, s):
+                graph.add_edge(carrier, s)
+    return graph

@@ -1,0 +1,48 @@
+"""Analysis of the Wong–Lam authentication tree ("trivial" per Sec. 4.2).
+
+Every packet carries its own authentication information, so the
+authentication probability "is not affected by the packet loss and
+hence is always 1"; the costs are pure overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["q_i", "q_profile", "q_min", "overhead_bytes_per_packet"]
+
+
+def q_i(i: int, p: float) -> float:
+    """``q_i = 1`` regardless of loss."""
+    if i < 1:
+        raise AnalysisError(f"packet index must be >= 1, got {i}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    return 1.0
+
+
+def q_profile(n: int, p: float) -> List[float]:
+    """All ones."""
+    if n < 1:
+        raise AnalysisError(f"block size must be >= 1, got {n}")
+    return [q_i(i, p) for i in range(1, n + 1)]
+
+
+def q_min(n: int, p: float) -> float:
+    """``q_min = 1``."""
+    if n < 1:
+        raise AnalysisError(f"block size must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    return 1.0
+
+
+def overhead_bytes_per_packet(n: int, l_sign: int, l_hash: int) -> float:
+    """Per-packet overhead: signature + ``ceil(log2 n)`` proof hashes."""
+    if n < 1:
+        raise AnalysisError(f"block size must be >= 1, got {n}")
+    depth = math.ceil(math.log2(n)) if n > 1 else 0
+    return float(l_sign + depth * l_hash)

@@ -1,0 +1,99 @@
+"""Command-line entry point: run the paper's experiments from a shell.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments --list
+    repro-experiments fig8 fig9
+    repro-experiments --all --fast
+    repro-experiments fig10 --json > fig10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["main", "result_to_dict"]
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable view of an experiment result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": result.rows,
+        "series": {
+            label: {"x": list(series.x), "y": list(series.y)}
+            for label, series in result.series.items()
+        },
+        "notes": result.notes,
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures and tables of 'A graph-theoretical "
+            "analysis of multicast authentication' (ICDCS 2003)."
+        ),
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (see --list)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced sweep resolution")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list experiment ids and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit results as a JSON array")
+    parser.add_argument("--report", metavar="PATH", dest="report_path",
+                        help="write a full markdown report to PATH")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_only:
+        for experiment_id in ALL_EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    ids = list(ALL_EXPERIMENTS) if args.all else args.experiments
+    if not ids:
+        print("nothing to run; pass experiment ids or --all (see --list)",
+              file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.report_path:
+        from repro.experiments.report import write_report
+
+        write_report(args.report_path, ALL_EXPERIMENTS, fast=args.fast,
+                     only=ids)
+        print(f"report written to {args.report_path}")
+        return 0
+    if args.as_json:
+        payload = [
+            result_to_dict(ALL_EXPERIMENTS[experiment_id](fast=args.fast))
+            for experiment_id in ids
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for experiment_id in ids:
+        result = ALL_EXPERIMENTS[experiment_id](fast=args.fast)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Dependence-graph core: Definition 1, metrics, bounds, recurrences.
+
+This package is the paper's primary contribution made executable:
+:class:`DependenceGraph` (Definition 1), Θ-set path machinery
+(Definition 2), the metric extractors of Section 3 (Eq. 2–4 and the
+buffer formula), the Eq. 1 topology bounds, the generic Eq. 9
+recurrence solver, and the TESLA extension of Section 3.2.
+"""
+
+from repro.core.bounds import (
+    LambdaBounds,
+    lambda_bounds,
+    lambda_bounds_from_sizes,
+    loss_event_probability,
+)
+from repro.core.diversity import (
+    disjoint_path_count,
+    disjoint_paths,
+    diversity_lambda_floor,
+    diversity_profile,
+)
+from repro.core.graph import DependenceGraph
+from repro.core.metrics import (
+    GraphMetrics,
+    compute_metrics,
+    deterministic_delays,
+    hash_buffer_size,
+    max_deterministic_delay,
+    mean_hashes_per_packet,
+    message_buffer_size,
+    overhead_bytes_per_packet,
+)
+from repro.core.paths import (
+    all_depths,
+    exact_lambda,
+    iter_theta_sets,
+    path_count,
+    shortest_depth,
+    theta_sets,
+)
+from repro.core.recurrence import (
+    RecurrenceResult,
+    q_min_from_profile,
+    solve_recurrence,
+)
+from repro.core.render import edge_signature, tesla_to_dot, to_ascii, to_dot
+from repro.core.serialize import (
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from repro.core.tesla_graph import (
+    BOOTSTRAP,
+    KeyVertex,
+    MessageVertex,
+    TeslaDependenceGraph,
+)
+
+__all__ = [
+    "DependenceGraph",
+    "disjoint_path_count",
+    "disjoint_paths",
+    "diversity_lambda_floor",
+    "diversity_profile",
+    "GraphMetrics",
+    "compute_metrics",
+    "deterministic_delays",
+    "hash_buffer_size",
+    "max_deterministic_delay",
+    "mean_hashes_per_packet",
+    "message_buffer_size",
+    "overhead_bytes_per_packet",
+    "LambdaBounds",
+    "lambda_bounds",
+    "lambda_bounds_from_sizes",
+    "loss_event_probability",
+    "all_depths",
+    "exact_lambda",
+    "iter_theta_sets",
+    "path_count",
+    "shortest_depth",
+    "theta_sets",
+    "RecurrenceResult",
+    "q_min_from_profile",
+    "solve_recurrence",
+    "edge_signature",
+    "graph_from_json",
+    "graph_to_json",
+    "load_graph",
+    "save_graph",
+    "tesla_to_dot",
+    "to_ascii",
+    "to_dot",
+    "BOOTSTRAP",
+    "KeyVertex",
+    "MessageVertex",
+    "TeslaDependenceGraph",
+]

@@ -1,0 +1,112 @@
+"""Topology bounds on ``λ_i`` (Eq. 1 of the paper).
+
+``λ_i`` is the probability that at least one root→``P_i`` path is
+fully received.  Its exact value needs the full topology; Eq. 1 brackets
+it from the Θ-family alone:
+
+* **worst-case topology** (paths maximally overlapping / nested): the
+  shortest path dominates, so ``λ_i >= 1 - P{S(θ_short)}`` fails —
+  rather, all-paths-fail probability is at most that of the shortest
+  path alone, giving the *lower* bound
+  ``λ_i >= 1 - min_x P{S(θ_x)} = (1-p)^{min|θ|}``;
+* **best-case topology** (paths vertex-disjoint): failures are
+  independent, so ``P{all fail} = Π_x P{S(θ_x)}`` and
+  ``λ_i <= 1 - Π_x P{S(θ_x)}``.
+
+Here ``P{S(θ)} = 1 - (1-p)^{|θ|}`` is the probability that the
+interior θ suffers at least one loss under iid loss with rate ``p``.
+The paper also states the cruder exponent form
+``Π_x P{S(θ_x)} >= [min_x P{S(θ_x)}]^{|Θ|}``; both are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.graph import DependenceGraph
+from repro.core.paths import theta_sets
+from repro.exceptions import AnalysisError
+
+__all__ = ["LambdaBounds", "loss_event_probability", "lambda_bounds",
+           "lambda_bounds_from_sizes"]
+
+
+def loss_event_probability(theta_size: int, p: float) -> float:
+    """``P{S(θ)}``: probability of >=1 loss among ``theta_size`` packets."""
+    if theta_size < 0:
+        raise AnalysisError(f"theta size must be >= 0, got {theta_size}")
+    if not 0 <= p <= 1:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    return 1.0 - (1.0 - p) ** theta_size
+
+
+@dataclass(frozen=True)
+class LambdaBounds:
+    """Bracketing of ``λ_i``.
+
+    Attributes
+    ----------
+    lower:
+        Worst-case-topology value (maximal path overlap).
+    upper:
+        Best-case-topology value (vertex-disjoint paths).
+    exponent_lower:
+        The paper's looser closed form
+        ``1 - [min_x P{S(θ_x)}]^{|Θ|}`` — an upper bound on the
+        best-case value, kept for fidelity with Eq. 1.
+    path_count:
+        ``|Θ(i)|`` used in the computation.
+    """
+
+    lower: float
+    upper: float
+    exponent_lower: float
+    path_count: int
+
+    def contains(self, value: float, tolerance: float = 1e-12) -> bool:
+        """Whether ``value`` lies inside ``[lower, upper]``."""
+        return self.lower - tolerance <= value <= self.upper + tolerance
+
+
+def lambda_bounds_from_sizes(sizes: Sequence[int], p: float) -> LambdaBounds:
+    """Eq. 1 bounds from the interior sizes ``|θ_1| <= |θ_2| <= ...``.
+
+    Parameters
+    ----------
+    sizes:
+        Interior vertex counts of each root-path (any order).
+    p:
+        iid loss rate.
+    """
+    if not sizes:
+        return LambdaBounds(lower=0.0, upper=0.0, exponent_lower=0.0,
+                            path_count=0)
+    ordered = sorted(sizes)
+    fail_probs = [loss_event_probability(s, p) for s in ordered]
+    # Worst case: nested paths — the shortest alone decides.
+    lower = 1.0 - fail_probs[0]
+    # Best case: disjoint paths — failures independent.
+    product = 1.0
+    for fp in fail_probs:
+        product *= fp
+    upper = 1.0 - product
+    exponent_lower = 1.0 - fail_probs[0] ** len(fail_probs)
+    return LambdaBounds(lower=lower, upper=upper,
+                        exponent_lower=exponent_lower,
+                        path_count=len(fail_probs))
+
+
+def lambda_bounds(graph: DependenceGraph, target: int, p: float,
+                  path_limit: Optional[int] = 1000) -> LambdaBounds:
+    """Eq. 1 bounds for ``P_target`` read directly from a graph.
+
+    Parameters
+    ----------
+    path_limit:
+        Cap on enumerated paths; with a cap the *upper* bound remains
+        valid only as a lower estimate of the true best case, so prefer
+        small graphs or generous limits when using the upper bound.
+    """
+    thetas = theta_sets(graph, target, limit=path_limit)
+    return lambda_bounds_from_sizes([len(t) for t in thetas], p)

@@ -1,0 +1,245 @@
+"""The dependence-graph of Definition 1.
+
+A dependence-graph is an acyclic labeled digraph ``G = (V, E, L)`` over
+the packets ``P_1 .. P_n`` of a block, with a distinguished signed root
+``P_sign``, where an edge ``P_i -> P_j`` exists iff authenticating
+``P_i`` lets the receiver authenticate ``P_j`` using information
+carried by ``P_i`` — concretely, iff the hash of ``P_j`` is appended to
+``P_i``.  Every vertex must be reachable from the root, and edge labels
+are sequence-number differences ``l_ij = i - j``.
+
+Vertex identity convention
+--------------------------
+Vertices are integers ``1..n`` in **send order** — ``P_1`` is the first
+packet transmitted.  The root may be any vertex: ``1`` for schemes that
+sign the first packet (Gennaro–Rohatgi), ``n`` for schemes that sign
+the last (EMSS, augmented chain).  The paper's "reversed indexing" used
+in Section 4 to make recurrences run from the signature outward is an
+*analysis-side* relabeling and lives in :mod:`repro.analysis`; the
+graph itself always speaks send order, because delays and buffer sizes
+(Eq. 4 and the buffer formula) are defined in send order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set, Tuple
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+
+__all__ = ["DependenceGraph"]
+
+
+class DependenceGraph:
+    """An acyclic labeled dependence-graph over one block of packets.
+
+    Parameters
+    ----------
+    n:
+        Block size (number of packets / vertices).
+    root:
+        Send-order index of the signature packet ``P_sign``.
+
+    Notes
+    -----
+    The class wraps a :class:`networkx.DiGraph` and enforces the
+    Definition 1 invariants eagerly where cheap (vertex ranges, self
+    loops, duplicate edges) and on demand via :meth:`validate` where
+    global (acyclicity, root reachability).
+    """
+
+    def __init__(self, n: int, root: int) -> None:
+        if n < 1:
+            raise GraphError(f"block size must be >= 1, got {n}")
+        if not 1 <= root <= n:
+            raise GraphError(f"root {root} outside packet range [1, {n}]")
+        self._n = n
+        self._root = root
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(range(1, n + 1))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Block size (number of vertices)."""
+        return self._n
+
+    @property
+    def root(self) -> int:
+        """Send-order index of ``P_sign``."""
+        return self._root
+
+    @property
+    def edge_count(self) -> int:
+        """``|E|`` — total number of carried hashes in the block (Eq. 2)."""
+        return self._graph.number_of_edges()
+
+    @property
+    def vertices(self) -> range:
+        """All vertices, ``1..n``."""
+        return range(1, self._n + 1)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as ``(i, j)`` pairs (``P_i`` carries ``h(P_j)``)."""
+        return iter(self._graph.edges())
+
+    def label(self, i: int, j: int) -> int:
+        """The label ``l_ij = i - j`` of an existing edge."""
+        if not self._graph.has_edge(i, j):
+            raise GraphError(f"no edge ({i}, {j})")
+        return self._graph.edges[i, j]["label"]
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether ``P_i`` carries the hash of ``P_j``."""
+        return self._graph.has_edge(i, j)
+
+    def out_degree(self, i: int) -> int:
+        """``∂(P_i)`` — number of hashes carried by ``P_i`` (Eq. 2)."""
+        self._check_vertex(i)
+        return self._graph.out_degree(i)
+
+    def in_degree(self, i: int) -> int:
+        """Number of packets carrying the hash of ``P_i``."""
+        self._check_vertex(i)
+        return self._graph.in_degree(i)
+
+    def successors(self, i: int) -> List[int]:
+        """Packets whose hashes ``P_i`` carries."""
+        self._check_vertex(i)
+        return sorted(self._graph.successors(i))
+
+    def predecessors(self, i: int) -> List[int]:
+        """Packets that carry the hash of ``P_i``."""
+        self._check_vertex(i)
+        return sorted(self._graph.predecessors(i))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_edge(self, i: int, j: int) -> None:
+        """Add the dependence ``P_i -> P_j`` (``P_i`` carries ``h(P_j)``).
+
+        The label ``i - j`` is attached automatically.  Self-loops and
+        duplicate edges are rejected; edges *into* the root are allowed
+        by Definition 1 but pointless and rejected here to catch scheme
+        construction bugs early.
+        """
+        self._check_vertex(i)
+        self._check_vertex(j)
+        if i == j:
+            raise GraphError(f"self-dependence on packet {i}")
+        if j == self._root:
+            raise GraphError("edges into the root are redundant: P_sign is signed")
+        if self._graph.has_edge(i, j):
+            raise GraphError(f"duplicate edge ({i}, {j})")
+        self._graph.add_edge(i, j, label=i - j)
+
+    def add_edges(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Add many dependences at once."""
+        for i, j in pairs:
+            self.add_edge(i, j)
+
+    def remove_edge(self, i: int, j: int) -> None:
+        """Remove an existing dependence (used by the design toolkit)."""
+        if not self._graph.has_edge(i, j):
+            raise GraphError(f"no edge ({i}, {j}) to remove")
+        self._graph.remove_edge(i, j)
+
+    def copy(self) -> "DependenceGraph":
+        """An independent deep copy."""
+        clone = DependenceGraph(self._n, self._root)
+        clone._graph.add_edges_from(self._graph.edges(data=True))
+        return clone
+
+    # ------------------------------------------------------------------
+    # Validation (Definition 1 invariants)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all Definition 1 invariants; raise :class:`GraphError`.
+
+        * the graph is acyclic,
+        * every vertex is reachable from the root,
+        * every label equals the index difference of its endpoints.
+        """
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise GraphError(f"dependence-graph contains a cycle: {cycle}")
+        unreachable = self.unreachable_vertices()
+        if unreachable:
+            raise GraphError(
+                f"{len(unreachable)} vertices unreachable from root "
+                f"{self._root}: {sorted(unreachable)[:10]}"
+            )
+        for i, j, data in self._graph.edges(data=True):
+            if data.get("label") != i - j:
+                raise GraphError(f"edge ({i}, {j}) has label {data.get('label')}")
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate()
+        except GraphError:
+            return False
+        return True
+
+    def unreachable_vertices(self) -> Set[int]:
+        """Vertices with no path from the root.
+
+        Probabilistic constructions (Sec. 5) may legitimately leave a
+        "negligibly small" set of such vertices; deterministic schemes
+        must leave none.
+        """
+        reachable = set(nx.descendants(self._graph, self._root))
+        reachable.add(self._root)
+        return set(self.vertices) - reachable
+
+    def topological_order(self) -> List[int]:
+        """Vertices in a topological order of the dependence relation."""
+        try:
+            return list(nx.topological_sort(self._graph))
+        except nx.NetworkXUnfeasible as exc:
+            raise GraphError("graph is cyclic; no topological order") from exc
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying :class:`networkx.DiGraph`."""
+        return self._graph.copy()
+
+    @classmethod
+    def from_edges(cls, n: int, root: int,
+                   edges: Iterable[Tuple[int, int]]) -> "DependenceGraph":
+        """Build and validate a graph in one call."""
+        graph = cls(n, root)
+        graph.add_edges(edges)
+        graph.validate()
+        return graph
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependenceGraph):
+            return NotImplemented
+        return (self._n == other._n and self._root == other._root
+                and set(self._graph.edges()) == set(other._graph.edges()))
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("DependenceGraph is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (f"DependenceGraph(n={self._n}, root={self._root}, "
+                f"edges={self.edge_count})")
+
+    def _check_vertex(self, i: int) -> None:
+        if not 1 <= i <= self._n:
+            raise GraphError(f"packet index {i} outside [1, {self._n}]")

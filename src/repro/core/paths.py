@@ -1,0 +1,144 @@
+"""Path structure of a dependence-graph: Θ-sets and shortest paths.
+
+Definition 2 of the paper introduces ``Θ(P_sign, P_i)``: the family of
+vertex sets, one per root→``P_i`` path, such that ``P_i`` is verifiable
+iff at least one path has *all* its vertices received.  Because
+``P_sign`` is assumed always received and ``q_i`` conditions on ``P_i``
+being received, the loss-relevant part of each path is its *interior*
+— the vertices strictly between root and ``P_i``.  This module
+enumerates those interiors and computes shortest-path depths, both of
+which feed the Eq. 1 bounds and the exact small-graph evaluator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+import networkx as nx
+
+from repro.core.graph import DependenceGraph
+from repro.exceptions import GraphError
+
+__all__ = [
+    "theta_sets",
+    "iter_theta_sets",
+    "shortest_depth",
+    "all_depths",
+    "path_count",
+    "exact_lambda",
+]
+
+
+def iter_theta_sets(graph: DependenceGraph, target: int,
+                    limit: Optional[int] = None) -> Iterator[FrozenSet[int]]:
+    """Yield path interiors ``θ_x(i)`` for every root→``target`` path.
+
+    Parameters
+    ----------
+    graph:
+        The dependence-graph.
+    target:
+        The packet ``P_i`` whose Θ-family is wanted.
+    limit:
+        Optional cap on the number of paths enumerated; path counts are
+        exponential in dense graphs.
+    """
+    g = graph.to_networkx()
+    if target == graph.root:
+        yield frozenset()
+        return
+    count = 0
+    for path in nx.all_simple_paths(g, graph.root, target):
+        yield frozenset(path[1:-1])
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def theta_sets(graph: DependenceGraph, target: int,
+               limit: Optional[int] = None) -> List[FrozenSet[int]]:
+    """The Θ-family as a list, minimal sets first (by size)."""
+    return sorted(iter_theta_sets(graph, target, limit), key=len)
+
+
+def path_count(graph: DependenceGraph, target: int,
+               limit: int = 10_000_000) -> int:
+    """Number of distinct root→``target`` paths (DAG dynamic program).
+
+    Runs in ``O(V + E)`` on the DAG, unlike explicit enumeration.
+    """
+    order = graph.topological_order()
+    counts: Dict[int, int] = {v: 0 for v in graph.vertices}
+    counts[graph.root] = 1
+    g = graph.to_networkx()
+    for v in order:
+        c = counts[v]
+        if not c:
+            continue
+        for w in g.successors(v):
+            counts[w] = min(counts[w] + c, limit)
+    return counts[target]
+
+
+def shortest_depth(graph: DependenceGraph, target: int) -> int:
+    """``min|θ_x(i)|`` — interior vertex count of the shortest path.
+
+    This is the quantity the paper's worst-case-topology bound uses:
+    with maximally-overlapping paths, ``λ_i = (1-p)^{min|θ|}``.
+    Raises :class:`GraphError` when ``target`` is unreachable.
+    """
+    g = graph.to_networkx()
+    try:
+        length = nx.shortest_path_length(g, graph.root, target)
+    except nx.NetworkXNoPath as exc:
+        raise GraphError(f"packet {target} unreachable from root") from exc
+    return max(length - 1, 0)
+
+
+def all_depths(graph: DependenceGraph) -> Dict[int, int]:
+    """Shortest-path interior sizes for every reachable vertex at once."""
+    g = graph.to_networkx()
+    lengths = nx.single_source_shortest_path_length(g, graph.root)
+    return {v: max(d - 1, 0) for v, d in lengths.items()}
+
+
+def exact_lambda(graph: DependenceGraph, target: int, p: float,
+                 limit: int = 18) -> float:
+    """Exact ``λ_i`` under iid loss by inclusion–exclusion over paths.
+
+    ``λ_i = P{some path fully received}``.  With path interiors
+    ``θ_1..θ_k``, inclusion–exclusion gives
+
+    ``λ_i = Σ_{∅≠T⊆[k]} (-1)^{|T|+1} (1-p)^{|∪_{x∈T} θ_x|}``.
+
+    Exponential in the number of paths — intended for small graphs and
+    as ground truth for the recurrence approximations and Monte Carlo.
+
+    Parameters
+    ----------
+    limit:
+        Safety cap on the number of paths: the evaluation enumerates
+        ``2^paths − 1`` subsets, so 18 paths (~260k subsets) is already
+        the practical ceiling.
+    """
+    if not 0 <= p <= 1:
+        raise GraphError(f"loss probability must be in [0, 1], got {p}")
+    # Enumerate lazily with a cap: dense graphs have exponentially many
+    # paths and must fail fast, before enumeration, not after.
+    thetas = theta_sets(graph, target, limit=limit + 1)
+    if not thetas:
+        return 0.0
+    if len(thetas) > limit:
+        raise GraphError(
+            f"more than {limit} paths: inclusion-exclusion infeasible"
+        )
+    survive = 1.0 - p
+    total = 0.0
+    for r in range(1, len(thetas) + 1):
+        for subset in itertools.combinations(thetas, r):
+            union = frozenset().union(*subset)
+            term = survive ** len(union)
+            total += term if r % 2 == 1 else -term
+    # Clamp tiny negative float noise.
+    return min(max(total, 0.0), 1.0)

@@ -1,0 +1,77 @@
+"""Rendering dependence-graphs for inspection (Figure 1 / Figure 2).
+
+The paper's Figure 1 *shows* the dependence-graphs of the analyzed
+schemes; offline we render them as Graphviz DOT (for later plotting)
+and as compact ASCII adjacency listings (for terminals and test
+output).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.graph import DependenceGraph
+from repro.core.tesla_graph import TeslaDependenceGraph
+
+__all__ = ["to_dot", "to_ascii", "tesla_to_dot", "edge_signature"]
+
+
+def to_dot(graph: DependenceGraph, name: str = "dependence_graph") -> str:
+    """Render a dependence-graph as Graphviz DOT.
+
+    The root is drawn as a double circle; edge labels carry ``l_ij``.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for v in graph.vertices:
+        shape = "doublecircle" if v == graph.root else "circle"
+        lines.append(f'  P{v} [shape={shape}, label="P{v}"];')
+    for i, j in sorted(graph.edges()):
+        lines.append(f'  P{i} -> P{j} [label="{i - j}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(graph: DependenceGraph) -> str:
+    """Compact per-vertex adjacency listing.
+
+    One line per vertex with an asterisk on the root::
+
+        P1* -> P2
+        P2  -> P3
+    """
+    rows: List[str] = []
+    width = len(str(graph.n))
+    for v in graph.vertices:
+        marker = "*" if v == graph.root else " "
+        targets = graph.successors(v)
+        arrow = ", ".join(f"P{t}" for t in targets) if targets else "(leaf)"
+        rows.append(f"P{str(v).rjust(width)}{marker} -> {arrow}")
+    return "\n".join(rows)
+
+
+def tesla_to_dot(graph: TeslaDependenceGraph,
+                 name: str = "tesla_graph") -> str:
+    """DOT rendering of the extended TESLA graph (Figure 2)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;",
+             '  bootstrap [shape=doublecircle, label="bootstrap"];']
+    for m in graph.message_vertices():
+        lines.append(f'  {m} [shape=circle];')
+    for k in graph.key_vertices():
+        lines.append(f'  "K{k.index}" [shape=box, label="{k}"];')
+    for u, v in graph.edges():
+        u_name = "bootstrap" if u == graph.root else (
+            f'"K{u.index}"' if hasattr(u, "lag") else str(u))
+        v_name = f'"K{v.index}"' if hasattr(v, "lag") else str(v)
+        lines.append(f"  {u_name} -> {v_name};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def edge_signature(graph: DependenceGraph) -> List[int]:
+    """Sorted multiset of edge labels — a cheap structural fingerprint.
+
+    Two instances of the same periodic scheme at different block sizes
+    share the same *set* of labels; tests use this to pin scheme
+    construction.
+    """
+    return sorted(i - j for i, j in graph.edges())

@@ -1,0 +1,81 @@
+"""Dependence-graph persistence.
+
+The Section 5 design toolkit produces graphs worth keeping: a tuned
+topology is a deployment artifact (the sender needs it to place
+hashes; auditors need it to reproduce the q analysis).  This module
+gives :class:`~repro.core.graph.DependenceGraph` a stable JSON form —
+small, diffable, and versioned — plus file helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO, Union
+
+from repro.core.graph import DependenceGraph
+from repro.exceptions import GraphError
+
+__all__ = ["graph_to_json", "graph_from_json", "save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_json(graph: DependenceGraph) -> str:
+    """Serialize a graph (validated first) to a canonical JSON string.
+
+    Edges are sorted so equal graphs serialize identically — the
+    output is usable as a golden file.
+    """
+    graph.validate()
+    return json.dumps({
+        "format": _FORMAT_VERSION,
+        "n": graph.n,
+        "root": graph.root,
+        "edges": sorted(graph.edges()),
+    }, separators=(",", ":"))
+
+
+def graph_from_json(text: str) -> DependenceGraph:
+    """Parse a graph serialized by :func:`graph_to_json`.
+
+    Raises
+    ------
+    GraphError
+        On malformed JSON, unsupported versions, or payloads violating
+        Definition 1 (the graph is re-validated on load).
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise GraphError(f"malformed graph JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise GraphError("graph JSON must be an object")
+    version = payload.get("format")
+    if version != _FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format {version!r}")
+    try:
+        n = int(payload["n"])
+        root = int(payload["root"])
+        edges = [(int(i), int(j)) for i, j in payload["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed graph payload: {exc}") from exc
+    return DependenceGraph.from_edges(n, root, edges)
+
+
+def save_graph(graph: DependenceGraph,
+               sink: Union[str, TextIO]) -> None:
+    """Write a graph to a path or open text handle."""
+    text = graph_to_json(graph)
+    if isinstance(sink, str):
+        with open(sink, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sink.write(text)
+
+
+def load_graph(source: Union[str, TextIO]) -> DependenceGraph:
+    """Read a graph written by :func:`save_graph`."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return graph_from_json(handle.read())
+    return graph_from_json(source.read())

@@ -1,0 +1,157 @@
+"""Extended dependence-graph for TESLA (paper Section 3.2).
+
+TESLA is MAC-based, not hash-chained, yet the paper shows it fits the
+dependence-graph framework once each packet is split into **two**
+vertices: a message vertex ``P_i`` and a key vertex ``K_{i,a}`` (the
+MAC key for ``P_i``, carried by ``P_{i+a}`` with disclosure lag ``a``).
+The signed root is the bootstrap packet.  Edges:
+
+* bootstrap → every key vertex (the signed commitment authenticates the
+  whole one-way chain);
+* ``K_{j,a} → P_i`` for every ``j >= i`` — any *later* disclosed key
+  derives the earlier ones by walking the one-way chain, so each key
+  vertex authenticates every message at or before its index.
+
+Unlike Definition 1 graphs this one carries no labels, and packet
+verifiability needs the extra *security condition* ``ξ_i`` (the packet
+must arrive before its key is disclosed), handled by
+:mod:`repro.analysis.tesla`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple, Union
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+
+__all__ = ["MessageVertex", "KeyVertex", "BOOTSTRAP", "TeslaDependenceGraph"]
+
+
+@dataclass(frozen=True, order=True)
+class MessageVertex:
+    """The message half of packet ``P_i``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"P{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class KeyVertex:
+    """The key half: MAC key of ``P_index``, disclosed in ``P_{index+lag}``."""
+
+    index: int
+    lag: int
+
+    def __str__(self) -> str:
+        return f"K({self.index},{self.lag})"
+
+
+#: The signed bootstrap packet — root of every TESLA dependence-graph.
+BOOTSTRAP = "bootstrap"
+
+Vertex = Union[MessageVertex, KeyVertex, str]
+
+
+class TeslaDependenceGraph:
+    """TESLA's two-vertices-per-packet dependence-graph.
+
+    Parameters
+    ----------
+    n:
+        Number of data packets in the session (the paper uses the whole
+        key-chain lifetime as one "block").
+    lag:
+        Key disclosure lag ``a``: the key for ``P_i`` rides in
+        ``P_{i+a}``.  Keys whose carrier falls beyond ``n`` are modeled
+        as carried by dedicated trailing disclosures, as in TESLA's
+        final key flush.
+    """
+
+    def __init__(self, n: int, lag: int = 1) -> None:
+        if n < 1:
+            raise GraphError(f"need >= 1 packet, got {n}")
+        if lag < 1:
+            raise GraphError(f"disclosure lag must be >= 1, got {lag}")
+        self.n = n
+        self.lag = lag
+        g = nx.DiGraph()
+        g.add_node(BOOTSTRAP)
+        messages = [MessageVertex(i) for i in range(1, n + 1)]
+        keys = [KeyVertex(i, lag) for i in range(1, n + 1)]
+        g.add_nodes_from(messages)
+        g.add_nodes_from(keys)
+        for key in keys:
+            g.add_edge(BOOTSTRAP, key)
+        # Any later key derives all earlier ones (one-way chain), so each
+        # key vertex can authenticate every message at or before it.
+        for key in keys:
+            for message in messages[: key.index]:
+                g.add_edge(key, message)
+        self._graph = g
+
+    @property
+    def root(self) -> str:
+        """The signed bootstrap packet."""
+        return BOOTSTRAP
+
+    @property
+    def vertex_count(self) -> int:
+        """``2n + 1`` vertices: messages, keys, bootstrap."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        """Total dependence relations."""
+        return self._graph.number_of_edges()
+
+    def message_vertices(self) -> List[MessageVertex]:
+        """All message vertices in index order."""
+        return [MessageVertex(i) for i in range(1, self.n + 1)]
+
+    def key_vertices(self) -> List[KeyVertex]:
+        """All key vertices in index order."""
+        return [KeyVertex(i, self.lag) for i in range(1, self.n + 1)]
+
+    def authenticating_keys(self, message_index: int) -> List[KeyVertex]:
+        """Key vertices able to authenticate ``P_message_index``.
+
+        These are ``{K_{j,a} : j >= message_index}`` — the basis of the
+        paper's ``λ_i = 1 - p^{n+1-i}``.
+        """
+        if not 1 <= message_index <= self.n:
+            raise GraphError(f"message index {message_index} outside [1, {self.n}]")
+        return [KeyVertex(j, self.lag) for j in range(message_index, self.n + 1)]
+
+    def carrier_packet(self, key: KeyVertex) -> int:
+        """Send-order packet index that carries ``key`` on the wire.
+
+        Carriers beyond the session (``> n``) represent the trailing
+        key-flush packets TESLA sends after the last data packet.
+        """
+        return key.index + key.lag
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate over dependence edges."""
+        return iter(self._graph.edges())
+
+    def validate(self) -> None:
+        """Check acyclicity and root reachability (Definition 1 spirit)."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise GraphError("TESLA dependence-graph must be acyclic")
+        reachable = set(nx.descendants(self._graph, BOOTSTRAP))
+        reachable.add(BOOTSTRAP)
+        missing = set(self._graph.nodes()) - reachable
+        if missing:
+            raise GraphError(f"{len(missing)} vertices unreachable from bootstrap")
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying digraph."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:
+        return f"TeslaDependenceGraph(n={self.n}, lag={self.lag})"

@@ -1,0 +1,72 @@
+"""Cryptographic substrate: hashes, MACs, signatures, trees, key chains.
+
+Everything the paper's schemes assume — "a hash function", "a MAC",
+"a digital signature", "a pseudo-random function" — is implemented here
+from the Python standard library only (``hashlib``/``hmac``/``secrets``
+plus from-scratch RSA arithmetic).
+"""
+
+from repro.crypto.gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from repro.crypto.hashing import (
+    HashFunction,
+    available_hashes,
+    get_hash,
+    register_hash,
+    sha1,
+    sha256,
+    truncated,
+)
+from repro.crypto.keychain import KeyChain, KeyChainCommitment
+from repro.crypto.lamport import LamportKeyPair
+from repro.crypto.mac import Mac, Prf, constant_time_equal, hmac_sha256, random_key
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.reed_solomon import rs_decode, rs_encode
+from repro.crypto.rsa import (
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_keypair,
+    is_probable_prime,
+)
+from repro.crypto.signatures import (
+    HmacStubSigner,
+    LamportSigner,
+    RsaSigner,
+    Signer,
+    default_signer,
+)
+
+__all__ = [
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_pow",
+    "rs_decode",
+    "rs_encode",
+    "HashFunction",
+    "available_hashes",
+    "get_hash",
+    "register_hash",
+    "sha1",
+    "sha256",
+    "truncated",
+    "KeyChain",
+    "KeyChainCommitment",
+    "LamportKeyPair",
+    "Mac",
+    "Prf",
+    "constant_time_equal",
+    "hmac_sha256",
+    "random_key",
+    "MerkleProof",
+    "MerkleTree",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_keypair",
+    "is_probable_prime",
+    "HmacStubSigner",
+    "LamportSigner",
+    "RsaSigner",
+    "Signer",
+    "default_signer",
+]

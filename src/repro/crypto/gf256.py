@@ -1,0 +1,76 @@
+"""Arithmetic over GF(2^8) — the field under the erasure code.
+
+The SAIDA-style erasure-coded authentication baseline needs a
+Reed–Solomon code; Reed–Solomon needs a finite field.  This module
+implements GF(256) with the AES polynomial ``x^8+x^4+x^3+x+1`` (0x11B)
+via log/antilog tables built from the generator 0x03 at import time —
+multiplications and inversions are table lookups.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import CryptoError
+
+__all__ = ["gf_add", "gf_mul", "gf_div", "gf_inv", "gf_pow", "EXP", "LOG"]
+
+_POLY = 0x11B
+_GENERATOR = 0x03
+
+# EXP[i] = generator^i (doubled length so gf_mul needs no modulo);
+# LOG[x] = discrete log of x (LOG[0] unused).
+EXP: List[int] = [0] * 512
+LOG: List[int] = [0] * 256
+
+_value = 1
+for _i in range(255):
+    EXP[_i] = _value
+    LOG[_value] = _i
+    # Multiply by the generator 0x03 = x + 1: v*3 = (v<<1) ^ v,
+    # reduced modulo the field polynomial.
+    doubled = _value << 1
+    if doubled & 0x100:
+        doubled ^= _POLY
+    _value = doubled ^ _value
+for _i in range(255, 512):
+    EXP[_i] = EXP[_i - 255]
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition (= subtraction) in GF(256): XOR."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication via log tables."""
+    if a == 0 or b == 0:
+        return 0
+    return EXP[LOG[a] + LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; 0 has none."""
+    if a == 0:
+        raise CryptoError("0 has no inverse in GF(256)")
+    return EXP[255 - LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division ``a / b``."""
+    if b == 0:
+        raise CryptoError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return EXP[(LOG[a] - LOG[b]) % 255]
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """``a ** exponent`` (exponent >= 0)."""
+    if exponent < 0:
+        raise CryptoError("negative exponents unsupported")
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    return EXP[(LOG[a] * exponent) % 255]

@@ -1,0 +1,109 @@
+"""TESLA one-way key chains.
+
+TESLA's loss robustness comes from its key chain: the sender picks a
+random final key ``K_N`` and derives the chain backwards,
+``K_{i-1} = F(K_i)``, publishing a signed commitment to ``K_0``.  Keys
+are *disclosed* in forward order, so a receiver that missed the
+disclosure of ``K_i`` can recover it from any later key ``K_j`` (j > i)
+by applying ``F`` ``j - i`` times — this is the paper's
+``λ_i = 1 - p^{n+1-i}`` (any one of the remaining disclosures
+suffices).  MAC keys are domain-separated from chain keys via a second
+PRF ``F'`` so that a disclosed chain key never equals a MAC key.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Optional
+
+from repro.crypto.mac import Prf
+from repro.exceptions import CryptoError
+
+__all__ = ["KeyChain", "KeyChainCommitment"]
+
+_CHAIN_PRF = Prf(label=b"tesla-chain", output_size=16)
+_MAC_PRF = Prf(label=b"tesla-mac", output_size=16)
+
+
+class KeyChainCommitment:
+    """Receiver-side anchor: a trusted key at a known chain index.
+
+    Starts as the signed commitment to ``K_0`` from the bootstrap
+    packet, then ratchets forward as later keys are authenticated.
+    """
+
+    def __init__(self, index: int, key: bytes) -> None:
+        self.index = index
+        self.key = key
+
+    def authenticate(self, claimed_index: int, claimed_key: bytes) -> bool:
+        """Check ``claimed_key`` against the anchor and ratchet on success.
+
+        A key claimed for index ``j > anchor`` is valid iff applying the
+        chain PRF ``j - anchor`` times to it yields the anchored key.
+        Keys at or before the anchor are checked without ratcheting.
+        """
+        if claimed_index < self.index:
+            # The chain runs backwards (K_{i-1} = F(K_i)), so an *earlier*
+            # key is derivable from the anchor: walk the anchor back.
+            steps = self.index - claimed_index
+            return _CHAIN_PRF.iterate(self.key, steps) == claimed_key
+        steps = claimed_index - self.index
+        if _CHAIN_PRF.iterate(claimed_key, steps) != self.key:
+            return False
+        self.index = claimed_index
+        self.key = claimed_key
+        return True
+
+
+class KeyChain:
+    """Sender-side one-way key chain of length ``length``.
+
+    Index 0 is the committed anchor (never used for MACs); indices
+    ``1..length`` key the MAC intervals.
+
+    Parameters
+    ----------
+    length:
+        Number of usable MAC intervals.
+    seed:
+        Optional fixed final key (``K_length``) for reproducibility.
+    """
+
+    def __init__(self, length: int, seed: Optional[bytes] = None) -> None:
+        if length < 1:
+            raise CryptoError(f"key chain length must be >= 1, got {length}")
+        final = seed if seed is not None else secrets.token_bytes(16)
+        keys = [final]
+        for _ in range(length):
+            keys.append(_CHAIN_PRF.apply(keys[-1]))
+        keys.reverse()  # keys[i] is K_i; keys[0] is the commitment.
+        self._keys = keys
+        self.length = length
+
+    def key(self, index: int) -> bytes:
+        """Return chain key ``K_index`` (0 = commitment)."""
+        if not 0 <= index <= self.length:
+            raise CryptoError(f"chain index {index} out of range [0, {self.length}]")
+        return self._keys[index]
+
+    def mac_key(self, index: int) -> bytes:
+        """Return the MAC key ``K'_index = F'(K_index)`` for interval ``index``."""
+        if not 1 <= index <= self.length:
+            raise CryptoError(f"MAC interval {index} out of range [1, {self.length}]")
+        return _MAC_PRF.apply(self._keys[index])
+
+    @property
+    def commitment(self) -> bytes:
+        """``K_0``, the value signed in the bootstrap packet."""
+        return self._keys[0]
+
+    @staticmethod
+    def derive_mac_key(chain_key: bytes) -> bytes:
+        """Receiver-side ``F'``: derive the MAC key from a chain key."""
+        return _MAC_PRF.apply(chain_key)
+
+    @staticmethod
+    def walk_back(chain_key: bytes, steps: int) -> bytes:
+        """Receiver-side ``F``: derive ``K_{i-steps}`` from ``K_i``."""
+        return _CHAIN_PRF.iterate(chain_key, steps)

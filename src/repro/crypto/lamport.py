@@ -1,0 +1,100 @@
+"""Lamport one-time signatures.
+
+Included as the hash-based alternative signature algorithm: Boneh et
+al. (cited by the paper) prove that efficient multicast authentication
+*requires* signatures; Lamport signatures show what "signature" means
+under hash-only assumptions and anchor the large-``l_sign`` end of the
+overhead tradeoff in our Fig. 10 reproduction.
+
+Construction (Lamport 1979): the private key is ``2 x 256`` random
+values; the public key is their hashes.  To sign, reveal for each bit
+of ``SHA-256(message)`` the private value selected by that bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+__all__ = ["LamportKeyPair"]
+
+_BITS = 256
+_VALUE_SIZE = 32
+
+
+def _hash(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def _message_bits(message: bytes) -> List[int]:
+    digest = _hash(message)
+    return [(digest[i // 8] >> (7 - i % 8)) & 1 for i in range(_BITS)]
+
+
+def _derive_values(seed: bytes) -> List[Tuple[bytes, bytes]]:
+    """Derive the 2x256 private values deterministically from ``seed``."""
+    values = []
+    for i in range(_BITS):
+        zero = _hash(seed + b"0" + i.to_bytes(2, "big"))
+        one = _hash(seed + b"1" + i.to_bytes(2, "big"))
+        values.append((zero, one))
+    return values
+
+
+@dataclass(frozen=True)
+class LamportKeyPair:
+    """A Lamport one-time key pair.
+
+    Attributes
+    ----------
+    private_values:
+        256 pairs of 32-byte secrets.
+    public_values:
+        The hashes of the corresponding secrets.
+    """
+
+    private_values: Tuple[Tuple[bytes, bytes], ...]
+    public_values: Tuple[Tuple[bytes, bytes], ...]
+
+    @property
+    def signature_size(self) -> int:
+        """Signatures reveal one 32-byte value per message bit."""
+        return _BITS * _VALUE_SIZE
+
+    @classmethod
+    def generate(cls, seed: Optional[bytes] = None) -> "LamportKeyPair":
+        """Generate a key pair, optionally deterministically from ``seed``."""
+        if seed is None:
+            seed = secrets.token_bytes(32)
+        private = _derive_values(seed)
+        public = [(_hash(zero), _hash(one)) for zero, one in private]
+        return cls(tuple(private), tuple(public))
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` by revealing one secret per digest bit."""
+        parts = [
+            self.private_values[i][bit]
+            for i, bit in enumerate(_message_bits(message))
+        ]
+        return b"".join(parts)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify a Lamport signature; wrong-size input returns ``False``."""
+        if len(signature) != self.signature_size:
+            return False
+        for i, bit in enumerate(_message_bits(message)):
+            value = signature[i * _VALUE_SIZE:(i + 1) * _VALUE_SIZE]
+            if _hash(value) != self.public_values[i][bit]:
+                return False
+        return True
+
+    def public_fingerprint(self) -> bytes:
+        """A 32-byte digest of the public key, for bootstrap packets."""
+        h = hashlib.sha256()
+        for zero, one in self.public_values:
+            h.update(zero)
+            h.update(one)
+        return h.digest()

@@ -1,0 +1,103 @@
+"""Message authentication codes and key derivation for TESLA.
+
+TESLA (Perrig et al.) authenticates each packet with an HMAC whose key
+is disclosed later.  Two independent functions are needed:
+
+* the MAC itself, ``MAC = H_k(M)`` in the paper's Section 1, and
+* a pseudo-random function (PRF) family used both to walk the key chain
+  backwards (``K_{i-1} = F(K_i)``) and to derive the per-interval MAC
+  key from the chain key (``K'_i = F'(K_i)``) so that disclosing a chain
+  key never discloses a MAC key directly.
+
+Both are built from HMAC here, which is the standard instantiation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.hashing import HashFunction, sha256
+from repro.exceptions import CryptoError
+
+__all__ = ["Mac", "Prf", "hmac_sha256", "random_key", "constant_time_equal"]
+
+
+def random_key(size: int = 16) -> bytes:
+    """Return ``size`` cryptographically random bytes."""
+    if size < 1:
+        raise CryptoError(f"key size must be positive, got {size}")
+    return secrets.token_bytes(size)
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time byte-string comparison (wraps :func:`hmac.compare_digest`)."""
+    return hmac.compare_digest(a, b)
+
+
+@dataclass(frozen=True)
+class Mac:
+    """An HMAC-based message authentication code with optional truncation.
+
+    Parameters
+    ----------
+    hash_function:
+        Underlying hash; the HMAC tag is truncated to its
+        ``digest_size`` so that truncated registry entries (e.g.
+        ``sha256/10``) yield truncated tags.
+    """
+
+    hash_function: HashFunction = sha256
+
+    @property
+    def tag_size(self) -> int:
+        """Size in bytes of tags produced by :meth:`tag`."""
+        return self.hash_function.digest_size
+
+    def tag(self, key: bytes, message: bytes) -> bytes:
+        """Compute the MAC tag of ``message`` under ``key``."""
+        if not key:
+            raise CryptoError("MAC key must be non-empty")
+        full = hmac.new(key, message, hashlib.sha256).digest()
+        return full[: self.tag_size]
+
+    def verify(self, key: bytes, message: bytes, tag: bytes) -> bool:
+        """Return ``True`` iff ``tag`` authenticates ``message`` under ``key``."""
+        if len(tag) != self.tag_size:
+            return False
+        return constant_time_equal(self.tag(key, message), tag)
+
+
+@dataclass(frozen=True)
+class Prf:
+    """A pseudo-random function family ``F_label: key -> key``.
+
+    The ``label`` domain-separates independent PRFs derived from the
+    same HMAC construction.  TESLA uses two: ``F`` (label ``b"chain"``)
+    to derive the previous chain key, and ``F'`` (label ``b"mac"``) to
+    derive MAC keys from chain keys.
+    """
+
+    label: bytes
+    output_size: int = 16
+
+    def apply(self, key: bytes) -> bytes:
+        """Apply the PRF to ``key``, producing an ``output_size``-byte key."""
+        if not key:
+            raise CryptoError("PRF input key must be non-empty")
+        out = hmac.new(key, self.label, hashlib.sha256).digest()
+        return out[: self.output_size]
+
+    def iterate(self, key: bytes, times: int) -> bytes:
+        """Apply the PRF ``times`` times in sequence."""
+        if times < 0:
+            raise CryptoError(f"iteration count must be >= 0, got {times}")
+        current = key
+        for _ in range(times):
+            current = self.apply(current)
+        return current
+
+
+hmac_sha256 = Mac(sha256)

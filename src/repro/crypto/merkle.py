@@ -1,0 +1,131 @@
+"""Merkle hash trees, the substrate of the Wong–Lam authentication tree.
+
+In the Wong–Lam scheme ("Authentication Tree" in the paper's Section
+2.2) the hashes of the packets in a block form the leaves of a binary
+tree; internal nodes hash their children; the root is signed.  Each
+packet then carries its *authentication path* — the sibling hashes from
+its leaf to the root — so every packet is individually verifiable
+regardless of which other packets are lost.  That per-packet path of
+``ceil(log2 n)`` hashes is exactly the "high overhead" the paper
+attributes to the scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import HashFunction, sha256
+from repro.exceptions import CryptoError
+
+__all__ = ["MerkleTree", "MerkleProof"]
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An authentication path for one leaf.
+
+    Attributes
+    ----------
+    leaf_index:
+        Position of the proven leaf.
+    siblings:
+        Sibling hashes from the leaf level up to (excluding) the root,
+        each tagged with whether the sibling sits on the left.
+    """
+
+    leaf_index: int
+    siblings: Tuple[Tuple[bytes, bool], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the proof (hashes only)."""
+        return sum(len(h) for h, _ in self.siblings)
+
+    def __len__(self) -> int:
+        return len(self.siblings)
+
+
+class MerkleTree:
+    """A binary Merkle tree over a sequence of leaf payloads.
+
+    Leaves and internal nodes are domain-separated (prefix bytes) to
+    rule out second-preimage tricks between the two levels.  Odd nodes
+    at any level are promoted unchanged, so the tree accepts any leaf
+    count >= 1.
+
+    Parameters
+    ----------
+    leaves:
+        Raw leaf payloads (packet bytes in Wong–Lam).
+    hash_function:
+        Hash used throughout; its size determines proof overhead.
+    """
+
+    def __init__(self, leaves: Sequence[bytes],
+                 hash_function: HashFunction = sha256) -> None:
+        if not leaves:
+            raise CryptoError("Merkle tree needs at least one leaf")
+        self._hash = hash_function
+        leaf_hashes = [hash_function.digest(_LEAF_PREFIX + leaf) for leaf in leaves]
+        # levels[0] is the leaf level; levels[-1] is [root].
+        self._levels: List[List[bytes]] = [leaf_hashes]
+        while len(self._levels[-1]) > 1:
+            below = self._levels[-1]
+            above = []
+            for i in range(0, len(below) - 1, 2):
+                combined = _NODE_PREFIX + below[i] + below[i + 1]
+                above.append(hash_function.digest(combined))
+            if len(below) % 2 == 1:
+                above.append(below[-1])
+            self._levels.append(above)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves the tree was built over."""
+        return len(self._levels[0])
+
+    @property
+    def root(self) -> bytes:
+        """The root hash; this is what Wong–Lam signs."""
+        return self._levels[-1][0]
+
+    @property
+    def height(self) -> int:
+        """Number of levels above the leaves."""
+        return len(self._levels) - 1
+
+    def proof(self, leaf_index: int) -> MerkleProof:
+        """Build the authentication path for ``leaf_index``."""
+        if not 0 <= leaf_index < self.leaf_count:
+            raise CryptoError(
+                f"leaf index {leaf_index} out of range [0, {self.leaf_count})"
+            )
+        siblings: List[Tuple[bytes, bool]] = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            sibling = index ^ 1
+            if sibling < len(level):
+                siblings.append((level[sibling], sibling < index))
+            index //= 2
+        return MerkleProof(leaf_index=leaf_index, siblings=tuple(siblings))
+
+    def verify(self, leaf: bytes, proof: MerkleProof, root: bytes) -> bool:
+        """Recompute the root from ``leaf`` and ``proof`` and compare."""
+        return self.verify_static(leaf, proof, root, self._hash)
+
+    @staticmethod
+    def verify_static(leaf: bytes, proof: MerkleProof, root: bytes,
+                      hash_function: HashFunction = sha256) -> bool:
+        """Verification without a tree instance (receiver side)."""
+        current = hash_function.digest(_LEAF_PREFIX + leaf)
+        for sibling, sibling_is_left in proof.siblings:
+            if sibling_is_left:
+                combined = _NODE_PREFIX + sibling + current
+            else:
+                combined = _NODE_PREFIX + current + sibling
+            current = hash_function.digest(combined)
+        return current == root

@@ -1,0 +1,161 @@
+"""Reed–Solomon erasure coding over GF(256).
+
+The SAIDA-style baseline spreads a block's authentication information
+(signature + hash list) over its packets so that *any* ``k`` of the
+``n`` packets suffice to reconstruct it.  That is precisely an
+``(n, k)`` Reed–Solomon erasure code:
+
+* **encode** — pad the payload to ``k`` equal fragments; the ``j``-th
+  bytes of the fragments are the coefficients of a degree-``k−1``
+  polynomial over GF(256), evaluated at ``n`` distinct non-zero field
+  points to give the ``j``-th byte of each share;
+* **decode** — any ``k`` shares give ``k`` evaluations per byte
+  position; Lagrange interpolation recovers the coefficients.
+
+This is an *erasure* decoder (the channel tells us which shares are
+missing — lost packets), not an error decoder; in the multicast loss
+setting that is exactly the model.  Runtime is ``O(k²)`` field
+operations per byte position, ample for authentication blobs of a few
+kilobytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+from repro.crypto.gf256 import gf_add, gf_div, gf_mul
+from repro.exceptions import CryptoError
+
+__all__ = ["rs_encode", "rs_decode", "Share"]
+
+#: A share: (index, data).  Index ``i`` encodes evaluation point
+#: ``i + 1`` (zero is not a valid evaluation point).
+Share = Tuple[int, bytes]
+
+_LENGTH_HEADER = struct.Struct(">I")
+
+
+def _evaluation_point(index: int) -> int:
+    return index + 1
+
+
+def rs_encode(data: bytes, n: int, k: int) -> List[bytes]:
+    """Encode ``data`` into ``n`` shares, any ``k`` of which recover it.
+
+    Parameters
+    ----------
+    data:
+        Payload (length prefixed internally so padding is removable).
+    n:
+        Total shares; ``n <= 255`` (distinct non-zero field points).
+    k:
+        Reconstruction threshold, ``1 <= k <= n``.
+
+    Returns
+    -------
+    list of bytes
+        ``n`` equal-length shares; the share for index ``i`` must be
+        presented to :func:`rs_decode` with that index.
+    """
+    if not 1 <= k <= n:
+        raise CryptoError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if n > 255:
+        raise CryptoError(f"GF(256) supports at most 255 shares, got {n}")
+    framed = _LENGTH_HEADER.pack(len(data)) + data
+    fragment_length = (len(framed) + k - 1) // k
+    framed = framed.ljust(k * fragment_length, b"\x00")
+    fragments = [framed[i * fragment_length:(i + 1) * fragment_length]
+                 for i in range(k)]
+    shares = []
+    points = [_evaluation_point(i) for i in range(n)]
+    for point in points:
+        # Horner evaluation of the coefficient polynomial per byte.
+        share = bytearray(fragment_length)
+        for j in range(fragment_length):
+            acc = 0
+            for fragment in reversed(fragments):
+                acc = gf_add(gf_mul(acc, point), fragment[j])
+            share[j] = acc
+        shares.append(bytes(share))
+    return shares
+
+
+def rs_decode(shares: Sequence[Share], k: int) -> bytes:
+    """Recover the payload from any ``k`` (index, data) shares.
+
+    Raises
+    ------
+    CryptoError
+        On fewer than ``k`` shares, duplicate/invalid indices, or
+        inconsistent share lengths.  A *wrong-content* share produces
+        garbage output — integrity is the caller's signature check, as
+        in SAIDA.
+    """
+    chosen: Dict[int, bytes] = {}
+    for index, payload in shares:
+        if index < 0 or index > 254:
+            raise CryptoError(f"invalid share index {index}")
+        if index in chosen:
+            continue
+        chosen[index] = bytes(payload)
+        if len(chosen) == k:
+            break
+    if len(chosen) < k:
+        raise CryptoError(f"need {k} distinct shares, got {len(chosen)}")
+    lengths = {len(v) for v in chosen.values()}
+    if len(lengths) != 1:
+        raise CryptoError("shares have inconsistent lengths")
+    fragment_length = lengths.pop()
+    indices = sorted(chosen)
+    points = [_evaluation_point(i) for i in indices]
+    values = [chosen[i] for i in indices]
+    # Lagrange interpolation: coefficient recovery per byte position.
+    # Build the interpolation matrix once (independent of position).
+    # c = V^{-1} y where V is the Vandermonde of the points; we invert
+    # implicitly via Lagrange basis polynomials expanded to coefficients.
+    basis = _lagrange_bases(points)
+    framed = bytearray(k * fragment_length)
+    for j in range(fragment_length):
+        for coefficient_index in range(k):
+            acc = 0
+            for share_index in range(k):
+                acc = gf_add(acc, gf_mul(basis[share_index][coefficient_index],
+                                         values[share_index][j]))
+            framed[coefficient_index * fragment_length + j] = acc
+    (length,) = _LENGTH_HEADER.unpack_from(bytes(framed), 0)
+    body = bytes(framed[_LENGTH_HEADER.size:_LENGTH_HEADER.size + length])
+    if length > len(framed) - _LENGTH_HEADER.size:
+        raise CryptoError("corrupt share set: impossible length header")
+    return body
+
+
+def _lagrange_bases(points: Sequence[int]) -> List[List[int]]:
+    """Coefficients of each Lagrange basis polynomial L_i(x).
+
+    ``L_i`` is 1 at ``points[i]`` and 0 at the others; the recovered
+    polynomial is ``Σ y_i · L_i``, so its ``c``-th coefficient is
+    ``Σ y_i · bases[i][c]``.
+    """
+    k = len(points)
+    bases: List[List[int]] = []
+    for i, x_i in enumerate(points):
+        # numerator polynomial: product of (x - x_j) for j != i.
+        coefficients = [1]  # constant polynomial 1
+        denominator = 1
+        for j, x_j in enumerate(points):
+            if j == i:
+                continue
+            # multiply by (x + x_j)  (== x - x_j in GF(2^8))
+            next_coefficients = [0] * (len(coefficients) + 1)
+            for degree, coefficient in enumerate(coefficients):
+                next_coefficients[degree + 1] = gf_add(
+                    next_coefficients[degree + 1], coefficient)
+                next_coefficients[degree] = gf_add(
+                    next_coefficients[degree], gf_mul(coefficient, x_j))
+            coefficients = next_coefficients
+            denominator = gf_mul(denominator, gf_add(x_i, x_j))
+        scaled = [gf_div(c, denominator) for c in coefficients]
+        scaled += [0] * (k - len(scaled))
+        bases.append(scaled[:k])
+    return bases

@@ -1,0 +1,23 @@
+"""Graph-design toolkit: the constructions of the paper's Section 5."""
+
+from repro.design.constraints import ConstraintReport, DesignConstraints
+from repro.design.disjoint import disjoint_paths_design
+from repro.design.dp import OffsetPolicy, search_offset_policy
+from repro.design.heuristic import HeuristicDesignResult, greedy_design
+from repro.design.optimizer import ParameterChoice, optimize_ac, optimize_emss
+from repro.design.probabilistic import ProbabilisticDesign, tune_edge_probability
+
+__all__ = [
+    "ConstraintReport",
+    "DesignConstraints",
+    "disjoint_paths_design",
+    "OffsetPolicy",
+    "search_offset_policy",
+    "HeuristicDesignResult",
+    "greedy_design",
+    "ParameterChoice",
+    "optimize_ac",
+    "optimize_emss",
+    "ProbabilisticDesign",
+    "tune_edge_probability",
+]

@@ -1,0 +1,117 @@
+"""Design-constraint model for dependence-graph construction (Sec. 5).
+
+"The design objective of the hash-chained schemes is to construct a
+dependence-graph which has the minimum total number of edges and each
+vertex in it is reachable by P_sign through at least a certain number
+of paths each having a pre-defined maximum length."  This module turns
+that sentence into a checkable object: targets on ``q_min`` (or on
+path structure directly), budgets on overhead, and the zero-delay
+restriction on edge direction the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.core.graph import DependenceGraph
+from repro.core.metrics import (
+    max_deterministic_delay,
+    mean_hashes_per_packet,
+)
+from repro.exceptions import DesignError
+
+__all__ = ["DesignConstraints", "ConstraintReport"]
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of checking one graph against a constraint set."""
+
+    satisfied: bool
+    q_min: float
+    mean_hashes: float
+    delay_slots: int
+    violation: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """A designer's requirements for one block.
+
+    Attributes
+    ----------
+    loss_rate:
+        Channel loss rate ``p`` the design must survive.
+    q_min_target:
+        Required minimum authentication probability.
+    max_mean_hashes:
+        Overhead budget: mean out-degree cap (``|E|/n``).
+    max_delay_slots:
+        Cap on deterministic receiver delay, in packet slots;
+        ``0`` enforces the paper's zero-receiver-delay regime (edges
+        may only point from nearer-``P_sign`` to farther, i.e. the
+        root must be the first packet and labels non-positive).
+    max_out_degree:
+        Cap on hashes carried by any single packet.  Without it the
+        trivially optimal design is a star from ``P_sign`` (one packet
+        carrying ``n-1`` hashes), which no real packet MTU allows.
+    mc_trials, mc_seed:
+        Monte Carlo settings for evaluating candidate graphs.
+    """
+
+    loss_rate: float
+    q_min_target: float
+    max_mean_hashes: Optional[float] = None
+    max_delay_slots: Optional[int] = None
+    max_out_degree: Optional[int] = None
+    mc_trials: int = 4000
+    mc_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise DesignError(f"loss rate must be in [0, 1), got {self.loss_rate}")
+        if not 0.0 < self.q_min_target <= 1.0:
+            raise DesignError(
+                f"q_min target must be in (0, 1], got {self.q_min_target}"
+            )
+        if self.max_mean_hashes is not None and self.max_mean_hashes <= 0:
+            raise DesignError("overhead budget must be positive")
+        if self.max_delay_slots is not None and self.max_delay_slots < 0:
+            raise DesignError("delay budget must be >= 0")
+        if self.max_out_degree is not None and self.max_out_degree < 1:
+            raise DesignError("out-degree cap must be >= 1")
+        if self.mc_trials < 100:
+            raise DesignError("need >= 100 Monte Carlo trials")
+
+    # ------------------------------------------------------------------
+
+    def evaluate_q_min(self, graph: DependenceGraph) -> float:
+        """Estimated ``q_min`` of ``graph`` at the design loss rate."""
+        result = graph_monte_carlo(graph, self.loss_rate,
+                                   trials=self.mc_trials, seed=self.mc_seed)
+        return result.q_min
+
+    def check(self, graph: DependenceGraph) -> ConstraintReport:
+        """Full constraint check; never raises on mere violation."""
+        mean_hashes = mean_hashes_per_packet(graph)
+        delay = max_deterministic_delay(graph)
+        if (self.max_mean_hashes is not None
+                and mean_hashes > self.max_mean_hashes + 1e-9):
+            return ConstraintReport(False, 0.0, mean_hashes, delay,
+                                    violation="overhead budget exceeded")
+        if (self.max_delay_slots is not None
+                and delay > self.max_delay_slots):
+            return ConstraintReport(False, 0.0, mean_hashes, delay,
+                                    violation="delay budget exceeded")
+        if self.max_out_degree is not None:
+            worst = max(graph.out_degree(v) for v in graph.vertices)
+            if worst > self.max_out_degree:
+                return ConstraintReport(False, 0.0, mean_hashes, delay,
+                                        violation="out-degree cap exceeded")
+        q_min = self.evaluate_q_min(graph)
+        if q_min < self.q_min_target:
+            return ConstraintReport(False, q_min, mean_hashes, delay,
+                                    violation="q_min target missed")
+        return ConstraintReport(True, q_min, mean_hashes, delay)

@@ -1,0 +1,94 @@
+"""Deterministic designs with guaranteed path diversity.
+
+The design toolkit's other members evaluate candidate graphs
+probabilistically; this one constructs graphs whose loss tolerance is
+*provable*: every vertex gets at least ``r`` internally vertex-disjoint
+root-paths, each with a bounded interior, so the
+:func:`repro.core.diversity.diversity_lambda_floor` guarantee applies
+at every vertex regardless of topology luck.
+
+Construction: ``r`` interleaved strided chains.  Chain ``c`` (for
+``c = 0..r−1``) connects each vertex ``v`` to ``v + stride_c`` (toward
+the root, send-order convention with the root last), with distinct
+coprime-ish strides; because two different strides never revisit the
+same intermediate vertices between hops at the same positions, the
+``r`` chains from any vertex are internally disjoint (verified, not
+assumed: the constructor checks Menger numbers and raises on failure).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.diversity import disjoint_path_count
+from repro.core.graph import DependenceGraph
+from repro.exceptions import DesignError
+
+__all__ = ["disjoint_paths_design"]
+
+
+def _default_strides(r: int) -> List[int]:
+    """Pairwise coprime-leaning strides: 1 plus consecutive primes."""
+    primes = [2, 3, 5, 7, 11, 13, 17, 19, 23]
+    if r - 1 > len(primes):
+        raise DesignError(f"at most {len(primes) + 1} disjoint chains")
+    return [1] + primes[:r - 1]
+
+
+def disjoint_paths_design(n: int, r: int,
+                          strides: Optional[List[int]] = None,
+                          verify: bool = True) -> DependenceGraph:
+    """Build a graph giving every vertex >= ``r`` disjoint root-paths.
+
+    Parameters
+    ----------
+    n:
+        Block size; the root (signature packet) is vertex ``n``.
+    r:
+        Required internally-disjoint root-path count per vertex.
+    strides:
+        Optional explicit chain strides (length ``r``, distinct,
+        positive); defaults to ``[1, 2, 3, 5, ...]``.
+    verify:
+        When ``True`` (default) check the Menger number of every
+        vertex and raise :class:`DesignError` if any falls short —
+        the guarantee is *checked*, not assumed.  Near the root,
+        stride clamping collapses carriers onto ``P_sign`` itself, so
+        the requirement there is the distinct-carrier count (those
+        vertices enjoy direct, certain root links instead).
+
+    Returns
+    -------
+    DependenceGraph
+        ``r`` hashes per packet (minus clamping at the boundary).
+    """
+    if n < 2:
+        raise DesignError(f"block needs >= 2 packets, got {n}")
+    if r < 1:
+        raise DesignError(f"need r >= 1, got {r}")
+    strides = strides if strides is not None else _default_strides(r)
+    if len(strides) != r or len(set(strides)) != r:
+        raise DesignError(f"need {r} distinct strides, got {strides}")
+    if any(s < 1 for s in strides):
+        raise DesignError(f"strides must be positive: {strides}")
+    graph = DependenceGraph(n, root=n)
+    for vertex in range(1, n):
+        for stride in strides:
+            carrier = min(vertex + stride, n)
+            if carrier != vertex and not graph.has_edge(carrier, vertex):
+                graph.add_edge(carrier, vertex)
+    graph.validate()
+    if verify:
+        for vertex in range(1, n):
+            count = disjoint_path_count(graph, vertex)
+            # Near the root, stride clamping collapses carriers: the
+            # Menger number cannot exceed the distinct in-neighbors.
+            achievable = len({min(vertex + s, n) for s in strides}
+                             - {vertex})
+            if count < min(r, achievable):
+                raise DesignError(
+                    f"vertex {vertex} has only {count} disjoint paths "
+                    f"(need {min(r, achievable)}); strides {strides} "
+                    f"interleave badly at this block size"
+                )
+    return graph

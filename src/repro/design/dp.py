@@ -1,0 +1,130 @@
+"""Offset-policy search — the paper's dynamic-programming construction.
+
+Section 5: "We can also formulate the dependence-graph construction as
+a dynamic programming problem — Given a certain number of vertices,
+find the optimal policy which minimizes the total number of edges
+required while satisfying the constraints that ``q_i`` is greater than
+certain design minimum for all vertices.  The advantage of dynamic
+programming is that it can usually give a simple policy suitable for
+online constructions."
+
+The "simple policy" of a periodic scheme *is* its offset set ``A``
+(Eq. 9): every packet applies the same rule, which is exactly what an
+online sender needs.  This module searches offset-set space in stages
+of increasing edge count (``|A| = 1, 2, ...``) — the dynamic-programming
+value iteration over policy size — keeping a beam of the
+best-performing sets at each stage and extending them with every
+feasible next offset.  The first stage containing a satisfying policy
+is optimal in edge count by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.recurrence import solve_recurrence
+from repro.exceptions import DesignError
+
+__all__ = ["OffsetPolicy", "search_offset_policy"]
+
+
+@dataclass(frozen=True)
+class OffsetPolicy:
+    """A periodic construction policy and its evaluated quality.
+
+    Attributes
+    ----------
+    offsets:
+        The offset set ``A`` — each packet stores its hash at these
+        distances toward the signature.
+    q_min:
+        Eq. 9 ``q_min`` at the design block size and loss rate.
+    edges_per_packet:
+        ``|A|`` — the per-packet overhead this policy costs.
+    """
+
+    offsets: Tuple[int, ...]
+    q_min: float
+    edges_per_packet: int
+
+
+def _evaluate(n: int, offsets: Sequence[int], p: float) -> float:
+    return solve_recurrence(n, offsets, p).q_min
+
+
+def search_offset_policy(n: int, p: float, q_min_target: float,
+                         max_offset: int = 64, max_edges: int = 6,
+                         beam_width: int = 8,
+                         max_delay_slots: Optional[int] = None
+                         ) -> OffsetPolicy:
+    """Find a minimum-edge offset policy meeting ``q_min_target``.
+
+    Parameters
+    ----------
+    n:
+        Design block size.
+    p:
+        Channel loss rate.
+    q_min_target:
+        Required Eq. 9 ``q_min``.
+    max_offset:
+        Largest offset considered (bounds receiver delay and buffers,
+        since buffers grow with ``max(A)``).
+    max_edges:
+        Give up beyond this ``|A|``.
+    beam_width:
+        Partial policies kept per stage.
+    max_delay_slots:
+        Optional tighter cap on ``max(A)`` (delay/buffer budget).
+
+    Returns
+    -------
+    OffsetPolicy
+        A satisfying policy with minimal ``|A|`` among those the beam
+        explored (stage-minimality is exact; within a stage the beam
+        may miss exotic optima).
+
+    Raises
+    ------
+    DesignError
+        If no policy within the budgets reaches the target.
+    """
+    if not 0.0 <= p < 1.0:
+        raise DesignError(f"loss rate must be in [0, 1), got {p}")
+    if not 0.0 < q_min_target <= 1.0:
+        raise DesignError(f"target must be in (0, 1], got {q_min_target}")
+    if max_offset < 1 or max_edges < 1 or beam_width < 1:
+        raise DesignError("budgets must be >= 1")
+    offset_ceiling = max_offset
+    if max_delay_slots is not None:
+        offset_ceiling = min(offset_ceiling, max_delay_slots)
+        if offset_ceiling < 1:
+            raise DesignError("delay budget leaves no feasible offset")
+    candidates = range(1, min(offset_ceiling, n - 1) + 1)
+    beam: List[Tuple[float, Tuple[int, ...]]] = [(0.0, ())]
+    for _stage in range(max_edges):
+        scored: List[Tuple[float, Tuple[int, ...]]] = []
+        seen = set()
+        for _, partial in beam:
+            start = partial[-1] + 1 if partial else 1
+            for offset in candidates:
+                if offset < start:
+                    continue
+                extended = partial + (offset,)
+                if extended in seen:
+                    continue
+                seen.add(extended)
+                scored.append((_evaluate(n, extended, p), extended))
+        if not scored:
+            break
+        scored.sort(key=lambda item: -item[0])
+        best_q, best_offsets = scored[0]
+        if best_q >= q_min_target:
+            return OffsetPolicy(offsets=best_offsets, q_min=best_q,
+                                edges_per_packet=len(best_offsets))
+        beam = scored[:beam_width]
+    raise DesignError(
+        f"no offset policy with <= {max_edges} edges/packet and offsets "
+        f"<= {offset_ceiling} reaches q_min >= {q_min_target} at p={p}"
+    )

@@ -1,0 +1,104 @@
+"""Scheme-parameter optimization (the paper's motivating complaint).
+
+"Although there are some schemes [EMSS, AC] which have improved
+robustness against loss and use reasonable overheads, their
+performances could vary widely from one set of parameters to another.
+Besides, there is no effective way of choosing these parameters."
+
+With the analytic evaluators in hand, choosing parameters *is*
+effective: these functions sweep EMSS ``(m, d)`` and AC ``(a, b)``
+spaces, discard points missing the ``q_min`` target (and optional
+delay budget), and return the cheapest survivor — cost being hashes
+per packet first, receiver delay second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.analysis import augmented_chain as ac_analysis
+from repro.analysis import emss as emss_analysis
+from repro.exceptions import AnalysisError, DesignError
+
+__all__ = ["ParameterChoice", "optimize_emss", "optimize_ac"]
+
+
+@dataclass(frozen=True)
+class ParameterChoice:
+    """A selected parameter point and its predicted performance.
+
+    ``cost`` is mean hashes per packet; ``delay_slots`` the worst-case
+    deterministic receiver wait implied by the parameters.
+    """
+
+    scheme: str
+    parameters: Tuple[int, int]
+    q_min: float
+    cost: float
+    delay_slots: int
+
+
+def optimize_emss(n: int, p: float, q_min_target: float,
+                  m_values: Iterable[int] = range(1, 7),
+                  d_values: Iterable[int] = (1, 2, 4, 8, 16, 32),
+                  max_delay_slots: Optional[int] = None) -> ParameterChoice:
+    """Cheapest EMSS ``(m, d)`` meeting the target at ``(n, p)``.
+
+    EMSS costs ``m`` hashes/packet and delays verification up to the
+    end of the block; its *buffer*-relevant reach is ``m·d`` slots,
+    used here as the delay figure of merit (Fig. 7's observation that
+    delay and buffers scale with ``d``).
+    """
+    best: Optional[ParameterChoice] = None
+    for m in sorted(set(m_values)):
+        for d in sorted(set(d_values)):
+            reach = m * d
+            if max_delay_slots is not None and reach > max_delay_slots:
+                continue
+            q = emss_analysis.q_min(n, m, d, p)
+            if q < q_min_target:
+                continue
+            candidate = ParameterChoice("emss", (m, d), q, float(m), reach)
+            if best is None or (candidate.cost, candidate.delay_slots) < (
+                    best.cost, best.delay_slots):
+                best = candidate
+        if best is not None and best.cost <= m:
+            break  # larger m can only cost more
+    if best is None:
+        raise DesignError(
+            f"no EMSS parameters meet q_min >= {q_min_target} at n={n}, p={p}"
+        )
+    return best
+
+
+def optimize_ac(n: int, p: float, q_min_target: float,
+                a_values: Iterable[int] = range(2, 11),
+                b_values: Iterable[int] = range(1, 11),
+                max_delay_slots: Optional[int] = None) -> ParameterChoice:
+    """Cheapest AC ``(a, b)`` meeting the target at ``(n, p)``.
+
+    Every AC packet is linked to two others (2 hashes/packet), so cost
+    ties are broken by the first-level reach ``a·(b+1)`` — the span
+    that drives buffers and delay.
+    """
+    best: Optional[ParameterChoice] = None
+    for a in sorted(set(a_values)):
+        for b in sorted(set(b_values)):
+            reach = a * (b + 1)
+            if max_delay_slots is not None and reach > max_delay_slots:
+                continue
+            try:
+                q = ac_analysis.q_min(n, a, b, p)
+            except AnalysisError:
+                continue  # block too small for this (a, b)
+            if q < q_min_target:
+                continue
+            candidate = ParameterChoice("ac", (a, b), q, 2.0, reach)
+            if best is None or candidate.delay_slots < best.delay_slots:
+                best = candidate
+    if best is None:
+        raise DesignError(
+            f"no AC parameters meet q_min >= {q_min_target} at n={n}, p={p}"
+        )
+    return best

@@ -1,0 +1,104 @@
+"""Probabilistic construction tuning (Sec. 5's third method).
+
+The paper's simplest construction draws each possible edge with
+probability ``p_x``.  The design question is then: what is the
+smallest ``p_x`` (and hence expected overhead ``p_x·(n-1)/2`` hashes
+per packet) that meets a ``q_min`` target?  ``q_min`` is monotone in
+``p_x`` in expectation, so a bisection over ``p_x`` with Monte Carlo
+evaluation converges quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.exceptions import DesignError
+from repro.schemes.random_graph import RandomGraphScheme
+
+__all__ = ["ProbabilisticDesign", "tune_edge_probability"]
+
+
+@dataclass(frozen=True)
+class ProbabilisticDesign:
+    """Result of tuning ``p_x``.
+
+    Attributes
+    ----------
+    edge_probability:
+        The tuned ``p_x``.
+    q_min:
+        Monte Carlo ``q_min`` of a representative sampled graph.
+    mean_hashes:
+        Realized mean out-degree of that graph.
+    repairs:
+        Unreachable vertices that needed a direct root edge.
+    """
+
+    edge_probability: float
+    q_min: float
+    mean_hashes: float
+    repairs: int
+
+
+def _evaluate(n: int, p_x: float, loss_rate: float, trials: int,
+              seed: int, max_span: Optional[int]) -> ProbabilisticDesign:
+    scheme = RandomGraphScheme(edge_probability=p_x, seed=seed,
+                               max_span=max_span)
+    graph = scheme.build_graph(n)
+    result = graph_monte_carlo(graph, loss_rate, trials=trials, seed=seed + 1)
+    return ProbabilisticDesign(
+        edge_probability=p_x,
+        q_min=result.q_min,
+        mean_hashes=graph.edge_count / graph.n,
+        repairs=scheme.last_repairs,
+    )
+
+
+def tune_edge_probability(n: int, loss_rate: float, q_min_target: float,
+                          trials: int = 4000, seed: int = 99,
+                          max_span: Optional[int] = None,
+                          iterations: int = 12) -> ProbabilisticDesign:
+    """Bisect the smallest ``p_x`` whose sampled graph meets the target.
+
+    Parameters
+    ----------
+    n:
+        Block size.
+    loss_rate:
+        Channel loss rate ``p`` (distinct from ``p_x``!).
+    q_min_target:
+        Required Monte Carlo ``q_min``.
+    max_span:
+        Optional edge-span cap (bounds buffers/delay).
+    iterations:
+        Bisection depth; 12 gives ~0.02% resolution on ``p_x``.
+
+    Raises
+    ------
+    DesignError
+        If even ``p_x = 1`` misses the target (infeasible at this loss
+        rate with the given span cap).
+    """
+    if n < 2:
+        raise DesignError(f"need a block of >= 2 packets, got {n}")
+    if not 0.0 < q_min_target <= 1.0:
+        raise DesignError(f"target must be in (0, 1], got {q_min_target}")
+    high = _evaluate(n, 1.0, loss_rate, trials, seed, max_span)
+    if high.q_min < q_min_target:
+        raise DesignError(
+            f"target q_min={q_min_target} infeasible even at p_x=1 "
+            f"(achieved {high.q_min:.4f})"
+        )
+    lo, hi = 0.0, 1.0
+    best = high
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        candidate = _evaluate(n, mid, loss_rate, trials, seed, max_span)
+        if candidate.q_min >= q_min_target:
+            best = candidate
+            hi = mid
+        else:
+            lo = mid
+    return best

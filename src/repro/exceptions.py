@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A dependence-graph is structurally invalid.
+
+    Raised when a graph violates Definition 1 of the paper: cyclic
+    dependence relations, vertices unreachable from the signed root,
+    malformed labels, or a missing root vertex.
+    """
+
+
+class SchemeParameterError(ReproError, ValueError):
+    """A scheme was instantiated with out-of-range parameters.
+
+    For example an EMSS scheme with ``m < 1`` or an augmented chain with
+    ``a < 2``.
+    """
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed.
+
+    This covers key-generation failures, malformed keys, and signing
+    errors.  Verification *mismatches* are not errors — verification
+    APIs return ``False`` — but structurally invalid inputs (e.g. a
+    signature of the wrong length) raise :class:`VerificationError`.
+    """
+
+
+class VerificationError(CryptoError):
+    """Authentication data was structurally malformed.
+
+    Distinct from a verification returning ``False``: this means the
+    input could not even be parsed as a signature/MAC of the expected
+    shape.
+    """
+
+
+class SimulationError(ReproError):
+    """The packet-level simulator was driven into an invalid state."""
+
+
+class DesignError(ReproError):
+    """A graph-design request is infeasible.
+
+    Raised by the Section 5 construction toolkit when the constraint set
+    (path counts, path lengths, overhead budget) cannot be satisfied.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analytic evaluation was requested for unsupported inputs."""

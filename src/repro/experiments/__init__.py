@@ -1,0 +1,58 @@
+"""Per-figure reproduction experiments.
+
+Every table and figure of the paper's evaluation, plus the extensions
+DESIGN.md commits to, each as a module with ``run(fast=False)``.
+:data:`ALL_EXPERIMENTS` maps experiment ids to their runners for the
+CLI and the benchmark harness.
+"""
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    eq1_bounds,
+    ext_audience,
+    ext_burst_loss,
+    ext_design,
+    ext_erasure,
+    ext_independence_gap,
+    ext_psign_replication,
+    ext_variance,
+    ext_wire_validation,
+    fig01_graphs,
+    fig02_tesla_graph,
+    fig03_tesla_mu_sigma,
+    fig04_tesla_disclose_loss,
+    fig05_ac_ab,
+    fig06_ac_fixed_level1,
+    fig07_emss_md,
+    fig08_scheme_compare,
+    fig09_blocksize,
+    fig10_overhead_delay,
+    sec3_example,
+)
+from repro.experiments.common import ExperimentResult, Series, format_table
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "Series", "format_table"]
+
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig01_graphs.run,
+    "fig2": fig02_tesla_graph.run,
+    "sec3-example": sec3_example.run,
+    "fig3": fig03_tesla_mu_sigma.run,
+    "fig4": fig04_tesla_disclose_loss.run,
+    "fig5": fig05_ac_ab.run,
+    "fig6": fig06_ac_fixed_level1.run,
+    "fig7": fig07_emss_md.run,
+    "fig8": fig08_scheme_compare.run,
+    "fig9": fig09_blocksize.run,
+    "fig10": fig10_overhead_delay.run,
+    "eq1": eq1_bounds.run,
+    "ext-audience": ext_audience.run,
+    "ext-burst": ext_burst_loss.run,
+    "ext-design": ext_design.run,
+    "ext-erasure": ext_erasure.run,
+    "ext-gap": ext_independence_gap.run,
+    "ext-psign": ext_psign_replication.run,
+    "ext-variance": ext_variance.run,
+    "ext-wire": ext_wire_validation.run,
+}

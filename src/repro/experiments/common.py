@@ -1,0 +1,146 @@
+"""Shared infrastructure for the figure/table reproductions.
+
+Each experiment module exposes ``run(fast=False) -> ExperimentResult``.
+An :class:`ExperimentResult` holds named *series* (x → y curves, the
+stuff the paper plots) and/or *rows* (tabular results), can render
+itself as fixed-width text, and carries free-form notes recording
+paper-vs-measured observations for EXPERIMENTS.md.
+
+``fast=True`` asks an experiment to shrink sweep resolution (not
+semantics) so the pytest-benchmark harness stays snappy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["Series", "ExperimentResult", "format_table"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled curve: paired x and y values."""
+
+    label: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x vs {len(self.y)} y"
+            )
+
+    @property
+    def y_min(self) -> float:
+        return min(self.y)
+
+    @property
+    def y_max(self) -> float:
+        return max(self.y)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Tabular view of the curve."""
+        return [{"x": xv, self.label: yv} for xv, yv in zip(self.x, self.y)]
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 float_digits: int = 4) -> str:
+    """Render rows as a fixed-width text table (stable column order).
+
+    Columns are the union of keys in first-appearance order; floats are
+    rounded to ``float_digits``.
+    """
+    if not rows:
+        return "(empty table)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(row: Mapping[str, object], column: str) -> str:
+        value = row.get(column, "")
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(cell(row, column)) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    divider = "  ".join("-" * widths[column] for column in columns)
+    body = [
+        "  ".join(cell(row, column).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    return "\n".join([header, divider] + body)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one figure/table reproduction produced.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper anchor, e.g. ``"fig8a"`` or ``"sec3-example"``.
+    title:
+        One-line description.
+    series:
+        Plotted curves keyed by label.
+    rows:
+        Tabular results (used by table-style experiments).
+    notes:
+        Paper-vs-measured observations, one string each.
+    """
+
+    experiment_id: str
+    title: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, label: str, x: Sequence[float],
+                   y: Sequence[float]) -> Series:
+        """Attach a curve and return it."""
+        series = Series(label=label, x=tuple(x), y=tuple(y))
+        self.series[label] = series
+        return series
+
+    def note(self, text: str) -> None:
+        """Record a paper-vs-measured observation."""
+        self.notes.append(text)
+
+    def render(self, float_digits: int = 4) -> str:
+        """Human-readable report: title, curves as tables, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.rows, float_digits))
+        for label, series in self.series.items():
+            merged = [
+                {"x": xv, label: yv} for xv, yv in zip(series.x, series.y)
+            ]
+            parts.append(format_table(merged, float_digits))
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+    def series_table(self, x_name: str = "x") -> List[Dict[str, object]]:
+        """All curves merged on x into one table (assumes shared grid)."""
+        if not self.series:
+            return []
+        labels = list(self.series)
+        base = self.series[labels[0]]
+        table = []
+        for index, xv in enumerate(base.x):
+            row: Dict[str, object] = {x_name: xv}
+            for label in labels:
+                series = self.series[label]
+                if index < len(series.y) and series.x[index] == xv:
+                    row[label] = series.y[index]
+            table.append(row)
+        return table

@@ -1,0 +1,84 @@
+"""Extension: one multicast stream across a heterogeneous audience.
+
+The paper's analysis fixes a single loss rate ``p``; a real multicast
+audience spans orders of magnitude of path quality simultaneously,
+and the sender must pick *one* scheme parameterization for everyone.
+This experiment streams the same packets (authenticated once) to five
+receiver profiles and compares how three scheme families distribute
+quality across the audience:
+
+* EMSS ``E_{2,1}`` — smooth degradation, bad tails on poor paths;
+* the same overhead with spread offsets ``{1, 7}`` — better tails;
+* SAIDA ``(n, 0.6n)`` — all-or-nothing per path: perfect below its
+  cliff, dead above it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.network.delay import GaussianDelay
+from repro.network.loss import BernoulliLoss, GilbertElliottLoss
+from repro.schemes.emss import EmssScheme, GenericOffsetScheme
+from repro.schemes.saida import SaidaScheme
+from repro.simulation.multicast import ReceiverSpec, run_multicast_session
+
+__all__ = ["run"]
+
+
+def _audience(seed: int):
+    return [
+        ReceiverSpec("lan"),
+        ReceiverSpec("dsl", loss=BernoulliLoss(0.03, seed=seed),
+                     delay=GaussianDelay(0.02, 0.005, seed=seed + 1),
+                     protect_signature_packets=False),
+        ReceiverSpec("wifi", loss=BernoulliLoss(0.15, seed=seed + 2),
+                     delay=GaussianDelay(0.05, 0.02, seed=seed + 3),
+                     protect_signature_packets=False),
+        ReceiverSpec("mobile",
+                     loss=GilbertElliottLoss.from_rate_and_burst(
+                         0.12, 6.0, seed=seed + 4),
+                     protect_signature_packets=False),
+        ReceiverSpec("satellite", loss=BernoulliLoss(0.3, seed=seed + 5),
+                     protect_signature_packets=False),
+    ]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """q across five receiver profiles for three scheme families."""
+    result = ExperimentResult(
+        experiment_id="ext-audience",
+        title="Heterogeneous multicast audience: who gets served?",
+    )
+    block = 32 if fast else 48
+    blocks = 8 if fast else 25
+    contenders = [
+        EmssScheme(2, 1),
+        GenericOffsetScheme((1, 7)),
+        SaidaScheme(k_fraction=0.6),
+    ]
+    profiles = ["lan", "dsl", "wifi", "mobile", "satellite"]
+    for scheme in contenders:
+        outcome = run_multicast_session(scheme, block, blocks,
+                                        _audience(seed=500))
+        row = {"scheme": scheme.name}
+        for name in profiles:
+            row[name] = outcome.per_receiver[name].overall_q
+        result.rows.append(row)
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    # Shape checks: everyone serves the LAN; the erasure code covers
+    # the bursty mobile path best; nobody saves the satellite path
+    # above SAIDA's cliff except... nobody at this parameterization.
+    for row in result.rows:
+        if row["lan"] < 0.999:
+            result.note(f"WARNING: {row['scheme']} failed a clean path")
+    saida_name = contenders[2].name
+    if by_scheme[saida_name]["mobile"] <= by_scheme["emss(2,1)"]["mobile"]:
+        result.note("WARNING: erasure coding should win the bursty path")
+    result.note(
+        "one authentication pass serves every path, but quality "
+        "diverges: chained schemes degrade per-packet with path loss, "
+        "the erasure code splits the audience into fully-served (below "
+        "its cliff) and unserved — the multicast design question is "
+        "which failure profile the application prefers."
+    )
+    return result

@@ -1,0 +1,76 @@
+"""Extension: variance of q_i across packets, and the paper's remedy.
+
+Section 3 observes that authentication probability "may vary widely
+from packet to packet" and prescribes giving far-from-``P_sign``
+packets more dispersed hash copies.  This experiment measures the
+per-packet ``q_i`` dispersion (exact Monte Carlo) for:
+
+* Rohatgi's chain — the worst case (geometric collapse with distance),
+* uniform EMSS ``E_{2,1}``,
+* the augmented chain ``C_{3,3}``,
+* a *tapered* construction (1 copy near the signature, 3 spread copies
+  far from it) — the paper's prescription made concrete.
+
+Expected shape: the tapered graph buys a flatter profile (lower
+variance and higher minimum) than uniform EMSS at comparable mean
+overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.analysis.variance import build_tapered_graph, profile_stats
+from repro.experiments.common import ExperimentResult
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.emss import EmssScheme
+from repro.schemes.rohatgi import RohatgiScheme
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Profile dispersion for four constructions at p = 0.15."""
+    result = ExperimentResult(
+        experiment_id="ext-variance",
+        title="Per-packet q_i dispersion and the tapered-copies remedy",
+    )
+    n = 80 if fast else 160
+    p = 0.15
+    trials = 4000 if fast else 20000
+    candidates = [
+        ("rohatgi", RohatgiScheme().build_graph(n)),
+        ("emss(2,1)", EmssScheme(2, 1).build_graph(n)),
+        ("ac(3,3)", AugmentedChainScheme(3, 3).build_graph(n)),
+        ("tapered 2->4", build_tapered_graph(n, 2, 4, taper_start=0.4)),
+    ]
+    stats_by_name = {}
+    for name, graph in candidates:
+        mc = graph_monte_carlo(graph, p, trials=trials, seed=71)
+        stats = profile_stats(list(mc.q.values()))
+        stats_by_name[name] = stats
+        cv = stats.std / stats.mean if stats.mean > 0 else float("inf")
+        result.rows.append({
+            "construction": name,
+            "hashes/pkt": graph.edge_count / graph.n,
+            "mean q": stats.mean,
+            "std of q": stats.std,
+            "rel. dispersion": cv,
+            "q_min": stats.minimum,
+        })
+    def relative(name):
+        stats = stats_by_name[name]
+        return stats.std / stats.mean if stats.mean > 0 else float("inf")
+
+    if relative("rohatgi") <= relative("emss(2,1)"):
+        result.note("WARNING: Rohatgi should have the widest dispersion")
+    tapered = stats_by_name["tapered 2->4"]
+    uniform = stats_by_name["emss(2,1)"]
+    if tapered.minimum < uniform.minimum:
+        result.note("WARNING: tapering should raise the worst packet")
+    result.note(
+        "Rohatgi's q_i collapses geometrically with distance (huge "
+        "spread); uniform redundancy narrows it; concentrating spread "
+        "copies on far packets — the paper's Sec. 3 prescription — "
+        "flattens the profile further at similar overhead."
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Figure 4: TESLA q_min vs normalized disclosure delay and loss rate.
+
+Axes as in the paper: ``T_disclose/σ`` (how much slack the disclosure
+delay leaves over jitter) and packet loss ``p``, for several relative
+mean delays ``μ = α·T_disclose``.  Expected shape: robust to loss —
+``q_min`` falls only linearly as ``(1-p)`` — provided ``T_disclose``
+is large relative to μ and σ; for small ratios the Φ term crushes
+everything.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import tesla as analysis
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Sweep q_min over (T_disclose/sigma, p) for three alphas."""
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="TESLA q_min vs T_disclose/sigma and loss rate p",
+    )
+    ratios = [0.5, 1, 2, 4, 8] if fast else [0.5, 1, 1.5, 2, 3, 4, 6, 8]
+    losses = [0.0, 0.3, 0.6, 0.9] if fast else [
+        0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    alphas = [0.2, 0.5, 0.8]
+    for alpha in alphas:
+        for p in losses:
+            values = [analysis.q_min_normalized(p, ratio, alpha)
+                      for ratio in ratios]
+            result.add_series(f"alpha={alpha:g},p={p:g}", ratios, values)
+    # Shape check: at generous ratio, q_min ≈ 1-p (loss-limited).
+    generous = [result.series[f"alpha=0.2,p={p:g}"].y[-1] for p in losses]
+    for p, value in zip(losses, generous):
+        if abs(value - (1.0 - p)) > 0.01:
+            result.note(f"WARNING: q_min at large ratio deviates from 1-p={1-p}")
+    result.note(
+        "with T_disclose >> sigma and mu, q_min -> (1-p): TESLA absorbs "
+        "delay/jitter entirely and degrades only with raw loss, the "
+        "paper's 'robust to packet loss if T_disclose is chosen "
+        "sufficiently large' conclusion."
+    )
+    return result

@@ -1,0 +1,50 @@
+"""Figure 6: AC q_min vs b with the first level held constant.
+
+"if the number of packets in the first level is kept constant (i.e. n
+varies with b), increasing b has little effect on q_min ... q_min is
+relatively insensitive to the variation of b if b is larger than a
+certain value.  Because of this, AC provides an efficient way to
+insert new packets without degrading the performance of the scheme."
+
+We hold the number of first-level chain packets fixed and let
+``n = chain·(b+1) + 1`` grow with ``b``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import augmented_chain as analysis
+from repro.experiments.common import ExperimentResult
+from repro.schemes.augmented_chain import AugmentedChainScheme
+
+__all__ = ["run", "CHAIN_PACKETS"]
+
+CHAIN_PACKETS = 100
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Sweep b with 100 first-level packets; n grows as chain*(b+1)+1."""
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="AC q_min vs b at fixed first-level size (n varies with b)",
+    )
+    a = 3
+    b_values = [1, 2, 4, 8] if fast else [1, 2, 3, 4, 5, 6, 8, 10, 12]
+    for p in (0.1, 0.3, 0.5):
+        values = []
+        for b in b_values:
+            n = AugmentedChainScheme.block_size_for_chain(CHAIN_PACKETS, b)
+            values.append(analysis.q_min(n, a, b, p))
+        result.add_series(f"p={p:g}", b_values, values)
+    # Shape check: flat beyond small b — relative spread of the tail.
+    for label, series in result.series.items():
+        tail = series.y[2:] if len(series.y) > 2 else series.y
+        spread = max(tail) - min(tail)
+        result.rows.append({"series": label, "tail spread": spread})
+        if spread > 0.02:
+            result.note(f"WARNING: {label} tail varies by {spread:.4f}")
+    result.note(
+        "with the first level fixed, q_min is insensitive to b beyond "
+        "small values — inserted packets are essentially free, the "
+        "paper's Figure 6 observation."
+    )
+    return result

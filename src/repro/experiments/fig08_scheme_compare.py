@@ -1,0 +1,60 @@
+"""Figure 8: q_min of four schemes vs loss rate p and block size n.
+
+The paper compares Rohatgi's, TESLA, EMSS ``E_{2,1}`` and AC
+``C_{3,3}``: Rohatgi collapses immediately; the other three stay high
+and close, with TESLA ahead at large p when its disclosure delay
+comfortably exceeds μ and σ.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import TeslaEnvironment, sweep_block_size, sweep_loss
+from repro.experiments.common import ExperimentResult
+from repro.schemes.registry import paper_comparison_schemes
+
+__all__ = ["run", "TESLA_ENV"]
+
+#: Generous disclosure delay relative to delay/jitter, as the paper
+#: assumes when TESLA "can outperform EMSS and AC".
+TESLA_ENV = TeslaEnvironment(t_disclose=1.0, mu=0.2, sigma=0.1)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Sweep q_min over p at n=1000 (8a) and over n at p=0.1 (8b)."""
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="q_min: Rohatgi vs TESLA vs EMSS E_{2,1} vs AC C_{3,3}",
+    )
+    schemes = paper_comparison_schemes()
+    n_fixed = 200 if fast else 1000
+    p_values = [0.05, 0.1, 0.3, 0.5] if fast else [
+        0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    loss_curves = sweep_loss(schemes, n_fixed, p_values, TESLA_ENV)
+    for name, values in loss_curves.items():
+        result.add_series(f"vs p: {name}", p_values, values)
+    n_values = [100, 400, 1000] if fast else [100, 200, 500, 1000, 2000, 5000]
+    size_curves = sweep_block_size(schemes, n_values, 0.1, TESLA_ENV)
+    for name, values in size_curves.items():
+        result.add_series(f"vs n: {name}", n_values, values)
+    # Shape checks from the paper's discussion.
+    rohatgi_large_n = size_curves["rohatgi"][-1]
+    emss_large_n = size_curves["emss(2,1)"][-1]
+    ac_large_n = size_curves["ac(3,3)"][-1]
+    result.rows.append({
+        "check": "Rohatgi collapses, others robust (largest n, p=0.1)",
+        "rohatgi": rohatgi_large_n,
+        "emss(2,1)": emss_large_n,
+        "ac(3,3)": ac_large_n,
+    })
+    if rohatgi_large_n > 1e-3 or emss_large_n < 0.9 or ac_large_n < 0.7:
+        result.note("WARNING: robustness ordering deviates from the paper")
+    tesla_high_p = loss_curves[schemes[1].name][-1]
+    emss_high_p = loss_curves["emss(2,1)"][-1]
+    if tesla_high_p <= emss_high_p:
+        result.note("WARNING: TESLA should lead at the largest p")
+    result.note(
+        "Rohatgi's q_min is negligible beyond small blocks; EMSS/AC/"
+        "TESLA are close and n-insensitive; TESLA leads at large p "
+        "given T_disclose >> mu, sigma — Figure 8's story."
+    )
+    return result

@@ -1,0 +1,48 @@
+"""Figure 9: close-up of EMSS / AC / TESLA q_min vs block size.
+
+At p = 0.1 and p = 0.5 the paper zooms in on the three loss-tolerant
+schemes: EMSS ``E_{2,1}`` and AC ``C_{3,3}`` track each other closely
+(both link every packet to two others — Fig. 7's d-insensitivity
+explains why the *arrangement* barely matters), TESLA is flat in n.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import TeslaEnvironment, sweep_block_size
+from repro.experiments.common import ExperimentResult
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.emss import EmssScheme
+from repro.schemes.tesla import TeslaScheme
+
+__all__ = ["run", "TESLA_ENV"]
+
+TESLA_ENV = TeslaEnvironment(t_disclose=1.0, mu=0.2, sigma=0.1)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Sweep n for the three robust schemes at p in {0.1, 0.5}."""
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="q_min vs n close-up: EMSS E_{2,1}, AC C_{3,3}, TESLA",
+    )
+    schemes = [EmssScheme(2, 1), AugmentedChainScheme(3, 3), TeslaScheme()]
+    n_values = [100, 500, 1000] if fast else [100, 200, 500, 1000, 2000, 5000]
+    for p in (0.1, 0.5):
+        curves = sweep_block_size(schemes, n_values, p, TESLA_ENV)
+        for name, values in curves.items():
+            result.add_series(f"p={p:g}: {name}", n_values, values)
+        emss_curve = curves["emss(2,1)"]
+        ac_curve = curves["ac(3,3)"]
+        gap = max(abs(e - a) for e, a in zip(emss_curve, ac_curve))
+        result.rows.append({"p": p, "max |EMSS - AC| over n": gap})
+        tesla_curve = curves[schemes[2].name]
+        flatness = max(tesla_curve) - min(tesla_curve)
+        result.rows.append({"p": p, "TESLA spread over n": flatness})
+    result.note(
+        "at p=0.1 EMSS and AC coincide to within a percent across n "
+        "(both sit at the {1,2}-offset fixed point); at p=0.5 both "
+        "collapse toward zero, AC a little more slowly thanks to its "
+        "level-1 skip edges.  TESLA is exactly flat in n (Eq. 7 has "
+        "no n) — Figure 9's picture."
+    )
+    return result

@@ -1,0 +1,29 @@
+"""Network models: loss, delay, channels and clocks (paper Sec. 4.1)."""
+
+from repro.network.channel import Channel, Delivery
+from repro.network.clock import DriftingClock
+from repro.network.delay import ConstantDelay, DelayModel, GaussianDelay, gaussian_cdf
+from repro.network.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LossModel,
+    MarkovLoss,
+    NoLoss,
+    TraceLoss,
+)
+
+__all__ = [
+    "Channel",
+    "Delivery",
+    "DriftingClock",
+    "ConstantDelay",
+    "DelayModel",
+    "GaussianDelay",
+    "gaussian_cdf",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "LossModel",
+    "MarkovLoss",
+    "NoLoss",
+    "TraceLoss",
+]

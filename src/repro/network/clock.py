@@ -1,0 +1,53 @@
+"""Simulated clocks for TESLA's time-synchronization assumption.
+
+TESLA requires "that the sender and receivers synchronize their clocks
+within a certain margin"; the margin enters the receiver's security
+condition.  :class:`DriftingClock` models a receiver clock with a fixed
+offset plus linear drift so experiments can probe what happens when the
+synchronization assumption erodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+
+__all__ = ["DriftingClock"]
+
+
+@dataclass(frozen=True)
+class DriftingClock:
+    """Receiver clock as a function of true (sender) time.
+
+    ``local(t) = t + offset + drift_ppm * 1e-6 * (t - t_sync)``
+
+    Parameters
+    ----------
+    offset:
+        Initial offset at synchronization time (seconds).
+    drift_ppm:
+        Linear drift in parts per million.
+    t_sync:
+        True time at which synchronization happened.
+    """
+
+    offset: float = 0.0
+    drift_ppm: float = 0.0
+    t_sync: float = 0.0
+
+    def local(self, true_time: float) -> float:
+        """Receiver-clock reading at true time ``true_time``."""
+        return (true_time + self.offset
+                + self.drift_ppm * 1e-6 * (true_time - self.t_sync))
+
+    def offset_at(self, true_time: float) -> float:
+        """Instantaneous clock error at ``true_time``."""
+        return self.local(true_time) - true_time
+
+    def max_offset_until(self, horizon: float) -> float:
+        """Worst |offset| over ``[t_sync, horizon]`` (for the bootstrap bound)."""
+        if horizon < self.t_sync:
+            raise SimulationError("horizon precedes synchronization time")
+        return max(abs(self.offset_at(self.t_sync)),
+                   abs(self.offset_at(horizon)))

@@ -1,0 +1,102 @@
+"""End-to-end delay models.
+
+Section 4.1 of the paper justifies a Gaussian end-to-end delay: a
+packet crosses many routers, each adding an i.i.d. queueing delay, so
+by the central limit theorem ``D_e2e ~ N(μ, σ²)`` (Eq. 5).  TESLA's
+``ξ_i = P{t_i <= T_disclose}`` is then a normal CDF — the quantity
+behind Figs. 3 and 4.  Negative Gaussian samples are truncated at a
+configurable floor (a packet cannot arrive before it is sent).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.exceptions import SimulationError
+
+__all__ = ["DelayModel", "ConstantDelay", "GaussianDelay", "gaussian_cdf"]
+
+
+def gaussian_cdf(x: float) -> float:
+    """Standard normal CDF ``Φ(x)`` via :func:`math.erf` (Eq. 5's integral)."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+class DelayModel(ABC):
+    """Per-packet end-to-end delay sampler."""
+
+    @abstractmethod
+    def sample(self) -> float:
+        """One delay in seconds (>= 0)."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return to the initial RNG state (new trial)."""
+
+    @abstractmethod
+    def cdf(self, t: float) -> float:
+        """``P{delay <= t}`` — feeds TESLA's ``ξ`` term analytically."""
+
+
+class ConstantDelay(DelayModel):
+    """Deterministic propagation delay."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def sample(self) -> float:
+        return self.delay
+
+    def reset(self) -> None:
+        return None
+
+    def cdf(self, t: float) -> float:
+        return 1.0 if t >= self.delay else 0.0
+
+
+class GaussianDelay(DelayModel):
+    """The paper's ``N(μ, σ²)`` end-to-end delay (Eq. 5).
+
+    Parameters
+    ----------
+    mean:
+        ``μ`` — mean end-to-end delay in seconds.
+    std:
+        ``σ`` — delay jitter.
+    floor:
+        Samples below ``floor`` are clamped (physical arrival cannot
+        precede transmission).  The analytic :meth:`cdf` intentionally
+        ignores the clamp, matching the paper's formulas exactly.
+    seed:
+        Private RNG seed.
+    """
+
+    def __init__(self, mean: float, std: float, floor: float = 0.0,
+                 seed: Optional[int] = None) -> None:
+        if mean < 0:
+            raise SimulationError(f"mean delay must be >= 0, got {mean}")
+        if std < 0:
+            raise SimulationError(f"delay std must be >= 0, got {std}")
+        self.mean = mean
+        self.std = std
+        self.floor = floor
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def sample(self) -> float:
+        if self.std == 0.0:
+            return max(self.mean, self.floor)
+        return max(self._rng.gauss(self.mean, self.std), self.floor)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def cdf(self, t: float) -> float:
+        if self.std == 0.0:
+            return 1.0 if t >= self.mean else 0.0
+        return gaussian_cdf((t - self.mean) / self.std)

@@ -1,0 +1,276 @@
+"""Packet-loss models.
+
+The paper's analysis assumes independent random loss with rate ``p``
+(Sec. 4.1) and names the "m-state Markov model" as future work; both
+are implemented here, plus a trace-driven model for replaying recorded
+loss patterns.  All models share a tiny interface — :meth:`is_lost`
+consumes one packet slot — and own a private RNG so concurrent
+simulations never share state.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "LossModel",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "MarkovLoss",
+    "TraceLoss",
+    "NoLoss",
+]
+
+
+class LossModel(ABC):
+    """One packet-loss decision per call, in send order."""
+
+    @abstractmethod
+    def is_lost(self) -> bool:
+        """Consume one packet slot; ``True`` means the packet is dropped."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return to the initial state (new trial)."""
+
+    def sample(self, count: int) -> List[bool]:
+        """Loss decisions for ``count`` consecutive packets."""
+        if count < 0:
+            raise SimulationError(f"count must be >= 0, got {count}")
+        return [self.is_lost() for _ in range(count)]
+
+    @property
+    @abstractmethod
+    def mean_loss_rate(self) -> float:
+        """Long-run fraction of packets lost."""
+
+
+class NoLoss(LossModel):
+    """Lossless channel (sanity baselines)."""
+
+    def is_lost(self) -> bool:
+        return False
+
+    def reset(self) -> None:
+        return None
+
+    @property
+    def mean_loss_rate(self) -> float:
+        return 0.0
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with probability ``p`` (the paper's model).
+
+    Parameters
+    ----------
+    p:
+        Per-packet loss probability.
+    seed:
+        Private RNG seed for reproducible trials.
+    """
+
+    def __init__(self, p: float, seed: Optional[int] = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"loss rate must be in [0, 1], got {p}")
+        self.p = p
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def is_lost(self) -> bool:
+        return self._rng.random() < self.p
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    @property
+    def mean_loss_rate(self) -> float:
+        return self.p
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (bursty) loss — the paper's named extension.
+
+    The channel alternates between a GOOD and a BAD state.  Each packet
+    first samples a loss from the current state's loss rate, then the
+    state transitions.
+
+    Parameters
+    ----------
+    p_good_to_bad:
+        Transition probability GOOD→BAD per packet.
+    p_bad_to_good:
+        Transition probability BAD→GOOD per packet; the mean burst
+        length is ``1 / p_bad_to_good``.
+    loss_in_bad:
+        Loss rate while BAD (1.0 = classic Gilbert model).
+    loss_in_good:
+        Loss rate while GOOD (usually 0).
+    seed:
+        Private RNG seed.
+    """
+
+    def __init__(self, p_good_to_bad: float, p_bad_to_good: float,
+                 loss_in_bad: float = 1.0, loss_in_good: float = 0.0,
+                 seed: Optional[int] = None) -> None:
+        for name, value in [("p_good_to_bad", p_good_to_bad),
+                            ("p_bad_to_good", p_bad_to_good),
+                            ("loss_in_bad", loss_in_bad),
+                            ("loss_in_good", loss_in_good)]:
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {value}")
+        if p_bad_to_good == 0.0 and p_good_to_bad > 0.0:
+            raise SimulationError("BAD state would be absorbing")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_in_bad = loss_in_bad
+        self.loss_in_good = loss_in_good
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._bad = False
+
+    @classmethod
+    def from_rate_and_burst(cls, loss_rate: float, mean_burst: float,
+                            seed: Optional[int] = None) -> "GilbertElliottLoss":
+        """Construct from target mean loss rate and mean burst length.
+
+        With ``loss_in_bad = 1`` and ``loss_in_good = 0`` the stationary
+        loss rate is ``π_bad = g2b / (g2b + b2g)``; solving with
+        ``b2g = 1 / mean_burst`` gives ``g2b``.
+        """
+        if not 0.0 < loss_rate < 1.0:
+            raise SimulationError(f"loss rate must be in (0, 1), got {loss_rate}")
+        if mean_burst < 1.0:
+            raise SimulationError(f"mean burst must be >= 1, got {mean_burst}")
+        b2g = 1.0 / mean_burst
+        g2b = loss_rate * b2g / (1.0 - loss_rate)
+        if g2b > 1.0:
+            raise SimulationError(
+                f"infeasible pair (rate={loss_rate}, burst={mean_burst})"
+            )
+        return cls(p_good_to_bad=g2b, p_bad_to_good=b2g, seed=seed)
+
+    def is_lost(self) -> bool:
+        rate = self.loss_in_bad if self._bad else self.loss_in_good
+        lost = self._rng.random() < rate
+        flip = self.p_bad_to_good if self._bad else self.p_good_to_bad
+        if self._rng.random() < flip:
+            self._bad = not self._bad
+        return lost
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._bad = False
+
+    @property
+    def mean_loss_rate(self) -> float:
+        total = self.p_good_to_bad + self.p_bad_to_good
+        if total == 0.0:
+            return self.loss_in_good
+        pi_bad = self.p_good_to_bad / total
+        return pi_bad * self.loss_in_bad + (1.0 - pi_bad) * self.loss_in_good
+
+
+class MarkovLoss(LossModel):
+    """General m-state Markov loss — the paper's named future work.
+
+    Each state carries a loss probability; after every packet the
+    state transitions according to a row-stochastic matrix.
+    :class:`GilbertElliottLoss` is the 2-state instance; more states
+    model e.g. GOOD / CONGESTED / OUTAGE channels with distinct
+    dynamics.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic ``m x m`` matrix (list of rows).
+    loss_rates:
+        Per-state loss probabilities, length ``m``.
+    initial_state:
+        Starting state index.
+    seed:
+        Private RNG seed.
+    """
+
+    def __init__(self, transition: Sequence[Sequence[float]],
+                 loss_rates: Sequence[float], initial_state: int = 0,
+                 seed: Optional[int] = None) -> None:
+        m = len(loss_rates)
+        if m < 1:
+            raise SimulationError("need >= 1 state")
+        if len(transition) != m or any(len(row) != m for row in transition):
+            raise SimulationError(f"transition matrix must be {m}x{m}")
+        for row in transition:
+            if any(not 0.0 <= x <= 1.0 for x in row):
+                raise SimulationError("transition probabilities in [0, 1]")
+            if abs(sum(row) - 1.0) > 1e-9:
+                raise SimulationError(f"rows must sum to 1, got {sum(row)}")
+        for rate in loss_rates:
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"loss rate {rate} outside [0, 1]")
+        if not 0 <= initial_state < m:
+            raise SimulationError(f"initial state {initial_state} invalid")
+        self._transition = [list(row) for row in transition]
+        self._loss_rates = list(loss_rates)
+        self._initial_state = initial_state
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._state = initial_state
+
+    def is_lost(self) -> bool:
+        lost = self._rng.random() < self._loss_rates[self._state]
+        roll = self._rng.random()
+        cumulative = 0.0
+        row = self._transition[self._state]
+        for next_state, probability in enumerate(row):
+            cumulative += probability
+            if roll < cumulative:
+                self._state = next_state
+                break
+        else:  # numerical slack: stay put
+            self._state = len(row) - 1
+        return lost
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._state = self._initial_state
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Stationary loss rate, from the chain's stationary vector."""
+        matrix = np.array(self._transition)
+        m = matrix.shape[0]
+        # Solve pi (P - I) = 0 with sum(pi) = 1.
+        a = np.vstack([(matrix.T - np.eye(m)), np.ones(m)])
+        b = np.zeros(m + 1)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return float(pi @ np.array(self._loss_rates))
+
+
+class TraceLoss(LossModel):
+    """Replay a recorded loss pattern (cycled when exhausted)."""
+
+    def __init__(self, trace: Sequence[bool]) -> None:
+        if not trace:
+            raise SimulationError("loss trace must be non-empty")
+        self._trace = [bool(x) for x in trace]
+        self._cursor = 0
+
+    def is_lost(self) -> bool:
+        lost = self._trace[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._trace)
+        return lost
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    @property
+    def mean_loss_rate(self) -> float:
+        return sum(self._trace) / len(self._trace)

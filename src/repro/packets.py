@@ -1,0 +1,205 @@
+"""Wire-level packet model shared by schemes and the simulator.
+
+A :class:`Packet` is what the sender emits and the receiver consumes:
+a payload plus authentication fields — carried hashes (the edges of the
+dependence-graph made concrete), an optional signature, and an opaque
+scheme-specific ``extra`` blob (Merkle proofs for Wong–Lam, interval /
+MAC / disclosed-key fields for TESLA).
+
+Two encodings are defined:
+
+* :meth:`Packet.auth_bytes` — the canonical byte string that hashes and
+  signatures are computed over.  It covers everything except the
+  signature itself and is injective (length-prefixed fields), so a
+  verified hash pins the payload *and* the hashes the packet carries,
+  which is what makes hash chaining transitive.
+* :meth:`Packet.to_wire` / :func:`packet_from_wire` — full
+  serialization including the signature, used for byte-accurate
+  overhead accounting and loopback tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Packet", "packet_from_wire"]
+
+_HEADER = struct.Struct(">IIQdB")  # seq, block_id, flags/reserved, send_time, has_sig
+_U32 = struct.Struct(">I")
+
+
+def _encode_blob(data: bytes) -> bytes:
+    return _U32.pack(len(data)) + data
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One multicast packet with its authentication data.
+
+    Attributes
+    ----------
+    seq:
+        Global send-order sequence number (1-based within a stream).
+    block_id:
+        Which signature-amortization block this packet belongs to.
+    payload:
+        Application data.
+    carried:
+        ``(target_seq, hash)`` pairs: the hashes of other packets this
+        packet carries — the out-edges of its dependence-graph vertex.
+    signature:
+        Present only on ``P_sign`` (and on every packet for sign-each /
+        Wong–Lam style schemes).
+    extra:
+        Scheme-specific opaque bytes, covered by :meth:`auth_bytes`.
+    send_time:
+        Simulation transmit timestamp in seconds.
+    """
+
+    seq: int
+    block_id: int
+    payload: bytes
+    carried: Tuple[Tuple[int, bytes], ...] = ()
+    signature: Optional[bytes] = None
+    extra: bytes = b""
+    send_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seq < 1:
+            raise SimulationError(f"sequence numbers are 1-based, got {self.seq}")
+        if self.block_id < 0:
+            raise SimulationError(f"negative block id: {self.block_id}")
+        seen = set()
+        for target, digest in self.carried:
+            if target < 1:
+                raise SimulationError(f"carried hash for invalid seq {target}")
+            if target == self.seq:
+                raise SimulationError("packet cannot carry its own hash")
+            if target in seen:
+                raise SimulationError(f"duplicate carried hash for seq {target}")
+            if not digest:
+                raise SimulationError(f"empty hash carried for seq {target}")
+            seen.add(target)
+
+    # ------------------------------------------------------------------
+    # Canonical encodings
+    # ------------------------------------------------------------------
+
+    def auth_bytes(self) -> bytes:
+        """Injective encoding of all authenticated fields.
+
+        Hashes of this packet and signatures over it are computed on
+        this string.  The signature field itself is excluded (it cannot
+        sign itself); everything else — including the carried hashes —
+        is covered so that authenticating a packet authenticates the
+        hashes it carries.
+        """
+        parts = [
+            struct.pack(">II", self.seq, self.block_id),
+            _encode_blob(self.payload),
+            _U32.pack(len(self.carried)),
+        ]
+        for target, digest in self.carried:
+            parts.append(_U32.pack(target))
+            parts.append(_encode_blob(digest))
+        parts.append(_encode_blob(self.extra))
+        return b"".join(parts)
+
+    def to_wire(self) -> bytes:
+        """Full serialization, signature included."""
+        signature = self.signature if self.signature is not None else b""
+        return (
+            _HEADER.pack(self.seq, self.block_id, 0, self.send_time,
+                         1 if self.signature is not None else 0)
+            + self.auth_bytes()
+            + _encode_blob(signature)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Authentication bytes carried: hashes + signature + extra.
+
+        This is the per-packet quantity the paper's Eq. 3 averages.
+        """
+        total = sum(len(digest) for _, digest in self.carried)
+        total += 4 * len(self.carried)  # target-seq fields
+        if self.signature is not None:
+            total += len(self.signature)
+        total += len(self.extra)
+        return total
+
+    @property
+    def is_signature_packet(self) -> bool:
+        """Whether this packet carries a digital signature."""
+        return self.signature is not None
+
+    def with_send_time(self, when: float) -> "Packet":
+        """A copy stamped with a transmit time."""
+        return replace(self, send_time=when)
+
+
+def packet_from_wire(data: bytes) -> Packet:
+    """Parse a packet serialized by :meth:`Packet.to_wire`.
+
+    Raises
+    ------
+    SimulationError
+        If the buffer is truncated or malformed.
+    """
+    try:
+        seq, block_id, _reserved, send_time, has_sig = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        # The auth_bytes section repeats seq/block_id for injectivity.
+        seq2, block2 = struct.unpack_from(">II", data, offset)
+        offset += 8
+        if (seq2, block2) != (seq, block_id):
+            raise SimulationError("header/body sequence mismatch")
+        (payload_len,) = _U32.unpack_from(data, offset)
+        offset += 4
+        payload = bytes(data[offset:offset + payload_len])
+        if len(payload) != payload_len:
+            raise SimulationError("truncated payload")
+        offset += payload_len
+        (carried_count,) = _U32.unpack_from(data, offset)
+        offset += 4
+        carried = []
+        for _ in range(carried_count):
+            (target,) = _U32.unpack_from(data, offset)
+            offset += 4
+            (digest_len,) = _U32.unpack_from(data, offset)
+            offset += 4
+            digest = bytes(data[offset:offset + digest_len])
+            if len(digest) != digest_len:
+                raise SimulationError("truncated carried hash")
+            offset += digest_len
+            carried.append((target, digest))
+        (extra_len,) = _U32.unpack_from(data, offset)
+        offset += 4
+        extra = bytes(data[offset:offset + extra_len])
+        if len(extra) != extra_len:
+            raise SimulationError("truncated extra blob")
+        offset += extra_len
+        (sig_len,) = _U32.unpack_from(data, offset)
+        offset += 4
+        signature = bytes(data[offset:offset + sig_len])
+        if len(signature) != sig_len:
+            raise SimulationError("truncated signature")
+    except struct.error as exc:
+        raise SimulationError(f"malformed packet buffer: {exc}") from exc
+    return Packet(
+        seq=seq,
+        block_id=block_id,
+        payload=payload,
+        carried=tuple(carried),
+        signature=signature if has_sig else None,
+        extra=extra,
+        send_time=send_time,
+    )

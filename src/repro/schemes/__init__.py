@@ -1,0 +1,57 @@
+"""The multicast authentication schemes analyzed by the paper.
+
+Each scheme exposes its dependence-graph (the object the paper's
+framework analyzes) and real packetization: byte-level authenticated
+packets that the generic receiver in :mod:`repro.simulation` verifies.
+"""
+
+from repro.schemes.augmented_chain import AugmentedChainScheme, ac_vertex_coordinates
+from repro.schemes.base import Scheme, build_block
+from repro.schemes.emss import EmssScheme, GenericOffsetScheme
+from repro.schemes.random_graph import RandomGraphScheme
+from repro.schemes.registry import (
+    available_schemes,
+    make_scheme,
+    paper_comparison_schemes,
+)
+from repro.schemes.rohatgi import RohatgiScheme
+from repro.schemes.rohatgi_online import OnlineChainReceiver, OnlineRohatgiScheme
+from repro.schemes.saida import SaidaReceiver, SaidaScheme
+from repro.schemes.sign_each import SignEachScheme, verify_sign_each_packet
+from repro.schemes.tesla import (
+    BootstrapInfo,
+    TeslaParameters,
+    TeslaReceiver,
+    TeslaScheme,
+    TeslaSender,
+    TeslaVerdict,
+)
+from repro.schemes.wong_lam import WongLamScheme, verify_wong_lam_packet
+
+__all__ = [
+    "Scheme",
+    "build_block",
+    "AugmentedChainScheme",
+    "ac_vertex_coordinates",
+    "EmssScheme",
+    "GenericOffsetScheme",
+    "RandomGraphScheme",
+    "RohatgiScheme",
+    "OnlineChainReceiver",
+    "OnlineRohatgiScheme",
+    "SaidaReceiver",
+    "SaidaScheme",
+    "SignEachScheme",
+    "verify_sign_each_packet",
+    "BootstrapInfo",
+    "TeslaParameters",
+    "TeslaReceiver",
+    "TeslaScheme",
+    "TeslaSender",
+    "TeslaVerdict",
+    "WongLamScheme",
+    "verify_wong_lam_packet",
+    "available_schemes",
+    "make_scheme",
+    "paper_comparison_schemes",
+]

@@ -1,0 +1,167 @@
+"""Scheme interface and the generic graph-driven block builder.
+
+A *scheme* in this library is a recipe that (a) describes its
+dependence-graph for any block size — the object the paper analyzes —
+and (b) turns a block of payloads into real authenticated packets.
+For every hash-chained scheme the second step is completely determined
+by the first: walk the graph in reverse topological order, hash each
+packet (payload + the hashes it carries), place each hash on the
+packets that the graph says carry it, and sign the root.  That shared
+machinery lives in :func:`build_block`; schemes that are not
+hash-chained (sign-each, Wong–Lam, TESLA) override packetization.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Dict, List, Optional, Sequence
+
+from repro.core.graph import DependenceGraph
+from repro.core.metrics import GraphMetrics, compute_metrics
+from repro.crypto.hashing import HashFunction, sha256
+from repro.crypto.signatures import Signer
+from repro.exceptions import SchemeParameterError
+from repro.packets import Packet
+
+__all__ = ["Scheme", "build_block"]
+
+
+class Scheme(ABC):
+    """A multicast authentication scheme.
+
+    Subclasses define the dependence-graph topology; block
+    packetization and metric extraction are inherited.
+
+    Class attributes
+    ----------------
+    individually_verifiable:
+        ``True`` for schemes where every received packet verifies on
+        its own (sign-each, Wong–Lam): ``q_i ≡ 1`` and
+        :meth:`build_graph` returns ``None``.
+    """
+
+    individually_verifiable: ClassVar[bool] = False
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier, e.g. ``"emss(2,1)"``."""
+
+    @abstractmethod
+    def build_graph(self, n: int) -> Optional[DependenceGraph]:
+        """The dependence-graph for a block of ``n`` packets.
+
+        Returns ``None`` for individually-verifiable schemes, which
+        have no inter-packet dependences to draw.
+        """
+
+    # ------------------------------------------------------------------
+    # Packetization
+    # ------------------------------------------------------------------
+
+    def make_block(self, payloads: Sequence[bytes], signer: Signer,
+                   hash_function: HashFunction = sha256,
+                   block_id: int = 0, base_seq: int = 1) -> List[Packet]:
+        """Build the authenticated packets for one block, in send order.
+
+        The default implementation drives :func:`build_block` with this
+        scheme's dependence-graph; individually-verifiable schemes must
+        override.
+        """
+        graph = self.build_graph(len(payloads))
+        if graph is None:
+            raise SchemeParameterError(
+                f"{self.name} does not use the generic block builder"
+            )
+        return build_block(graph, payloads, signer, hash_function,
+                           block_id=block_id, base_seq=base_seq)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def metrics(self, n: int, l_sign: int = 128, l_hash: int = 16,
+                sign_copies: int = 1) -> GraphMetrics:
+        """Graph-derived metrics for a block of size ``n`` (Sec. 3).
+
+        Individually-verifiable schemes synthesize the equivalent
+        record (their per-packet overhead is scheme-specific and
+        handled by overrides).
+        """
+        graph = self.build_graph(n)
+        if graph is None:
+            raise SchemeParameterError(
+                f"{self.name} must override metrics(): no dependence-graph"
+            )
+        return compute_metrics(graph, l_sign=l_sign, l_hash=l_hash,
+                               sign_copies=sign_copies)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def build_block(graph: DependenceGraph, payloads: Sequence[bytes],
+                signer: Signer, hash_function: HashFunction = sha256,
+                block_id: int = 0, base_seq: int = 1) -> List[Packet]:
+    """Materialize a dependence-graph into authenticated packets.
+
+    Parameters
+    ----------
+    graph:
+        Dependence-graph over ``n = len(payloads)`` vertices; vertex
+        ``v`` corresponds to ``payloads[v-1]`` and send order is vertex
+        order.
+    payloads:
+        Application data for each packet.
+    signer:
+        Signs the root packet's :meth:`~repro.packets.Packet.auth_bytes`.
+    hash_function:
+        Hash used for the carried packet hashes (``l_hash`` on the wire).
+    block_id, base_seq:
+        Stream placement: packets get sequence numbers
+        ``base_seq .. base_seq + n - 1``.
+
+    Returns
+    -------
+    list of Packet
+        In send order.  Every packet's carried hashes match the graph's
+        out-edges; the root packet is signed.
+
+    Notes
+    -----
+    A packet's hash covers the hashes it carries, so hashes must be
+    computed in *reverse* topological order of the dependence relation
+    (leaves first).  The dependence-graph being acyclic guarantees this
+    order exists; :meth:`DependenceGraph.topological_order` supplies it.
+    """
+    n = len(payloads)
+    if n != graph.n:
+        raise SchemeParameterError(
+            f"graph is over {graph.n} packets but {n} payloads given"
+        )
+    graph.validate()
+    order = graph.topological_order()
+    hashes: Dict[int, bytes] = {}
+    packets: Dict[int, Packet] = {}
+    for vertex in reversed(order):
+        carried = tuple(
+            (base_seq + target - 1, hashes[target])
+            for target in graph.successors(vertex)
+        )
+        packet = Packet(
+            seq=base_seq + vertex - 1,
+            block_id=block_id,
+            payload=bytes(payloads[vertex - 1]),
+            carried=carried,
+        )
+        if vertex == graph.root:
+            packet = Packet(
+                seq=packet.seq,
+                block_id=packet.block_id,
+                payload=packet.payload,
+                carried=packet.carried,
+                signature=signer.sign(packet.auth_bytes()),
+            )
+        hashes[vertex] = hash_function.digest(packet.auth_bytes())
+        packets[vertex] = packet
+    return [packets[v] for v in range(1, n + 1)]

@@ -1,0 +1,114 @@
+"""EMSS — Efficient Multi-chained Stream Signature (Perrig et al.).
+
+``E_{m,d}`` in the paper's notation: each data packet stores its hash
+in ``m`` later packets spaced ``d`` apart, and a signature packet sent
+at the end of the block carries the hashes of the final packets plus
+the block signature.  Loss tolerance comes from hash redundancy; the
+price is receiver delay (verification waits for the signature packet)
+and message buffering.
+
+Send-order construction used here (block of ``n`` packets, the last
+being the signature packet): data packet ``s`` (``1 <= s <= n-1``)
+stores its hash in packets ``s + d, s + 2d, ..., s + m·d``; any target
+beyond the last data packet is clamped to the signature packet, which
+is how "the signature packet contains the hashes of the final few
+packets".  In the paper's signature-rooted reversed indexing this is
+exactly the offset set ``A = {d, 2d, ..., m·d}`` fed to Eq. 9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.graph import DependenceGraph
+from repro.exceptions import SchemeParameterError
+from repro.schemes.base import Scheme
+
+__all__ = ["EmssScheme", "GenericOffsetScheme"]
+
+
+class EmssScheme(Scheme):
+    """``E_{m,d}``: hash stored in ``m`` later packets spaced ``d`` apart.
+
+    Parameters
+    ----------
+    m:
+        Number of copies of each packet's hash (out-redundancy).
+    d:
+        Spacing between consecutive copies; ``E_{2,1}`` is the
+        canonical instance analyzed in the paper's Fig. 8/9.
+    """
+
+    def __init__(self, m: int = 2, d: int = 1) -> None:
+        if m < 1:
+            raise SchemeParameterError(f"EMSS needs m >= 1, got {m}")
+        if d < 1:
+            raise SchemeParameterError(f"EMSS needs d >= 1, got {d}")
+        self.m = m
+        self.d = d
+
+    @property
+    def name(self) -> str:
+        return f"emss({self.m},{self.d})"
+
+    @property
+    def offsets(self) -> List[int]:
+        """The reversed-index offset set ``A = {d, 2d, ..., m·d}``."""
+        return [k * self.d for k in range(1, self.m + 1)]
+
+    def build_graph(self, n: int) -> DependenceGraph:
+        """Graph over ``n`` packets, vertex ``n`` the signature packet."""
+        if n < 2:
+            raise SchemeParameterError(
+                f"EMSS block needs >= 2 packets (data + signature), got {n}"
+            )
+        graph = DependenceGraph(n, root=n)
+        for s in range(1, n):
+            targets = set()
+            for k in range(1, self.m + 1):
+                carrier = s + k * self.d
+                targets.add(min(carrier, n))
+            for carrier in targets:
+                if carrier != s:
+                    graph.add_edge(carrier, s)
+        return graph
+
+
+class GenericOffsetScheme(Scheme):
+    """An arbitrary-offset periodic scheme (the general form of Eq. 9).
+
+    Each data packet stores its hash in the packets at the given
+    positive send-order distances; this subsumes EMSS and lets the
+    design toolkit (Sec. 5) realize arbitrary offset sets ``A``.
+
+    Parameters
+    ----------
+    offsets:
+        Positive distances from a packet to the packets carrying its
+        hash (equal to the reversed-index offset set ``A`` of Eq. 9).
+    """
+
+    def __init__(self, offsets: Tuple[int, ...]) -> None:
+        cleaned = tuple(sorted(set(offsets)))
+        if not cleaned:
+            raise SchemeParameterError("offset set must be non-empty")
+        if any(a < 1 for a in cleaned):
+            raise SchemeParameterError(f"offsets must be positive: {offsets}")
+        self.offsets = cleaned
+
+    @property
+    def name(self) -> str:
+        inner = ",".join(str(a) for a in self.offsets)
+        return f"offsets({inner})"
+
+    def build_graph(self, n: int) -> DependenceGraph:
+        """Graph over ``n`` packets, vertex ``n`` the signature packet."""
+        if n < 2:
+            raise SchemeParameterError(f"block needs >= 2 packets, got {n}")
+        graph = DependenceGraph(n, root=n)
+        for s in range(1, n):
+            targets = {min(s + a, n) for a in self.offsets}
+            for carrier in targets:
+                if carrier != s:
+                    graph.add_edge(carrier, s)
+        return graph

@@ -1,0 +1,135 @@
+"""Named scheme factory for CLIs, experiments and parameter searches.
+
+Registers every scheme shipped with the library and parses compact spec
+strings such as ``"emss(2,1)"``, ``"ac(3,3)"``, ``"rohatgi"``,
+``"tesla(d=10,T=0.1)"`` or ``"offsets(1,5,9)"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List
+
+from repro.exceptions import SchemeParameterError
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.base import Scheme
+from repro.schemes.emss import EmssScheme, GenericOffsetScheme
+from repro.schemes.random_graph import RandomGraphScheme
+from repro.schemes.rohatgi import RohatgiScheme
+from repro.schemes.rohatgi_online import OnlineRohatgiScheme
+from repro.schemes.saida import SaidaScheme
+from repro.schemes.sign_each import SignEachScheme
+from repro.schemes.tesla import TeslaParameters, TeslaScheme
+from repro.schemes.wong_lam import WongLamScheme
+
+__all__ = ["make_scheme", "available_schemes", "paper_comparison_schemes"]
+
+_SPEC = re.compile(r"^(?P<name>[a-z-]+)(\((?P<args>[^)]*)\))?$")
+
+
+def _parse_args(text: str) -> List[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _make_emss(args: List[str]) -> Scheme:
+    if len(args) != 2:
+        raise SchemeParameterError("emss takes (m, d), e.g. emss(2,1)")
+    return EmssScheme(m=int(args[0]), d=int(args[1]))
+
+
+def _make_ac(args: List[str]) -> Scheme:
+    if len(args) != 2:
+        raise SchemeParameterError("ac takes (a, b), e.g. ac(3,3)")
+    return AugmentedChainScheme(a=int(args[0]), b=int(args[1]))
+
+
+def _make_offsets(args: List[str]) -> Scheme:
+    if not args:
+        raise SchemeParameterError("offsets takes >= 1 integer")
+    return GenericOffsetScheme(tuple(int(a) for a in args))
+
+
+def _make_random(args: List[str]) -> Scheme:
+    if not args:
+        raise SchemeParameterError("random takes (p [, seed])")
+    seed = int(args[1]) if len(args) > 1 else None
+    return RandomGraphScheme(edge_probability=float(args[0]), seed=seed)
+
+
+def _make_saida(args):
+    if len(args) > 1:
+        raise SchemeParameterError("saida takes (k_fraction), e.g. saida(0.5)")
+    fraction = float(args[0]) if args else 0.5
+    return SaidaScheme(k_fraction=fraction)
+
+
+def _make_tesla(args: List[str]) -> Scheme:
+    keywords = {"d": 10, "T": 0.1, "n": 1024}
+    for arg in args:
+        if "=" not in arg:
+            raise SchemeParameterError(
+                f"tesla takes key=value args (d=, T=, n=): {arg!r}"
+            )
+        key, _, value = arg.partition("=")
+        key = key.strip()
+        if key not in keywords:
+            raise SchemeParameterError(f"unknown tesla parameter {key!r}")
+        keywords[key] = float(value) if key == "T" else int(value)
+    parameters = TeslaParameters(
+        interval=float(keywords["T"]), lag=int(keywords["d"]),
+        chain_length=int(keywords["n"]),
+    )
+    return TeslaScheme(parameters)
+
+
+_FACTORIES: Dict[str, Callable[[List[str]], Scheme]] = {
+    "rohatgi": lambda args: RohatgiScheme(),
+    "rohatgi-online": lambda args: OnlineRohatgiScheme(),
+    "wong-lam": lambda args: WongLamScheme(),
+    "sign-each": lambda args: SignEachScheme(),
+    "emss": _make_emss,
+    "ac": _make_ac,
+    "offsets": _make_offsets,
+    "random": _make_random,
+    "tesla": _make_tesla,
+    "saida": _make_saida,
+}
+
+
+def available_schemes() -> List[str]:
+    """Names accepted by :func:`make_scheme`."""
+    return sorted(_FACTORIES)
+
+
+def make_scheme(spec: str) -> Scheme:
+    """Instantiate a scheme from a compact spec string.
+
+    Examples
+    --------
+    >>> make_scheme("emss(2,1)").name
+    'emss(2,1)'
+    >>> make_scheme("rohatgi").name
+    'rohatgi'
+    """
+    match = _SPEC.match(spec.strip())
+    if not match:
+        raise SchemeParameterError(f"malformed scheme spec: {spec!r}")
+    name = match.group("name")
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise SchemeParameterError(
+            f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
+        )
+    return factory(_parse_args(match.group("args") or ""))
+
+
+def paper_comparison_schemes() -> List[Scheme]:
+    """The four schemes of the paper's Fig. 8 comparison."""
+    return [
+        RohatgiScheme(),
+        TeslaScheme(),
+        EmssScheme(2, 1),
+        AugmentedChainScheme(3, 3),
+    ]

@@ -1,0 +1,432 @@
+"""TESLA: timed efficient stream loss-tolerant authentication.
+
+The MAC-based scheme of Perrig et al. that the paper shows to be "a
+derivative of signature amortization" once cast as a dependence-graph
+(Sec. 3.2).  This module provides three things:
+
+* :class:`TeslaParameters` / :class:`TeslaScheme` — the scheme object
+  used by registries, metrics and analysis (its dependence-graph is the
+  extended two-vertex graph of :mod:`repro.core.tesla_graph`);
+* :class:`TeslaSender` — emits MAC'd packets, discloses chain keys with
+  lag ``d`` intervals, signs a bootstrap packet, flushes trailing keys;
+* :class:`TeslaReceiver` — enforces the *security condition* (a packet
+  is dropped if its key may already have been disclosed when it
+  arrived, the paper's ``ξ_i``), buffers packets until their key
+  arrives, authenticates disclosed keys against the signed commitment
+  by walking the one-way chain, and verifies MACs.
+
+The receiver's clock may differ from the sender's by a bounded offset;
+the bound is part of the bootstrap handshake as in real TESLA.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.graph import DependenceGraph
+from repro.core.metrics import GraphMetrics
+from repro.core.tesla_graph import TeslaDependenceGraph
+from repro.crypto.keychain import KeyChain, KeyChainCommitment
+from repro.crypto.mac import Mac, hmac_sha256
+from repro.crypto.signatures import Signer
+from repro.exceptions import SchemeParameterError, SimulationError
+from repro.packets import Packet
+from repro.schemes.base import Scheme
+
+__all__ = [
+    "TeslaParameters",
+    "TeslaScheme",
+    "TeslaSender",
+    "TeslaReceiver",
+    "TeslaVerdict",
+    "BootstrapInfo",
+]
+
+_EXTRA = struct.Struct(">III")  # interval, disclosed_index, key_length
+_BOOTSTRAP = struct.Struct(">dddI")  # t0, interval, max_offset, lag
+_KEY_SIZE = 16
+
+
+@dataclass(frozen=True)
+class TeslaParameters:
+    """Static TESLA session parameters.
+
+    Attributes
+    ----------
+    interval:
+        Time-slot duration in seconds.
+    lag:
+        Disclosure lag ``d`` in intervals; the disclosure delay is
+        ``T_disclose = lag * interval``.
+    chain_length:
+        Number of MAC intervals covered by the key chain.
+    t0:
+        Sender-clock session start time.
+    max_clock_offset:
+        Bound on |receiver clock − sender clock| established at
+        bootstrap; drives the security condition.
+    """
+
+    interval: float = 0.1
+    lag: int = 10
+    chain_length: int = 1024
+    t0: float = 0.0
+    max_clock_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise SchemeParameterError(f"interval must be > 0, got {self.interval}")
+        if self.lag < 1:
+            raise SchemeParameterError(f"lag must be >= 1, got {self.lag}")
+        if self.chain_length < 1:
+            raise SchemeParameterError(
+                f"chain length must be >= 1, got {self.chain_length}"
+            )
+        if self.max_clock_offset < 0:
+            raise SchemeParameterError("clock offset bound must be >= 0")
+
+    @property
+    def disclosure_delay(self) -> float:
+        """``T_disclose = lag * interval`` in seconds."""
+        return self.lag * self.interval
+
+    def interval_of(self, sender_time: float) -> int:
+        """1-based interval index containing ``sender_time``."""
+        if sender_time < self.t0:
+            raise SimulationError(
+                f"time {sender_time} precedes session start {self.t0}"
+            )
+        return int(math.floor((sender_time - self.t0) / self.interval)) + 1
+
+    def disclosure_time(self, interval_index: int) -> float:
+        """Sender-clock time at which ``K_interval_index`` is disclosed."""
+        return self.t0 + (interval_index + self.lag - 1) * self.interval
+
+
+class TeslaScheme(Scheme):
+    """Scheme-registry wrapper around TESLA.
+
+    TESLA has no per-block hash-chain graph; its extended graph comes
+    from :class:`TeslaDependenceGraph` and its metrics are analytic.
+    """
+
+    def __init__(self, parameters: Optional[TeslaParameters] = None,
+                 mac: Mac = hmac_sha256) -> None:
+        self.parameters = parameters or TeslaParameters()
+        self.mac = mac
+
+    @property
+    def name(self) -> str:
+        p = self.parameters
+        return f"tesla(d={p.lag},T={p.interval:g})"
+
+    def build_graph(self, n: int) -> Optional[DependenceGraph]:
+        """TESLA needs the extended graph; the plain one does not apply."""
+        return None
+
+    def build_extended_graph(self, n: int) -> TeslaDependenceGraph:
+        """The Sec. 3.2 two-vertices-per-packet dependence-graph."""
+        return TeslaDependenceGraph(n, lag=self.parameters.lag)
+
+    def metrics(self, n: int, l_sign: int = 128, l_hash: int = 16,
+                sign_copies: int = 1) -> GraphMetrics:
+        """Analytic metrics: MAC tag + disclosed key per packet.
+
+        The bootstrap signature is amortized over ``n``; the receiver
+        delay and message buffer equal the disclosure lag (in packet
+        slots, at one packet per interval).
+        """
+        if n < 1:
+            raise SchemeParameterError(f"need n >= 1, got {n}")
+        per_packet = self.mac.tag_size + _KEY_SIZE
+        return GraphMetrics(
+            n=n,
+            edge_count=0,
+            mean_hashes=0.0,
+            overhead_bytes=per_packet + sign_copies * l_sign / n,
+            message_buffer=self.parameters.lag,
+            hash_buffer=0,
+            delay_slots=self.parameters.lag,
+        )
+
+
+@dataclass(frozen=True)
+class BootstrapInfo:
+    """Contents of the signed bootstrap packet."""
+
+    commitment: bytes
+    parameters: TeslaParameters
+
+    def encode(self) -> bytes:
+        p = self.parameters
+        head = _BOOTSTRAP.pack(p.t0, p.interval, p.max_clock_offset, p.lag)
+        return head + struct.pack(">I", p.chain_length) + self.commitment
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "BootstrapInfo":
+        try:
+            t0, interval, max_offset, lag = _BOOTSTRAP.unpack_from(blob, 0)
+            (chain_length,) = struct.unpack_from(">I", blob, _BOOTSTRAP.size)
+        except struct.error as exc:
+            raise SimulationError(f"malformed bootstrap packet: {exc}") from exc
+        commitment = blob[_BOOTSTRAP.size + 4:]
+        if len(commitment) != _KEY_SIZE:
+            raise SimulationError("bootstrap commitment of unexpected size")
+        parameters = TeslaParameters(
+            interval=interval, lag=lag, chain_length=chain_length,
+            t0=t0, max_clock_offset=max_offset,
+        )
+        return cls(commitment=commitment, parameters=parameters)
+
+
+def _mac_input(seq: int, block_id: int, interval: int, payload: bytes) -> bytes:
+    return struct.pack(">III", seq, block_id, interval) + payload
+
+
+def _encode_extra(interval: int, tag: bytes, disclosed_index: int,
+                  disclosed_key: bytes) -> bytes:
+    return (_EXTRA.pack(interval, disclosed_index, len(disclosed_key))
+            + tag + disclosed_key)
+
+
+def _decode_extra(extra: bytes, tag_size: int):
+    try:
+        interval, disclosed_index, key_length = _EXTRA.unpack_from(extra, 0)
+    except struct.error as exc:
+        raise SimulationError(f"malformed TESLA packet: {exc}") from exc
+    offset = _EXTRA.size
+    tag = extra[offset:offset + tag_size]
+    if len(tag) != tag_size:
+        raise SimulationError("truncated TESLA MAC tag")
+    offset += tag_size
+    key = extra[offset:offset + key_length]
+    if len(key) != key_length:
+        raise SimulationError("truncated disclosed key")
+    return interval, tag, disclosed_index, key
+
+
+class TeslaSender:
+    """Sender half of a TESLA session.
+
+    Parameters
+    ----------
+    parameters:
+        Session timing and chain configuration.
+    signer:
+        Signs the bootstrap packet only.
+    mac:
+        MAC algorithm for per-packet tags.
+    seed:
+        Optional fixed chain seed for reproducibility.
+    """
+
+    def __init__(self, parameters: TeslaParameters, signer: Signer,
+                 mac: Mac = hmac_sha256, seed: Optional[bytes] = None) -> None:
+        self.parameters = parameters
+        self.signer = signer
+        self.mac = mac
+        self.chain = KeyChain(parameters.chain_length, seed=seed)
+        self._next_seq = 1
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def bootstrap_packet(self, block_id: int = 0) -> Packet:
+        """The signed packet carrying the commitment and timing info."""
+        info = BootstrapInfo(commitment=self.chain.commitment,
+                             parameters=self.parameters)
+        unsigned = Packet(
+            seq=self._take_seq(), block_id=block_id,
+            payload=b"", extra=info.encode(),
+        )
+        return Packet(
+            seq=unsigned.seq, block_id=unsigned.block_id,
+            payload=unsigned.payload, extra=unsigned.extra,
+            signature=self.signer.sign(unsigned.auth_bytes()),
+        )
+
+    def send(self, payload: bytes, sender_time: float,
+             block_id: int = 0) -> Packet:
+        """Emit a data packet at ``sender_time`` (sender clock)."""
+        interval = self.parameters.interval_of(sender_time)
+        if interval > self.parameters.chain_length:
+            raise SimulationError(
+                f"interval {interval} beyond chain length "
+                f"{self.parameters.chain_length}"
+            )
+        seq = self._take_seq()
+        tag = self.mac.tag(self.chain.mac_key(interval),
+                           _mac_input(seq, block_id, interval, payload))
+        disclosed_index = interval - self.parameters.lag
+        if disclosed_index >= 1:
+            disclosed = self.chain.key(disclosed_index)
+        else:
+            disclosed_index, disclosed = 0, b""
+        return Packet(
+            seq=seq, block_id=block_id, payload=payload,
+            extra=_encode_extra(interval, tag, disclosed_index, disclosed),
+            send_time=sender_time,
+        )
+
+    def flush_keys(self, last_interval: int, block_id: int = 0) -> List[Packet]:
+        """Disclosure-only packets for keys still undisclosed at stream end.
+
+        TESLA must eventually disclose every key used; these trailing
+        packets carry no payload or MAC, only key disclosures, sent at
+        their scheduled disclosure times.
+        """
+        if not 0 <= last_interval <= self.parameters.chain_length:
+            raise SimulationError(f"bad last interval {last_interval}")
+        packets = []
+        for index in range(max(last_interval - self.parameters.lag + 1, 1),
+                           last_interval + 1):
+            when = self.parameters.disclosure_time(index)
+            packets.append(Packet(
+                seq=self._take_seq(), block_id=block_id, payload=b"",
+                extra=_encode_extra(0, b"\x00" * self.mac.tag_size,
+                                    index, self.chain.key(index)),
+                send_time=when,
+            ))
+        return packets
+
+
+@dataclass
+class TeslaVerdict:
+    """Outcome of one data packet at the receiver."""
+
+    seq: int
+    interval: int
+    status: str  # "verified", "unsafe", "bad-mac", "pending", "bad-key"
+    arrival_time: float = 0.0
+    verified_time: Optional[float] = None
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Verification delay, when verified."""
+        if self.verified_time is None:
+            return None
+        return self.verified_time - self.arrival_time
+
+
+class TeslaReceiver:
+    """Receiver half of a TESLA session.
+
+    Built from the *bootstrap packet* (whose signature must verify).
+    Feed arriving packets to :meth:`receive`; completed verdicts
+    accumulate in :attr:`verdicts`.
+
+    Parameters
+    ----------
+    bootstrap:
+        The signed bootstrap packet.
+    signer:
+        Verifier for the bootstrap signature (public part suffices).
+    clock_offset:
+        Receiver clock minus sender clock; |offset| must be within the
+        bootstrap's ``max_clock_offset`` for correctness.
+    """
+
+    def __init__(self, bootstrap: Packet, signer: Signer,
+                 mac: Mac = hmac_sha256, clock_offset: float = 0.0) -> None:
+        unsigned = Packet(seq=bootstrap.seq, block_id=bootstrap.block_id,
+                          payload=bootstrap.payload, carried=bootstrap.carried,
+                          extra=bootstrap.extra)
+        if bootstrap.signature is None or not signer.verify(
+                unsigned.auth_bytes(), bootstrap.signature):
+            raise SimulationError("bootstrap packet signature invalid")
+        info = BootstrapInfo.decode(bootstrap.extra)
+        self.parameters = info.parameters
+        self.mac = mac
+        self.clock_offset = clock_offset
+        self._anchor = KeyChainCommitment(0, info.commitment)
+        self._mac_keys: Dict[int, bytes] = {}
+        self._highest_key = 0
+        self._pending: Dict[int, List[Packet]] = {}
+        self.verdicts: Dict[int, TeslaVerdict] = {}
+
+    # ------------------------------------------------------------------
+
+    def _sender_time_upper_bound(self, receiver_time: float) -> float:
+        """Latest possible sender-clock time given the sync bound."""
+        return receiver_time - self.clock_offset + self.parameters.max_clock_offset
+
+    def _is_safe(self, interval: int, receiver_time: float) -> bool:
+        """Security condition: the packet's key cannot be disclosed yet."""
+        return (self._sender_time_upper_bound(receiver_time)
+                < self.parameters.disclosure_time(interval))
+
+    def _learn_key(self, index: int, chain_key: bytes) -> bool:
+        """Authenticate a disclosed chain key and derive MAC keys."""
+        if index <= self._highest_key:
+            return True  # already known (or older than the anchor)
+        if not self._anchor.authenticate(index, chain_key):
+            return False
+        # Derive every intermediate key by walking the one-way chain.
+        current = chain_key
+        for i in range(index, self._highest_key, -1):
+            self._mac_keys.setdefault(i, KeyChain.derive_mac_key(current))
+            current = KeyChain.walk_back(current, 1)
+        self._highest_key = index
+        return True
+
+    def _flush_pending(self, receiver_time: float) -> None:
+        ready = [i for i in self._pending if i <= self._highest_key]
+        for interval in sorted(ready):
+            key = self._mac_keys.get(interval)
+            for packet in self._pending.pop(interval):
+                verdict = self.verdicts[packet.seq]
+                tag = self._tag_of(packet)
+                message = _mac_input(packet.seq, packet.block_id, interval,
+                                     packet.payload)
+                payload_ok = key is not None and self.mac.verify(
+                    key, message, tag)
+                verdict.status = "verified" if payload_ok else "bad-mac"
+                verdict.verified_time = receiver_time
+
+    def _tag_of(self, packet: Packet) -> bytes:
+        _, tag, _, _ = _decode_extra(packet.extra, self.mac.tag_size)
+        return tag
+
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, receiver_time: float) -> None:
+        """Process one arriving packet at local time ``receiver_time``."""
+        interval, _tag, disclosed_index, disclosed_key = _decode_extra(
+            packet.extra, self.mac.tag_size)
+        if disclosed_index >= 1 and disclosed_key:
+            if not self._learn_key(disclosed_index, disclosed_key):
+                # A forged key never poisons state; data part still handled.
+                if interval == 0:
+                    return
+        if interval >= 1:
+            if not self._is_safe(interval, receiver_time):
+                self.verdicts[packet.seq] = TeslaVerdict(
+                    seq=packet.seq, interval=interval, status="unsafe",
+                    arrival_time=receiver_time,
+                )
+            else:
+                self.verdicts[packet.seq] = TeslaVerdict(
+                    seq=packet.seq, interval=interval, status="pending",
+                    arrival_time=receiver_time,
+                )
+                self._pending.setdefault(interval, []).append(packet)
+        self._flush_pending(receiver_time)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Packets buffered awaiting key disclosure (message buffer)."""
+        return sum(len(v) for v in self._pending.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of verdict statuses."""
+        histogram: Dict[str, int] = {}
+        for verdict in self.verdicts.values():
+            histogram[verdict.status] = histogram.get(verdict.status, 0) + 1
+        return histogram

@@ -1,0 +1,51 @@
+"""Packet-level simulation: senders, receivers, channels, statistics."""
+
+from repro.simulation.multicast import (
+    MulticastResult,
+    ReceiverSpec,
+    run_multicast_session,
+)
+from repro.simulation.receiver import ChainReceiver, PacketOutcome
+from repro.simulation.runner import (
+    WireTrialConfig,
+    tesla_monte_carlo,
+    wire_monte_carlo,
+)
+from repro.simulation.sender import (
+    StreamSender,
+    make_payloads,
+    replicate_signature_packets,
+)
+from repro.simulation.session import (
+    run_chain_session,
+    run_individual_session,
+    run_saida_session,
+    run_tesla_session,
+)
+from repro.simulation.stats import PositionTally, SimulationStats
+from repro.simulation.stream_receiver import DeliveredPayload, StreamReceiver
+from repro.simulation.trace import SessionTrace, TraceRecord
+
+__all__ = [
+    "MulticastResult",
+    "ReceiverSpec",
+    "run_multicast_session",
+    "ChainReceiver",
+    "PacketOutcome",
+    "WireTrialConfig",
+    "tesla_monte_carlo",
+    "wire_monte_carlo",
+    "StreamSender",
+    "make_payloads",
+    "run_chain_session",
+    "run_individual_session",
+    "run_saida_session",
+    "run_tesla_session",
+    "PositionTally",
+    "SimulationStats",
+    "DeliveredPayload",
+    "StreamReceiver",
+    "SessionTrace",
+    "TraceRecord",
+    "replicate_signature_packets",
+]

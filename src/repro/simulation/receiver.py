@@ -1,0 +1,208 @@
+"""Generic receiver for hash-chained schemes.
+
+The receiver is deliberately *scheme-agnostic*: a hash-chained packet
+stream is self-describing (each packet says which sequence numbers the
+hashes it carries belong to), so one verification engine covers
+Gennaro–Rohatgi, EMSS, augmented chains, generic offset schemes and
+any designed graph.  The engine maintains exactly the two buffers the
+paper's Sec. 3 buffer analysis talks about:
+
+* a **hash buffer** of trusted hashes for packets not yet arrived, and
+* a **message buffer** of arrived-but-unverifiable packets.
+
+Verification cascades: a packet becomes trusted either by signature or
+by matching a trusted hash; its carried hashes then become trusted,
+which may release buffered packets, recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.hashing import HashFunction, sha256
+from repro.crypto.signatures import Signer
+from repro.packets import Packet
+
+__all__ = ["PacketOutcome", "ChainReceiver"]
+
+
+@dataclass
+class PacketOutcome:
+    """Lifecycle record of one received packet."""
+
+    seq: int
+    arrival_time: float
+    verified: bool = False
+    forged: bool = False
+    verified_time: Optional[float] = None
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Wait between arrival and verification (None if never verified)."""
+        if self.verified_time is None:
+            return None
+        return self.verified_time - self.arrival_time
+
+
+class ChainReceiver:
+    """Incremental verifier for hash-chained packet streams.
+
+    Parameters
+    ----------
+    signer:
+        Verifier for signature packets (public part suffices).
+    hash_function:
+        Must match the sender's hash (sizes included).
+    max_buffered:
+        Optional hard cap on the message buffer.  Real receivers
+        cannot hold unverified packets forever — the paper notes the
+        buffering that EMSS/AC/TESLA require "is subject to Denial of
+        Service attacks".  When the cap is hit, the oldest buffered
+        packet is evicted (it can never verify afterwards); evictions
+        are counted in :attr:`evicted`.
+    on_verified:
+        Optional ``callback(packet, time)`` invoked for every packet
+        the instant it verifies (including cascade releases) — the
+        hook :class:`~repro.simulation.stream_receiver.StreamReceiver`
+        builds ordered delivery on.
+
+    Notes
+    -----
+    Packets whose authentication data *mismatches* a trusted hash or
+    signature are flagged ``forged`` — in a loss-only simulation none
+    should ever appear, and tests assert exactly that; in adversarial
+    tests they do.
+    """
+
+    def __init__(self, signer: Signer,
+                 hash_function: HashFunction = sha256,
+                 max_buffered: Optional[int] = None,
+                 on_verified=None) -> None:
+        if max_buffered is not None and max_buffered < 1:
+            raise ValueError(f"max_buffered must be >= 1, got {max_buffered}")
+        self._signer = signer
+        self._hash = hash_function
+        self._max_buffered = max_buffered
+        self._on_verified = on_verified
+        self._trusted: Dict[int, bytes] = {}
+        self._buffered: Dict[int, Tuple[Packet, float]] = {}
+        self.outcomes: Dict[int, PacketOutcome] = {}
+        self.evicted = 0
+        self._message_buffer_peak = 0
+        self._hash_buffer_peak = 0
+
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, arrival_time: float) -> PacketOutcome:
+        """Process one arriving packet; returns its (live) outcome record.
+
+        The outcome may flip to verified later, when a subsequent
+        packet supplies the missing hash — the returned object is
+        updated in place.
+        """
+        outcome = self.outcomes.get(packet.seq)
+        if outcome is not None:
+            return outcome  # duplicate delivery (e.g. retransmitted P_sign)
+        outcome = PacketOutcome(seq=packet.seq, arrival_time=arrival_time)
+        self.outcomes[packet.seq] = outcome
+        auth = packet.auth_bytes()
+        if packet.signature is not None:
+            if self._signer.verify(auth, packet.signature):
+                self._mark_verified(packet, arrival_time)
+            else:
+                outcome.forged = True
+            return outcome
+        digest = self._hash.digest(auth)
+        expected = self._trusted.get(packet.seq)
+        if expected is not None:
+            if expected == digest:
+                self._mark_verified(packet, arrival_time)
+            else:
+                outcome.forged = True
+            return outcome
+        self._buffered[packet.seq] = (packet, arrival_time)
+        if (self._max_buffered is not None
+                and len(self._buffered) > self._max_buffered):
+            oldest = min(self._buffered)
+            del self._buffered[oldest]
+            self.evicted += 1
+        self._message_buffer_peak = max(self._message_buffer_peak,
+                                        len(self._buffered))
+        return outcome
+
+    def evict_block(self, block_id: int) -> int:
+        """Drop buffered packets of a finished block; returns the count.
+
+        Once a block's signature packet has been processed and the
+        sender has moved on, buffered packets of that block whose hash
+        support was lost can never verify; callers that track block
+        boundaries reclaim the memory here.
+        """
+        stale = [seq for seq, (packet, _) in self._buffered.items()
+                 if packet.block_id == block_id]
+        for seq in stale:
+            del self._buffered[seq]
+        self.evicted += len(stale)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+
+    def _mark_verified(self, packet: Packet, now: float) -> None:
+        """Trust ``packet``, absorb its hashes, cascade to buffered packets."""
+        worklist = [packet]
+        while worklist:
+            current = worklist.pop()
+            outcome = self.outcomes[current.seq]
+            outcome.verified = True
+            outcome.verified_time = now
+            if self._on_verified is not None:
+                self._on_verified(current, now)
+            for target, digest in current.carried:
+                known = self._trusted.get(target)
+                if known is not None and known != digest:
+                    # Conflicting trusted hashes can only come from a
+                    # forged-but-signed packet; keep the first.
+                    continue
+                self._trusted[target] = digest
+                held = self._buffered.get(target)
+                if held is None:
+                    continue
+                held_packet, _arrival = held
+                del self._buffered[target]
+                if self._hash.digest(held_packet.auth_bytes()) == digest:
+                    worklist.append(held_packet)
+                else:
+                    self.outcomes[target].forged = True
+            self._hash_buffer_peak = max(self._hash_buffer_peak,
+                                         self.pending_hash_count)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_hash_count(self) -> int:
+        """Trusted hashes waiting for their packet (hash buffer level)."""
+        return sum(1 for seq in self._trusted if seq not in self.outcomes)
+
+    @property
+    def buffered_count(self) -> int:
+        """Arrived-but-unverified packets (message buffer level)."""
+        return len(self._buffered)
+
+    @property
+    def message_buffer_peak(self) -> int:
+        """Maximum message-buffer occupancy seen so far."""
+        return self._message_buffer_peak
+
+    @property
+    def hash_buffer_peak(self) -> int:
+        """Maximum hash-buffer occupancy seen so far."""
+        return self._hash_buffer_peak
+
+    def verified_count(self) -> int:
+        """Packets verified so far."""
+        return sum(1 for o in self.outcomes.values() if o.verified)
+
+    def forged_count(self) -> int:
+        """Packets whose authentication data mismatched."""
+        return sum(1 for o in self.outcomes.values() if o.forged)

@@ -1,0 +1,107 @@
+"""Multi-trial Monte Carlo drivers at the wire level.
+
+These run *real* packets through *real* verification — the slow,
+high-fidelity counterpart to the vectorized graph-level estimator in
+:mod:`repro.analysis.montecarlo`.  Use them to validate that the
+byte-level implementation matches the graph abstraction; use the
+graph-level estimator for large parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.signatures import HmacStubSigner, Signer
+from repro.exceptions import SimulationError
+from repro.network.channel import Channel
+from repro.network.delay import ConstantDelay, DelayModel, GaussianDelay
+from repro.network.loss import BernoulliLoss, LossModel
+from repro.schemes.base import Scheme
+from repro.schemes.tesla import TeslaParameters
+from repro.simulation.session import (
+    run_chain_session,
+    run_individual_session,
+    run_tesla_session,
+)
+from repro.simulation.stats import SimulationStats
+
+__all__ = ["wire_monte_carlo", "tesla_monte_carlo", "WireTrialConfig"]
+
+
+@dataclass(frozen=True)
+class WireTrialConfig:
+    """Shared knobs for wire-level Monte Carlo runs."""
+
+    block_size: int = 32
+    blocks_per_trial: int = 1
+    trials: int = 20
+    loss_rate: float = 0.2
+    t_transmit: float = 0.01
+    seed: int = 7
+
+
+def _fast_signer() -> Signer:
+    return HmacStubSigner(key=b"wire-monte-carlo", signature_size=128)
+
+
+def wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
+                     loss: Optional[LossModel] = None,
+                     delay: Optional[DelayModel] = None) -> SimulationStats:
+    """Aggregate ``trials`` wire-level sessions of ``scheme``.
+
+    Each trial gets an independent channel (fresh loss RNG derived from
+    the config seed) but statistics accumulate into one
+    :class:`SimulationStats`, so ``stats.q_profile()`` is the empirical
+    per-position ``q_i`` across all trials.
+    """
+    if config.trials < 1:
+        raise SimulationError(f"need >= 1 trial, got {config.trials}")
+    signer = _fast_signer()
+    stats = SimulationStats()
+    for trial in range(config.trials):
+        trial_loss = loss if loss is not None else BernoulliLoss(
+            config.loss_rate, seed=config.seed + trial * 7919)
+        trial_delay = delay if delay is not None else ConstantDelay(0.0)
+        if loss is not None:
+            trial_loss.reset()
+        if delay is not None:
+            trial_delay.reset()
+        channel = Channel(loss=trial_loss, delay=trial_delay)
+        if scheme.individually_verifiable:
+            run_individual_session(scheme, config.block_size,
+                                   config.blocks_per_trial, channel,
+                                   signer=signer, stats=stats)
+        else:
+            run_chain_session(scheme, config.block_size,
+                              config.blocks_per_trial, channel,
+                              signer=signer,
+                              t_transmit=config.t_transmit, stats=stats)
+    return stats
+
+
+def tesla_monte_carlo(parameters: TeslaParameters, packet_count: int,
+                      trials: int, loss_rate: float,
+                      delay_mean: float = 0.0, delay_std: float = 0.0,
+                      clock_offset: float = 0.0,
+                      seed: int = 11) -> SimulationStats:
+    """Aggregate ``trials`` TESLA sessions into one statistics object.
+
+    Parameters mirror the paper's Fig. 3/4 axes: loss rate ``p``, mean
+    delay ``μ`` and jitter ``σ`` (the disclosure delay lives inside
+    ``parameters``).
+    """
+    if trials < 1:
+        raise SimulationError(f"need >= 1 trial, got {trials}")
+    stats = SimulationStats()
+    for trial in range(trials):
+        loss = BernoulliLoss(loss_rate, seed=seed + trial * 104729)
+        if delay_std > 0 or delay_mean > 0:
+            delay: DelayModel = GaussianDelay(delay_mean, delay_std,
+                                              seed=seed + trial * 1299709)
+        else:
+            delay = ConstantDelay(0.0)
+        channel = Channel(loss=loss, delay=delay)
+        run_tesla_session(parameters, packet_count, channel,
+                          clock_offset=clock_offset, stats=stats)
+    return stats

@@ -1,0 +1,245 @@
+"""End-to-end simulation sessions: sender → channel → receiver.
+
+A *session* wires a scheme's sender to the generic receiver through a
+lossy channel, runs whole blocks through it, and tallies outcomes into
+:class:`~repro.simulation.stats.SimulationStats`.  Separate session
+runners exist for hash-chained schemes, individually-verifiable
+schemes and TESLA, because their receivers differ; all three produce
+the same statistics object so experiments can compare them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.hashing import HashFunction, sha256
+from repro.crypto.signatures import Signer, default_signer
+from repro.exceptions import SimulationError
+from repro.network.channel import Channel, Delivery
+from repro.packets import Packet
+from repro.schemes.base import Scheme
+from repro.schemes.saida import SaidaReceiver, SaidaScheme
+from repro.schemes.sign_each import SignEachScheme, verify_sign_each_packet
+from repro.schemes.tesla import TeslaParameters, TeslaReceiver, TeslaSender
+from repro.schemes.wong_lam import WongLamScheme, verify_wong_lam_packet
+from repro.simulation.receiver import ChainReceiver
+from repro.simulation.sender import StreamSender, make_payloads
+from repro.simulation.stats import SimulationStats
+
+__all__ = [
+    "run_chain_session",
+    "run_individual_session",
+    "run_saida_session",
+    "run_tesla_session",
+]
+
+
+def _position_of(seq: int, base_seq: int) -> int:
+    return seq - base_seq + 1
+
+
+def run_chain_session(scheme: Scheme, block_size: int, blocks: int,
+                      channel: Channel, signer: Optional[Signer] = None,
+                      hash_function: HashFunction = sha256,
+                      t_transmit: float = 0.01,
+                      payload_size: int = 32,
+                      stats: Optional[SimulationStats] = None) -> SimulationStats:
+    """Run a hash-chained scheme over ``blocks`` blocks.
+
+    ``P_sign`` loss protection follows the channel's configuration (the
+    paper assumes it always arrives).  Statistics accumulate into
+    ``stats`` when given, enabling multi-trial aggregation.
+
+    Returns
+    -------
+    SimulationStats
+        Per-position ``q_i`` tallies, delays and buffer peaks.
+    """
+    if blocks < 1:
+        raise SimulationError(f"need >= 1 block, got {blocks}")
+    signer = signer if signer is not None else default_signer()
+    stats = stats if stats is not None else SimulationStats()
+    sender = StreamSender(scheme, signer, block_size,
+                          t_transmit=t_transmit, hash_function=hash_function)
+    receiver = ChainReceiver(signer, hash_function)
+    base_seqs: Dict[int, int] = {}
+    sent_packets: List[Packet] = []
+    for _ in range(blocks):
+        payloads = make_payloads(block_size, size=payload_size)
+        block_packets = sender.send_block(payloads)
+        base_seqs[block_packets[0].block_id] = block_packets[0].seq
+        sent_packets.extend(block_packets)
+    deliveries = channel.transmit(sent_packets)
+    for delivery in deliveries:
+        receiver.receive(delivery.packet, delivery.arrival_time)
+    _tally_chain(sent_packets, deliveries, receiver, base_seqs, stats)
+    stats.sent += channel.sent
+    stats.dropped += channel.dropped
+    stats.forged += receiver.forged_count()
+    stats.merge_buffer_peaks(receiver.message_buffer_peak,
+                             receiver.hash_buffer_peak)
+    return stats
+
+
+def _tally_chain(sent_packets: Sequence[Packet],
+                 deliveries: Sequence[Delivery], receiver: ChainReceiver,
+                 base_seqs: Dict[int, int], stats: SimulationStats) -> None:
+    delivered = {d.packet.seq for d in deliveries}
+    for packet in sent_packets:
+        position = _position_of(packet.seq, base_seqs[packet.block_id])
+        received = packet.seq in delivered
+        outcome = receiver.outcomes.get(packet.seq)
+        verified = bool(outcome and outcome.verified)
+        delay = outcome.delay if (outcome and outcome.verified) else None
+        stats.record(position, received, verified, delay)
+
+
+def run_individual_session(scheme: Scheme, block_size: int, blocks: int,
+                           channel: Channel,
+                           signer: Optional[Signer] = None,
+                           hash_function: HashFunction = sha256,
+                           t_transmit: float = 0.01,
+                           stats: Optional[SimulationStats] = None
+                           ) -> SimulationStats:
+    """Run an individually-verifiable scheme (sign-each, Wong–Lam).
+
+    Every received packet is checked in isolation; ``q_i`` should come
+    out 1.0 for every position, which tests assert.
+    """
+    if not scheme.individually_verifiable:
+        raise SimulationError(f"{scheme.name} is not individually verifiable")
+    signer = signer if signer is not None else default_signer()
+    stats = stats if stats is not None else SimulationStats()
+    sender = StreamSender(scheme, signer, block_size,
+                          t_transmit=t_transmit, hash_function=hash_function)
+    for _ in range(blocks):
+        payloads = make_payloads(block_size)
+        packets = sender.send_block(payloads)
+        base_seq = packets[0].seq
+        deliveries = channel.transmit(packets)
+        delivered = {}
+        for delivery in deliveries:
+            packet = delivery.packet
+            if isinstance(scheme, WongLamScheme):
+                ok = verify_wong_lam_packet(packet, signer, hash_function,
+                                            block_base_seq=base_seq)
+            elif isinstance(scheme, SignEachScheme):
+                ok = verify_sign_each_packet(packet, signer)
+            else:
+                raise SimulationError(
+                    f"no individual verifier known for {scheme.name}"
+                )
+            delivered[packet.seq] = ok
+            if ok:
+                stats.delays.append(0.0)
+        for packet in packets:
+            position = _position_of(packet.seq, base_seq)
+            received = packet.seq in delivered
+            verified = received and delivered[packet.seq]
+            stats.record(position, received, verified)
+            if received and not verified:
+                stats.forged += 1
+    stats.sent += channel.sent
+    stats.dropped += channel.dropped
+    return stats
+
+
+def run_saida_session(scheme: SaidaScheme, block_size: int, blocks: int,
+                      channel: Channel, signer: Optional[Signer] = None,
+                      hash_function: HashFunction = sha256,
+                      t_transmit: float = 0.01,
+                      stats: Optional[SimulationStats] = None
+                      ) -> SimulationStats:
+    """Run the erasure-coded scheme over ``blocks`` blocks.
+
+    SAIDA has no signature packet to protect — the signature travels
+    inside the coded blob — so every packet takes its chances with the
+    loss model.
+    """
+    if blocks < 1:
+        raise SimulationError(f"need >= 1 block, got {blocks}")
+    signer = signer if signer is not None else default_signer()
+    stats = stats if stats is not None else SimulationStats()
+    sender = StreamSender(scheme, signer, block_size,
+                          t_transmit=t_transmit,
+                          hash_function=hash_function)
+    receiver = SaidaReceiver(signer, hash_function)
+    base_seqs: Dict[int, int] = {}
+    sent_packets: List[Packet] = []
+    for _ in range(blocks):
+        block_packets = sender.send_block(make_payloads(block_size))
+        base_seqs[block_packets[0].block_id] = block_packets[0].seq
+        sent_packets.extend(block_packets)
+    deliveries = channel.transmit(sent_packets)
+    arrival_times = {}
+    for delivery in deliveries:
+        receiver.receive(delivery.packet, delivery.arrival_time)
+        arrival_times[delivery.packet.seq] = delivery.arrival_time
+        stats.message_buffer_peak = max(stats.message_buffer_peak,
+                                        receiver.pending_count)
+    delivered = set(arrival_times)
+    for packet in sent_packets:
+        position = _position_of(packet.seq, base_seqs[packet.block_id])
+        received = packet.seq in delivered
+        verified = bool(receiver.verified.get(packet.seq))
+        stats.record(position, received, verified)
+    stats.sent += channel.sent
+    stats.dropped += channel.dropped
+    return stats
+
+
+def run_tesla_session(parameters: TeslaParameters, packet_count: int,
+                      channel: Channel, signer: Optional[Signer] = None,
+                      clock_offset: float = 0.0,
+                      payload_size: int = 32,
+                      stats: Optional[SimulationStats] = None
+                      ) -> SimulationStats:
+    """Run one TESLA session of ``packet_count`` data packets.
+
+    One data packet is sent per interval.  The bootstrap packet is
+    signature-protected by the channel (the paper's assumption about
+    ``P_sign``); trailing key-flush packets are sent after the stream.
+    Each packet's position is its interval index, so positions align
+    with the paper's ``q_i = (1 - p^{n+1-i}) ξ_i``.
+    """
+    if packet_count < 1:
+        raise SimulationError(f"need >= 1 packet, got {packet_count}")
+    if packet_count > parameters.chain_length:
+        raise SimulationError("packet count exceeds key-chain length")
+    signer = signer if signer is not None else default_signer()
+    stats = stats if stats is not None else SimulationStats()
+    sender = TeslaSender(parameters, signer)
+    bootstrap = sender.bootstrap_packet().with_send_time(parameters.t0)
+    payloads = make_payloads(packet_count, size=payload_size)
+    data_packets = []
+    for index, payload in enumerate(payloads):
+        when = parameters.t0 + index * parameters.interval
+        data_packets.append(sender.send(payload, when))
+    flush = sender.flush_keys(packet_count)
+    deliveries = channel.transmit([bootstrap] + data_packets + flush)
+    bootstrap_delivery = next(
+        (d for d in deliveries if d.packet.seq == bootstrap.seq), None)
+    if bootstrap_delivery is None:
+        raise SimulationError(
+            "bootstrap packet lost; enable signature protection on the channel"
+        )
+    receiver = TeslaReceiver(bootstrap_delivery.packet, signer,
+                             clock_offset=clock_offset)
+    for delivery in deliveries:
+        if delivery.packet.seq == bootstrap.seq:
+            continue
+        receiver.receive(delivery.packet,
+                         delivery.arrival_time + clock_offset)
+        stats.message_buffer_peak = max(stats.message_buffer_peak,
+                                        receiver.pending_count)
+    delivered = {d.packet.seq for d in deliveries}
+    for index, packet in enumerate(data_packets):
+        position = index + 1  # interval index
+        received = packet.seq in delivered
+        verdict = receiver.verdicts.get(packet.seq)
+        verified = bool(verdict and verdict.status == "verified")
+        delay = verdict.delay if verified else None
+        stats.record(position, received, verified, delay)
+    stats.sent += channel.sent
+    stats.dropped += channel.dropped
+    return stats

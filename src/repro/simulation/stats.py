@@ -1,0 +1,114 @@
+"""Aggregation of simulation outcomes into the paper's metrics.
+
+Empirical counterparts of the analytic quantities: per-position
+authentication probability ``q_i`` (verified given received), its
+minimum ``q_min``, verification delays and buffer peaks.  Positions
+are per-block vertex indices (1-based send order within a block), so
+results from many blocks and trials aggregate position-wise — exactly
+how the paper's per-packet probabilities are indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import SimulationError
+
+__all__ = ["PositionTally", "SimulationStats"]
+
+
+@dataclass
+class PositionTally:
+    """Received/verified counts for one block position."""
+
+    received: int = 0
+    verified: int = 0
+
+    @property
+    def q(self) -> Optional[float]:
+        """Empirical ``q_i``; ``None`` until the position was ever received."""
+        if self.received == 0:
+            return None
+        return self.verified / self.received
+
+
+@dataclass
+class SimulationStats:
+    """Accumulator across blocks and trials."""
+
+    tallies: Dict[int, PositionTally] = field(default_factory=dict)
+    delays: List[float] = field(default_factory=list)
+    message_buffer_peak: int = 0
+    hash_buffer_peak: int = 0
+    sent: int = 0
+    dropped: int = 0
+    forged: int = 0
+
+    def record(self, position: int, received: bool, verified: bool,
+               delay: Optional[float] = None) -> None:
+        """Record one packet's fate at block position ``position``."""
+        if position < 1:
+            raise SimulationError(f"positions are 1-based, got {position}")
+        if verified and not received:
+            raise SimulationError("verified packets must have been received")
+        tally = self.tallies.setdefault(position, PositionTally())
+        if received:
+            tally.received += 1
+        if verified:
+            tally.verified += 1
+            if delay is not None:
+                self.delays.append(delay)
+
+    # ------------------------------------------------------------------
+
+    def q_profile(self) -> Dict[int, float]:
+        """Per-position empirical ``q_i`` (positions ever received)."""
+        return {
+            position: tally.q
+            for position, tally in sorted(self.tallies.items())
+            if tally.q is not None
+        }
+
+    @property
+    def q_min(self) -> float:
+        """Minimum empirical ``q_i`` across positions."""
+        profile = self.q_profile()
+        if not profile:
+            raise SimulationError("no received packets recorded")
+        return min(profile.values())
+
+    @property
+    def overall_q(self) -> float:
+        """Verified/received over all positions pooled."""
+        received = sum(t.received for t in self.tallies.values())
+        verified = sum(t.verified for t in self.tallies.values())
+        if received == 0:
+            raise SimulationError("no received packets recorded")
+        return verified / received
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean verification delay among verified packets."""
+        if not self.delays:
+            return 0.0
+        return sum(self.delays) / len(self.delays)
+
+    @property
+    def max_delay(self) -> float:
+        """Worst verification delay observed."""
+        if not self.delays:
+            return 0.0
+        return max(self.delays)
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Channel loss rate realized across the run."""
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
+    def merge_buffer_peaks(self, message_peak: int, hash_peak: int) -> None:
+        """Fold one trial's buffer peaks into the run maxima."""
+        self.message_buffer_peak = max(self.message_buffer_peak, message_peak)
+        self.hash_buffer_peak = max(self.hash_buffer_peak, hash_peak)

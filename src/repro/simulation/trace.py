@@ -1,0 +1,149 @@
+"""Session traces: record and replay delivery sequences.
+
+Debugging a verification anomaly means reproducing the exact loss and
+reordering pattern that triggered it.  A :class:`SessionTrace` records
+every delivery of a run as JSON lines (packet bytes hex-encoded, so
+the trace is self-contained and diffable), and replays it into any
+receiver later — deterministically, with no RNG in sight.
+
+Traces also serve as golden files: a recorded session pins both the
+wire format and the verification semantics; if either changes
+incompatibly, replaying an old trace fails loudly.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, TextIO, Union
+
+from repro.exceptions import SimulationError
+from repro.network.channel import Delivery
+from repro.packets import Packet, packet_from_wire
+
+__all__ = ["TraceRecord", "SessionTrace"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One delivery event: arrival time plus the full packet bytes."""
+
+    arrival_time: float
+    packet: Packet
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "t": self.arrival_time,
+            "wire": self.packet.to_wire().hex(),
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        try:
+            payload = json.loads(line)
+            return cls(arrival_time=float(payload["t"]),
+                       packet=packet_from_wire(bytes.fromhex(payload["wire"])))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SimulationError(f"malformed trace line: {exc}") from exc
+
+
+class SessionTrace:
+    """An ordered list of deliveries with (de)serialization.
+
+    Build one by recording deliveries (:meth:`record` /
+    :meth:`record_all`), persist with :meth:`dump`, restore with
+    :meth:`load`, feed into a receiver with :meth:`replay`.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord] = ()) -> None:
+        self.records: List[TraceRecord] = list(records)
+
+    # ------------------------------------------------------------------
+
+    def record(self, delivery: Delivery) -> None:
+        """Append one channel delivery."""
+        self.records.append(TraceRecord(arrival_time=delivery.arrival_time,
+                                        packet=delivery.packet))
+
+    def record_all(self, deliveries: Iterable[Delivery]) -> None:
+        """Append a whole transmit() result."""
+        for delivery in deliveries:
+            self.record(delivery)
+
+    # ------------------------------------------------------------------
+
+    def dump(self, sink: Union[str, TextIO]) -> None:
+        """Write the trace as JSON lines to a path or text stream."""
+        if isinstance(sink, str):
+            with open(sink, "w", encoding="utf-8") as handle:
+                self._write(handle)
+        else:
+            self._write(sink)
+
+    def _write(self, handle: TextIO) -> None:
+        handle.write(json.dumps({"format": _FORMAT_VERSION,
+                                 "records": len(self.records)}) + "\n")
+        for record in self.records:
+            handle.write(record.to_json() + "\n")
+
+    @classmethod
+    def load(cls, source: Union[str, TextIO]) -> "SessionTrace":
+        """Read a trace written by :meth:`dump`."""
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls._read(handle)
+        return cls._read(source)
+
+    @classmethod
+    def _read(cls, handle: TextIO) -> "SessionTrace":
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+            version = header["format"]
+        except (ValueError, KeyError) as exc:
+            raise SimulationError("trace missing header line") from exc
+        if version != _FORMAT_VERSION:
+            raise SimulationError(f"unsupported trace format {version}")
+        records = [TraceRecord.from_json(line)
+                   for line in handle if line.strip()]
+        if len(records) != header.get("records", len(records)):
+            raise SimulationError(
+                f"trace truncated: header says {header['records']}, "
+                f"found {len(records)}"
+            )
+        return cls(records)
+
+    # ------------------------------------------------------------------
+
+    def replay(self, receive: Callable[[Packet, float], object]) -> int:
+        """Feed every record to ``receive(packet, arrival_time)``.
+
+        Returns the number of deliveries replayed.  Works with any
+        receiver exposing the standard ``receive`` signature
+        (:class:`~repro.simulation.receiver.ChainReceiver`,
+        :class:`~repro.simulation.stream_receiver.StreamReceiver`,
+        :class:`~repro.schemes.tesla.TeslaReceiver`, ...).
+        """
+        for record in self.records:
+            receive(record.packet, record.arrival_time)
+        return len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SessionTrace):
+            return NotImplemented
+        return self.records == other.records
+
+    def to_string(self) -> str:
+        """The full serialized form (handy for golden-file tests)."""
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()

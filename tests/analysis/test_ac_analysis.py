@@ -1,0 +1,104 @@
+"""Unit tests for the augmented-chain recurrence (Eq. 10)."""
+
+import pytest
+
+from repro.analysis import augmented_chain as ac
+from repro.analysis import emss
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.exceptions import AnalysisError
+from repro.schemes.augmented_chain import AugmentedChainScheme
+
+
+class TestChainCount:
+    def test_counts(self):
+        assert ac.chain_count(101, 3) == 25
+        assert ac.chain_count(9, 3) == 2
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ac.chain_count(1, 3)
+
+
+class TestProfile:
+    def test_boundary_chain_packets_unit(self):
+        profile = ac.q_profile(101, 3, 3, 0.2)
+        for x in range(4):  # x <= a
+            assert profile.chain[x] == 1.0
+
+    def test_chain_monotone_decreasing(self):
+        profile = ac.q_profile(401, 3, 3, 0.3)
+        chain = profile.chain
+        for earlier, later in zip(chain[4:], chain[5:]):
+            assert later <= earlier + 1e-12
+
+    def test_inserted_values_in_range(self):
+        profile = ac.q_profile(101, 3, 3, 0.3)
+        for value in profile.inserted.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_q_of_reversed_index(self):
+        profile = ac.q_profile(101, 3, 3, 0.2)
+        # Chain packet 0 sits at reversed index b+1 = 4.
+        assert profile.q_of_reversed_index(4) == profile.chain[0]
+        assert profile.q_of_reversed_index(1) == profile.inserted[(0, 1)]
+
+    def test_q_of_reversed_index_bounds(self):
+        profile = ac.q_profile(21, 3, 3, 0.2)
+        with pytest.raises(AnalysisError):
+            profile.q_of_reversed_index(4000)
+
+
+class TestQMin:
+    def test_extremes(self):
+        assert ac.q_min(101, 3, 3, 0.0) == pytest.approx(1.0)
+        assert ac.q_min(101, 3, 3, 1.0) == pytest.approx(0.0)
+
+    def test_matches_emss_fixed_point_at_moderate_loss(self):
+        # Fig. 9: C_{3,3} and E_{2,1} nearly coincide.
+        for p in (0.1, 0.2, 0.3):
+            assert ac.q_min(1000, 3, 3, p) == pytest.approx(
+                emss.q_min(1000, 2, 1, p), abs=0.02)
+
+    def test_monotone_in_a_and_b_at_high_loss(self):
+        p = 0.5
+        for b in (1, 3, 5):
+            values = [ac.q_min(1000, a, b, p) for a in (2, 3, 5, 8)]
+            assert values == sorted(values)
+        for a in (2, 3, 5):
+            values = [ac.q_min(1000, a, b, p) for b in (1, 3, 5, 8)]
+            assert values == sorted(values)
+
+    def test_insensitive_to_b_with_fixed_first_level(self):
+        # Fig. 6: hold the chain size, let n grow with b.
+        p = 0.3
+        chain_packets = 80
+        values = []
+        for b in (2, 4, 8):
+            n = AugmentedChainScheme.block_size_for_chain(chain_packets, b)
+            values.append(ac.q_min(n, 3, b, p))
+        assert max(values) - min(values) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ac.q_min(101, 1, 3, 0.2)
+        with pytest.raises(AnalysisError):
+            ac.q_min(101, 3, 0, 0.2)
+        with pytest.raises(AnalysisError):
+            ac.q_min(101, 3, 3, 1.2)
+        with pytest.raises(AnalysisError):
+            ac.q_min(3, 3, 5, 0.2)  # no complete chain packet
+
+
+class TestAgainstGraph:
+    def test_recurrence_upper_bounds_monte_carlo(self):
+        n, p = 101, 0.2
+        graph = AugmentedChainScheme(3, 3).build_graph(n)
+        mc = graph_monte_carlo(graph, p, trials=20000, seed=31)
+        assert mc.q_min <= ac.q_min(n, 3, 3, p) + 0.02
+
+    def test_graph_and_recurrence_agree_losslessly(self):
+        n = 49
+        graph = AugmentedChainScheme(2, 2).build_graph(n)
+        mc = graph_monte_carlo(graph, 0.0, trials=10, seed=1)
+        assert mc.q_min == 1.0
+        assert ac.q_min(n, 2, 2, 0.0) == pytest.approx(1.0)

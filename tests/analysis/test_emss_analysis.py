@@ -1,0 +1,104 @@
+"""Unit tests for the EMSS recurrence analysis (Eq. 8/9)."""
+
+import pytest
+
+from repro.analysis import emss
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.exceptions import AnalysisError
+from repro.schemes.emss import EmssScheme
+
+
+class TestOffsets:
+    def test_offset_set(self):
+        assert emss.offsets_for(2, 1) == [1, 2]
+        assert emss.offsets_for(3, 4) == [4, 8, 12]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            emss.offsets_for(0, 1)
+
+
+class TestQProfile:
+    def test_boundary_matches_eq8(self):
+        result = emss.q_profile(10, 2, 1, 0.2)
+        assert result.q[0] == result.q[1] == result.q[2] == 1.0
+
+    def test_q_min_attained_in_tail(self):
+        result = emss.q_profile(200, 2, 1, 0.2)
+        assert result.q_min == pytest.approx(result.q[-1])
+
+    def test_more_copies_help(self):
+        p = 0.3
+        assert emss.q_min(200, 3, 1, p) >= emss.q_min(200, 2, 1, p)
+        assert emss.q_min(200, 2, 1, p) >= emss.q_min(200, 1, 1, p)
+
+    def test_spacing_insensitivity(self):
+        # Fig. 7: q_min barely moves with d while m*d << n.
+        p = 0.3
+        base = emss.q_min(1000, 2, 1, p)
+        for d in (2, 5, 10, 20):
+            assert emss.q_min(1000, 2, d, p) == pytest.approx(base, abs=0.02)
+
+    def test_large_spacing_eventually_hurts_or_helps_boundary(self):
+        # When m*d approaches n the boundary region dominates.
+        value = emss.q_min(100, 2, 45, 0.3)
+        assert value >= emss.q_min(100, 2, 1, 0.3) - 1e-9
+
+
+class TestFixedPointBound:
+    def test_bound_formula(self):
+        p = 0.2
+        expected = 1 - (p / (1 - p)) ** 2
+        assert emss.q_min_lower_bound_e21(p) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("p", [0.05, 0.1, 0.2, 0.3, 0.4, 0.49])
+    def test_recurrence_respects_bound(self, p):
+        for n in (50, 200, 1000):
+            assert emss.q_min(n, 2, 1, p) >= emss.q_min_lower_bound_e21(p) - 1e-9
+
+    def test_bound_validity_range(self):
+        with pytest.raises(AnalysisError):
+            emss.q_min_lower_bound_e21(0.5)
+
+
+class TestAgainstMonteCarlo:
+    def test_recurrence_upper_bounds_exact(self):
+        """Path failures are positively correlated, so Eq. 8 is an
+        upper bound on the exact probability (see ext-gap)."""
+        n, p = 150, 0.15
+        graph = EmssScheme(2, 1).build_graph(n)
+        mc = graph_monte_carlo(graph, p, trials=20000, seed=23)
+        recurrence = emss.q_min(n, 2, 1, p)
+        assert mc.q_min <= recurrence + 0.02
+
+    def test_monte_carlo_matches_exact_paths(self):
+        from repro.core.paths import exact_lambda
+
+        n, p = 7, 0.2
+        graph = EmssScheme(2, 1).build_graph(n)
+        mc = graph_monte_carlo(graph, p, trials=60000, seed=29)
+        for vertex in range(1, n):
+            exact = exact_lambda(graph, vertex, p)
+            assert mc.q[vertex] == pytest.approx(exact, abs=0.01)
+
+    def test_recurrence_bounds_exact_per_packet(self):
+        from repro.core.paths import exact_lambda
+
+        n, p = 7, 0.2
+        graph = EmssScheme(2, 1).build_graph(n)
+        rec = emss.q_profile(n, 2, 1, p)
+        # Reversed indexing: recurrence q_i corresponds to send-order
+        # vertex n - i + 1.
+        for i in range(2, n + 1):
+            vertex = n - i + 1
+            assert exact_lambda(graph, vertex, p) <= rec.q[i - 1] + 1e-9
+
+
+class TestGenericQMin:
+    def test_arbitrary_offsets(self):
+        value = emss.generic_q_min(100, [1, 7], 0.2)
+        assert 0.0 < value <= 1.0
+
+    def test_matches_emss_for_uniform(self):
+        assert emss.generic_q_min(100, [1, 2], 0.2) == pytest.approx(
+            emss.q_min(100, 2, 1, 0.2))

@@ -1,0 +1,95 @@
+"""Unit tests for the exact Markov-chain evaluator of E_{m,1}."""
+
+import math
+
+import pytest
+
+from repro.analysis import emss as emss_analysis
+from repro.analysis import rohatgi as rohatgi_analysis
+from repro.analysis.exact_chain import (
+    asymptotic_decay_rate,
+    exact_q_min,
+    exact_q_profile,
+)
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.exceptions import AnalysisError
+from repro.schemes.emss import EmssScheme
+
+
+class TestReductions:
+    def test_m1_is_rohatgi(self):
+        """Offsets {1} form a pure chain: q_i = (1-p)^{i-2}."""
+        p, n = 0.25, 12
+        profile = exact_q_profile(n, 1, p)
+        for i in range(1, n + 1):
+            assert profile[i - 1] == pytest.approx(
+                rohatgi_analysis.q_i(i, p))
+
+    def test_lossless(self):
+        assert exact_q_profile(20, 3, 0.0) == [1.0] * 20
+
+    def test_certain_loss(self):
+        profile = exact_q_profile(10, 2, 1.0)
+        assert profile[0] == 1.0
+        # Every non-root packet is lost; conditioning on receipt, a
+        # packet verifies only while the run has not yet reached m.
+        assert profile[1] == 1.0  # run 0 before position 2
+        assert profile[2] == 1.0  # run 1 before position 3
+        assert profile[3] == 0.0  # run 2 (= m): broken
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_matches_graph_monte_carlo(self, m):
+        n, p = 60, 0.2
+        profile = exact_q_profile(n, m, p)
+        graph = EmssScheme(m, 1).build_graph(n)
+        mc = graph_monte_carlo(graph, p, trials=40000, seed=7)
+        for i in (5, 20, 40, 60):
+            vertex = n - i + 1  # reversed-to-send-order mapping
+            assert mc.q[vertex] == pytest.approx(profile[i - 1], abs=0.015)
+
+    def test_upper_bounded_by_recurrence(self):
+        for n in (20, 100, 400):
+            for p in (0.1, 0.3):
+                assert exact_q_min(n, 2, p) <= \
+                    emss_analysis.q_min(n, 2, 1, p) + 1e-9
+
+    def test_monotone_decreasing_profile(self):
+        profile = exact_q_profile(100, 2, 0.2)
+        for earlier, later in zip(profile[1:], profile[2:]):
+            assert later <= earlier + 1e-12
+
+
+class TestDecayRate:
+    def test_m2_closed_form(self):
+        p = 0.1
+        expected = ((1 - p) + math.sqrt((1 - p) ** 2 + 4 * p * (1 - p))) / 2
+        assert asymptotic_decay_rate(2, p) == pytest.approx(expected)
+
+    def test_rate_governs_tail(self):
+        p, m = 0.2, 2
+        rate = asymptotic_decay_rate(m, p)
+        q_400 = exact_q_min(400, m, p)
+        q_500 = exact_q_min(500, m, p)
+        assert q_500 / q_400 == pytest.approx(rate ** 100, rel=0.01)
+
+    def test_rate_improves_with_m(self):
+        p = 0.3
+        rates = [asymptotic_decay_rate(m, p) for m in (1, 2, 3, 4)]
+        assert rates == sorted(rates)
+        assert rates[0] == pytest.approx(1 - p)
+
+    def test_extremes(self):
+        assert asymptotic_decay_rate(2, 0.0) == 1.0
+        assert asymptotic_decay_rate(2, 1.0) == 0.0
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            exact_q_profile(0, 2, 0.1)
+        with pytest.raises(AnalysisError):
+            exact_q_profile(10, 0, 0.1)
+        with pytest.raises(AnalysisError):
+            exact_q_profile(10, 2, 1.5)

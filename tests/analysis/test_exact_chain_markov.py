@@ -1,0 +1,95 @@
+"""Unit tests for exact chain analysis under Markov loss."""
+
+import pytest
+
+from repro.analysis.exact_chain import exact_q_profile
+from repro.analysis.exact_chain_markov import (
+    gilbert_elliott_q_min,
+    markov_chain_q_min,
+    markov_chain_q_profile,
+)
+from repro.analysis.montecarlo import graph_monte_carlo_model
+from repro.exceptions import AnalysisError
+from repro.network.loss import GilbertElliottLoss
+from repro.schemes.emss import EmssScheme
+
+_GE = [[0.95, 0.05], [0.25, 0.75]]
+_GE_RATES = [0.0, 1.0]
+
+
+class TestDegenerations:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    @pytest.mark.parametrize("p", [0.0, 0.2, 0.5, 1.0])
+    def test_single_state_is_iid(self, m, p):
+        markov = markov_chain_q_profile(40, m, [[1.0]], [p])
+        iid = exact_q_profile(40, m, p)
+        for a, b in zip(markov, iid):
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_lossless_channel(self):
+        profile = markov_chain_q_profile(30, 2, _GE, [0.0, 0.0])
+        assert profile == [1.0] * 30
+
+    def test_probabilities_valid(self):
+        profile = markov_chain_q_profile(60, 2, _GE, _GE_RATES)
+        assert all(0.0 <= q <= 1.0 for q in profile)
+        assert profile[0] == 1.0
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize("burst", [2.0, 4.0, 8.0])
+    def test_matches_model_driven_monte_carlo(self, burst):
+        n, rate = 80, 0.1
+        exact = gilbert_elliott_q_min(n, 2, rate, burst)
+        model = GilbertElliottLoss.from_rate_and_burst(rate, burst, seed=5)
+        graph = EmssScheme(2, 1).build_graph(n)
+        mc = graph_monte_carlo_model(graph, model, trials=4000)
+        assert mc.q_min == pytest.approx(exact, abs=0.04)
+
+
+class TestBurstShapes:
+    def test_isolated_losses_protect_adjacent_copies(self):
+        """Mean burst -> 1 means no two consecutive losses: E_{2,1}
+        becomes nearly unbreakable, *better* than iid."""
+        n, rate = 120, 0.1
+        near_one = gilbert_elliott_q_min(n, 2, rate, 1.01)
+        iid = exact_q_profile(n, 2, rate)[-1]
+        assert near_one > iid + 0.3
+
+    def test_worst_burst_matches_copy_spread(self):
+        """Bursts around the copy spread (2) are the worst case."""
+        n, rate = 120, 0.1
+        values = {burst: gilbert_elliott_q_min(n, 2, rate, burst)
+                  for burst in (1.01, 2.0, 4.0, 16.0)}
+        assert values[2.0] == min(values.values())
+
+    def test_longer_reach_softens_bursts(self):
+        n, rate, burst = 120, 0.1, 3.0
+        m2 = gilbert_elliott_q_min(n, 2, rate, burst)
+        m4 = gilbert_elliott_q_min(n, 4, rate, burst)
+        assert m4 > m2
+
+
+class TestValidation:
+    def test_matrix_shape(self):
+        with pytest.raises(AnalysisError):
+            markov_chain_q_profile(10, 2, [[1.0, 0.0]], [0.1])
+
+    def test_non_stochastic(self):
+        with pytest.raises(AnalysisError):
+            markov_chain_q_profile(10, 2, [[0.7, 0.7], [0.5, 0.5]],
+                                   [0.1, 0.2])
+
+    def test_bad_rates(self):
+        with pytest.raises(AnalysisError):
+            markov_chain_q_profile(10, 2, [[1.0]], [1.5])
+
+    def test_bad_initial(self):
+        with pytest.raises(AnalysisError):
+            markov_chain_q_profile(10, 2, [[1.0]], [0.1], initial=[0.4])
+
+    def test_bad_sizes(self):
+        with pytest.raises(AnalysisError):
+            markov_chain_q_profile(0, 2, [[1.0]], [0.1])
+        with pytest.raises(AnalysisError):
+            markov_chain_q_min(10, 0, [[1.0]], [0.1])

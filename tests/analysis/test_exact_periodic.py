@@ -1,0 +1,83 @@
+"""Unit tests for the exact transfer-matrix periodic solver."""
+
+import pytest
+
+from repro.analysis.exact_chain import exact_q_profile
+from repro.analysis.exact_periodic import (
+    exact_periodic_q_min,
+    exact_periodic_q_profile,
+)
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.core.recurrence import solve_recurrence
+from repro.exceptions import AnalysisError
+from repro.schemes.emss import GenericOffsetScheme
+
+
+class TestReductions:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_matches_run_length_chain_for_contiguous(self, m):
+        n, p = 50, 0.25
+        general = exact_periodic_q_profile(n, list(range(1, m + 1)), p)
+        special = exact_q_profile(n, m, p)
+        for a, b in zip(general, special):
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_lossless(self):
+        assert exact_periodic_q_profile(30, [2, 5], 0.0) == [1.0] * 30
+
+    def test_certain_loss_boundary_only(self):
+        profile = exact_periodic_q_profile(10, [1, 3], 1.0)
+        # Positions whose branch clamps to the root stay certain.
+        assert profile[0] == 1.0
+        assert profile[1] == 1.0  # i=2: offset 1 clamps
+        assert profile[3] == 1.0  # i=4: offset 3 clamps
+        assert profile[4] == 0.0  # i=5: no clamp, all support lost
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize("offsets", [(1, 3), (2, 5), (1, 4, 9)])
+    def test_matches_graph_monte_carlo(self, offsets):
+        n, p = 60, 0.2
+        profile = exact_periodic_q_profile(n, list(offsets), p)
+        graph = GenericOffsetScheme(tuple(offsets)).build_graph(n)
+        mc = graph_monte_carlo(graph, p, trials=40000, seed=3)
+        for i in (10, 30, 60):
+            vertex = n - i + 1
+            assert mc.q[vertex] == pytest.approx(profile[i - 1], abs=0.02)
+
+
+class TestAgainstRecurrence:
+    @pytest.mark.parametrize("offsets", [(1, 2), (1, 7), (3, 5)])
+    @pytest.mark.parametrize("p", [0.1, 0.3])
+    def test_recurrence_is_upper_bound(self, offsets, p):
+        n = 80
+        exact = exact_periodic_q_profile(n, list(offsets), p)
+        recurrence = solve_recurrence(n, list(offsets), p).q
+        for e, r in zip(exact, recurrence):
+            assert e <= r + 1e-9
+
+    def test_spacing_matters_exactly_but_not_in_recurrence(self):
+        """Eq. 9 is d-invariant; the exact solver is not."""
+        n, p = 100, 0.2
+        adjacent = exact_periodic_q_min(n, [1, 2], p)
+        spread = exact_periodic_q_min(n, [1, 7], p)
+        assert spread > adjacent + 0.1
+        rec_adjacent = solve_recurrence(n, [1, 2], p).q_min
+        rec_spread = solve_recurrence(n, [1, 7], p).q_min
+        assert rec_adjacent == pytest.approx(rec_spread, abs=0.02)
+
+
+class TestValidation:
+    def test_offset_bounds(self):
+        with pytest.raises(AnalysisError):
+            exact_periodic_q_profile(10, [], 0.1)
+        with pytest.raises(AnalysisError):
+            exact_periodic_q_profile(10, [0], 0.1)
+        with pytest.raises(AnalysisError):
+            exact_periodic_q_profile(10, [1, 17], 0.1)
+
+    def test_input_bounds(self):
+        with pytest.raises(AnalysisError):
+            exact_periodic_q_profile(0, [1], 0.1)
+        with pytest.raises(AnalysisError):
+            exact_periodic_q_profile(10, [1], 1.5)

@@ -1,0 +1,111 @@
+"""Unit tests for the vectorized Monte Carlo estimators."""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    graph_monte_carlo,
+    graph_monte_carlo_model,
+    tesla_lambda_monte_carlo,
+)
+from repro.core.graph import DependenceGraph
+from repro.core.paths import exact_lambda
+from repro.exceptions import AnalysisError
+from repro.network.loss import BernoulliLoss, TraceLoss
+from repro.schemes.emss import EmssScheme
+
+
+@pytest.fixture
+def diamond():
+    return DependenceGraph.from_edges(4, 1, [(1, 2), (1, 3), (2, 4), (3, 4)])
+
+
+class TestGraphMonteCarlo:
+    def test_matches_exact_on_diamond(self, diamond):
+        p = 0.3
+        mc = graph_monte_carlo(diamond, p, trials=60000, seed=7)
+        assert mc.q[4] == pytest.approx(exact_lambda(diamond, 4, p),
+                                        abs=0.01)
+
+    def test_root_always_one_when_protected(self, diamond):
+        mc = graph_monte_carlo(diamond, 0.5, trials=2000, seed=7)
+        assert mc.q[1] == 1.0
+        assert mc.received_counts[1] == 2000
+
+    def test_unprotected_root(self, diamond):
+        mc = graph_monte_carlo(diamond, 0.5, trials=8000, seed=7,
+                               root_always_received=False)
+        assert mc.received_counts[1] < 8000
+        # Conditioned on the root being received it still verifies.
+        assert mc.q[1] == 1.0
+
+    def test_lossless(self, diamond):
+        mc = graph_monte_carlo(diamond, 0.0, trials=10, seed=1)
+        assert all(value == 1.0 for value in mc.q.values())
+
+    def test_certain_loss(self, diamond):
+        mc = graph_monte_carlo(diamond, 1.0, trials=10, seed=1)
+        assert set(mc.q) == {1}  # only the protected root is ever received
+
+    def test_standard_error(self, diamond):
+        mc = graph_monte_carlo(diamond, 0.3, trials=10000, seed=7)
+        se = mc.standard_error(4)
+        assert 0.0 < se < 0.02
+        with pytest.raises(AnalysisError):
+            mc.standard_error(99)
+
+    def test_reproducible_with_seed(self, diamond):
+        a = graph_monte_carlo(diamond, 0.3, trials=500, seed=9)
+        b = graph_monte_carlo(diamond, 0.3, trials=500, seed=9)
+        assert a.q == b.q
+
+    def test_invalid_graph_rejected(self):
+        graph = DependenceGraph(3, root=1)
+        graph.add_edge(1, 2)
+        with pytest.raises(Exception):
+            graph_monte_carlo(graph, 0.1, trials=10)
+
+    def test_validation(self, diamond):
+        with pytest.raises(AnalysisError):
+            graph_monte_carlo(diamond, 1.5, trials=10)
+        with pytest.raises(AnalysisError):
+            graph_monte_carlo(diamond, 0.1, trials=0)
+
+
+class TestModelDrivenMonteCarlo:
+    def test_bernoulli_model_matches_iid_estimator(self):
+        graph = EmssScheme(2, 1).build_graph(40)
+        p = 0.2
+        iid = graph_monte_carlo(graph, p, trials=30000, seed=3)
+        modeled = graph_monte_carlo_model(
+            graph, BernoulliLoss(p, seed=5), trials=3000)
+        assert modeled.q_min == pytest.approx(iid.q_min, abs=0.05)
+
+    def test_deterministic_trace(self):
+        graph = EmssScheme(2, 1).build_graph(4)
+        # Lose vertex 2 every trial; vertex 1 still reaches via 3.
+        model = TraceLoss([False, True, False, False])
+        mc = graph_monte_carlo_model(graph, model, trials=8)
+        assert 2 not in mc.q
+        assert mc.q[1] == 1.0
+        assert mc.q[3] == 1.0
+
+    def test_trial_validation(self):
+        graph = EmssScheme(2, 1).build_graph(4)
+        with pytest.raises(AnalysisError):
+            graph_monte_carlo_model(graph, BernoulliLoss(0.1), trials=0)
+
+
+class TestTeslaLambdaMonteCarlo:
+    def test_certain_loss(self):
+        mc = tesla_lambda_monte_carlo(5, 1.0, trials=100, seed=1)
+        assert all(value == 0.0 for value in mc.q.values())
+
+    def test_lossless(self):
+        mc = tesla_lambda_monte_carlo(5, 0.0, trials=100, seed=1)
+        assert all(value == 1.0 for value in mc.q.values())
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            tesla_lambda_monte_carlo(0, 0.1)
+        with pytest.raises(AnalysisError):
+            tesla_lambda_monte_carlo(5, -0.1)

@@ -1,0 +1,56 @@
+"""Unit tests for the Rohatgi closed forms (Sec. 3 example)."""
+
+import pytest
+
+from repro.analysis import rohatgi
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.core.paths import exact_lambda
+from repro.exceptions import AnalysisError
+from repro.schemes.rohatgi import RohatgiScheme
+
+
+class TestClosedForms:
+    def test_first_two_packets_certain(self):
+        assert rohatgi.q_i(1, 0.3) == 1.0
+        assert rohatgi.q_i(2, 0.3) == 1.0
+
+    def test_geometric_decay(self):
+        p = 0.2
+        for i in range(3, 10):
+            assert rohatgi.q_i(i, p) == pytest.approx((1 - p) ** (i - 2))
+
+    def test_q_min_paper_formula(self):
+        assert rohatgi.q_min(10, 0.1) == pytest.approx(0.9 ** 8)
+
+    def test_q_min_is_last_packet(self):
+        profile = rohatgi.q_profile(12, 0.25)
+        assert min(profile) == profile[-1]
+        assert profile[-1] == rohatgi.q_min(12, 0.25)
+
+    def test_extreme_loss_rates(self):
+        assert rohatgi.q_min(10, 0.0) == 1.0
+        assert rohatgi.q_min(10, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            rohatgi.q_min(1, 0.1)
+        with pytest.raises(AnalysisError):
+            rohatgi.q_min(10, -0.1)
+        with pytest.raises(AnalysisError):
+            rohatgi.q_i(0, 0.1)
+
+
+class TestAgainstGraph:
+    def test_matches_exact_path_analysis(self):
+        graph = RohatgiScheme().build_graph(8)
+        p = 0.3
+        for i in range(2, 9):
+            assert exact_lambda(graph, i, p) == pytest.approx(
+                rohatgi.q_i(i, p))
+
+    def test_matches_monte_carlo(self):
+        n, p = 12, 0.2
+        graph = RohatgiScheme().build_graph(n)
+        mc = graph_monte_carlo(graph, p, trials=40000, seed=17)
+        for i in (4, 8, 12):
+            assert mc.q[i] == pytest.approx(rohatgi.q_i(i, p), abs=0.02)

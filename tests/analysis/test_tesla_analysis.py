@@ -1,0 +1,106 @@
+"""Unit tests for TESLA's analytic evaluation (Eq. 6/7)."""
+
+import pytest
+
+from repro.analysis import tesla
+from repro.analysis.montecarlo import tesla_lambda_monte_carlo
+from repro.exceptions import AnalysisError
+from repro.network.delay import gaussian_cdf
+
+
+class TestXi:
+    def test_generous_disclosure(self):
+        assert tesla.xi(10.0, 0.1, 0.1) == pytest.approx(1.0, abs=1e-9)
+
+    def test_mean_at_disclosure_gives_half(self):
+        assert tesla.xi(1.0, 1.0, 0.2) == pytest.approx(0.5)
+
+    def test_matches_gaussian_cdf(self):
+        assert tesla.xi(1.0, 0.4, 0.3) == pytest.approx(
+            gaussian_cdf((1.0 - 0.4) / 0.3))
+
+    def test_zero_sigma_step(self):
+        assert tesla.xi(1.0, 0.5, 0.0) == 1.0
+        assert tesla.xi(1.0, 1.5, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            tesla.xi(0.0, 0.1, 0.1)
+        with pytest.raises(AnalysisError):
+            tesla.xi(1.0, 0.1, -0.1)
+
+
+class TestLambda:
+    def test_formula(self):
+        assert tesla.lambda_i(1, 10, 0.5) == pytest.approx(1 - 0.5 ** 10)
+        assert tesla.lambda_i(10, 10, 0.5) == pytest.approx(0.5)
+
+    def test_monotone_decreasing_in_i(self):
+        values = [tesla.lambda_i(i, 20, 0.3) for i in range(1, 21)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_monte_carlo(self):
+        n, p = 15, 0.4
+        mc = tesla_lambda_monte_carlo(n, p, trials=60000, seed=37)
+        for i in (1, 8, 15):
+            assert mc.q[i] == pytest.approx(tesla.lambda_i(i, n, p),
+                                            abs=0.01)
+
+    def test_bounds(self):
+        with pytest.raises(AnalysisError):
+            tesla.lambda_i(0, 10, 0.1)
+        with pytest.raises(AnalysisError):
+            tesla.lambda_i(11, 10, 0.1)
+
+
+class TestQMin:
+    def test_eq7(self):
+        p, t_d, mu, sigma = 0.2, 1.0, 0.3, 0.1
+        expected = (1 - p) * tesla.xi(t_d, mu, sigma)
+        assert tesla.q_min(100, p, t_d, mu, sigma) == pytest.approx(expected)
+
+    def test_q_min_is_tail_of_profile(self):
+        profile = tesla.q_profile(50, 0.3, 1.0, 0.2, 0.1)
+        assert profile[-1] == pytest.approx(
+            tesla.q_min(50, 0.3, 1.0, 0.2, 0.1))
+        assert min(profile) == profile[-1]
+
+    def test_block_size_independent(self):
+        a = tesla.q_min(10, 0.2, 1.0, 0.3, 0.1)
+        b = tesla.q_min(10000, 0.2, 1.0, 0.3, 0.1)
+        assert a == b
+
+    def test_alpha_parameterization(self):
+        value = tesla.q_min_alpha(0.1, 2.0, 0.25, 0.5)
+        assert value == pytest.approx(
+            tesla.q_min(1, 0.1, 2.0, 0.5, 0.5))
+
+    def test_normalized_form(self):
+        # (T_d - mu)/sigma == (1-alpha) * T_d/sigma.
+        p, alpha = 0.2, 0.4
+        t_d, sigma = 2.0, 0.25
+        ratio = t_d / sigma
+        assert tesla.q_min_normalized(p, ratio, alpha) == pytest.approx(
+            tesla.q_min(1, p, t_d, alpha * t_d, sigma))
+
+    def test_normalized_validation(self):
+        with pytest.raises(AnalysisError):
+            tesla.q_min_normalized(0.1, 0.0, 0.5)
+        with pytest.raises(AnalysisError):
+            tesla.q_min_normalized(0.1, 1.0, 1.5)
+
+
+class TestShapes:
+    def test_q_min_decreasing_in_mu(self):
+        values = [tesla.q_min(1, 0.1, 1.0, mu, 0.2)
+                  for mu in (0.0, 0.2, 0.5, 0.8, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_q_min_decreasing_in_p(self):
+        values = [tesla.q_min(1, p, 1.0, 0.2, 0.1)
+                  for p in (0.0, 0.2, 0.5, 0.8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_loss_limited_at_generous_disclosure(self):
+        for p in (0.1, 0.5, 0.9):
+            assert tesla.q_min(1, p, 100.0, 0.1, 0.1) == pytest.approx(1 - p)

@@ -1,0 +1,77 @@
+"""Unit tests for profile dispersion statistics and the tapered graph."""
+
+import pytest
+
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.analysis.variance import (
+    ProfileStats,
+    build_tapered_graph,
+    profile_stats,
+)
+from repro.exceptions import AnalysisError, SchemeParameterError
+
+
+class TestProfileStats:
+    def test_basic_statistics(self):
+        stats = profile_stats([1.0, 0.5, 0.0])
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.minimum == 0.0
+        assert stats.maximum == 1.0
+        assert stats.spread == 1.0
+        assert stats.count == 3
+
+    def test_variance_and_std(self):
+        stats = profile_stats([0.2, 0.4])
+        assert stats.variance == pytest.approx(0.01)
+        assert stats.std == pytest.approx(0.1)
+
+    def test_constant_profile(self):
+        stats = profile_stats([0.7] * 10)
+        assert stats.variance == pytest.approx(0.0, abs=1e-15)
+        assert stats.spread == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            profile_stats([])
+        with pytest.raises(AnalysisError):
+            profile_stats([0.5, 1.2])
+
+
+class TestTaperedGraph:
+    def test_validates(self):
+        graph = build_tapered_graph(60)
+        graph.validate()
+        assert graph.root == 60
+
+    def test_far_packets_carry_more_copies(self):
+        n = 60
+        graph = build_tapered_graph(n, near_copies=2, far_copies=4,
+                                    taper_start=0.5)
+        # In-degree = number of hash copies a packet's hash gets
+        # (modulo clamping near the root).
+        near_vertex = n - 5    # close to the signature
+        far_vertex = 5         # far from it
+        assert graph.in_degree(far_vertex) > graph.in_degree(near_vertex)
+
+    def test_flattens_profile_vs_uniform(self):
+        from repro.schemes.emss import EmssScheme
+
+        n, p = 80, 0.15
+        uniform = graph_monte_carlo(EmssScheme(2, 1).build_graph(n), p,
+                                    trials=6000, seed=5)
+        tapered = graph_monte_carlo(build_tapered_graph(n, 2, 4, 0.4), p,
+                                    trials=6000, seed=5)
+        assert tapered.q_min > uniform.q_min
+        u_stats = profile_stats(list(uniform.q.values()))
+        t_stats = profile_stats(list(tapered.q.values()))
+        assert t_stats.std < u_stats.std
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchemeParameterError):
+            build_tapered_graph(1)
+        with pytest.raises(SchemeParameterError):
+            build_tapered_graph(20, near_copies=0)
+        with pytest.raises(SchemeParameterError):
+            build_tapered_graph(20, near_copies=3, far_copies=2)
+        with pytest.raises(SchemeParameterError):
+            build_tapered_graph(20, taper_start=1.5)

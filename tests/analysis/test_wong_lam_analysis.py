@@ -1,0 +1,37 @@
+"""Unit tests for the Wong-Lam analytic module."""
+
+import pytest
+
+from repro.analysis import wong_lam
+from repro.exceptions import AnalysisError
+
+
+class TestQ:
+    def test_always_one(self):
+        for p in (0.0, 0.5, 1.0):
+            assert wong_lam.q_min(100, p) == 1.0
+            assert wong_lam.q_i(7, p) == 1.0
+
+    def test_profile(self):
+        assert wong_lam.q_profile(5, 0.9) == [1.0] * 5
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wong_lam.q_min(0, 0.1)
+        with pytest.raises(AnalysisError):
+            wong_lam.q_min(10, 1.5)
+        with pytest.raises(AnalysisError):
+            wong_lam.q_i(0, 0.1)
+
+
+class TestOverhead:
+    def test_log_depth(self):
+        assert wong_lam.overhead_bytes_per_packet(64, 128, 16) == 128 + 6 * 16
+        assert wong_lam.overhead_bytes_per_packet(65, 128, 16) == 128 + 7 * 16
+
+    def test_single_packet(self):
+        assert wong_lam.overhead_bytes_per_packet(1, 128, 16) == 128
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wong_lam.overhead_bytes_per_packet(0, 128, 16)

@@ -1,0 +1,106 @@
+"""Unit tests for the Eq. 1 topology bounds."""
+
+import pytest
+
+from repro.core.bounds import (
+    lambda_bounds,
+    lambda_bounds_from_sizes,
+    loss_event_probability,
+)
+from repro.core.graph import DependenceGraph
+from repro.core.paths import exact_lambda
+from repro.exceptions import AnalysisError
+
+
+class TestLossEventProbability:
+    def test_empty_set_never_loses(self):
+        assert loss_event_probability(0, 0.3) == 0.0
+
+    def test_single_packet(self):
+        assert loss_event_probability(1, 0.3) == pytest.approx(0.3)
+
+    def test_growth_with_size(self):
+        values = [loss_event_probability(k, 0.2) for k in range(6)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            loss_event_probability(-1, 0.3)
+        with pytest.raises(AnalysisError):
+            loss_event_probability(2, 1.5)
+
+
+class TestBoundsFromSizes:
+    def test_single_path(self):
+        p = 0.2
+        bounds = lambda_bounds_from_sizes([3], p)
+        # One path: both bounds coincide at (1-p)^3.
+        assert bounds.lower == pytest.approx((1 - p) ** 3)
+        assert bounds.upper == pytest.approx((1 - p) ** 3)
+
+    def test_lower_le_upper(self):
+        bounds = lambda_bounds_from_sizes([1, 2, 5], 0.3)
+        assert bounds.lower <= bounds.upper
+
+    def test_lower_is_shortest_path_survival(self):
+        p = 0.25
+        bounds = lambda_bounds_from_sizes([4, 2, 7], p)
+        assert bounds.lower == pytest.approx((1 - p) ** 2)
+
+    def test_upper_is_disjoint_product(self):
+        p = 0.5
+        bounds = lambda_bounds_from_sizes([1, 1], p)
+        assert bounds.upper == pytest.approx(1 - p ** 2)
+
+    def test_exponent_form_bounds_upper(self):
+        bounds = lambda_bounds_from_sizes([2, 3, 4], 0.3)
+        # The paper's exponent form upper-bounds the true best case.
+        assert bounds.exponent_lower >= bounds.upper - 1e-12
+
+    def test_empty_theta_family(self):
+        bounds = lambda_bounds_from_sizes([], 0.3)
+        assert bounds.lower == 0.0
+        assert bounds.upper == 0.0
+        assert bounds.path_count == 0
+
+    def test_contains(self):
+        bounds = lambda_bounds_from_sizes([2, 3], 0.2)
+        assert bounds.contains(bounds.lower)
+        assert bounds.contains(bounds.upper)
+        assert not bounds.contains(bounds.upper + 0.01)
+
+
+class TestBoundsOnGraphs:
+    def _check_containment(self, graph, target, p):
+        bounds = lambda_bounds(graph, target, p)
+        exact = exact_lambda(graph, target, p)
+        assert bounds.contains(exact, tolerance=1e-9), (
+            f"exact {exact} outside [{bounds.lower}, {bounds.upper}]"
+        )
+
+    @pytest.mark.parametrize("p", [0.05, 0.2, 0.5, 0.8])
+    def test_diamond(self, p):
+        graph = DependenceGraph.from_edges(
+            4, 1, [(1, 2), (1, 3), (2, 4), (3, 4)])
+        self._check_containment(graph, 4, p)
+
+    @pytest.mark.parametrize("p", [0.1, 0.4])
+    def test_shared_prefix(self, p):
+        graph = DependenceGraph.from_edges(
+            5, 1, [(1, 2), (2, 3), (2, 4), (3, 5), (4, 5)])
+        self._check_containment(graph, 5, p)
+
+    def test_disjoint_paths_attain_upper(self):
+        graph = DependenceGraph.from_edges(
+            4, 1, [(1, 2), (1, 3), (2, 4), (3, 4)])
+        p = 0.3
+        bounds = lambda_bounds(graph, 4, p)
+        assert exact_lambda(graph, 4, p) == pytest.approx(bounds.upper)
+
+    def test_nested_paths_attain_lower(self):
+        # Single chain plus a shortcut: paths fully nested.
+        graph = DependenceGraph.from_edges(
+            4, 1, [(1, 2), (2, 3), (3, 4), (2, 4)])
+        p = 0.3
+        bounds = lambda_bounds(graph, 4, p)
+        assert exact_lambda(graph, 4, p) == pytest.approx(bounds.lower)

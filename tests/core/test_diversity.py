@@ -1,0 +1,96 @@
+"""Unit tests for path-diversity analysis (Menger numbers, λ floors)."""
+
+import pytest
+
+from repro.core.diversity import (
+    disjoint_path_count,
+    disjoint_paths,
+    diversity_lambda_floor,
+    diversity_profile,
+)
+from repro.core.graph import DependenceGraph
+from repro.core.paths import exact_lambda
+from repro.exceptions import AnalysisError, GraphError
+from repro.schemes.emss import EmssScheme
+from repro.schemes.rohatgi import RohatgiScheme
+
+
+@pytest.fixture
+def diamond():
+    return DependenceGraph.from_edges(4, 1, [(1, 2), (1, 3), (2, 4), (3, 4)])
+
+
+class TestDisjointPathCount:
+    def test_chain_has_one(self):
+        graph = RohatgiScheme().build_graph(6)
+        assert disjoint_path_count(graph, 6) == 1
+
+    def test_diamond_has_two(self, diamond):
+        assert disjoint_path_count(diamond, 4) == 2
+
+    def test_direct_edge_counts(self, diamond):
+        assert disjoint_path_count(diamond, 2) == 1
+
+    def test_shared_vertex_limits_diversity(self):
+        # Two paths both through vertex 2: Menger number 1.
+        graph = DependenceGraph.from_edges(
+            5, 1, [(1, 2), (2, 3), (2, 4), (3, 5), (4, 5)])
+        assert disjoint_path_count(graph, 5) == 1
+
+    def test_emss_diversity_equals_m(self):
+        for m in (1, 2, 3):
+            graph = EmssScheme(m, 1).build_graph(16)
+            # The farthest-from-root vertex enjoys m disjoint chains.
+            assert disjoint_path_count(graph, 1) == m
+
+    def test_root_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            disjoint_path_count(diamond, 1)
+
+    def test_unreachable_gives_zero(self):
+        graph = DependenceGraph(3, root=1)
+        graph.add_edge(1, 2)
+        assert disjoint_path_count(graph, 3) == 0
+
+
+class TestDisjointPathsFamily:
+    def test_family_is_internally_disjoint(self, diamond):
+        family = disjoint_paths(diamond, 4)
+        interiors = [set(path[1:-1]) for path in family]
+        for i, a in enumerate(interiors):
+            for b in interiors[i + 1:]:
+                assert not (a & b)
+
+    def test_family_paths_are_real(self, diamond):
+        for path in disjoint_paths(diamond, 4):
+            assert path[0] == diamond.root
+            assert path[-1] == 4
+            for u, v in zip(path, path[1:]):
+                assert diamond.has_edge(u, v)
+
+    def test_profile_covers_all_vertices(self, diamond):
+        profile = diversity_profile(diamond)
+        assert set(profile) == {2, 3, 4}
+        assert profile[4] == 2
+
+
+class TestLambdaFloor:
+    def test_floor_below_exact(self, diamond):
+        for p in (0.1, 0.3, 0.6):
+            floor = diversity_lambda_floor(diamond, 4, p)
+            assert floor <= exact_lambda(diamond, 4, p) + 1e-12
+
+    def test_floor_exact_for_purely_disjoint_graph(self, diamond):
+        # The diamond's two paths ARE the whole path family.
+        p = 0.25
+        assert diversity_lambda_floor(diamond, 4, p) == pytest.approx(
+            exact_lambda(diamond, 4, p))
+
+    def test_unreachable_floor_zero(self):
+        graph = DependenceGraph(3, root=1)
+        graph.add_edge(1, 2)
+        assert diversity_lambda_floor(graph, 3, 0.2) == 0.0
+
+    def test_validation(self, diamond):
+        with pytest.raises(AnalysisError):
+            diversity_lambda_floor(diamond, 4, 1.5)

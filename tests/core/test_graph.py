@@ -1,0 +1,146 @@
+"""Unit tests for the DependenceGraph (Definition 1 invariants)."""
+
+import pytest
+
+from repro.core.graph import DependenceGraph
+from repro.exceptions import GraphError
+
+
+@pytest.fixture
+def chain5():
+    graph = DependenceGraph(5, root=1)
+    for i in range(1, 5):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+class TestConstruction:
+    def test_vertices_are_one_based(self):
+        graph = DependenceGraph(4, root=1)
+        assert list(graph.vertices) == [1, 2, 3, 4]
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(GraphError):
+            DependenceGraph(0, root=1)
+
+    def test_rejects_root_out_of_range(self):
+        with pytest.raises(GraphError):
+            DependenceGraph(3, root=4)
+        with pytest.raises(GraphError):
+            DependenceGraph(3, root=0)
+
+    def test_single_vertex_block_is_valid(self):
+        graph = DependenceGraph(1, root=1)
+        graph.validate()
+
+
+class TestEdges:
+    def test_label_is_index_difference(self, chain5):
+        assert chain5.label(2, 3) == -1
+        graph = DependenceGraph(5, root=5)
+        graph.add_edge(5, 2)
+        assert graph.label(5, 2) == 3
+
+    def test_rejects_self_loop(self):
+        graph = DependenceGraph(3, root=1)
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 2)
+
+    def test_rejects_duplicate_edge(self, chain5):
+        with pytest.raises(GraphError):
+            chain5.add_edge(1, 2)
+
+    def test_rejects_edge_into_root(self):
+        graph = DependenceGraph(3, root=1)
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 1)
+
+    def test_rejects_out_of_range_vertex(self):
+        graph = DependenceGraph(3, root=1)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 4)
+
+    def test_degree_accessors(self, chain5):
+        assert chain5.out_degree(1) == 1
+        assert chain5.in_degree(1) == 0
+        assert chain5.in_degree(3) == 1
+        assert chain5.successors(2) == [3]
+        assert chain5.predecessors(3) == [2]
+
+    def test_edge_count(self, chain5):
+        assert chain5.edge_count == 4
+
+    def test_remove_edge(self, chain5):
+        chain5.remove_edge(4, 5)
+        assert not chain5.has_edge(4, 5)
+        with pytest.raises(GraphError):
+            chain5.remove_edge(4, 5)
+
+    def test_missing_label_lookup(self, chain5):
+        with pytest.raises(GraphError):
+            chain5.label(1, 5)
+
+
+class TestValidation:
+    def test_valid_chain(self, chain5):
+        chain5.validate()
+        assert chain5.is_valid()
+
+    def test_detects_cycle(self):
+        graph = DependenceGraph(4, root=1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 2)  # would-be cycle is legal to add...
+        with pytest.raises(GraphError):
+            graph.validate()  # ...but fails validation
+
+    def test_detects_unreachable(self):
+        graph = DependenceGraph(4, root=1)
+        graph.add_edge(1, 2)
+        # 3 and 4 unreachable
+        assert graph.unreachable_vertices() == {3, 4}
+        with pytest.raises(GraphError):
+            graph.validate()
+
+    def test_topological_order_respects_edges(self, chain5):
+        order = chain5.topological_order()
+        position = {v: i for i, v in enumerate(order)}
+        for i, j in chain5.edges():
+            assert position[i] < position[j]
+
+    def test_topological_order_rejects_cycle(self):
+        graph = DependenceGraph(3, root=1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 2)
+        with pytest.raises(GraphError):
+            graph.topological_order()
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self, chain5):
+        clone = chain5.copy()
+        clone.remove_edge(4, 5)
+        assert chain5.has_edge(4, 5)
+        assert not clone.has_edge(4, 5)
+
+    def test_equality_by_structure(self, chain5):
+        assert chain5 == chain5.copy()
+
+    def test_inequality_on_different_edges(self, chain5):
+        other = chain5.copy()
+        other.remove_edge(4, 5)
+        assert chain5 != other
+
+    def test_from_edges_validates(self):
+        graph = DependenceGraph.from_edges(3, 1, [(1, 2), (2, 3)])
+        assert graph.edge_count == 2
+        with pytest.raises(GraphError):
+            DependenceGraph.from_edges(3, 1, [(1, 2)])  # 3 unreachable
+
+    def test_unhashable(self, chain5):
+        with pytest.raises(TypeError):
+            hash(chain5)
+
+    def test_repr(self, chain5):
+        assert "n=5" in repr(chain5)

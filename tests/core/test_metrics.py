@@ -1,0 +1,118 @@
+"""Unit tests for graph-derived metrics (Eq. 2-4 and buffers)."""
+
+import pytest
+
+from repro.core.graph import DependenceGraph
+from repro.core.metrics import (
+    compute_metrics,
+    deterministic_delays,
+    hash_buffer_size,
+    max_deterministic_delay,
+    mean_hashes_per_packet,
+    message_buffer_size,
+    overhead_bytes_per_packet,
+)
+from repro.exceptions import GraphError
+from repro.schemes.emss import EmssScheme
+from repro.schemes.rohatgi import RohatgiScheme
+
+
+@pytest.fixture
+def rohatgi8():
+    return RohatgiScheme().build_graph(8)
+
+
+@pytest.fixture
+def emss8():
+    return EmssScheme(2, 1).build_graph(8)
+
+
+class TestOverhead:
+    def test_mean_hashes_eq2(self, rohatgi8):
+        assert mean_hashes_per_packet(rohatgi8) == pytest.approx(7 / 8)
+
+    def test_emss_roughly_two_hashes(self, emss8):
+        assert 1.0 < mean_hashes_per_packet(emss8) <= 2.0
+
+    def test_bytes_eq3(self, rohatgi8):
+        d = overhead_bytes_per_packet(rohatgi8, l_sign=128, l_hash=16)
+        assert d == pytest.approx((128 + 16 * 7) / 8)
+
+    def test_sign_copies_multiply(self, rohatgi8):
+        single = overhead_bytes_per_packet(rohatgi8, 128, 16, sign_copies=1)
+        triple = overhead_bytes_per_packet(rohatgi8, 128, 16, sign_copies=3)
+        assert triple == pytest.approx(single + 2 * 128 / 8)
+
+    def test_validation(self, rohatgi8):
+        with pytest.raises(GraphError):
+            overhead_bytes_per_packet(rohatgi8, -1, 16)
+        with pytest.raises(GraphError):
+            overhead_bytes_per_packet(rohatgi8, 128, 16, sign_copies=0)
+
+
+class TestBuffers:
+    def test_rohatgi_paper_example(self, rohatgi8):
+        # "1 hash buffer and no message buffer is needed"
+        assert hash_buffer_size(rohatgi8) == 1
+        assert message_buffer_size(rohatgi8) == 0
+
+    def test_emss_buffers(self, emss8):
+        # Hashes flow toward the signature: message buffering only.
+        assert message_buffer_size(emss8) > 0
+        assert hash_buffer_size(emss8) == 0
+
+    def test_empty_graph(self):
+        graph = DependenceGraph(1, root=1)
+        assert message_buffer_size(graph) == 0
+        assert hash_buffer_size(graph) == 0
+
+    def test_mixed_direction(self):
+        graph = DependenceGraph.from_edges(
+            5, 3, [(3, 1), (3, 5), (1, 4), (5, 2)])
+        # (5,2): label 3 -> message buffer 3; (1,4): label -3 -> hash buffer 3
+        assert message_buffer_size(graph) == 3
+        assert hash_buffer_size(graph) == 3
+
+
+class TestDelay:
+    def test_rohatgi_zero_delay(self, rohatgi8):
+        delays = deterministic_delays(rohatgi8)
+        assert all(d == 0 for d in delays.values())
+
+    def test_emss_eq4(self, emss8):
+        # Signature last: t_d(P_i) = (n - i) slots.
+        delays = deterministic_delays(emss8)
+        n = emss8.n
+        for vertex, delay in delays.items():
+            assert delay == n - vertex
+        assert max_deterministic_delay(emss8) == n - 1
+
+    def test_partial_delay_structure(self):
+        # root=1, chain to 3, but 4 depends on 5 (sent later).
+        graph = DependenceGraph.from_edges(
+            5, 1, [(1, 2), (2, 3), (1, 5), (5, 4)])
+        delays = deterministic_delays(graph)
+        assert delays[2] == 0
+        assert delays[4] == 1  # waits for packet 5
+        assert delays[5] == 0
+
+    def test_unreachable_raises(self):
+        graph = DependenceGraph(3, root=1)
+        graph.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            deterministic_delays(graph)
+
+
+class TestComputeMetrics:
+    def test_bundle_consistency(self, emss8):
+        metrics = compute_metrics(emss8, l_sign=100, l_hash=10)
+        assert metrics.n == 8
+        assert metrics.edge_count == emss8.edge_count
+        assert metrics.mean_hashes == pytest.approx(
+            mean_hashes_per_packet(emss8))
+        assert metrics.delay_slots == max_deterministic_delay(emss8)
+
+    def test_as_row_keys(self, emss8):
+        row = compute_metrics(emss8).as_row()
+        assert {"n", "edges", "hashes/pkt", "bytes/pkt",
+                "msg buffer", "hash buffer", "delay (slots)"} <= set(row)

@@ -1,0 +1,127 @@
+"""Unit tests for Θ-set enumeration and exact λ (Definition 2)."""
+
+import pytest
+
+from repro.core.graph import DependenceGraph
+from repro.core.paths import (
+    all_depths,
+    exact_lambda,
+    path_count,
+    shortest_depth,
+    theta_sets,
+)
+from repro.exceptions import GraphError
+
+
+@pytest.fixture
+def diamond():
+    # 1 -> {2, 3} -> 4 : two disjoint interior paths.
+    return DependenceGraph.from_edges(4, 1, [(1, 2), (1, 3), (2, 4), (3, 4)])
+
+
+@pytest.fixture
+def chain():
+    return DependenceGraph.from_edges(4, 1, [(1, 2), (2, 3), (3, 4)])
+
+
+class TestThetaSets:
+    def test_diamond_interiors(self, diamond):
+        thetas = theta_sets(diamond, 4)
+        assert sorted(thetas) == [frozenset({2}), frozenset({3})]
+
+    def test_chain_single_path(self, chain):
+        assert theta_sets(chain, 4) == [frozenset({2, 3})]
+
+    def test_root_theta_is_empty(self, diamond):
+        assert theta_sets(diamond, 1) == [frozenset()]
+
+    def test_direct_edge_empty_interior(self, diamond):
+        assert theta_sets(diamond, 2) == [frozenset()]
+
+    def test_limit_caps_enumeration(self, diamond):
+        assert len(theta_sets(diamond, 4, limit=1)) == 1
+
+
+class TestPathCount:
+    def test_diamond(self, diamond):
+        assert path_count(diamond, 4) == 2
+
+    def test_chain(self, chain):
+        assert path_count(chain, 4) == 1
+
+    def test_root(self, diamond):
+        assert path_count(diamond, 1) == 1
+
+    def test_fibonacci_structure(self):
+        # Offsets {1,2} toward the root give Fibonacci path counts.
+        n = 10
+        graph = DependenceGraph(n, root=1)
+        for j in range(2, n + 1):
+            graph.add_edge(j - 1, j)
+            if j >= 3:
+                graph.add_edge(j - 2, j)
+        counts = [path_count(graph, v) for v in range(1, n + 1)]
+        fib = [1, 1]
+        while len(fib) < n:
+            fib.append(fib[-1] + fib[-2])
+        assert counts == fib
+
+
+class TestDepths:
+    def test_shortest_depth(self, diamond, chain):
+        assert shortest_depth(diamond, 4) == 1
+        assert shortest_depth(chain, 4) == 2
+        assert shortest_depth(chain, 2) == 0
+
+    def test_all_depths(self, chain):
+        assert all_depths(chain) == {1: 0, 2: 0, 3: 1, 4: 2}
+
+    def test_unreachable_raises(self):
+        graph = DependenceGraph(3, root=1)
+        graph.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            shortest_depth(graph, 3)
+
+
+class TestExactLambda:
+    def test_chain_closed_form(self, chain):
+        p = 0.2
+        assert exact_lambda(chain, 4, p) == pytest.approx((1 - p) ** 2)
+
+    def test_diamond_closed_form(self, diamond):
+        p = 0.3
+        # Two disjoint single-vertex interiors: 1 - p^2.
+        assert exact_lambda(diamond, 4, p) == pytest.approx(1 - p ** 2)
+
+    def test_root_always_one(self, diamond):
+        assert exact_lambda(diamond, 1, 0.5) == 1.0
+
+    def test_no_loss_gives_one(self, chain):
+        assert exact_lambda(chain, 4, 0.0) == 1.0
+
+    def test_certain_loss_gives_zero_beyond_direct(self, chain):
+        assert exact_lambda(chain, 4, 1.0) == 0.0
+        assert exact_lambda(chain, 2, 1.0) == 1.0  # direct edge
+
+    def test_shared_vertex_correlation(self):
+        # 1->2, 2->3, 2->4, 3->5, 4->5: both paths to 5 share vertex 2.
+        graph = DependenceGraph.from_edges(
+            5, 1, [(1, 2), (2, 3), (2, 4), (3, 5), (4, 5)])
+        p = 0.3
+        survive = 1 - p
+        # lambda = P(2 alive) * (1 - P(3 dead)P(4 dead))
+        expected = survive * (1 - (1 - survive) ** 2)
+        assert exact_lambda(graph, 5, p) == pytest.approx(expected)
+
+    def test_invalid_p(self, chain):
+        with pytest.raises(GraphError):
+            exact_lambda(chain, 4, 1.5)
+
+    def test_path_limit_guard(self):
+        graph = DependenceGraph(12, root=1)
+        for j in range(2, 13):
+            graph.add_edge(j - 1, j)
+            if j >= 3:
+                graph.add_edge(j - 2, j)
+        with pytest.raises(GraphError):
+            exact_lambda(graph, 12, 0.1, limit=4)

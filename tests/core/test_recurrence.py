@@ -1,0 +1,127 @@
+"""Unit tests for the generic Eq. 9 recurrence solver."""
+
+import pytest
+
+from repro.core.recurrence import (
+    RecurrenceResult,
+    q_min_from_profile,
+    solve_recurrence,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestEquationEight:
+    """The E_{2,1} instance, Eq. 8, against hand computation."""
+
+    def test_boundary_conditions(self):
+        # The paper's Eq. 8 i.c.: q_1 = q_2 = q_3 = 1.
+        result = solve_recurrence(6, [1, 2], 0.2)
+        assert result.q[0] == 1.0
+        assert result.q[1] == 1.0
+        assert result.q[2] == 1.0
+
+    def test_first_recursive_step(self):
+        p = 0.2
+        result = solve_recurrence(6, [1, 2], p)
+        # q_4 = 1 - (1-(1-p)q_3)(1-(1-p)q_2) with q_2 = q_3 = 1.
+        assert result.q[3] == pytest.approx(1 - p ** 2)
+
+    def test_second_recursive_step(self):
+        p = 0.2
+        result = solve_recurrence(6, [1, 2], p)
+        q4 = 1 - p ** 2
+        expected = 1 - (1 - (1 - p) * q4) * (1 - (1 - p))
+        assert result.q[4] == pytest.approx(expected)
+
+    def test_monotone_decreasing(self):
+        result = solve_recurrence(50, [1, 2], 0.3)
+        for earlier, later in zip(result.q, result.q[1:]):
+            assert later <= earlier + 1e-12
+
+    def test_fixed_point_floor(self):
+        # q_inf = 1 - (p/(1-p))^2 for p < 1/2.
+        p = 0.2
+        result = solve_recurrence(500, [1, 2], p)
+        floor = 1 - (p / (1 - p)) ** 2
+        assert result.q_min == pytest.approx(floor, abs=1e-6)
+        assert result.q_min >= floor - 1e-12
+
+
+class TestGeneralOffsets:
+    def test_single_offset_is_rohatgi_like(self):
+        p = 0.25
+        result = solve_recurrence(10, [1], p)
+        # Pure chain: q_i = (1-p)^(i-2) for i >= 2 in this indexing.
+        for i in range(2, 11):
+            assert result.q[i - 1] == pytest.approx((1 - p) ** (i - 2))
+
+    def test_larger_offset_sets_dominate(self):
+        p = 0.3
+        small = solve_recurrence(100, [1, 2], p).q
+        large = solve_recurrence(100, [1, 2, 3], p).q
+        assert all(b >= a - 1e-12 for a, b in zip(small, large))
+
+    def test_extremes_of_p(self):
+        assert solve_recurrence(20, [1, 2], 0.0).q_min == pytest.approx(1.0)
+        result = solve_recurrence(20, [1, 2], 1.0)
+        assert result.q_min == pytest.approx(0.0)
+
+    def test_boundary_extent_scales_with_max_offset(self):
+        # i <= max(A) is the stated boundary, and i = max(A)+1 clamps
+        # its longest branch to the root — so 1.0 through index 7.
+        result = solve_recurrence(20, [3, 6], 0.4)
+        assert all(q == 1.0 for q in result.q[:7])
+        assert result.q[7] < 1.0
+
+    def test_negative_offsets_converge(self):
+        # A packet also stores its hash one slot away from the root.
+        result = solve_recurrence(30, [1, 2, -1], 0.3)
+        baseline = solve_recurrence(30, [1, 2], 0.3)
+        assert result.iterations > 1
+        assert result.q_min >= baseline.q_min - 1e-12
+
+    def test_duplicate_offsets_collapse(self):
+        a = solve_recurrence(20, [1, 2, 2], 0.3).q
+        b = solve_recurrence(20, [1, 2], 0.3).q
+        assert a == b
+
+
+class TestValidation:
+    def test_empty_offsets(self):
+        with pytest.raises(AnalysisError):
+            solve_recurrence(10, [], 0.1)
+
+    def test_zero_offset(self):
+        with pytest.raises(AnalysisError):
+            solve_recurrence(10, [0, 1], 0.1)
+
+    def test_all_negative(self):
+        with pytest.raises(AnalysisError):
+            solve_recurrence(10, [-1, -2], 0.1)
+
+    def test_bad_p(self):
+        with pytest.raises(AnalysisError):
+            solve_recurrence(10, [1], 1.5)
+
+    def test_bad_n(self):
+        with pytest.raises(AnalysisError):
+            solve_recurrence(0, [1], 0.1)
+
+
+class TestHelpers:
+    def test_q_min_from_profile(self):
+        assert q_min_from_profile([1.0, 0.5, 0.9]) == 0.5
+
+    def test_q_min_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            q_min_from_profile([])
+
+    def test_q_min_rejects_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            q_min_from_profile([0.5, 1.2])
+
+    def test_result_properties(self):
+        result = solve_recurrence(5, [1], 0.1)
+        assert isinstance(result, RecurrenceResult)
+        assert result.n == 5
+        assert result.q_min == min(result.q)

@@ -1,0 +1,62 @@
+"""Unit tests for graph rendering (Fig. 1 / Fig. 2 support)."""
+
+from repro.core.render import edge_signature, tesla_to_dot, to_ascii, to_dot
+from repro.core.tesla_graph import TeslaDependenceGraph
+from repro.schemes.emss import EmssScheme
+from repro.schemes.rohatgi import RohatgiScheme
+
+
+class TestDot:
+    def test_contains_all_edges(self):
+        graph = RohatgiScheme().build_graph(4)
+        dot = to_dot(graph)
+        assert "P1 -> P2" in dot
+        assert "P3 -> P4" in dot
+
+    def test_root_is_double_circle(self):
+        dot = to_dot(RohatgiScheme().build_graph(3))
+        assert "P1 [shape=doublecircle" in dot
+
+    def test_labels_present(self):
+        graph = EmssScheme(2, 1).build_graph(5)
+        dot = to_dot(graph)
+        assert 'label="1"' in dot or 'label="2"' in dot
+
+    def test_valid_digraph_syntax(self):
+        dot = to_dot(RohatgiScheme().build_graph(3), name="test_graph")
+        assert dot.startswith("digraph test_graph {")
+        assert dot.endswith("}")
+
+
+class TestAscii:
+    def test_one_line_per_vertex(self):
+        graph = RohatgiScheme().build_graph(5)
+        lines = to_ascii(graph).splitlines()
+        assert len(lines) == 5
+
+    def test_root_marked(self):
+        text = to_ascii(RohatgiScheme().build_graph(3))
+        assert "P1*" in text
+
+    def test_leaf_marked(self):
+        text = to_ascii(RohatgiScheme().build_graph(3))
+        assert "(leaf)" in text
+
+
+class TestTeslaDot:
+    def test_renders_both_vertex_kinds(self):
+        dot = tesla_to_dot(TeslaDependenceGraph(3, 1))
+        assert "bootstrap" in dot
+        assert "P1" in dot
+        assert "K(1,1)" in dot
+
+
+class TestEdgeSignature:
+    def test_rohatgi_signature(self):
+        assert edge_signature(RohatgiScheme().build_graph(4)) == [-1, -1, -1]
+
+    def test_emss_signature_labels(self):
+        labels = set(edge_signature(EmssScheme(2, 1).build_graph(10)))
+        # Carriers sit 1 and 2 after their targets (plus root clamps).
+        assert 1 in labels
+        assert 2 in labels

@@ -1,0 +1,84 @@
+"""Unit tests for dependence-graph persistence."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.graph import DependenceGraph
+from repro.core.serialize import (
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from repro.exceptions import GraphError
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.emss import EmssScheme
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("graph", [
+        EmssScheme(2, 1).build_graph(20),
+        AugmentedChainScheme(3, 3).build_graph(33),
+        DependenceGraph.from_edges(4, 1, [(1, 2), (1, 3), (2, 4), (3, 4)]),
+    ])
+    def test_identity(self, graph):
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+    def test_canonical_output(self):
+        a = DependenceGraph(4, root=1)
+        a.add_edges([(1, 2), (2, 3), (3, 4)])
+        b = DependenceGraph(4, root=1)
+        b.add_edges([(3, 4), (1, 2), (2, 3)])  # insertion order differs
+        assert graph_to_json(a) == graph_to_json(b)
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = EmssScheme(2, 1).build_graph(12)
+        path = str(tmp_path / "graph.json")
+        save_graph(graph, path)
+        assert load_graph(path) == graph
+
+    def test_stream_roundtrip(self):
+        graph = EmssScheme(3, 2).build_graph(15)
+        buffer = io.StringIO()
+        save_graph(graph, buffer)
+        buffer.seek(0)
+        assert load_graph(buffer) == graph
+
+    def test_designed_graph_survives(self):
+        from repro.design.disjoint import disjoint_paths_design
+
+        graph = disjoint_paths_design(30, 2)
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+
+class TestValidationOnBoundaries:
+    def test_invalid_graph_refuses_to_serialize(self):
+        graph = DependenceGraph(3, root=1)
+        graph.add_edge(1, 2)  # vertex 3 unreachable
+        with pytest.raises(GraphError):
+            graph_to_json(graph)
+
+    def test_malformed_json(self):
+        with pytest.raises(GraphError):
+            graph_from_json("not json at all{")
+
+    def test_non_object_payload(self):
+        with pytest.raises(GraphError):
+            graph_from_json("[1, 2, 3]")
+
+    def test_wrong_version(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"format": 9, "n": 2, "root": 1, "edges": []}')
+
+    def test_missing_fields(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"format": 1, "n": 2}')
+
+    def test_invalid_payload_graph_rejected(self):
+        # Edges describing a cycle must fail Definition 1 on load.
+        payload = {"format": 1, "n": 3, "root": 1,
+                   "edges": [[1, 2], [2, 3], [3, 2]]}
+        with pytest.raises(GraphError):
+            graph_from_json(json.dumps(payload))

@@ -1,0 +1,78 @@
+"""Unit tests for the extended TESLA dependence-graph (Sec. 3.2)."""
+
+import pytest
+
+from repro.core.tesla_graph import (
+    BOOTSTRAP,
+    KeyVertex,
+    MessageVertex,
+    TeslaDependenceGraph,
+)
+from repro.exceptions import GraphError
+
+
+@pytest.fixture
+def graph():
+    return TeslaDependenceGraph(5, lag=2)
+
+
+class TestStructure:
+    def test_vertex_count(self, graph):
+        # n messages + n keys + bootstrap.
+        assert graph.vertex_count == 2 * 5 + 1
+
+    def test_edge_count(self, graph):
+        # n bootstrap->key edges plus sum_{j} j key->message edges.
+        assert graph.edge_count == 5 + sum(range(1, 6))
+
+    def test_validates(self, graph):
+        graph.validate()
+
+    def test_authenticating_keys(self, graph):
+        keys = graph.authenticating_keys(3)
+        assert [k.index for k in keys] == [3, 4, 5]
+
+    def test_authenticating_keys_bounds(self, graph):
+        with pytest.raises(GraphError):
+            graph.authenticating_keys(0)
+        with pytest.raises(GraphError):
+            graph.authenticating_keys(6)
+
+    def test_carrier_packet(self, graph):
+        key = KeyVertex(3, 2)
+        assert graph.carrier_packet(key) == 5
+        # Final keys ride in post-stream flush packets.
+        assert graph.carrier_packet(KeyVertex(5, 2)) == 7
+
+    def test_root_is_bootstrap(self, graph):
+        assert graph.root == BOOTSTRAP
+
+    def test_every_key_attached_to_bootstrap(self, graph):
+        edges = set(graph.edges())
+        for key in graph.key_vertices():
+            assert (BOOTSTRAP, key) in edges
+
+    def test_later_keys_cover_earlier_messages(self, graph):
+        edges = set(graph.edges())
+        for key in graph.key_vertices():
+            for message in graph.message_vertices():
+                expected = message.index <= key.index
+                assert ((key, message) in edges) == expected
+
+
+class TestValidation:
+    def test_rejects_bad_n(self):
+        with pytest.raises(GraphError):
+            TeslaDependenceGraph(0)
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(GraphError):
+            TeslaDependenceGraph(5, lag=0)
+
+    def test_vertex_str(self):
+        assert str(MessageVertex(3)) == "P3"
+        assert str(KeyVertex(3, 2)) == "K(3,2)"
+
+    def test_repr(self, graph):
+        assert "n=5" in repr(graph)
+        assert "lag=2" in repr(graph)

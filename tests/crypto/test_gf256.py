@@ -1,0 +1,80 @@
+"""Unit tests for GF(2^8) arithmetic."""
+
+import pytest
+
+from repro.crypto.gf256 import EXP, LOG, gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from repro.exceptions import CryptoError
+
+
+class TestFieldAxioms:
+    def test_aes_test_vector(self):
+        # Classic AES example: 0x57 * 0x83 = 0xC1.
+        assert gf_mul(0x57, 0x83) == 0xC1
+
+    def test_multiplicative_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(0, 256, 17):
+            assert gf_mul(a, 0) == 0
+
+    def test_every_nonzero_invertible(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_commutativity_sample(self):
+        for a in range(1, 256, 7):
+            for b in range(1, 256, 11):
+                assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_distributivity_sample(self):
+        for a in range(1, 256, 31):
+            for b in range(1, 256, 29):
+                for c in range(1, 256, 37):
+                    left = gf_mul(a, gf_add(b, c))
+                    right = gf_add(gf_mul(a, b), gf_mul(a, c))
+                    assert left == right
+
+    def test_addition_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+        for a in range(0, 256, 13):
+            assert gf_add(a, a) == 0  # characteristic 2
+
+
+class TestTables:
+    def test_log_exp_inverse(self):
+        for a in range(1, 256):
+            assert EXP[LOG[a]] == a
+
+    def test_exp_periodic(self):
+        for i in range(255):
+            assert EXP[i] == EXP[i + 255]
+
+    def test_generator_order(self):
+        # 0x03 generates the full multiplicative group.
+        assert sorted(EXP[:255]) == list(range(1, 256))
+
+
+class TestDivPow:
+    def test_division_inverts_multiplication(self):
+        for a in range(1, 256, 5):
+            for b in range(1, 256, 23):
+                assert gf_div(gf_mul(a, b), b) == a
+
+    def test_zero_division_raises(self):
+        with pytest.raises(CryptoError):
+            gf_div(5, 0)
+        with pytest.raises(CryptoError):
+            gf_inv(0)
+
+    def test_zero_numerator(self):
+        assert gf_div(0, 7) == 0
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(2, 8) == gf_mul(gf_pow(2, 4), gf_pow(2, 4))
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(CryptoError):
+            gf_pow(2, -1)

@@ -1,0 +1,85 @@
+"""Unit tests for TESLA one-way key chains."""
+
+import pytest
+
+from repro.crypto.keychain import KeyChain, KeyChainCommitment
+from repro.exceptions import CryptoError
+
+
+@pytest.fixture
+def chain():
+    return KeyChain(16, seed=b"\x07" * 16)
+
+
+class TestKeyChain:
+    def test_deterministic_from_seed(self):
+        a = KeyChain(8, seed=b"s" * 16)
+        b = KeyChain(8, seed=b"s" * 16)
+        assert [a.key(i) for i in range(9)] == [b.key(i) for i in range(9)]
+
+    def test_chain_relation(self, chain):
+        # K_{i-1} = F(K_i) for every i.
+        for i in range(1, chain.length + 1):
+            assert KeyChain.walk_back(chain.key(i), 1) == chain.key(i - 1)
+
+    def test_walk_back_many(self, chain):
+        assert KeyChain.walk_back(chain.key(10), 10) == chain.commitment
+
+    def test_commitment_is_key_zero(self, chain):
+        assert chain.commitment == chain.key(0)
+
+    def test_mac_keys_differ_from_chain_keys(self, chain):
+        for i in range(1, chain.length + 1):
+            assert chain.mac_key(i) != chain.key(i)
+
+    def test_mac_key_derivation_matches_receiver_side(self, chain):
+        assert chain.mac_key(5) == KeyChain.derive_mac_key(chain.key(5))
+
+    def test_keys_all_distinct(self, chain):
+        keys = [chain.key(i) for i in range(chain.length + 1)]
+        assert len(set(keys)) == len(keys)
+
+    def test_index_bounds(self, chain):
+        with pytest.raises(CryptoError):
+            chain.key(-1)
+        with pytest.raises(CryptoError):
+            chain.key(chain.length + 1)
+        with pytest.raises(CryptoError):
+            chain.mac_key(0)
+
+    def test_length_validation(self):
+        with pytest.raises(CryptoError):
+            KeyChain(0)
+
+
+class TestCommitmentAnchor:
+    def test_accepts_genuine_later_key(self, chain):
+        anchor = KeyChainCommitment(0, chain.commitment)
+        assert anchor.authenticate(5, chain.key(5))
+        assert anchor.index == 5
+
+    def test_ratchets_forward(self, chain):
+        anchor = KeyChainCommitment(0, chain.commitment)
+        anchor.authenticate(3, chain.key(3))
+        assert anchor.authenticate(9, chain.key(9))
+        assert anchor.index == 9
+
+    def test_accepts_earlier_key_without_ratchet(self, chain):
+        anchor = KeyChainCommitment(0, chain.commitment)
+        anchor.authenticate(8, chain.key(8))
+        assert anchor.authenticate(4, chain.key(4))
+        assert anchor.index == 8  # no backwards ratchet
+
+    def test_rejects_forged_key(self, chain):
+        anchor = KeyChainCommitment(0, chain.commitment)
+        assert not anchor.authenticate(5, b"\x00" * 16)
+        assert anchor.index == 0  # state unchanged on failure
+
+    def test_rejects_key_at_wrong_index(self, chain):
+        anchor = KeyChainCommitment(0, chain.commitment)
+        assert not anchor.authenticate(6, chain.key(5))
+
+    def test_rejects_earlier_forgery(self, chain):
+        anchor = KeyChainCommitment(0, chain.commitment)
+        anchor.authenticate(8, chain.key(8))
+        assert not anchor.authenticate(4, chain.key(5))

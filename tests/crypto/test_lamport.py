@@ -1,0 +1,60 @@
+"""Unit tests for Lamport one-time signatures."""
+
+import pytest
+
+from repro.crypto.lamport import LamportKeyPair
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return LamportKeyPair.generate(seed=b"fixed-test-seed")
+
+
+class TestGeneration:
+    def test_key_shape(self, keypair):
+        assert len(keypair.private_values) == 256
+        assert len(keypair.public_values) == 256
+        assert all(len(pair) == 2 for pair in keypair.private_values)
+
+    def test_deterministic_from_seed(self):
+        a = LamportKeyPair.generate(seed=b"s")
+        b = LamportKeyPair.generate(seed=b"s")
+        assert a.public_values == b.public_values
+
+    def test_distinct_without_seed(self):
+        assert (LamportKeyPair.generate().public_values
+                != LamportKeyPair.generate().public_values)
+
+    def test_signature_size(self, keypair):
+        assert keypair.signature_size == 256 * 32
+
+    def test_fingerprint_stable(self, keypair):
+        assert keypair.public_fingerprint() == keypair.public_fingerprint()
+        assert len(keypair.public_fingerprint()) == 32
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        signature = keypair.sign(b"message")
+        assert keypair.verify(b"message", signature)
+
+    def test_signature_has_declared_size(self, keypair):
+        assert len(keypair.sign(b"m")) == keypair.signature_size
+
+    def test_rejects_other_message(self, keypair):
+        signature = keypair.sign(b"message")
+        assert not keypair.verify(b"other message", signature)
+
+    def test_rejects_tampered_value(self, keypair):
+        signature = bytearray(keypair.sign(b"message"))
+        signature[0] ^= 1
+        assert not keypair.verify(b"message", bytes(signature))
+
+    def test_rejects_wrong_size(self, keypair):
+        signature = keypair.sign(b"message")
+        assert not keypair.verify(b"message", signature[:-1])
+
+    def test_rejects_cross_key(self, keypair):
+        other = LamportKeyPair.generate(seed=b"different")
+        signature = other.sign(b"message")
+        assert not keypair.verify(b"message", signature)

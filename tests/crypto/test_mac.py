@@ -1,0 +1,93 @@
+"""Unit tests for MACs and PRFs."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.crypto.mac import Mac, Prf, constant_time_equal, hmac_sha256, random_key
+from repro.exceptions import CryptoError
+
+
+class TestMac:
+    def test_tag_matches_stdlib_hmac(self):
+        key, message = b"k" * 16, b"the message"
+        expected = std_hmac.new(key, message, hashlib.sha256).digest()
+        assert hmac_sha256.tag(key, message) == expected
+
+    def test_verify_roundtrip(self):
+        key = random_key()
+        tag = hmac_sha256.tag(key, b"data")
+        assert hmac_sha256.verify(key, b"data", tag)
+
+    def test_verify_rejects_wrong_message(self):
+        key = random_key()
+        tag = hmac_sha256.tag(key, b"data")
+        assert not hmac_sha256.verify(key, b"data2", tag)
+
+    def test_verify_rejects_wrong_key(self):
+        tag = hmac_sha256.tag(b"key-one", b"data")
+        assert not hmac_sha256.verify(b"key-two", b"data", tag)
+
+    def test_verify_rejects_wrong_length_tag(self):
+        key = random_key()
+        tag = hmac_sha256.tag(key, b"data")
+        assert not hmac_sha256.verify(key, b"data", tag[:-1])
+
+    def test_truncated_mac(self):
+        short = Mac(sha256.truncated(10))
+        key = random_key()
+        tag = short.tag(key, b"data")
+        assert len(tag) == 10
+        assert short.verify(key, b"data", tag)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            hmac_sha256.tag(b"", b"data")
+
+
+class TestPrf:
+    def test_deterministic(self):
+        prf = Prf(label=b"test")
+        assert prf.apply(b"key") == prf.apply(b"key")
+
+    def test_labels_domain_separate(self):
+        assert Prf(b"a").apply(b"key") != Prf(b"b").apply(b"key")
+
+    def test_output_size(self):
+        assert len(Prf(b"x", output_size=16).apply(b"key")) == 16
+        assert len(Prf(b"x", output_size=32).apply(b"key")) == 32
+
+    def test_iterate_composes(self):
+        prf = Prf(b"chain")
+        once = prf.apply(b"seed")
+        assert prf.iterate(b"seed", 2) == prf.apply(once)
+
+    def test_iterate_zero_is_identity(self):
+        prf = Prf(b"chain")
+        assert prf.iterate(b"seed", 0) == b"seed"
+
+    def test_iterate_negative_rejected(self):
+        with pytest.raises(CryptoError):
+            Prf(b"chain").iterate(b"seed", -1)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            Prf(b"chain").apply(b"")
+
+
+class TestHelpers:
+    def test_random_key_length(self):
+        assert len(random_key(24)) == 24
+
+    def test_random_key_distinct(self):
+        assert random_key() != random_key()
+
+    def test_random_key_size_validation(self):
+        with pytest.raises(CryptoError):
+            random_key(0)
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+        assert not constant_time_equal(b"abc", b"abd")

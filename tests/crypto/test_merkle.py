@@ -1,0 +1,102 @@
+"""Unit tests for Merkle trees (the Wong-Lam substrate)."""
+
+import math
+
+import pytest
+
+from repro.crypto.hashing import sha256, truncated
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.exceptions import CryptoError
+
+
+def _leaves(count):
+    return [b"leaf-%d" % i for i in range(count)]
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = MerkleTree(_leaves(1))
+        assert tree.leaf_count == 1
+        assert tree.height == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(CryptoError):
+            MerkleTree([])
+
+    @pytest.mark.parametrize("count", [2, 3, 5, 8, 13, 16, 33])
+    def test_height_is_log2(self, count):
+        tree = MerkleTree(_leaves(count))
+        assert tree.height == math.ceil(math.log2(count))
+
+    def test_root_changes_with_any_leaf(self):
+        base = MerkleTree(_leaves(8)).root
+        for i in range(8):
+            leaves = _leaves(8)
+            leaves[i] = b"tampered"
+            assert MerkleTree(leaves).root != base
+
+    def test_root_depends_on_leaf_order(self):
+        leaves = _leaves(4)
+        swapped = [leaves[1], leaves[0]] + leaves[2:]
+        assert MerkleTree(leaves).root != MerkleTree(swapped).root
+
+    def test_leaf_node_domain_separation(self):
+        # A single leaf equal to an interior encoding must not produce
+        # the same root as the two-leaf tree it imitates.
+        two = MerkleTree([b"a", b"b"])
+        h = sha256
+        fake_leaf = b"\x01" + h.digest(b"\x00a") + h.digest(b"\x00b")
+        assert MerkleTree([fake_leaf]).root != two.root
+
+
+class TestProofs:
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 8, 9, 20])
+    def test_every_leaf_proves(self, count):
+        leaves = _leaves(count)
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert tree.verify(leaf, proof, tree.root)
+
+    def test_static_verification(self):
+        leaves = _leaves(6)
+        tree = MerkleTree(leaves)
+        proof = tree.proof(3)
+        assert MerkleTree.verify_static(leaves[3], proof, tree.root)
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.proof(2)
+        assert not tree.verify(b"not the leaf", proof, tree.root)
+
+    def test_wrong_root_rejected(self):
+        leaves = _leaves(8)
+        tree = MerkleTree(leaves)
+        proof = tree.proof(2)
+        assert not tree.verify(leaves[2], proof, b"\x00" * 32)
+
+    def test_proof_for_wrong_position_rejected(self):
+        leaves = _leaves(8)
+        tree = MerkleTree(leaves)
+        assert not tree.verify(leaves[2], tree.proof(5), tree.root)
+
+    def test_out_of_range_proof_request(self):
+        tree = MerkleTree(_leaves(4))
+        with pytest.raises(CryptoError):
+            tree.proof(4)
+        with pytest.raises(CryptoError):
+            tree.proof(-1)
+
+    def test_proof_size(self):
+        tree = MerkleTree(_leaves(16))
+        proof = tree.proof(0)
+        assert len(proof) == 4
+        assert proof.size_bytes == 4 * 32
+
+    def test_truncated_hash_tree(self):
+        short = truncated("sha256", 10)
+        leaves = _leaves(8)
+        tree = MerkleTree(leaves, short)
+        proof = tree.proof(5)
+        assert proof.size_bytes == 3 * 10
+        assert MerkleTree.verify_static(leaves[5], proof, tree.root, short)

@@ -1,0 +1,85 @@
+"""Unit tests for the Signer protocol adapters."""
+
+import pytest
+
+from repro.crypto.signatures import (
+    HmacStubSigner,
+    LamportSigner,
+    RsaSigner,
+    Signer,
+    default_signer,
+)
+from repro.exceptions import CryptoError
+
+
+class TestHmacStubSigner:
+    def test_roundtrip(self):
+        signer = HmacStubSigner(key=b"k")
+        signature = signer.sign(b"m")
+        assert signer.verify(b"m", signature)
+
+    def test_signature_size_padding(self):
+        signer = HmacStubSigner(key=b"k", signature_size=128)
+        assert len(signer.sign(b"m")) == 128
+
+    def test_signature_truncation(self):
+        signer = HmacStubSigner(key=b"k", signature_size=16)
+        assert len(signer.sign(b"m")) == 16
+        assert signer.verify(b"m", signer.sign(b"m"))
+
+    def test_rejects_wrong_message(self):
+        signer = HmacStubSigner(key=b"k")
+        assert not signer.verify(b"other", signer.sign(b"m"))
+
+    def test_rejects_wrong_length(self):
+        signer = HmacStubSigner(key=b"k")
+        assert not signer.verify(b"m", signer.sign(b"m")[:-1])
+
+    def test_key_separation(self):
+        a = HmacStubSigner(key=b"a")
+        b = HmacStubSigner(key=b"b")
+        assert not b.verify(b"m", a.sign(b"m"))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(HmacStubSigner(key=b"k"), Signer)
+
+
+class TestRsaSigner:
+    @pytest.fixture(scope="class")
+    def signer(self):
+        return RsaSigner.generate(512)
+
+    def test_roundtrip(self, signer):
+        assert signer.verify(b"m", signer.sign(b"m"))
+
+    def test_signature_size_matches_modulus(self, signer):
+        assert signer.signature_size == signer.private_key.size_bytes
+
+    def test_satisfies_protocol(self, signer):
+        assert isinstance(signer, Signer)
+
+
+class TestLamportSigner:
+    def test_roundtrip(self):
+        signer = LamportSigner.generate(seed=b"t")
+        signature = signer.sign(b"m")
+        assert signer.verify(b"m", signature)
+
+    def test_one_time_enforcement(self):
+        signer = LamportSigner.generate(seed=b"t")
+        signer.sign(b"first")
+        with pytest.raises(CryptoError):
+            signer.sign(b"second")
+
+    def test_signature_size(self):
+        signer = LamportSigner.generate(seed=b"t")
+        assert signer.signature_size == 256 * 32
+
+
+class TestDefaultSigner:
+    def test_fast_default_is_stub(self):
+        assert default_signer().name == "hmac-stub"
+
+    def test_fast_default_roundtrip(self):
+        signer = default_signer()
+        assert signer.verify(b"m", signer.sign(b"m"))

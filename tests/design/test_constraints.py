@@ -1,0 +1,83 @@
+"""Unit tests for the design-constraint model."""
+
+import pytest
+
+from repro.design.constraints import DesignConstraints
+from repro.exceptions import DesignError
+from repro.schemes.emss import EmssScheme
+from repro.schemes.rohatgi import RohatgiScheme
+
+
+class TestValidation:
+    def test_loss_rate_range(self):
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=1.0, q_min_target=0.9)
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=-0.1, q_min_target=0.9)
+
+    def test_target_range(self):
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=0.1, q_min_target=0.0)
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=0.1, q_min_target=1.1)
+
+    def test_budget_validation(self):
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=0.1, q_min_target=0.9,
+                              max_mean_hashes=0.0)
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=0.1, q_min_target=0.9,
+                              max_delay_slots=-1)
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=0.1, q_min_target=0.9,
+                              max_out_degree=0)
+        with pytest.raises(DesignError):
+            DesignConstraints(loss_rate=0.1, q_min_target=0.9, mc_trials=10)
+
+
+class TestCheck:
+    def _constraints(self, **overrides):
+        base = dict(loss_rate=0.1, q_min_target=0.5, mc_trials=2000,
+                    mc_seed=5)
+        base.update(overrides)
+        return DesignConstraints(**base)
+
+    def test_satisfied_graph(self):
+        graph = EmssScheme(2, 1).build_graph(20)
+        report = self._constraints().check(graph)
+        assert report.satisfied
+        assert report.violation is None
+        assert report.q_min >= 0.5
+
+    def test_q_target_violation(self):
+        graph = RohatgiScheme().build_graph(60)
+        report = self._constraints(q_min_target=0.99).check(graph)
+        assert not report.satisfied
+        assert report.violation == "q_min target missed"
+
+    def test_overhead_violation(self):
+        graph = EmssScheme(2, 1).build_graph(20)
+        report = self._constraints(max_mean_hashes=0.5).check(graph)
+        assert not report.satisfied
+        assert report.violation == "overhead budget exceeded"
+
+    def test_delay_violation(self):
+        graph = EmssScheme(2, 1).build_graph(20)
+        report = self._constraints(max_delay_slots=3).check(graph)
+        assert not report.satisfied
+        assert report.violation == "delay budget exceeded"
+
+    def test_out_degree_violation(self):
+        # A star from the root: one vertex carries n-1 hashes.
+        from repro.core.graph import DependenceGraph
+        graph = DependenceGraph(10, root=1)
+        for v in range(2, 11):
+            graph.add_edge(1, v)
+        report = self._constraints(max_out_degree=4).check(graph)
+        assert not report.satisfied
+        assert report.violation == "out-degree cap exceeded"
+
+    def test_evaluate_q_min_matches_target_scale(self):
+        graph = EmssScheme(2, 1).build_graph(30)
+        q = self._constraints().evaluate_q_min(graph)
+        assert 0.5 < q <= 1.0

@@ -1,0 +1,56 @@
+"""Unit tests for the guaranteed-diversity designer."""
+
+import pytest
+
+from repro.core.diversity import disjoint_path_count, diversity_lambda_floor
+from repro.design.disjoint import disjoint_paths_design
+from repro.exceptions import DesignError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_guarantee_holds(self, r):
+        n = 30
+        graph = disjoint_paths_design(n, r)
+        graph.validate()
+        for vertex in (1, n // 2, n - 2):
+            achievable = min(r, n - vertex)
+            assert disjoint_path_count(graph, vertex) >= achievable
+
+    def test_overhead_tracks_r(self):
+        n = 40
+        for r in (1, 2, 3):
+            graph = disjoint_paths_design(n, r)
+            assert graph.edge_count <= r * (n - 1)
+            assert graph.edge_count >= (r - 0.5) * (n - 4)
+
+    def test_custom_strides(self):
+        graph = disjoint_paths_design(30, 2, strides=[1, 4])
+        assert disjoint_path_count(graph, 1) == 2
+
+    def test_lambda_floor_is_usable(self):
+        graph = disjoint_paths_design(30, 3)
+        floor = diversity_lambda_floor(graph, 1, 0.1)
+        assert floor > 0.0
+
+    def test_verify_can_be_disabled(self):
+        graph = disjoint_paths_design(30, 2, verify=False)
+        graph.validate()
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(DesignError):
+            disjoint_paths_design(1, 2)
+        with pytest.raises(DesignError):
+            disjoint_paths_design(30, 0)
+        with pytest.raises(DesignError):
+            disjoint_paths_design(30, 2, strides=[1])
+        with pytest.raises(DesignError):
+            disjoint_paths_design(30, 2, strides=[1, 1])
+        with pytest.raises(DesignError):
+            disjoint_paths_design(30, 2, strides=[0, 1])
+
+    def test_too_many_chains(self):
+        with pytest.raises(DesignError):
+            disjoint_paths_design(300, 20)

@@ -1,0 +1,51 @@
+"""Unit tests for the offset-policy (dynamic programming) search."""
+
+import pytest
+
+from repro.core.recurrence import solve_recurrence
+from repro.design.dp import search_offset_policy
+from repro.exceptions import DesignError
+
+
+class TestSearch:
+    def test_finds_minimal_policy_for_easy_target(self):
+        policy = search_offset_policy(100, 0.1, 0.9, max_offset=8)
+        assert policy.q_min >= 0.9
+        assert policy.edges_per_packet <= 2
+
+    def test_policy_evaluates_correctly(self):
+        policy = search_offset_policy(100, 0.2, 0.9, max_offset=8)
+        recomputed = solve_recurrence(100, list(policy.offsets), 0.2).q_min
+        assert policy.q_min == pytest.approx(recomputed)
+
+    def test_harder_target_needs_more_edges(self):
+        easy = search_offset_policy(200, 0.3, 0.8, max_offset=16)
+        hard = search_offset_policy(200, 0.3, 0.97, max_offset=16)
+        assert hard.edges_per_packet >= easy.edges_per_packet
+
+    def test_stage_minimality(self):
+        # If some single offset meets the target, the search returns
+        # a single-offset policy.
+        policy = search_offset_policy(50, 0.0, 0.99, max_offset=4)
+        assert policy.edges_per_packet == 1
+
+    def test_delay_budget_restricts_offsets(self):
+        policy = search_offset_policy(100, 0.2, 0.9, max_offset=64,
+                                      max_delay_slots=5)
+        assert max(policy.offsets) <= 5
+
+    def test_infeasible_raises(self):
+        with pytest.raises(DesignError):
+            search_offset_policy(200, 0.6, 0.999, max_offset=4, max_edges=2)
+
+    def test_impossible_delay_budget(self):
+        with pytest.raises(DesignError):
+            search_offset_policy(100, 0.2, 0.9, max_delay_slots=0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DesignError):
+            search_offset_policy(100, 1.0, 0.9)
+        with pytest.raises(DesignError):
+            search_offset_policy(100, 0.2, 0.0)
+        with pytest.raises(DesignError):
+            search_offset_policy(100, 0.2, 0.9, beam_width=0)

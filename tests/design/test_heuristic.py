@@ -1,0 +1,52 @@
+"""Unit tests for the greedy graph designer (Sec. 5)."""
+
+import pytest
+
+from repro.design.constraints import DesignConstraints
+from repro.design.heuristic import greedy_design
+from repro.exceptions import DesignError
+
+
+def _constraints(**overrides):
+    base = dict(loss_rate=0.2, q_min_target=0.8, max_out_degree=6,
+                mc_trials=1500, mc_seed=77)
+    base.update(overrides)
+    return DesignConstraints(**base)
+
+
+class TestGreedyDesign:
+    def test_reaches_moderate_target(self):
+        result = greedy_design(40, _constraints(), max_extra_edges=300)
+        assert result.satisfied
+        assert result.q_min >= 0.8
+        result.graph.validate()
+
+    def test_trivial_target_needs_no_extra_edges(self):
+        result = greedy_design(20, _constraints(q_min_target=0.05))
+        assert result.satisfied
+        assert result.added_edges == ()
+
+    def test_respects_out_degree_cap(self):
+        constraints = _constraints(max_out_degree=3)
+        result = greedy_design(30, constraints, max_extra_edges=200)
+        for v in result.graph.vertices:
+            assert result.graph.out_degree(v) <= 3
+
+    def test_budget_exhaustion_reported(self):
+        result = greedy_design(40, _constraints(q_min_target=0.99),
+                               max_extra_edges=2)
+        assert not result.satisfied
+        assert len(result.added_edges) <= 2
+
+    def test_custom_root(self):
+        result = greedy_design(20, _constraints(q_min_target=0.3), root=1)
+        assert result.graph.root == 1
+
+    def test_rejects_tiny_block(self):
+        with pytest.raises(DesignError):
+            greedy_design(1, _constraints())
+
+    def test_overhead_budget_caps_edges(self):
+        constraints = _constraints(q_min_target=0.999, max_mean_hashes=1.5)
+        result = greedy_design(30, constraints)
+        assert result.graph.edge_count <= 45  # 1.5 * 30

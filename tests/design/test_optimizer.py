@@ -1,0 +1,52 @@
+"""Unit tests for EMSS/AC parameter optimization."""
+
+import pytest
+
+from repro.analysis import augmented_chain as ac_analysis
+from repro.analysis import emss as emss_analysis
+from repro.design.optimizer import optimize_ac, optimize_emss
+from repro.exceptions import DesignError
+
+
+class TestOptimizeEmss:
+    def test_choice_meets_target(self):
+        choice = optimize_emss(200, 0.2, 0.9)
+        m, d = choice.parameters
+        assert emss_analysis.q_min(200, m, d, 0.2) >= 0.9
+        assert choice.q_min >= 0.9
+
+    def test_minimal_cost_selected(self):
+        choice = optimize_emss(200, 0.1, 0.9)
+        # One hash per packet cannot reach 0.9 at p=0.1 over n=200,
+        # but two can (fixed point 0.9877): cost must be exactly 2.
+        assert choice.cost == 2.0
+
+    def test_delay_budget(self):
+        choice = optimize_emss(200, 0.2, 0.9, max_delay_slots=8)
+        m, d = choice.parameters
+        assert m * d <= 8
+
+    def test_infeasible(self):
+        with pytest.raises(DesignError):
+            optimize_emss(200, 0.6, 0.9999, m_values=[1, 2],
+                          d_values=[1])
+
+
+class TestOptimizeAc:
+    def test_choice_meets_target(self):
+        choice = optimize_ac(201, 0.2, 0.9)
+        a, b = choice.parameters
+        assert ac_analysis.q_min(201, a, b, 0.2) >= 0.9
+
+    def test_cost_is_two_hashes(self):
+        choice = optimize_ac(201, 0.1, 0.9)
+        assert choice.cost == 2.0
+
+    def test_delay_budget(self):
+        choice = optimize_ac(201, 0.2, 0.8, max_delay_slots=12)
+        a, b = choice.parameters
+        assert a * (b + 1) <= 12
+
+    def test_infeasible(self):
+        with pytest.raises(DesignError):
+            optimize_ac(201, 0.55, 0.99)

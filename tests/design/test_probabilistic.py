@@ -1,0 +1,35 @@
+"""Unit tests for probabilistic-construction tuning."""
+
+import pytest
+
+from repro.design.probabilistic import tune_edge_probability
+from repro.exceptions import DesignError
+
+
+class TestTuning:
+    def test_meets_target(self):
+        design = tune_edge_probability(40, 0.2, 0.8, trials=1500, seed=13)
+        assert design.q_min >= 0.8
+        assert 0.0 < design.edge_probability <= 1.0
+
+    def test_easier_target_needs_fewer_edges(self):
+        easy = tune_edge_probability(40, 0.2, 0.5, trials=1500, seed=13)
+        hard = tune_edge_probability(40, 0.2, 0.95, trials=1500, seed=13)
+        assert easy.edge_probability <= hard.edge_probability + 1e-9
+
+    def test_span_cap_respected(self):
+        design = tune_edge_probability(40, 0.2, 0.7, trials=1500, seed=13,
+                                       max_span=6)
+        assert design.q_min >= 0.7
+
+    def test_infeasible_raises(self):
+        # With a 1-packet span and brutal loss, even p_x = 1 is a chain.
+        with pytest.raises(DesignError):
+            tune_edge_probability(60, 0.6, 0.999, trials=800, seed=13,
+                                  max_span=1)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            tune_edge_probability(1, 0.2, 0.9)
+        with pytest.raises(DesignError):
+            tune_edge_probability(40, 0.2, 0.0)

@@ -1,0 +1,51 @@
+"""Unit tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert set(out) == set(ALL_EXPERIMENTS)
+
+    def test_run_one(self, capsys):
+        assert main(["fig10", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "rohatgi" in out
+
+    def test_run_several(self, capsys):
+        assert main(["fig3", "fig4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "fig4" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_nothing_to_run(self, capsys):
+        assert main([]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["fig10", "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment_id"] == "fig10"
+        assert any(row["scheme"] == "rohatgi" for row in payload[0]["rows"])
+
+    def test_json_roundtrips_series(self, capsys):
+        import json
+
+        assert main(["fig3", "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        series = payload[0]["series"]
+        assert series
+        for curve in series.values():
+            assert len(curve["x"]) == len(curve["y"])

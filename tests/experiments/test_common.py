@@ -1,0 +1,63 @@
+"""Unit tests for the experiment result infrastructure."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Series, format_table
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", (1, 2), (1.0,))
+
+    def test_extrema(self):
+        series = Series("s", (1, 2, 3), (0.5, 0.1, 0.9))
+        assert series.y_min == 0.1
+        assert series.y_max == 0.9
+
+    def test_as_rows(self):
+        rows = Series("q", (1, 2), (0.5, 0.6)).as_rows()
+        assert rows == [{"x": 1, "q": 0.5}, {"x": 2, "q": 0.6}]
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_columns_in_first_appearance_order(self):
+        text = format_table([{"b": 1, "a": 2}, {"c": 3}])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a") < header.index("c")
+
+    def test_float_rounding(self):
+        text = format_table([{"v": 0.123456789}], float_digits=3)
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert text.count("\n") == 3  # header, divider, two rows
+
+
+class TestExperimentResult:
+    def test_add_series_and_render(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_series("curve", [1, 2], [0.1, 0.2])
+        result.note("observation")
+        text = result.render()
+        assert "figX" in text
+        assert "curve" in text
+        assert "observation" in text
+
+    def test_series_table_merges_on_x(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_series("a", [1, 2], [0.1, 0.2])
+        result.add_series("b", [1, 2], [0.3, 0.4])
+        table = result.series_table("n")
+        assert table == [
+            {"n": 1, "a": 0.1, "b": 0.3},
+            {"n": 2, "a": 0.2, "b": 0.4},
+        ]
+
+    def test_series_table_empty(self):
+        assert ExperimentResult("figX", "demo").series_table() == []

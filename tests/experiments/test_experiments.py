@@ -1,0 +1,97 @@
+"""Every figure/table experiment runs clean and shows the paper's shapes.
+
+These are the executable assertions behind EXPERIMENTS.md: each
+experiment must complete without WARNING notes (a WARNING means a
+paper-claimed shape failed to reproduce), and key quantitative shapes
+are re-asserted here independently of the experiments' own checks.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {eid: run(fast=True) for eid, run in ALL_EXPERIMENTS.items()}
+
+
+class TestAllExperimentsRun:
+    @pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+    def test_runs_without_warnings(self, results, experiment_id):
+        result = results[experiment_id]
+        warnings = [n for n in result.notes if "WARNING" in n]
+        assert not warnings, warnings
+
+    @pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+    def test_produces_output(self, results, experiment_id):
+        result = results[experiment_id]
+        assert result.series or result.rows
+
+    @pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+    def test_renders(self, results, experiment_id):
+        text = results[experiment_id].render()
+        assert results[experiment_id].experiment_id in text
+
+
+class TestPaperShapes:
+    def test_fig3_monotone_in_alpha(self, results):
+        for series in results["fig3"].series.values():
+            assert list(series.y) == sorted(series.y, reverse=True)
+
+    def test_fig4_loss_limited_at_generous_ratio(self, results):
+        series = results["fig4"].series["alpha=0.2,p=0.3"]
+        assert series.y[-1] == pytest.approx(0.7, abs=0.01)
+
+    def test_fig5_q_values_in_range(self, results):
+        for series in results["fig5"].series.values():
+            assert all(0.0 <= y <= 1.0 for y in series.y)
+
+    def test_fig6_flat_in_b(self, results):
+        for row in results["fig6"].rows:
+            assert row["tail spread"] <= 0.02
+
+    def test_fig7_m_saturates(self, results):
+        for row in results["fig7"].rows:
+            span = row["total gain over m"]
+            assert row["gain at last m step"] <= max(0.15 * span, 1e-9)
+
+    def test_fig8_ordering(self, results):
+        row = results["fig8"].rows[0]
+        assert row["rohatgi"] < 0.001
+        assert row["emss(2,1)"] > 0.9
+
+    def test_fig9_emss_ac_close(self, results):
+        for row in results["fig9"].rows:
+            if "max |EMSS - AC| over n" not in row:
+                continue
+            if row["p"] == 0.1:
+                # "very close" at moderate loss.
+                assert row["max |EMSS - AC| over n"] < 0.02
+            else:
+                # At p=0.5 both collapse; AC degrades somewhat slower.
+                assert row["max |EMSS - AC| over n"] < 0.3
+
+    def test_fig10_rohatgi_cheapest_delay(self, results):
+        rows = {r["scheme"]: r for r in results["fig10"].rows}
+        assert rows["rohatgi"]["delay (slots)"] == 0
+        assert rows["sign-each"]["bytes/pkt"] > rows["rohatgi"]["bytes/pkt"]
+
+    def test_eq1_contained(self, results):
+        for row in results["eq1"].rows:
+            assert row["contained"]
+
+    def test_ext_gap_recurrence_upper_bounds(self, results):
+        for row in results["ext-gap"].rows:
+            assert row["EMSS exact MC"] <= row["EMSS Eq.8"] + 0.03
+            assert row["AC exact MC"] <= row["AC Eq.10"] + 0.03
+
+    def test_ext_wire_agreement(self, results):
+        for row in results["ext-wire"].rows:
+            assert row["wire q_min"] == pytest.approx(
+                row["graph q_min"], abs=0.15)
+            assert row["wire forged"] == 0
+
+    def test_ext_design_all_satisfied(self, results):
+        for row in results["ext-design"].rows:
+            assert row["satisfied"], row["method"]

@@ -1,0 +1,85 @@
+"""Unit tests for the markdown report generator."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import render_report, write_report
+
+
+def _fake_experiment(fast=False):
+    result = ExperimentResult("figX", "a fake experiment")
+    result.rows.append({"scheme": "demo", "q_min": 0.5})
+    result.add_series("curve", [1, 2], [0.1, 0.2])
+    result.note("an observation")
+    return result
+
+
+def _warning_experiment(fast=False):
+    result = ExperimentResult("figY", "a failing experiment")
+    result.rows.append({"scheme": "demo", "q_min": 0.0})
+    result.note("WARNING: shape broke")
+    return result
+
+
+class TestRenderReport:
+    def test_contains_sections_and_content(self):
+        text = render_report({"figX": _fake_experiment}, fast=True,
+                             timestamp="2026-07-07 00:00 UTC")
+        assert "# Reproduction report" in text
+        assert "## `figX` — a fake experiment" in text
+        assert "demo" in text
+        assert "> an observation" in text
+        assert "no shape warnings" in text
+        assert "2026-07-07 00:00 UTC" in text
+
+    def test_counts_warnings(self):
+        text = render_report({"figX": _fake_experiment,
+                              "figY": _warning_experiment}, fast=True)
+        assert "1 WARNING" in text
+
+    def test_subset_selection(self):
+        text = render_report({"figX": _fake_experiment,
+                              "figY": _warning_experiment},
+                             only=["figX"])
+        assert "figY" not in text
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(KeyError):
+            render_report({"figX": _fake_experiment}, only=["nope"])
+
+
+class TestWriteReport:
+    def test_writes_to_path(self, tmp_path):
+        path = str(tmp_path / "report.md")
+        write_report(path, {"figX": _fake_experiment})
+        with open(path, encoding="utf-8") as handle:
+            assert "figX" in handle.read()
+
+    def test_writes_to_handle(self):
+        buffer = io.StringIO()
+        write_report(buffer, {"figX": _fake_experiment})
+        assert "figX" in buffer.getvalue()
+
+
+class TestCliReport:
+    def test_cli_report_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "out.md")
+        assert main(["fig10", "--fast", "--report", path]) == 0
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "fig10" in text
+        assert "rohatgi" in text
+
+    def test_cli_report_all_real_experiments_fast(self, tmp_path):
+        """The full report runs every real experiment without warnings."""
+        path = str(tmp_path / "full.md")
+        assert main(["--all", "--fast", "--report", path]) == 0
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for experiment_id in ALL_EXPERIMENTS:
+            assert f"`{experiment_id}`" in text
+        assert "no shape warnings" in text

@@ -1,0 +1,61 @@
+"""TESLA under clock drift: the synchronization assumption eroding."""
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.network.clock import DriftingClock
+from repro.schemes.tesla import TeslaParameters, TeslaReceiver, TeslaSender
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"drift")
+
+
+def _run_with_clock(signer, clock: DriftingClock, count: int = 60,
+                    network_delay: float = 0.005):
+    """Stream `count` packets; receiver timestamps via its drifting clock."""
+    parameters = TeslaParameters(interval=0.05, lag=3, chain_length=count,
+                                 max_clock_offset=0.01)
+    sender = TeslaSender(parameters, signer, seed=b"\x0c" * 16)
+    receiver = TeslaReceiver(sender.bootstrap_packet(), signer)
+    packets = [sender.send(b"tick %d" % i, i * 0.05) for i in range(count)]
+    for packet in packets + sender.flush_keys(count):
+        true_arrival = packet.send_time + network_delay
+        receiver.receive(packet, clock.local(true_arrival))
+    return receiver.counts()
+
+
+class TestDrift:
+    def test_well_synchronized_clock(self, signer):
+        counts = _run_with_clock(signer, DriftingClock(offset=0.002))
+        assert counts.get("unsafe", 0) == 0
+        assert counts.get("verified", 0) == 60
+
+    def test_fast_clock_drops_packets(self, signer):
+        """A receiver clock far ahead makes packets look post-disclosure."""
+        counts = _run_with_clock(signer, DriftingClock(offset=0.2))
+        assert counts.get("unsafe", 0) == 60
+
+    def test_slow_clock_is_safe_but_conservative(self, signer):
+        """A slow clock never accepts anything unsafe (errs safe)."""
+        counts = _run_with_clock(signer, DriftingClock(offset=-0.2))
+        assert counts.get("bad-mac", 0) == 0
+        assert counts.get("verified", 0) == 60
+
+    def test_drift_accumulates_into_unsafe(self, signer):
+        """Within-bound at sync time, drift eventually crosses the
+        security condition."""
+        # 4% drift: the clock error grows by 2 ms per 50 ms interval,
+        # crossing the ~85 ms disclosure margin around packet 43.
+        clock = DriftingClock(offset=0.0, drift_ppm=40000.0)
+        counts = _run_with_clock(signer, clock)
+        assert counts.get("unsafe", 0) > 0
+        assert counts.get("verified", 0) > 0
+        # Early packets verified, late ones dropped: drift is monotone.
+
+    def test_drift_bound_helper_matches(self, signer):
+        clock = DriftingClock(offset=0.01, drift_ppm=1000.0)
+        horizon = 3.0
+        bound = clock.max_offset_until(horizon)
+        assert bound == pytest.approx(0.01 + 0.003)

@@ -1,0 +1,94 @@
+"""Unit tests for the lossy, delaying channel."""
+
+import pytest
+
+from repro.network.channel import Channel
+from repro.network.delay import GaussianDelay
+from repro.network.loss import BernoulliLoss, TraceLoss
+from repro.packets import Packet
+
+
+def _packets(count):
+    return [Packet(seq=i + 1, block_id=0, payload=b"p%d" % i,
+                   send_time=i * 0.01) for i in range(count)]
+
+
+def _signed(seq, when=0.0):
+    return Packet(seq=seq, block_id=0, payload=b"s", signature=b"\x01" * 8,
+                  send_time=when)
+
+
+class TestLossless:
+    def test_everything_delivered_in_order(self):
+        channel = Channel()
+        deliveries = channel.transmit(_packets(5))
+        assert [d.packet.seq for d in deliveries] == [1, 2, 3, 4, 5]
+        assert channel.dropped == 0
+
+    def test_zero_delay(self):
+        deliveries = Channel().transmit(_packets(3))
+        assert all(d.delay == 0.0 for d in deliveries)
+
+
+class TestLoss:
+    def test_trace_loss_drops_exactly(self):
+        channel = Channel(loss=TraceLoss([False, True, False, True, False]))
+        deliveries = channel.transmit(_packets(5))
+        assert [d.packet.seq for d in deliveries] == [1, 3, 5]
+        assert channel.dropped == 2
+        assert channel.observed_loss_rate == pytest.approx(0.4)
+
+    def test_signature_packets_protected(self):
+        channel = Channel(loss=BernoulliLoss(1.0, seed=1),
+                          protect_signature_packets=True)
+        packets = _packets(4) + [_signed(5)]
+        deliveries = channel.transmit(packets)
+        assert [d.packet.seq for d in deliveries] == [5]
+
+    def test_protection_can_be_disabled(self):
+        channel = Channel(loss=BernoulliLoss(1.0, seed=1),
+                          protect_signature_packets=False)
+        assert channel.transmit(_packets(3) + [_signed(4)]) == []
+
+    def test_loss_state_advances_past_protected_packets(self):
+        # The protected packet still consumes a loss decision so that
+        # the pattern seen by other packets is unchanged.
+        trace = [True, False, True]
+        with_protection = Channel(loss=TraceLoss(trace))
+        packets = [_signed(1), *_packets(2)]
+        packets = [packets[0],
+                   Packet(seq=2, block_id=0, payload=b"x"),
+                   Packet(seq=3, block_id=0, payload=b"y")]
+        delivered = {d.packet.seq for d in with_protection.transmit(packets)}
+        assert delivered == {1, 2}  # seq 3 ate the second True
+
+
+class TestDelay:
+    def test_arrival_order_can_differ_from_send_order(self):
+        channel = Channel(delay=GaussianDelay(mean=0.5, std=0.3, seed=11))
+        deliveries = channel.transmit(_packets(50))
+        arrival_seqs = [d.packet.seq for d in deliveries]
+        assert sorted(arrival_seqs) == list(range(1, 51))
+        assert arrival_seqs != list(range(1, 51))  # reordering happened
+
+    def test_arrival_times_sorted(self):
+        channel = Channel(delay=GaussianDelay(mean=0.2, std=0.1, seed=3))
+        deliveries = channel.transmit(_packets(20))
+        times = [d.arrival_time for d in deliveries]
+        assert times == sorted(times)
+
+    def test_delay_positive(self):
+        channel = Channel(delay=GaussianDelay(mean=0.1, std=0.05, seed=5))
+        for delivery in channel.transmit(_packets(100)):
+            assert delivery.delay >= 0.0
+
+
+class TestReset:
+    def test_reset_restores_counters_and_models(self):
+        channel = Channel(loss=BernoulliLoss(0.5, seed=2))
+        first = {d.packet.seq for d in channel.transmit(_packets(20))}
+        channel.reset()
+        assert channel.sent == 0
+        assert channel.dropped == 0
+        second = {d.packet.seq for d in channel.transmit(_packets(20))}
+        assert first == second

@@ -1,0 +1,40 @@
+"""Unit tests for simulated receiver clocks."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.clock import DriftingClock
+
+
+class TestDriftingClock:
+    def test_perfect_clock(self):
+        clock = DriftingClock()
+        assert clock.local(12.5) == 12.5
+        assert clock.offset_at(100.0) == 0.0
+
+    def test_fixed_offset(self):
+        clock = DriftingClock(offset=0.25)
+        assert clock.local(10.0) == pytest.approx(10.25)
+
+    def test_linear_drift(self):
+        clock = DriftingClock(drift_ppm=100.0)  # 100 us per second
+        assert clock.offset_at(1000.0) == pytest.approx(0.1)
+
+    def test_drift_anchored_at_sync_time(self):
+        clock = DriftingClock(drift_ppm=100.0, t_sync=500.0)
+        assert clock.offset_at(500.0) == pytest.approx(0.0)
+        assert clock.offset_at(1500.0) == pytest.approx(0.1)
+
+    def test_max_offset_until(self):
+        clock = DriftingClock(offset=0.01, drift_ppm=50.0)
+        bound = clock.max_offset_until(2000.0)
+        assert bound == pytest.approx(0.01 + 0.1)
+
+    def test_max_offset_negative_drift(self):
+        clock = DriftingClock(offset=0.0, drift_ppm=-50.0)
+        assert clock.max_offset_until(2000.0) == pytest.approx(0.1)
+
+    def test_horizon_validation(self):
+        clock = DriftingClock(t_sync=10.0)
+        with pytest.raises(SimulationError):
+            clock.max_offset_until(5.0)

@@ -1,0 +1,76 @@
+"""Unit tests for delay models (Eq. 5)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.delay import ConstantDelay, GaussianDelay, gaussian_cdf
+
+
+class TestGaussianCdf:
+    def test_symmetry(self):
+        assert gaussian_cdf(0.0) == pytest.approx(0.5)
+        assert gaussian_cdf(1.0) + gaussian_cdf(-1.0) == pytest.approx(1.0)
+
+    def test_known_values(self):
+        assert gaussian_cdf(1.0) == pytest.approx(0.8413, abs=1e-4)
+        assert gaussian_cdf(2.0) == pytest.approx(0.9772, abs=1e-4)
+        assert gaussian_cdf(-3.0) == pytest.approx(0.00135, abs=1e-4)
+
+
+class TestConstantDelay:
+    def test_sample(self):
+        assert ConstantDelay(0.25).sample() == 0.25
+
+    def test_cdf_step(self):
+        model = ConstantDelay(0.5)
+        assert model.cdf(0.49) == 0.0
+        assert model.cdf(0.5) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            ConstantDelay(-0.1)
+
+
+class TestGaussianDelay:
+    def test_sample_statistics(self):
+        model = GaussianDelay(mean=1.0, std=0.1, seed=4)
+        samples = [model.sample() for _ in range(20000)]
+        assert statistics.mean(samples) == pytest.approx(1.0, abs=0.01)
+        assert statistics.stdev(samples) == pytest.approx(0.1, abs=0.01)
+
+    def test_floor_clamps(self):
+        model = GaussianDelay(mean=0.01, std=1.0, floor=0.0, seed=4)
+        assert all(model.sample() >= 0.0 for _ in range(2000))
+
+    def test_cdf_matches_formula(self):
+        model = GaussianDelay(mean=0.2, std=0.1)
+        expected = gaussian_cdf((0.35 - 0.2) / 0.1)
+        assert model.cdf(0.35) == pytest.approx(expected)
+
+    def test_zero_std_degenerates(self):
+        model = GaussianDelay(mean=0.2, std=0.0)
+        assert model.sample() == 0.2
+        assert model.cdf(0.19) == 0.0
+        assert model.cdf(0.2) == 1.0
+
+    def test_reset_reproduces(self):
+        model = GaussianDelay(mean=1.0, std=0.5, seed=8)
+        first = [model.sample() for _ in range(10)]
+        model.reset()
+        assert [model.sample() for _ in range(10)] == first
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            GaussianDelay(mean=-1.0, std=0.1)
+        with pytest.raises(SimulationError):
+            GaussianDelay(mean=1.0, std=-0.1)
+
+    def test_empirical_cdf_matches_analytic(self):
+        model = GaussianDelay(mean=0.5, std=0.2, floor=-math.inf, seed=6)
+        threshold = 0.6
+        samples = [model.sample() for _ in range(20000)]
+        empirical = sum(s <= threshold for s in samples) / len(samples)
+        assert empirical == pytest.approx(model.cdf(threshold), abs=0.01)

@@ -1,0 +1,116 @@
+"""Unit tests for loss models."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    TraceLoss,
+)
+
+
+class TestNoLoss:
+    def test_never_loses(self):
+        model = NoLoss()
+        assert not any(model.sample(100))
+        assert model.mean_loss_rate == 0.0
+
+
+class TestBernoulli:
+    def test_empirical_rate(self):
+        model = BernoulliLoss(0.3, seed=1)
+        losses = model.sample(20000)
+        assert sum(losses) / len(losses) == pytest.approx(0.3, abs=0.02)
+
+    def test_reset_reproduces(self):
+        model = BernoulliLoss(0.5, seed=9)
+        first = model.sample(50)
+        model.reset()
+        assert model.sample(50) == first
+
+    def test_extremes(self):
+        assert not any(BernoulliLoss(0.0, seed=1).sample(100))
+        assert all(BernoulliLoss(1.0, seed=1).sample(100))
+
+    def test_independent_rngs(self):
+        a = BernoulliLoss(0.5, seed=1)
+        b = BernoulliLoss(0.5, seed=1)
+        a.sample(10)
+        assert b.sample(10) == BernoulliLoss(0.5, seed=1).sample(10)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(SimulationError):
+            BernoulliLoss(1.1)
+        with pytest.raises(SimulationError):
+            BernoulliLoss(0.5).sample(-1)
+
+
+class TestGilbertElliott:
+    def test_stationary_rate(self):
+        model = GilbertElliottLoss.from_rate_and_burst(0.2, 5.0, seed=2)
+        assert model.mean_loss_rate == pytest.approx(0.2)
+        losses = model.sample(60000)
+        assert sum(losses) / len(losses) == pytest.approx(0.2, abs=0.02)
+
+    def test_burst_lengths(self):
+        model = GilbertElliottLoss.from_rate_and_burst(0.2, 8.0, seed=3)
+        losses = model.sample(60000)
+        bursts = []
+        current = 0
+        for lost in losses:
+            if lost:
+                current += 1
+            elif current:
+                bursts.append(current)
+                current = 0
+        mean_burst = sum(bursts) / len(bursts)
+        assert mean_burst == pytest.approx(8.0, rel=0.2)
+
+    def test_reset(self):
+        model = GilbertElliottLoss.from_rate_and_burst(0.3, 4.0, seed=5)
+        first = model.sample(100)
+        model.reset()
+        assert model.sample(100) == first
+
+    def test_absorbing_bad_state_rejected(self):
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss(p_good_to_bad=0.1, p_bad_to_good=0.0)
+
+    def test_infeasible_pairs_rejected(self):
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss.from_rate_and_burst(0.99, 1.0)
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss.from_rate_and_burst(0.2, 0.5)
+
+    def test_parameter_range_validation(self):
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss(p_good_to_bad=1.5, p_bad_to_good=0.5)
+
+    def test_degenerate_lossless(self):
+        model = GilbertElliottLoss(p_good_to_bad=0.0, p_bad_to_good=0.0,
+                                   loss_in_good=0.0)
+        assert model.mean_loss_rate == 0.0
+        assert not any(model.sample(100))
+
+
+class TestTrace:
+    def test_replays_and_cycles(self):
+        model = TraceLoss([True, False, False])
+        assert model.sample(6) == [True, False, False, True, False, False]
+
+    def test_mean_rate(self):
+        assert TraceLoss([True, False, False, False]).mean_loss_rate == 0.25
+
+    def test_reset(self):
+        model = TraceLoss([True, False])
+        model.sample(3)
+        model.reset()
+        assert model.is_lost() is True
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceLoss([])

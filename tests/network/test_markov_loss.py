@@ -1,0 +1,86 @@
+"""Unit tests for the general m-state Markov loss model."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.loss import GilbertElliottLoss, MarkovLoss
+
+
+def _three_state(seed=None):
+    # GOOD / CONGESTED / OUTAGE.
+    return MarkovLoss(
+        transition=[[0.90, 0.08, 0.02],
+                    [0.30, 0.60, 0.10],
+                    [0.50, 0.00, 0.50]],
+        loss_rates=[0.01, 0.30, 1.00],
+        seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(SimulationError):
+            MarkovLoss([[1.0, 0.0]], [0.1, 0.2])
+
+    def test_rejects_non_stochastic_rows(self):
+        with pytest.raises(SimulationError):
+            MarkovLoss([[0.5, 0.4], [0.5, 0.5]], [0.1, 0.2])
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(SimulationError):
+            MarkovLoss([[1.5, -0.5], [0.5, 0.5]], [0.1, 0.2])
+        with pytest.raises(SimulationError):
+            MarkovLoss([[1.0]], [1.5])
+
+    def test_rejects_bad_initial_state(self):
+        with pytest.raises(SimulationError):
+            MarkovLoss([[1.0]], [0.1], initial_state=1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            MarkovLoss([], [])
+
+
+class TestBehaviour:
+    def test_stationary_rate_matches_empirical(self):
+        model = _three_state(seed=9)
+        analytic = model.mean_loss_rate
+        losses = model.sample(80000)
+        assert sum(losses) / len(losses) == pytest.approx(analytic,
+                                                          abs=0.01)
+
+    def test_reset_replays(self):
+        model = _three_state(seed=4)
+        first = model.sample(100)
+        model.reset()
+        assert model.sample(100) == first
+
+    def test_single_state_is_bernoulli(self):
+        model = MarkovLoss([[1.0]], [0.3], seed=2)
+        assert model.mean_loss_rate == pytest.approx(0.3)
+        losses = model.sample(30000)
+        assert sum(losses) / len(losses) == pytest.approx(0.3, abs=0.01)
+
+    def test_two_state_matches_gilbert_elliott_stationary(self):
+        g2b, b2g = 0.05, 0.25
+        markov = MarkovLoss([[1 - g2b, g2b], [b2g, 1 - b2g]], [0.0, 1.0])
+        gilbert = GilbertElliottLoss(p_good_to_bad=g2b, p_bad_to_good=b2g)
+        assert markov.mean_loss_rate == pytest.approx(
+            gilbert.mean_loss_rate)
+
+    def test_outage_state_produces_long_bursts(self):
+        # A sticky full-loss state must yield multi-packet bursts.
+        model = MarkovLoss(
+            transition=[[0.95, 0.05], [0.20, 0.80]],
+            loss_rates=[0.0, 1.0], seed=8,
+        )
+        losses = model.sample(50000)
+        bursts, current = [], 0
+        for lost in losses:
+            if lost:
+                current += 1
+            elif current:
+                bursts.append(current)
+                current = 0
+        assert max(bursts) >= 10
+        assert sum(bursts) / len(bursts) == pytest.approx(5.0, rel=0.2)

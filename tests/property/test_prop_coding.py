@@ -1,0 +1,91 @@
+"""Property-based tests for GF(256), Reed-Solomon, and diversity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversity import disjoint_path_count, diversity_lambda_floor
+from repro.core.paths import exact_lambda
+from repro.crypto.gf256 import gf_add, gf_div, gf_inv, gf_mul
+from repro.crypto.reed_solomon import rs_decode, rs_encode
+from repro.exceptions import GraphError
+from repro.schemes.emss import GenericOffsetScheme
+
+_elements = st.integers(min_value=0, max_value=255)
+_nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldProperties:
+    @given(_elements, _elements, _elements)
+    @settings(max_examples=200)
+    def test_associativity(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(_elements, _elements, _elements)
+    @settings(max_examples=200)
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(_nonzero, _nonzero)
+    @settings(max_examples=200)
+    def test_division_consistency(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    @given(_nonzero)
+    @settings(max_examples=100)
+    def test_inverse_involution(self, a):
+        assert gf_inv(gf_inv(a)) == a
+
+
+class TestReedSolomonProperties:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_k_subset_decodes(self, data):
+        k = data.draw(st.integers(min_value=1, max_value=8))
+        n = data.draw(st.integers(min_value=k, max_value=16))
+        payload = data.draw(st.binary(max_size=120))
+        shares = rs_encode(payload, n, k)
+        indices = data.draw(st.permutations(range(n)))
+        subset = [(i, shares[i]) for i in indices[:k]]
+        assert rs_decode(subset, k) == payload
+
+    @given(st.binary(max_size=60), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_shares_are_distinct_for_distinct_points(self, payload, k):
+        n = k + 4
+        shares = rs_encode(payload, n, k)
+        # Shares of non-constant polynomials differ; even constant
+        # payloads keep equal length.
+        assert len({len(s) for s in shares}) == 1
+
+
+class TestDiversityProperties:
+    @given(st.integers(min_value=4, max_value=30),
+           st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                    max_size=3, unique=True),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_floor_never_exceeds_exact(self, n, offsets, p):
+        from hypothesis import assume
+
+        from repro.core.paths import path_count
+
+        graph = GenericOffsetScheme(tuple(offsets)).build_graph(n)
+        target = 1
+        # Keep inclusion-exclusion cheap: skip path-rich instances.
+        assume(path_count(graph, target) <= 12)
+        floor = diversity_lambda_floor(graph, target, p)
+        try:
+            exact = exact_lambda(graph, target, p)
+        except GraphError:
+            return
+        assert floor <= exact + 1e-9
+
+    @given(st.integers(min_value=4, max_value=25),
+           st.lists(st.integers(min_value=1, max_value=5), min_size=1,
+                    max_size=3, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_diversity_bounded_by_offset_count(self, n, offsets):
+        graph = GenericOffsetScheme(tuple(offsets)).build_graph(n)
+        count = disjoint_path_count(graph, 1)
+        assert 1 <= count <= len(offsets)

@@ -1,0 +1,103 @@
+"""Property-based tests for the cryptographic substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import sha256
+from repro.crypto.keychain import KeyChain, KeyChainCommitment
+from repro.crypto.mac import Mac, Prf, hmac_sha256
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.signatures import HmacStubSigner
+
+_payloads = st.binary(min_size=0, max_size=200)
+_keys = st.binary(min_size=1, max_size=64)
+
+
+class TestHashProperties:
+    @given(_payloads, _payloads)
+    @settings(max_examples=100)
+    def test_chain_equals_concat(self, a, b):
+        assert sha256.chain([a, b]) == sha256.digest(a + b)
+
+    @given(_payloads, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=100)
+    def test_truncation_is_prefix(self, data, size):
+        assert sha256.truncated(size).digest(data) == \
+            sha256.digest(data)[:size]
+
+
+class TestMacProperties:
+    @given(_keys, _payloads)
+    @settings(max_examples=100)
+    def test_roundtrip(self, key, message):
+        tag = hmac_sha256.tag(key, message)
+        assert hmac_sha256.verify(key, message, tag)
+
+    @given(_keys, _payloads, _payloads)
+    @settings(max_examples=100)
+    def test_distinct_messages_distinct_tags(self, key, m1, m2):
+        if m1 == m2:
+            return
+        assert hmac_sha256.tag(key, m1) != hmac_sha256.tag(key, m2)
+
+    @given(_keys, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=50)
+    def test_prf_output_size(self, key, size):
+        assert len(Prf(b"label", output_size=size).apply(key)) == size
+
+    @given(_keys, st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60)
+    def test_prf_iteration_composes(self, key, a, b):
+        prf = Prf(b"compose")
+        assert prf.iterate(prf.iterate(key, a), b) == prf.iterate(key, a + b)
+
+
+class TestMerkleProperties:
+    @given(st.lists(_payloads, min_size=1, max_size=24))
+    @settings(max_examples=50, deadline=None)
+    def test_every_leaf_always_proves(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert tree.verify(leaf, tree.proof(index), tree.root)
+
+    @given(st.lists(_payloads, min_size=2, max_size=16, unique=True),
+           st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_wrong_leaf_never_proves(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        other = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        if leaves[other] == leaves[index]:
+            return
+        assert not tree.verify(leaves[other], tree.proof(index), tree.root)
+
+
+class TestKeyChainProperties:
+    @given(st.binary(min_size=16, max_size=16),
+           st.integers(min_value=1, max_value=40),
+           st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_any_later_key_authenticates(self, seed, length, data):
+        chain = KeyChain(length, seed=seed)
+        anchor = KeyChainCommitment(0, chain.commitment)
+        index = data.draw(st.integers(min_value=1, max_value=length))
+        assert anchor.authenticate(index, chain.key(index))
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.integers(min_value=2, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_walk_back_consistent_everywhere(self, seed, length):
+        chain = KeyChain(length, seed=seed)
+        for steps in (1, length // 2, length):
+            assert KeyChain.walk_back(chain.key(length), steps) == \
+                chain.key(length - steps)
+
+
+class TestSignerProperties:
+    @given(_keys, _payloads)
+    @settings(max_examples=100)
+    def test_stub_signer_roundtrip(self, key, message):
+        signer = HmacStubSigner(key=key)
+        assert signer.verify(message, signer.sign(message))
+        assert len(signer.sign(message)) == signer.signature_size

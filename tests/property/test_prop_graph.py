@@ -1,0 +1,122 @@
+"""Property-based tests for dependence-graph invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import lambda_bounds
+from repro.core.metrics import (
+    compute_metrics,
+    deterministic_delays,
+    hash_buffer_size,
+    message_buffer_size,
+)
+from repro.core.paths import all_depths, exact_lambda, path_count, theta_sets
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.emss import EmssScheme
+from repro.schemes.random_graph import RandomGraphScheme
+from repro.schemes.rohatgi import RohatgiScheme
+
+
+@st.composite
+def scheme_graphs(draw):
+    """A valid dependence-graph from a randomly parameterized scheme."""
+    kind = draw(st.sampled_from(["rohatgi", "emss", "ac", "random"]))
+    if kind == "rohatgi":
+        n = draw(st.integers(min_value=2, max_value=40))
+        return RohatgiScheme().build_graph(n)
+    if kind == "emss":
+        m = draw(st.integers(min_value=1, max_value=4))
+        d = draw(st.integers(min_value=1, max_value=5))
+        n = draw(st.integers(min_value=3, max_value=40))
+        return EmssScheme(m, d).build_graph(n)
+    if kind == "ac":
+        a = draw(st.integers(min_value=2, max_value=5))
+        b = draw(st.integers(min_value=1, max_value=5))
+        n = draw(st.integers(min_value=b + 2, max_value=50))
+        return AugmentedChainScheme(a, b).build_graph(n)
+    p_x = draw(st.floats(min_value=0.05, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=2, max_value=40))
+    return RandomGraphScheme(p_x, seed=seed).build_graph(n)
+
+
+class TestStructuralInvariants:
+    @given(scheme_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_all_scheme_graphs_valid(self, graph):
+        graph.validate()
+
+    @given(scheme_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_labels_consistent(self, graph):
+        for i, j in graph.edges():
+            assert graph.label(i, j) == i - j
+
+    @given(scheme_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @given(scheme_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sums_equal_edge_count(self, graph):
+        out_total = sum(graph.out_degree(v) for v in graph.vertices)
+        in_total = sum(graph.in_degree(v) for v in graph.vertices)
+        assert out_total == graph.edge_count
+        assert in_total == graph.edge_count
+
+
+class TestMetricInvariants:
+    @given(scheme_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_buffers_bound_labels(self, graph):
+        msg = message_buffer_size(graph)
+        hsh = hash_buffer_size(graph)
+        for i, j in graph.edges():
+            assert i - j <= msg
+            assert j - i <= hsh
+
+    @given(scheme_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_delays_nonnegative_and_bounded(self, graph):
+        delays = deterministic_delays(graph)
+        for vertex, delay in delays.items():
+            assert 0 <= delay <= graph.n - 1
+
+    @given(scheme_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_metrics_bundle_internally_consistent(self, graph):
+        import pytest
+
+        metrics = compute_metrics(graph, l_sign=100, l_hash=10)
+        assert metrics.mean_hashes * graph.n == pytest.approx(
+            graph.edge_count)
+        assert metrics.overhead_bytes * graph.n == pytest.approx(
+            100 + 10 * graph.edge_count)
+
+
+class TestPathInvariants:
+    @given(scheme_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_depths_vs_theta_sets(self, graph):
+        depths = all_depths(graph)
+        # Probe a few vertices to keep enumeration cheap.
+        for vertex in list(graph.vertices)[:5]:
+            count = path_count(graph, vertex)
+            assert count >= 1
+            thetas = theta_sets(graph, vertex, limit=30)
+            assert min(len(t) for t in thetas) == depths[vertex] or \
+                count > 30
+
+    @given(st.integers(min_value=3, max_value=12),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_eq1_bounds_contain_exact(self, n, p):
+        graph = EmssScheme(2, 1).build_graph(max(n, 3))
+        target = 1  # farthest from the root
+        try:
+            exact = exact_lambda(graph, target, p)
+        except Exception:
+            return  # too many paths for inclusion-exclusion
+        bounds = lambda_bounds(graph, target, p)
+        assert bounds.lower - 1e-9 <= exact <= bounds.upper + 1e-9

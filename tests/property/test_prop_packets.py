@@ -1,0 +1,58 @@
+"""Property-based tests for the packet wire format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packets import Packet, packet_from_wire
+
+_digests = st.binary(min_size=1, max_size=64)
+
+
+@st.composite
+def packets(draw):
+    seq = draw(st.integers(min_value=1, max_value=2 ** 31))
+    target_count = draw(st.integers(min_value=0, max_value=6))
+    targets = draw(st.lists(
+        st.integers(min_value=1, max_value=2 ** 31).filter(lambda t: t != seq),
+        min_size=target_count, max_size=target_count, unique=True))
+    carried = tuple((t, draw(_digests)) for t in targets)
+    return Packet(
+        seq=seq,
+        block_id=draw(st.integers(min_value=0, max_value=2 ** 31)),
+        payload=draw(st.binary(max_size=300)),
+        carried=carried,
+        signature=draw(st.one_of(st.none(), st.binary(max_size=200))),
+        extra=draw(st.binary(max_size=100)),
+        send_time=draw(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False)),
+    )
+
+
+class TestWireFormat:
+    @given(packets())
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_identity(self, packet):
+        assert packet_from_wire(packet.to_wire()) == packet
+
+    @given(packets(), packets())
+    @settings(max_examples=100, deadline=None)
+    def test_auth_bytes_injective(self, a, b):
+        """Distinct authenticated content must encode distinctly."""
+        same_fields = (
+            a.seq == b.seq and a.block_id == b.block_id
+            and a.payload == b.payload and a.carried == b.carried
+            and a.extra == b.extra
+        )
+        if same_fields:
+            assert a.auth_bytes() == b.auth_bytes()
+        else:
+            assert a.auth_bytes() != b.auth_bytes()
+
+    @given(packets())
+    @settings(max_examples=100, deadline=None)
+    def test_overhead_accounting(self, packet):
+        expected = sum(len(d) + 4 for _, d in packet.carried)
+        expected += len(packet.extra)
+        if packet.signature is not None:
+            expected += len(packet.signature)
+        assert packet.overhead_bytes == expected

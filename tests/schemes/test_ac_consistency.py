@@ -1,0 +1,69 @@
+"""Builder ↔ Eq. 10 consistency for the augmented chain.
+
+The scheme builder and the analysis module implement the same Eq. 10
+dependency structure through different code paths (send-order edges vs
+reversed-index recurrence).  These tests pin them to each other: for
+every vertex, the graph's in-edges must be exactly the dependencies
+the analysis declares, and the analysis profile must track exact Monte
+Carlo on the built graph.
+"""
+
+import pytest
+
+from repro.analysis import augmented_chain as ac_analysis
+from repro.analysis.montecarlo import graph_monte_carlo
+from repro.schemes.augmented_chain import (
+    AugmentedChainScheme,
+    ac_vertex_coordinates,
+)
+
+
+@pytest.mark.parametrize("a,b,n", [
+    (2, 1, 20), (2, 2, 19), (3, 3, 50), (3, 3, 53), (4, 2, 40), (5, 5, 80),
+])
+class TestBuilderMatchesDeclaredDependencies:
+    def test_in_edges_equal_dependencies(self, a, b, n):
+        scheme = AugmentedChainScheme(a, b)
+        graph = scheme.build_graph(n)
+        n_data = n - 1
+        for i in range(1, n_data + 1):
+            vertex = n - i
+            declared = {n - j for j in scheme._dependencies(i, n_data)}
+            assert set(graph.predecessors(vertex)) == declared, (
+                f"vertex {vertex} (reversed {i}, coords "
+                f"{ac_vertex_coordinates(i, b)})"
+            )
+
+    def test_every_inserted_vertex_has_two_or_fewer_supports(self, a, b, n):
+        graph = AugmentedChainScheme(a, b).build_graph(n)
+        for vertex in graph.vertices:
+            if vertex != graph.root:
+                assert 1 <= graph.in_degree(vertex) <= 2
+
+
+class TestAnalysisTracksGraph:
+    @pytest.mark.parametrize("p", [0.05, 0.2])
+    def test_recurrence_upper_bounds_mc_per_packet(self, p):
+        a, b, n = 3, 3, 61
+        profile = ac_analysis.q_profile(n, a, b, p)
+        graph = AugmentedChainScheme(a, b).build_graph(n)
+        mc = graph_monte_carlo(graph, p, trials=20000, seed=77)
+        for i in range(1, n):
+            vertex = n - i
+            analytic = profile.q_of_reversed_index(i)
+            # Positive path correlation: recurrence >= exact, and the
+            # two must not be wildly apart at these sizes.
+            assert mc.q[vertex] <= analytic + 0.03
+            assert analytic - mc.q[vertex] < 0.25
+
+    def test_boundary_vertices_certain_both_ways(self):
+        a, b, n = 3, 2, 40
+        profile = ac_analysis.q_profile(n, a, b, 0.4)
+        graph = AugmentedChainScheme(a, b).build_graph(n)
+        mc = graph_monte_carlo(graph, 0.4, trials=4000, seed=3)
+        for i in range(1, n):
+            if profile.q_of_reversed_index(i) == 1.0:
+                vertex = n - i
+                if graph.has_edge(graph.root, vertex) and \
+                        graph.in_degree(vertex) == 1:
+                    assert mc.q[vertex] == 1.0

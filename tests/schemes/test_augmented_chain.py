@@ -1,0 +1,106 @@
+"""Unit tests for the augmented chain C_{a,b}."""
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SchemeParameterError
+from repro.schemes.augmented_chain import (
+    AugmentedChainScheme,
+    ac_vertex_coordinates,
+)
+
+
+class TestCoordinates:
+    def test_paper_labeling(self):
+        b = 3
+        # i = x(b+1) + y for inserted; chain packets at multiples of b+1.
+        assert ac_vertex_coordinates(1, b) == (0, 1)
+        assert ac_vertex_coordinates(3, b) == (0, 3)
+        assert ac_vertex_coordinates(4, b) == (0, 0)   # chain packet 0
+        assert ac_vertex_coordinates(5, b) == (1, 1)
+        assert ac_vertex_coordinates(8, b) == (1, 0)   # chain packet 1
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(SchemeParameterError):
+            ac_vertex_coordinates(0, 3)
+
+
+class TestGraph:
+    def test_validates_across_sizes(self):
+        for n in (6, 13, 25, 101, 250):
+            AugmentedChainScheme(3, 3).build_graph(n).validate()
+        for (a, b) in [(2, 1), (2, 5), (5, 2), (8, 8)]:
+            AugmentedChainScheme(a, b).build_graph(100).validate()
+
+    def test_root_is_last(self):
+        assert AugmentedChainScheme(3, 3).build_graph(20).root == 20
+
+    def test_every_data_packet_supported(self):
+        graph = AugmentedChainScheme(3, 3).build_graph(50)
+        for v in graph.vertices:
+            if v != graph.root:
+                assert graph.in_degree(v) >= 1
+
+    def test_roughly_two_hashes_per_packet(self):
+        graph = AugmentedChainScheme(3, 3).build_graph(200)
+        assert graph.edge_count / graph.n == pytest.approx(2.0, abs=0.35)
+
+    def test_chain_packet_count(self):
+        scheme = AugmentedChainScheme(3, 3)
+        assert scheme.chain_packet_count(101) == 25  # 100 data / 4
+
+    def test_block_size_for_chain(self):
+        assert AugmentedChainScheme.block_size_for_chain(25, 3) == 101
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchemeParameterError):
+            AugmentedChainScheme(1, 3)
+        with pytest.raises(SchemeParameterError):
+            AugmentedChainScheme(3, 0)
+        with pytest.raises(SchemeParameterError):
+            AugmentedChainScheme.block_size_for_chain(0, 3)
+
+    def test_name(self):
+        assert AugmentedChainScheme(3, 3).name == "ac(3,3)"
+
+
+class TestChainLevelStructure:
+    def test_chain_packets_link_chain_packets(self):
+        a, b, n = 3, 3, 101
+        graph = AugmentedChainScheme(a, b).build_graph(n)
+        n_data = n - 1
+        # Chain packet x (reversed idx (x+1)(b+1)) for x > a depends on
+        # chain x-1 and x-a; in send order the carriers are those
+        # packets' send positions.
+        x = 5
+        vertex = n - (x + 1) * (b + 1)
+        carrier_prev = n - x * (b + 1)
+        carrier_skip = n - (x - a + 1) * (b + 1)
+        assert graph.has_edge(carrier_prev, vertex)
+        assert graph.has_edge(carrier_skip, vertex)
+
+    def test_boundary_chain_packets_signed_directly(self):
+        a, b, n = 3, 3, 101
+        graph = AugmentedChainScheme(a, b).build_graph(n)
+        for x in range(a + 1):
+            vertex = n - (x + 1) * (b + 1)
+            assert graph.has_edge(n, vertex)
+
+
+class TestPackets:
+    def test_block_builds_and_signs_last(self):
+        signer = HmacStubSigner(key=b"k")
+        scheme = AugmentedChainScheme(2, 2)
+        packets = scheme.make_block([b"%d" % i for i in range(12)], signer)
+        assert packets[-1].is_signature_packet
+        assert sum(1 for p in packets if p.is_signature_packet) == 1
+
+    def test_carried_hashes_match_graph(self):
+        signer = HmacStubSigner(key=b"k")
+        scheme = AugmentedChainScheme(2, 2)
+        n = 12
+        packets = scheme.make_block([b"%d" % i for i in range(n)], signer)
+        graph = scheme.build_graph(n)
+        for packet in packets:
+            assert sorted(t for t, _ in packet.carried) == \
+                graph.successors(packet.seq)

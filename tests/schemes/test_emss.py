@@ -1,0 +1,109 @@
+"""Unit tests for EMSS and the generic offset scheme."""
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SchemeParameterError
+from repro.schemes.emss import EmssScheme, GenericOffsetScheme
+
+
+class TestGraphStructure:
+    def test_signature_is_last(self):
+        graph = EmssScheme(2, 1).build_graph(10)
+        assert graph.root == 10
+
+    def test_e21_edges(self):
+        graph = EmssScheme(2, 1).build_graph(6)
+        # Packet s's hash carried by s+1 and s+2 (clamped to 6).
+        assert graph.has_edge(2, 1)
+        assert graph.has_edge(3, 1)
+        assert graph.has_edge(5, 4)
+        assert graph.has_edge(6, 4)
+        assert graph.has_edge(6, 5)
+
+    def test_clamping_merges_duplicates(self):
+        graph = EmssScheme(3, 2).build_graph(5)
+        # Packet 4: carriers 6, 8, 10 all clamp to 5 -> one edge.
+        assert graph.predecessors(4) == [5]
+
+    def test_validates_across_sizes(self):
+        for n in (2, 3, 7, 20, 50):
+            EmssScheme(2, 1).build_graph(n).validate()
+            EmssScheme(3, 4).build_graph(n).validate()
+
+    def test_offsets_property(self):
+        assert EmssScheme(3, 2).offsets == [2, 4, 6]
+
+    def test_out_degree_bounded_by_m(self):
+        graph = EmssScheme(2, 1).build_graph(30)
+        for v in graph.vertices:
+            if v != graph.root:
+                assert graph.out_degree(v) <= 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchemeParameterError):
+            EmssScheme(0, 1)
+        with pytest.raises(SchemeParameterError):
+            EmssScheme(2, 0)
+        with pytest.raises(SchemeParameterError):
+            EmssScheme(2, 1).build_graph(1)
+
+    def test_name(self):
+        assert EmssScheme(2, 1).name == "emss(2,1)"
+
+
+class TestGenericOffsetScheme:
+    def test_matches_emss_for_uniform_offsets(self):
+        emss = EmssScheme(2, 3).build_graph(20)
+        generic = GenericOffsetScheme((3, 6)).build_graph(20)
+        assert emss == generic
+
+    def test_irregular_offsets(self):
+        graph = GenericOffsetScheme((1, 5, 9)).build_graph(30)
+        graph.validate()
+        assert graph.has_edge(2, 1)
+        assert graph.has_edge(6, 1)
+        assert graph.has_edge(10, 1)
+
+    def test_offsets_sorted_and_deduped(self):
+        assert GenericOffsetScheme((5, 1, 5)).offsets == (1, 5)
+
+    def test_validation(self):
+        with pytest.raises(SchemeParameterError):
+            GenericOffsetScheme(())
+        with pytest.raises(SchemeParameterError):
+            GenericOffsetScheme((0, 1))
+
+    def test_name(self):
+        assert GenericOffsetScheme((1, 5)).name == "offsets(1,5)"
+
+
+class TestMetrics:
+    def test_mean_hashes_close_to_m(self):
+        metrics = EmssScheme(2, 1).metrics(100)
+        assert 1.5 < metrics.mean_hashes <= 2.0
+
+    def test_delay_is_block_length(self):
+        metrics = EmssScheme(2, 1).metrics(50)
+        assert metrics.delay_slots == 49
+
+    def test_message_buffer_positive(self):
+        assert EmssScheme(2, 1).metrics(50).message_buffer > 0
+
+
+class TestPackets:
+    def test_block_signs_last_packet(self):
+        signer = HmacStubSigner(key=b"k")
+        packets = EmssScheme(2, 1).make_block([b"a", b"b", b"c", b"d"], signer)
+        assert packets[-1].is_signature_packet
+        assert not packets[0].is_signature_packet
+
+    def test_carried_hash_targets_match_graph(self):
+        signer = HmacStubSigner(key=b"k")
+        scheme = EmssScheme(2, 1)
+        packets = scheme.make_block([b"%d" % i for i in range(6)], signer)
+        graph = scheme.build_graph(6)
+        for packet in packets:
+            vertex = packet.seq  # base_seq = 1
+            assert sorted(t for t, _ in packet.carried) == \
+                graph.successors(vertex)

@@ -1,0 +1,68 @@
+"""Unit tests for the probabilistic construction (Sec. 5)."""
+
+import pytest
+
+from repro.exceptions import SchemeParameterError
+from repro.schemes.random_graph import RandomGraphScheme
+
+
+class TestConstruction:
+    def test_seeded_graphs_reproducible(self):
+        a = RandomGraphScheme(0.1, seed=7).build_graph(40)
+        b = RandomGraphScheme(0.1, seed=7).build_graph(40)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RandomGraphScheme(0.1, seed=7).build_graph(40)
+        b = RandomGraphScheme(0.1, seed=8).build_graph(40)
+        assert a != b
+
+    def test_repaired_graph_validates(self):
+        scheme = RandomGraphScheme(0.02, seed=3)
+        graph = scheme.build_graph(60)
+        graph.validate()
+
+    def test_repairs_counted(self):
+        scheme = RandomGraphScheme(0.01, seed=5)
+        graph = scheme.build_graph(50)
+        graph.validate()
+        assert scheme.last_repairs >= 0
+
+    def test_without_repair_may_be_invalid(self):
+        scheme = RandomGraphScheme(0.01, seed=5, repair_unreachable=False)
+        graph = scheme.build_graph(50)
+        # Sparse sampling leaves unreachable vertices (paper's caveat).
+        assert graph.unreachable_vertices()
+
+    def test_edge_density_tracks_probability(self):
+        n = 80
+        p_x = 0.2
+        graph = RandomGraphScheme(p_x, seed=11).build_graph(n)
+        possible = n * (n - 1) / 2
+        density = graph.edge_count / possible
+        assert density == pytest.approx(p_x, abs=0.05)
+
+    def test_max_span_bounds_labels(self):
+        scheme = RandomGraphScheme(0.5, seed=2, max_span=4)
+        graph = scheme.build_graph(50)
+        for i, j in graph.edges():
+            if i != graph.root:
+                assert 0 < i - j <= 4
+
+    def test_all_edges_point_toward_earlier_packets(self):
+        graph = RandomGraphScheme(0.3, seed=1).build_graph(30)
+        for i, j in graph.edges():
+            assert i > j  # carrier sent after target
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchemeParameterError):
+            RandomGraphScheme(0.0)
+        with pytest.raises(SchemeParameterError):
+            RandomGraphScheme(1.5)
+        with pytest.raises(SchemeParameterError):
+            RandomGraphScheme(0.5, max_span=0)
+        with pytest.raises(SchemeParameterError):
+            RandomGraphScheme(0.5).build_graph(1)
+
+    def test_name(self):
+        assert RandomGraphScheme(0.25).name == "random(p=0.25)"

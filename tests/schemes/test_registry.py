@@ -1,0 +1,82 @@
+"""Unit tests for the scheme registry / spec parser."""
+
+import pytest
+
+from repro.exceptions import SchemeParameterError
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.emss import EmssScheme, GenericOffsetScheme
+from repro.schemes.registry import (
+    available_schemes,
+    make_scheme,
+    paper_comparison_schemes,
+)
+from repro.schemes.rohatgi import RohatgiScheme
+from repro.schemes.tesla import TeslaScheme
+
+
+class TestMakeScheme:
+    def test_simple_names(self):
+        assert isinstance(make_scheme("rohatgi"), RohatgiScheme)
+        assert make_scheme("wong-lam").name == "wong-lam"
+        assert make_scheme("sign-each").name == "sign-each"
+
+    def test_emss_args(self):
+        scheme = make_scheme("emss(3,2)")
+        assert isinstance(scheme, EmssScheme)
+        assert (scheme.m, scheme.d) == (3, 2)
+
+    def test_ac_args(self):
+        scheme = make_scheme("ac(4,5)")
+        assert isinstance(scheme, AugmentedChainScheme)
+        assert (scheme.a, scheme.b) == (4, 5)
+
+    def test_offsets(self):
+        scheme = make_scheme("offsets(1,5,9)")
+        assert isinstance(scheme, GenericOffsetScheme)
+        assert scheme.offsets == (1, 5, 9)
+
+    def test_random(self):
+        scheme = make_scheme("random(0.1,42)")
+        assert scheme.edge_probability == pytest.approx(0.1)
+        assert scheme.seed == 42
+
+    def test_tesla_keyword_args(self):
+        scheme = make_scheme("tesla(d=5,T=0.2,n=128)")
+        assert isinstance(scheme, TeslaScheme)
+        assert scheme.parameters.lag == 5
+        assert scheme.parameters.interval == pytest.approx(0.2)
+        assert scheme.parameters.chain_length == 128
+
+    def test_tesla_defaults(self):
+        scheme = make_scheme("tesla")
+        assert scheme.parameters.lag == 10
+
+    def test_whitespace_tolerated(self):
+        assert make_scheme("  emss( 2 , 1 ) ").name == "emss(2,1)"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(SchemeParameterError):
+            make_scheme("quantum-chain")
+
+    def test_malformed_spec(self):
+        with pytest.raises(SchemeParameterError):
+            make_scheme("emss(2,")
+        with pytest.raises(SchemeParameterError):
+            make_scheme("emss(2)")
+        with pytest.raises(SchemeParameterError):
+            make_scheme("tesla(lag=5)")
+
+
+class TestListing:
+    def test_available_schemes(self):
+        names = available_schemes()
+        assert {"rohatgi", "emss", "ac", "tesla",
+                "wong-lam", "sign-each"} <= set(names)
+
+    def test_paper_comparison_set(self):
+        schemes = paper_comparison_schemes()
+        names = [s.name for s in schemes]
+        assert "rohatgi" in names
+        assert "emss(2,1)" in names
+        assert "ac(3,3)" in names
+        assert any(name.startswith("tesla") for name in names)

@@ -1,0 +1,70 @@
+"""Unit tests for the Gennaro-Rohatgi chain scheme."""
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SchemeParameterError
+from repro.schemes.rohatgi import RohatgiScheme
+
+
+@pytest.fixture
+def scheme():
+    return RohatgiScheme()
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"test")
+
+
+class TestGraph:
+    def test_forward_chain(self, scheme):
+        graph = scheme.build_graph(6)
+        assert graph.root == 1
+        assert sorted(graph.edges()) == [(i, i + 1) for i in range(1, 6)]
+
+    def test_validates(self, scheme):
+        scheme.build_graph(10).validate()
+
+    def test_single_packet_block(self, scheme):
+        graph = scheme.build_graph(1)
+        assert graph.edge_count == 0
+        graph.validate()
+
+    def test_rejects_zero(self, scheme):
+        with pytest.raises(SchemeParameterError):
+            scheme.build_graph(0)
+
+    def test_name(self, scheme):
+        assert scheme.name == "rohatgi"
+
+
+class TestMetrics:
+    def test_one_hash_per_packet_asymptotically(self, scheme):
+        metrics = scheme.metrics(100)
+        assert metrics.mean_hashes == pytest.approx(0.99)
+
+    def test_zero_delay(self, scheme):
+        assert scheme.metrics(50).delay_slots == 0
+
+    def test_buffers(self, scheme):
+        metrics = scheme.metrics(50)
+        assert metrics.hash_buffer == 1
+        assert metrics.message_buffer == 0
+
+
+class TestPackets:
+    def test_block_structure(self, scheme, signer):
+        payloads = [b"a", b"b", b"c"]
+        packets = scheme.make_block(payloads, signer)
+        assert len(packets) == 3
+        assert packets[0].is_signature_packet
+        assert not packets[1].is_signature_packet
+        # Each non-final packet carries exactly the next packet's hash.
+        assert [t for t, _ in packets[0].carried] == [2]
+        assert [t for t, _ in packets[1].carried] == [3]
+        assert packets[2].carried == ()
+
+    def test_signature_verifies(self, scheme, signer):
+        packets = scheme.make_block([b"a", b"b"], signer)
+        assert signer.verify(packets[0].auth_bytes(), packets[0].signature)

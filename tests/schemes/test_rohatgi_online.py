@@ -1,0 +1,100 @@
+"""Unit tests for the online (one-time-signature) Gennaro-Rohatgi chain."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SchemeParameterError
+from repro.schemes.rohatgi import RohatgiScheme
+from repro.schemes.rohatgi_online import OnlineChainReceiver, OnlineRohatgiScheme
+from repro.simulation.sender import make_payloads
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"online")
+
+
+@pytest.fixture
+def scheme():
+    return OnlineRohatgiScheme(seed=b"test-seed")
+
+
+def _session(scheme, signer, n=6):
+    packets = scheme.make_block(make_payloads(n), signer)
+    receiver = OnlineChainReceiver(signer, scheme._last_keypairs)
+    return packets, receiver
+
+
+class TestStructure:
+    def test_same_graph_as_offline(self, scheme):
+        online = scheme.build_graph(12)
+        offline = RohatgiScheme().build_graph(12)
+        assert online == offline
+
+    def test_only_first_packet_ordinary_signed(self, scheme, signer):
+        packets = scheme.make_block(make_payloads(5), signer)
+        assert packets[0].is_signature_packet
+        assert all(p.signature is None for p in packets[1:])
+
+    def test_ots_signatures_present_after_first(self, scheme, signer):
+        packets = scheme.make_block(make_payloads(4), signer)
+        # extra = 4B header + 32B fingerprint (+ 8KB OTS sig after P_1).
+        assert len(packets[0].extra) == 4 + 32
+        for packet in packets[1:]:
+            assert len(packet.extra) == 4 + 32 + 256 * 32
+
+    def test_overhead_dwarfs_offline(self, scheme):
+        online = scheme.metrics(64)
+        offline = RohatgiScheme().metrics(64)
+        assert online.overhead_bytes > 100 * offline.overhead_bytes
+        assert online.delay_slots == 0
+
+    def test_empty_block_rejected(self, scheme, signer):
+        with pytest.raises(SchemeParameterError):
+            scheme.make_block([], signer)
+
+
+class TestVerification:
+    def test_clean_chain_verifies(self, scheme, signer):
+        packets, receiver = _session(scheme, signer)
+        for packet in packets:
+            assert receiver.receive(packet)
+        assert receiver.verified_count() == len(packets)
+
+    def test_single_loss_kills_the_suffix(self, scheme, signer):
+        packets, receiver = _session(scheme, signer)
+        survivors = [p for i, p in enumerate(packets) if i != 2]
+        results = [receiver.receive(p) for p in survivors]
+        # Packets before the gap verify; at and after it, nothing does.
+        assert results[:2] == [True, True]
+        assert not any(results[2:])
+
+    def test_forged_payload_rejected(self, scheme, signer):
+        packets, receiver = _session(scheme, signer)
+        receiver.receive(packets[0])
+        forged = replace(packets[1], payload=b"forged")
+        assert not receiver.receive(forged)
+        # Forgery breaks the chain forward too.
+        assert not receiver.receive(packets[2])
+
+    def test_forged_fingerprint_rejected(self, scheme, signer):
+        packets, receiver = _session(scheme, signer)
+        extra = bytearray(packets[0].extra)
+        extra[10] ^= 1  # flip a fingerprint bit in the signed packet
+        bad_first = replace(packets[0], extra=bytes(extra))
+        assert not receiver.receive(bad_first)
+
+    def test_wrong_root_signer_rejected(self, scheme, signer):
+        packets, _ = _session(scheme, signer)
+        receiver = OnlineChainReceiver(HmacStubSigner(key=b"other"),
+                                       scheme._last_keypairs)
+        assert not receiver.receive(packets[0])
+
+    def test_deterministic_seed(self, signer):
+        a = OnlineRohatgiScheme(seed=b"s").make_block(
+            make_payloads(3), signer)
+        b = OnlineRohatgiScheme(seed=b"s").make_block(
+            make_payloads(3), signer)
+        assert [p.extra for p in a] == [p.extra for p in b]

@@ -1,0 +1,183 @@
+"""Unit tests for the SAIDA erasure-coded scheme."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import saida as analysis
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import AnalysisError, SchemeParameterError
+from repro.network.channel import Channel
+from repro.network.loss import BernoulliLoss, TraceLoss
+from repro.schemes.saida import SaidaReceiver, SaidaScheme
+from repro.simulation.sender import make_payloads
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"saida-test")
+
+
+@pytest.fixture
+def scheme():
+    return SaidaScheme(k_fraction=0.5)
+
+
+class TestScheme:
+    def test_threshold(self, scheme):
+        assert scheme.threshold(10) == 5
+        assert scheme.threshold(11) == 6
+        assert SaidaScheme(1.0).threshold(7) == 7
+
+    def test_no_dependence_graph(self, scheme):
+        assert scheme.build_graph(10) is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchemeParameterError):
+            SaidaScheme(0.0)
+        with pytest.raises(SchemeParameterError):
+            SaidaScheme(1.2)
+
+    def test_block_limits(self, scheme, signer):
+        with pytest.raises(SchemeParameterError):
+            scheme.make_block([], signer)
+        with pytest.raises(SchemeParameterError):
+            scheme.make_block(make_payloads(256), signer)
+
+    def test_packets_carry_no_plain_signature(self, scheme, signer):
+        packets = scheme.make_block(make_payloads(8), signer)
+        assert all(p.signature is None for p in packets)
+        assert all(p.carried == () for p in packets)
+        assert all(p.extra for p in packets)
+
+    def test_metrics_shape(self, scheme):
+        metrics = scheme.metrics(32, l_sign=128, l_hash=16)
+        assert metrics.delay_slots == scheme.threshold(32) - 1
+        # Share size ~ blob/k; must beat sign-each for real blocks.
+        assert metrics.overhead_bytes < 128
+
+    def test_name(self, scheme):
+        assert scheme.name == "saida(k=0.5)"
+
+
+class TestReceiver:
+    def test_lossless_all_verify(self, scheme, signer):
+        packets = scheme.make_block(make_payloads(12), signer)
+        receiver = SaidaReceiver(signer)
+        for packet in packets:
+            receiver.receive(packet)
+        assert receiver.verified_count() == 12
+
+    def test_any_k_subset_suffices(self, scheme, signer):
+        n = 12
+        k = scheme.threshold(n)
+        packets = scheme.make_block(make_payloads(n), signer)
+        receiver = SaidaReceiver(signer)
+        for packet in packets[-k:]:  # the *last* k — order irrelevant
+            receiver.receive(packet)
+        assert receiver.verified_count() == k
+
+    def test_below_threshold_nothing_verifies(self, scheme, signer):
+        n = 12
+        k = scheme.threshold(n)
+        packets = scheme.make_block(make_payloads(n), signer)
+        receiver = SaidaReceiver(signer)
+        for packet in packets[:k - 1]:
+            receiver.receive(packet)
+        assert receiver.verified_count() == 0
+        assert receiver.pending_count == k - 1
+
+    def test_late_arrivals_verify_immediately(self, scheme, signer):
+        n = 10
+        k = scheme.threshold(n)
+        packets = scheme.make_block(make_payloads(n), signer)
+        receiver = SaidaReceiver(signer)
+        for packet in packets[:k]:
+            receiver.receive(packet)
+        receiver.receive(packets[-1])
+        assert receiver.verified[packets[-1].seq] is True
+
+    def test_forged_payload_rejected_others_fine(self, scheme, signer):
+        packets = scheme.make_block(make_payloads(10), signer)
+        packets[3] = replace(packets[3], payload=b"forged payload!")
+        receiver = SaidaReceiver(signer)
+        for packet in packets:
+            receiver.receive(packet)
+        assert receiver.verified[packets[3].seq] is False
+        assert receiver.verified_count() == 9
+
+    def test_wrong_signer_fails_block(self, scheme, signer):
+        packets = scheme.make_block(make_payloads(10), signer)
+        receiver = SaidaReceiver(HmacStubSigner(key=b"other"))
+        for packet in packets:
+            receiver.receive(packet)
+        assert receiver.verified_count() == 0
+
+    def test_multi_block_isolation(self, scheme, signer):
+        a = scheme.make_block(make_payloads(8, tag=b"a"), signer,
+                              block_id=0, base_seq=1)
+        b = scheme.make_block(make_payloads(8, tag=b"b"), signer,
+                              block_id=1, base_seq=9)
+        receiver = SaidaReceiver(signer)
+        for packet in a + b:
+            receiver.receive(packet)
+        assert receiver.verified_count() == 16
+
+
+class TestAnalysis:
+    def test_profile_is_flat(self):
+        profile = analysis.q_profile(20, 10, 0.3)
+        assert len(set(profile)) == 1
+
+    def test_extremes(self):
+        assert analysis.q_min(20, 10, 0.0) == 1.0
+        assert analysis.q_min(20, 10, 1.0) == 0.0
+        assert analysis.q_min(20, 1, 0.99) == 1.0  # self suffices
+
+    def test_cliff_location(self):
+        assert analysis.loss_cliff(20, 10) == pytest.approx(0.5)
+        n, k = 100, 50
+        below = analysis.q_min(n, k, analysis.loss_cliff(n, k) - 0.15)
+        above = analysis.q_min(n, k, analysis.loss_cliff(n, k) + 0.15)
+        assert below > 0.95
+        assert above < 0.05
+
+    def test_matches_simulation(self, scheme, signer):
+        n, p = 20, 0.3
+        k = scheme.threshold(n)
+        received = verified = 0
+        for trial in range(300):
+            packets = scheme.make_block(make_payloads(n), signer)
+            channel = Channel(loss=BernoulliLoss(p, seed=trial),
+                              protect_signature_packets=False)
+            receiver = SaidaReceiver(signer)
+            deliveries = channel.transmit(packets)
+            for delivery in deliveries:
+                receiver.receive(delivery.packet)
+            received += len(deliveries)
+            verified += receiver.verified_count()
+        assert verified / received == pytest.approx(
+            analysis.q_i(n, k, p), abs=0.03)
+
+    def test_burst_indifference(self, scheme, signer):
+        """Erasure codes only count losses: a trace with clustered
+        losses verifies exactly like the same count spread out."""
+        n = 12
+        packets = scheme.make_block(make_payloads(n), signer)
+        clustered = [True] * 4 + [False] * 8
+        spread = [True, False, False] * 4
+        for pattern in (clustered, spread):
+            channel = Channel(loss=TraceLoss(pattern),
+                              protect_signature_packets=False)
+            receiver = SaidaReceiver(signer)
+            for delivery in channel.transmit(packets):
+                receiver.receive(delivery.packet)
+            assert receiver.verified_count() == 8
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            analysis.q_i(10, 0, 0.1)
+        with pytest.raises(AnalysisError):
+            analysis.q_i(10, 11, 0.1)
+        with pytest.raises(AnalysisError):
+            analysis.loss_cliff(10, 0)

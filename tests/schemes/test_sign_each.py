@@ -1,0 +1,61 @@
+"""Unit tests for the sign-each baseline."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SchemeParameterError
+from repro.schemes.sign_each import SignEachScheme, verify_sign_each_packet
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"se")
+
+
+@pytest.fixture
+def scheme():
+    return SignEachScheme()
+
+
+class TestScheme:
+    def test_no_graph(self, scheme):
+        assert scheme.build_graph(5) is None
+        assert scheme.individually_verifiable
+
+    def test_every_packet_signed_individually(self, scheme, signer):
+        packets = scheme.make_block([b"a", b"b", b"c"], signer)
+        assert all(p.is_signature_packet for p in packets)
+        assert len({p.signature for p in packets}) == 3
+
+    def test_each_verifies_alone(self, scheme, signer):
+        for packet in scheme.make_block([b"x", b"y"], signer):
+            assert verify_sign_each_packet(packet, signer)
+
+    def test_tampering_rejected(self, scheme, signer):
+        packet = scheme.make_block([b"x"], signer)[0]
+        assert not verify_sign_each_packet(
+            replace(packet, payload=b"evil"), signer)
+
+    def test_unsigned_rejected(self, scheme, signer):
+        packet = scheme.make_block([b"x"], signer)[0]
+        assert not verify_sign_each_packet(
+            replace(packet, signature=None), signer)
+
+    def test_empty_block_rejected(self, scheme, signer):
+        with pytest.raises(SchemeParameterError):
+            scheme.make_block([], signer)
+
+
+class TestMetrics:
+    def test_full_signature_per_packet(self, scheme):
+        metrics = scheme.metrics(100, l_sign=128)
+        assert metrics.overhead_bytes == 128.0
+        assert metrics.mean_hashes == 0.0
+
+    def test_no_delay_or_buffers(self, scheme):
+        metrics = scheme.metrics(10)
+        assert metrics.delay_slots == 0
+        assert metrics.message_buffer == 0
+        assert metrics.hash_buffer == 0

@@ -1,0 +1,198 @@
+"""Unit tests for TESLA: parameters, sender, receiver, security condition."""
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SchemeParameterError, SimulationError
+from repro.schemes.tesla import (
+    BootstrapInfo,
+    TeslaParameters,
+    TeslaReceiver,
+    TeslaScheme,
+    TeslaSender,
+)
+
+
+@pytest.fixture
+def parameters():
+    return TeslaParameters(interval=0.1, lag=2, chain_length=32,
+                           t0=0.0, max_clock_offset=0.0)
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"tesla")
+
+
+@pytest.fixture
+def sender(parameters, signer):
+    return TeslaSender(parameters, signer, seed=b"\x05" * 16)
+
+
+def _receiver(sender, signer, clock_offset=0.0):
+    bootstrap = sender.bootstrap_packet()
+    return TeslaReceiver(bootstrap, signer, clock_offset=clock_offset)
+
+
+class TestParameters:
+    def test_disclosure_delay(self, parameters):
+        assert parameters.disclosure_delay == pytest.approx(0.2)
+
+    def test_interval_of(self, parameters):
+        assert parameters.interval_of(0.0) == 1
+        assert parameters.interval_of(0.05) == 1
+        assert parameters.interval_of(0.1) == 2
+        assert parameters.interval_of(0.95) == 10
+
+    def test_interval_before_start_rejected(self, parameters):
+        with pytest.raises(SimulationError):
+            parameters.interval_of(-0.1)
+
+    def test_disclosure_time(self, parameters):
+        # K_1 disclosed at the start of interval 1 + lag.
+        assert parameters.disclosure_time(1) == pytest.approx(0.2)
+        assert parameters.disclosure_time(5) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(SchemeParameterError):
+            TeslaParameters(interval=0.0)
+        with pytest.raises(SchemeParameterError):
+            TeslaParameters(lag=0)
+        with pytest.raises(SchemeParameterError):
+            TeslaParameters(chain_length=0)
+        with pytest.raises(SchemeParameterError):
+            TeslaParameters(max_clock_offset=-1)
+
+
+class TestBootstrap:
+    def test_roundtrip(self, parameters):
+        info = BootstrapInfo(commitment=b"\x09" * 16, parameters=parameters)
+        decoded = BootstrapInfo.decode(info.encode())
+        assert decoded.commitment == info.commitment
+        assert decoded.parameters == parameters
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SimulationError):
+            BootstrapInfo.decode(b"\x01\x02")
+
+    def test_receiver_rejects_bad_bootstrap_signature(self, sender, signer):
+        from dataclasses import replace
+        bootstrap = sender.bootstrap_packet()
+        bad = replace(bootstrap, signature=b"\x00" * len(bootstrap.signature))
+        with pytest.raises(SimulationError):
+            TeslaReceiver(bad, signer)
+
+
+class TestHappyPath:
+    def test_all_packets_verify_without_loss(self, parameters, sender, signer):
+        receiver = _receiver(sender, signer)
+        count = 10
+        packets = [sender.send(b"payload-%d" % i, i * 0.1)
+                   for i in range(count)]
+        flush = sender.flush_keys(count)
+        delay = 0.01
+        for packet in packets + flush:
+            receiver.receive(packet, packet.send_time + delay)
+        counts = receiver.counts()
+        assert counts.get("verified") == count
+        assert counts.get("unsafe", 0) == 0
+        assert counts.get("bad-mac", 0) == 0
+
+    def test_verification_delay_is_disclosure_lag(self, parameters, sender,
+                                                  signer):
+        receiver = _receiver(sender, signer)
+        packets = [sender.send(b"p%d" % i, i * 0.1) for i in range(6)]
+        for packet in packets + sender.flush_keys(6):
+            receiver.receive(packet, packet.send_time + 0.001)
+        verdict = receiver.verdicts[packets[0].seq]
+        assert verdict.status == "verified"
+        assert verdict.delay == pytest.approx(
+            parameters.disclosure_delay, abs=0.05)
+
+
+class TestLossRecovery:
+    def test_lost_disclosure_recovered_from_later_key(self, sender, signer):
+        receiver = _receiver(sender, signer)
+        packets = [sender.send(b"p%d" % i, i * 0.1) for i in range(8)]
+        flush = sender.flush_keys(8)
+        # Drop the packet that disclosed K_1 (interval 3's packet).
+        survivors = [p for p in packets if p is not packets[2]]
+        for packet in survivors + flush:
+            receiver.receive(packet, packet.send_time + 0.01)
+        assert receiver.verdicts[packets[0].seq].status == "verified"
+
+    def test_all_later_disclosures_lost(self, sender, signer):
+        receiver = _receiver(sender, signer)
+        packets = [sender.send(b"p%d" % i, i * 0.1) for i in range(4)]
+        # Keep only the first two data packets; drop everything that
+        # would disclose their keys.
+        for packet in packets[:2]:
+            receiver.receive(packet, packet.send_time + 0.01)
+        assert receiver.verdicts[packets[0].seq].status == "pending"
+        assert receiver.pending_count == 2
+
+
+class TestSecurityCondition:
+    def test_late_packet_marked_unsafe(self, parameters, sender, signer):
+        receiver = _receiver(sender, signer)
+        packet = sender.send(b"late", 0.0)  # interval 1
+        # Arrives after K_1's disclosure time (0.2 s).
+        receiver.receive(packet, 0.25)
+        assert receiver.verdicts[packet.seq].status == "unsafe"
+
+    def test_clock_skew_tightens_condition(self, parameters, signer):
+        parameters_skewed = TeslaParameters(
+            interval=0.1, lag=2, chain_length=32, max_clock_offset=0.15)
+        sender = TeslaSender(parameters_skewed, signer, seed=b"\x05" * 16)
+        receiver = _receiver(sender, signer)
+        packet = sender.send(b"p", 0.0)
+        # Within disclosure time but inside the uncertainty margin.
+        receiver.receive(packet, 0.1)
+        assert receiver.verdicts[packet.seq].status == "unsafe"
+
+    def test_forged_mac_rejected(self, sender, signer):
+        from dataclasses import replace
+        receiver = _receiver(sender, signer)
+        packet = sender.send(b"genuine", 0.0)
+        forged = replace(packet, payload=b"forged!")
+        receiver.receive(forged, 0.01)
+        for flush_packet in sender.flush_keys(1):
+            receiver.receive(flush_packet, flush_packet.send_time + 0.01)
+        assert receiver.verdicts[forged.seq].status == "bad-mac"
+
+    def test_forged_key_disclosure_ignored(self, sender, signer):
+        from dataclasses import replace
+        receiver = _receiver(sender, signer)
+        good = sender.send(b"data", 0.2)  # interval 3, discloses K_1
+        import repro.schemes.tesla as tesla_module
+        interval, tag, idx, _key = tesla_module._decode_extra(
+            good.extra, 32)
+        forged_extra = tesla_module._encode_extra(
+            interval, tag, idx, b"\xff" * 16)
+        receiver.receive(replace(good, extra=forged_extra), 0.21)
+        # The forged key must not be accepted into the anchor.
+        assert receiver._anchor.index == 0
+
+
+class TestScheme:
+    def test_metrics(self):
+        scheme = TeslaScheme(TeslaParameters(interval=0.1, lag=7,
+                                             chain_length=64))
+        metrics = scheme.metrics(64, l_sign=128)
+        assert metrics.delay_slots == 7
+        assert metrics.message_buffer == 7
+        assert metrics.overhead_bytes == pytest.approx(32 + 16 + 128 / 64)
+
+    def test_no_plain_graph(self):
+        assert TeslaScheme().build_graph(10) is None
+
+    def test_extended_graph(self):
+        graph = TeslaScheme(TeslaParameters(lag=3)).build_extended_graph(5)
+        assert graph.lag == 3
+        graph.validate()
+
+    def test_sender_refuses_beyond_chain(self, signer):
+        parameters = TeslaParameters(interval=0.1, lag=1, chain_length=2)
+        sender = TeslaSender(parameters, signer)
+        with pytest.raises(SimulationError):
+            sender.send(b"too late", 1.0)

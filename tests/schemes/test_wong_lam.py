@@ -1,0 +1,129 @@
+"""Unit tests for the Wong-Lam authentication tree scheme."""
+
+import math
+
+import pytest
+
+from repro.crypto.hashing import truncated
+from repro.crypto.signatures import HmacStubSigner
+from repro.schemes.wong_lam import (
+    WongLamScheme,
+    decode_proof,
+    encode_proof,
+    verify_wong_lam_packet,
+)
+from repro.crypto.merkle import MerkleTree
+from repro.exceptions import VerificationError
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"wl")
+
+
+@pytest.fixture
+def scheme():
+    return WongLamScheme()
+
+
+class TestScheme:
+    def test_no_dependence_graph(self, scheme):
+        assert scheme.build_graph(10) is None
+        assert scheme.individually_verifiable
+
+    def test_every_packet_signed(self, scheme, signer):
+        packets = scheme.make_block([b"a", b"b", b"c", b"d"], signer)
+        assert all(p.is_signature_packet for p in packets)
+
+    def test_all_packets_share_signature(self, scheme, signer):
+        packets = scheme.make_block([b"a", b"b", b"c"], signer)
+        assert len({p.signature for p in packets}) == 1
+
+    def test_each_packet_verifies_alone(self, scheme, signer):
+        payloads = [b"pkt-%d" % i for i in range(9)]
+        for packet in scheme.make_block(payloads, signer):
+            assert verify_wong_lam_packet(packet, signer)
+
+    def test_tampered_payload_rejected(self, scheme, signer):
+        from dataclasses import replace
+        packets = scheme.make_block([b"a", b"b", b"c", b"d"], signer)
+        tampered = replace(packets[1], payload=b"evil")
+        assert not verify_wong_lam_packet(tampered, signer)
+
+    def test_tampered_proof_rejected(self, scheme, signer):
+        from dataclasses import replace
+        packets = scheme.make_block([b"a", b"b", b"c", b"d"], signer)
+        extra = bytearray(packets[1].extra)
+        extra[-1] ^= 1
+        tampered = replace(packets[1], extra=bytes(extra))
+        assert not verify_wong_lam_packet(tampered, signer)
+
+    def test_wrong_signer_rejected(self, scheme, signer):
+        packets = scheme.make_block([b"a", b"b"], signer)
+        other = HmacStubSigner(key=b"other")
+        assert not verify_wong_lam_packet(packets[0], other)
+
+    def test_unsigned_packet_rejected(self, scheme, signer):
+        from dataclasses import replace
+        packets = scheme.make_block([b"a", b"b"], signer)
+        assert not verify_wong_lam_packet(
+            replace(packets[0], signature=None), signer)
+
+
+class TestMetrics:
+    def test_overhead_has_log_depth(self, scheme):
+        metrics = scheme.metrics(64, l_sign=128, l_hash=16)
+        assert metrics.overhead_bytes == 128 + 6 * 16
+        assert metrics.mean_hashes == 6
+
+    def test_single_packet_block(self, scheme):
+        metrics = scheme.metrics(1, l_sign=128, l_hash=16)
+        assert metrics.overhead_bytes == 128
+
+    def test_no_delay_no_buffers(self, scheme):
+        metrics = scheme.metrics(64)
+        assert metrics.delay_slots == 0
+        assert metrics.message_buffer == 0
+        assert metrics.hash_buffer == 0
+
+    def test_depth_rounds_up(self, scheme):
+        assert scheme.metrics(65).mean_hashes == 7
+
+    def test_actual_packet_overhead_matches_model(self, scheme, signer):
+        n = 16
+        packets = scheme.make_block([b"%d" % i for i in range(n)], signer)
+        model = scheme.metrics(n, l_sign=signer.signature_size, l_hash=32)
+        for packet in packets:
+            # extra = root + path + framing; signature separate.
+            observed = len(packet.signature) + math.ceil(
+                math.log2(n)) * 32
+            assert observed <= packet.overhead_bytes
+            assert packet.overhead_bytes < model.overhead_bytes + 64
+
+
+class TestProofCodec:
+    def test_roundtrip(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d", b"e"])
+        proof = tree.proof(2)
+        blob = encode_proof(proof, tree.root, 32)
+        root, decoded = decode_proof(blob, 2, 32)
+        assert root == tree.root
+        assert decoded.siblings == proof.siblings
+
+    def test_truncated_hash_roundtrip(self):
+        short = truncated("sha256", 10)
+        tree = MerkleTree([b"a", b"b", b"c"], short)
+        proof = tree.proof(1)
+        blob = encode_proof(proof, tree.root, 10)
+        root, decoded = decode_proof(blob, 1, 10)
+        assert MerkleTree.verify_static(b"b", decoded, root, short)
+
+    def test_truncated_blob_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        blob = encode_proof(tree.proof(0), tree.root, 32)
+        with pytest.raises(VerificationError):
+            decode_proof(blob[:-5], 0, 32)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(VerificationError):
+            decode_proof(b"\x00", 0, 32)

@@ -1,0 +1,117 @@
+"""Unit tests for the one-to-many multicast session runner."""
+
+import pytest
+
+from repro.analysis import rohatgi as rohatgi_analysis
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SimulationError
+from repro.network.delay import GaussianDelay
+from repro.network.loss import BernoulliLoss
+from repro.schemes.emss import EmssScheme
+from repro.schemes.rohatgi import RohatgiScheme
+from repro.simulation.multicast import ReceiverSpec, run_multicast_session
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"mcast")
+
+
+class TestMulticast:
+    def test_heterogeneous_receivers(self, signer):
+        receivers = [
+            ReceiverSpec("lan"),
+            ReceiverSpec("wifi", loss=BernoulliLoss(0.1, seed=1)),
+            ReceiverSpec("satellite", loss=BernoulliLoss(0.4, seed=2),
+                         delay=GaussianDelay(0.3, 0.05, seed=3)),
+        ]
+        result = run_multicast_session(EmssScheme(2, 1), 20, 5, receivers,
+                                       signer=signer)
+        q = result.q_min_by_receiver()
+        assert q["lan"] == 1.0
+        assert q["lan"] >= q["wifi"] >= q["satellite"]
+        assert result.worst_receiver == "satellite"
+        assert result.packets_sent == 100
+
+    def test_one_signature_per_block_total(self, signer):
+        """The sender authenticates once no matter how many receivers."""
+        calls = []
+        original_sign = signer.sign
+
+        class CountingSigner:
+            name = signer.name
+            signature_size = signer.signature_size
+
+            def sign(self, message):
+                calls.append(message)
+                return original_sign(message)
+
+            def verify(self, message, signature):
+                return signer.verify(message, signature)
+
+        result = run_multicast_session(
+            EmssScheme(2, 1), 10, 3,
+            [ReceiverSpec("a"), ReceiverSpec("b"), ReceiverSpec("c")],
+            signer=CountingSigner())
+        assert len(calls) == 3  # one per block, NOT per receiver
+        assert len(result.per_receiver) == 3
+
+    def test_per_receiver_loss_independent(self, signer):
+        receivers = [
+            ReceiverSpec("r1", loss=BernoulliLoss(0.3, seed=10)),
+            ReceiverSpec("r2", loss=BernoulliLoss(0.3, seed=20)),
+        ]
+        result = run_multicast_session(EmssScheme(2, 1), 30, 4, receivers,
+                                       signer=signer)
+        r1 = result.per_receiver["r1"]
+        r2 = result.per_receiver["r2"]
+        assert r1.dropped != r2.dropped or r1.q_profile() != r2.q_profile()
+
+    def test_matches_single_receiver_analysis(self, signer):
+        p = 0.2
+        receivers = [ReceiverSpec("solo", loss=BernoulliLoss(p, seed=5))]
+        result = run_multicast_session(RohatgiScheme(), 10, 60, receivers,
+                                       signer=signer)
+        profile = result.per_receiver["solo"].q_profile()
+        for position in (3, 6, 10):
+            assert profile[position] == pytest.approx(
+                rohatgi_analysis.q_i(position, p), abs=0.07)
+
+    def test_saida_receivers(self, signer):
+        from repro.schemes.saida import SaidaScheme
+
+        receivers = [
+            ReceiverSpec("good", loss=BernoulliLoss(0.1, seed=1),
+                         protect_signature_packets=False),
+            ReceiverSpec("bad", loss=BernoulliLoss(0.6, seed=2),
+                         protect_signature_packets=False),
+        ]
+        result = run_multicast_session(SaidaScheme(0.5), 16, 5, receivers,
+                                       signer=signer)
+        q = result.q_min_by_receiver()
+        assert q["good"] == 1.0  # comfortably below the 50% cliff
+        assert q["bad"] < 0.2    # above the cliff: collapse
+
+    def test_individually_verifiable_receivers(self, signer):
+        from repro.schemes.sign_each import SignEachScheme
+        from repro.schemes.wong_lam import WongLamScheme
+
+        for scheme in (WongLamScheme(), SignEachScheme()):
+            result = run_multicast_session(
+                scheme, 8, 2,
+                [ReceiverSpec("any", loss=BernoulliLoss(0.5, seed=3),
+                              protect_signature_packets=False)],
+                signer=signer)
+            assert result.per_receiver["any"].q_min == 1.0
+
+    def test_validation(self, signer):
+        with pytest.raises(SimulationError):
+            run_multicast_session(EmssScheme(2, 1), 10, 0,
+                                  [ReceiverSpec("a")], signer=signer)
+        with pytest.raises(SimulationError):
+            run_multicast_session(EmssScheme(2, 1), 10, 1, [],
+                                  signer=signer)
+        with pytest.raises(SimulationError):
+            run_multicast_session(EmssScheme(2, 1), 10, 1,
+                                  [ReceiverSpec("a"), ReceiverSpec("a")],
+                                  signer=signer)

@@ -1,0 +1,114 @@
+"""Unit tests for the packet wire format."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.packets import Packet, packet_from_wire
+
+
+def _rich_packet():
+    return Packet(
+        seq=42, block_id=3, payload=b"the payload",
+        carried=((7, b"\xaa" * 16), (9, b"\xbb" * 16)),
+        signature=b"\xcc" * 64, extra=b"scheme-extra", send_time=1.25,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_seq(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=0, block_id=0, payload=b"")
+
+    def test_rejects_negative_block(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=1, block_id=-1, payload=b"")
+
+    def test_rejects_self_hash(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=1, block_id=0, payload=b"", carried=((1, b"\x01"),))
+
+    def test_rejects_duplicate_targets(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=1, block_id=0, payload=b"",
+                   carried=((2, b"\x01"), (2, b"\x02")))
+
+    def test_rejects_empty_hash(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=1, block_id=0, payload=b"", carried=((2, b""),))
+
+
+class TestAuthBytes:
+    def test_covers_payload(self):
+        a = Packet(seq=1, block_id=0, payload=b"x")
+        b = Packet(seq=1, block_id=0, payload=b"y")
+        assert a.auth_bytes() != b.auth_bytes()
+
+    def test_covers_carried_hashes(self):
+        a = Packet(seq=1, block_id=0, payload=b"x", carried=((2, b"\x01"),))
+        b = Packet(seq=1, block_id=0, payload=b"x", carried=((2, b"\x02"),))
+        assert a.auth_bytes() != b.auth_bytes()
+
+    def test_covers_extra(self):
+        a = Packet(seq=1, block_id=0, payload=b"x", extra=b"1")
+        b = Packet(seq=1, block_id=0, payload=b"x", extra=b"2")
+        assert a.auth_bytes() != b.auth_bytes()
+
+    def test_excludes_signature(self):
+        a = Packet(seq=1, block_id=0, payload=b"x", signature=b"\x01")
+        b = Packet(seq=1, block_id=0, payload=b"x", signature=b"\x02")
+        assert a.auth_bytes() == b.auth_bytes()
+
+    def test_injective_on_field_boundaries(self):
+        # payload/extra boundary must not be ambiguous.
+        a = Packet(seq=1, block_id=0, payload=b"ab", extra=b"c")
+        b = Packet(seq=1, block_id=0, payload=b"a", extra=b"bc")
+        assert a.auth_bytes() != b.auth_bytes()
+
+    def test_deterministic(self):
+        assert _rich_packet().auth_bytes() == _rich_packet().auth_bytes()
+
+
+class TestWireRoundtrip:
+    def test_full_roundtrip(self):
+        packet = _rich_packet()
+        assert packet_from_wire(packet.to_wire()) == packet
+
+    def test_unsigned_roundtrip(self):
+        packet = Packet(seq=1, block_id=0, payload=b"data")
+        decoded = packet_from_wire(packet.to_wire())
+        assert decoded.signature is None
+        assert decoded == packet
+
+    def test_empty_payload_roundtrip(self):
+        packet = Packet(seq=5, block_id=2, payload=b"")
+        assert packet_from_wire(packet.to_wire()) == packet
+
+    def test_truncated_buffer_rejected(self):
+        wire = _rich_packet().to_wire()
+        for cut in (4, len(wire) // 2, len(wire) - 1):
+            with pytest.raises(SimulationError):
+                packet_from_wire(wire[:cut])
+
+    def test_header_body_mismatch_rejected(self):
+        wire = bytearray(_rich_packet().to_wire())
+        wire[0] ^= 1  # corrupt header seq only
+        with pytest.raises(SimulationError):
+            packet_from_wire(bytes(wire))
+
+
+class TestDerived:
+    def test_overhead_bytes(self):
+        packet = _rich_packet()
+        expected = 2 * 16 + 2 * 4 + 64 + len(b"scheme-extra")
+        assert packet.overhead_bytes == expected
+
+    def test_overhead_without_signature(self):
+        packet = Packet(seq=1, block_id=0, payload=b"x",
+                        carried=((2, b"\x01" * 8),))
+        assert packet.overhead_bytes == 8 + 4
+
+    def test_with_send_time(self):
+        packet = Packet(seq=1, block_id=0, payload=b"x")
+        stamped = packet.with_send_time(3.5)
+        assert stamped.send_time == 3.5
+        assert packet.send_time == 0.0

@@ -1,0 +1,63 @@
+"""Unit tests for signature-packet replication."""
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.exceptions import SimulationError
+from repro.network.channel import Channel
+from repro.network.loss import TraceLoss
+from repro.schemes.emss import EmssScheme
+from repro.simulation.receiver import ChainReceiver
+from repro.simulation.sender import make_payloads, replicate_signature_packets
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"rep")
+
+
+def _block(signer, n=5):
+    return EmssScheme(2, 1).make_block(make_payloads(n), signer)
+
+
+class TestReplication:
+    def test_copies_inserted_after_original(self, signer):
+        packets = replicate_signature_packets(_block(signer), 3)
+        seqs = [p.seq for p in packets]
+        assert seqs == [1, 2, 3, 4, 5, 5, 5]
+
+    def test_one_copy_is_identity(self, signer):
+        block = _block(signer)
+        assert replicate_signature_packets(block, 1) == block
+
+    def test_validation(self, signer):
+        with pytest.raises(SimulationError):
+            replicate_signature_packets(_block(signer), 0)
+
+    def test_duplicate_delivery_is_idempotent(self, signer):
+        packets = replicate_signature_packets(_block(signer), 3)
+        receiver = ChainReceiver(signer)
+        for packet in packets:
+            receiver.receive(packet, 0.0)
+        assert receiver.verified_count() == 5
+
+    def test_replication_survives_first_copy_loss(self, signer):
+        packets = replicate_signature_packets(_block(signer), 2)
+        # Drop only the first signature transmission (position 5 of 6).
+        trace = [False, False, False, False, True, False]
+        channel = Channel(loss=TraceLoss(trace),
+                          protect_signature_packets=False)
+        receiver = ChainReceiver(signer)
+        for delivery in channel.transmit(packets):
+            receiver.receive(delivery.packet, delivery.arrival_time)
+        assert receiver.verified_count() == 5
+
+    def test_unreplicated_block_dies_with_signature(self, signer):
+        packets = _block(signer)
+        trace = [False, False, False, False, True]
+        channel = Channel(loss=TraceLoss(trace),
+                          protect_signature_packets=False)
+        receiver = ChainReceiver(signer)
+        for delivery in channel.transmit(packets):
+            receiver.receive(delivery.packet, delivery.arrival_time)
+        assert receiver.verified_count() == 0
