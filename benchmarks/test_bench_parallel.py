@@ -1,0 +1,67 @@
+"""Parallel-engine benchmark: serial vs sharded Monte Carlo.
+
+Times the graph-level estimator on the paper-scale workload (a
+1000-packet EMSS block, 100k trials) through the deterministic
+parallel engine at 1 worker (in-process serial fallback) and at
+``os.cpu_count()`` workers, records the wall-clock speedup, and — the
+determinism half of the contract — asserts the two runs return
+*identical* results.
+
+The >= 2x speedup assertion only engages on machines with at least 4
+cores (a process pool cannot beat serial on a 1-core runner); the
+timings and speedup are recorded either way.  Trials scale down on
+small machines so the harness stays snappy.
+"""
+
+import os
+import time
+
+from repro.experiments.common import ExperimentResult
+from repro.parallel import parallel_graph_monte_carlo
+from repro.schemes.emss import EmssScheme
+
+BLOCK_SIZE = 1000
+CORES = os.cpu_count() or 1
+FULL_SCALE = CORES >= 4
+TRIALS = 100_000 if FULL_SCALE else 20_000
+
+
+def test_parallel_speedup_and_determinism(show):
+    graph = EmssScheme(2, 1).build_graph(BLOCK_SIZE)
+
+    start = time.perf_counter()
+    serial = parallel_graph_monte_carlo(graph, 0.2, trials=TRIALS, seed=99,
+                                        workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    workers = max(4, CORES) if FULL_SCALE else CORES
+    start = time.perf_counter()
+    parallel = parallel_graph_monte_carlo(graph, 0.2, trials=TRIALS, seed=99,
+                                          workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds
+    result = ExperimentResult(
+        experiment_id="bench-parallel",
+        title=f"sharded Monte Carlo, n={BLOCK_SIZE}, {TRIALS} trials",
+    )
+    result.rows.append({
+        "workers (parallel run)": workers,
+        "serial s": serial_seconds,
+        "parallel s": parallel_seconds,
+        "speedup": speedup,
+    })
+    result.note(f"machine has {CORES} core(s); >=2x assertion "
+                f"{'ON' if FULL_SCALE else 'OFF (needs >= 4 cores)'}")
+    show(result)
+
+    # Bit-for-bit determinism across worker counts, always.
+    assert parallel == serial
+    assert parallel.trials == TRIALS
+
+    if FULL_SCALE:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {workers} workers on {CORES} cores, "
+            f"got {speedup:.2f}x ({serial_seconds:.2f}s -> "
+            f"{parallel_seconds:.2f}s)"
+        )

@@ -42,6 +42,13 @@ from repro.exceptions import (
     VerificationError,
 )
 from repro.packets import Packet, packet_from_wire
+from repro.parallel import (
+    parallel_graph_monte_carlo,
+    parallel_multicast,
+    parallel_wire_monte_carlo,
+    set_default_workers,
+    sweep,
+)
 from repro.schemes import (
     AugmentedChainScheme,
     EmssScheme,
@@ -93,6 +100,11 @@ __all__ = [
     "VerificationError",
     "Packet",
     "packet_from_wire",
+    "parallel_graph_monte_carlo",
+    "parallel_wire_monte_carlo",
+    "parallel_multicast",
+    "set_default_workers",
+    "sweep",
     "AugmentedChainScheme",
     "EmssScheme",
     "GenericOffsetScheme",

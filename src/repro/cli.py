@@ -55,12 +55,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="emit results as a JSON array")
     parser.add_argument("--report", metavar="PATH", dest="report_path",
                         help="write a full markdown report to PATH")
+    parser.add_argument("--workers", type=int, metavar="N", default=None,
+                        help=(
+                            "process-pool size for Monte-Carlo sweeps "
+                            "(default: all CPUs, or $REPRO_WORKERS; 1 = "
+                            "serial, identical output for any value)"
+                        ))
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    from repro.exceptions import AnalysisError
+    from repro.parallel import resolve_workers, set_default_workers
+
+    try:
+        resolve_workers(args.workers)  # validates flag and $REPRO_WORKERS
+    except AnalysisError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        set_default_workers(args.workers)
     if args.list_only:
         for experiment_id in ALL_EXPERIMENTS:
             print(experiment_id)

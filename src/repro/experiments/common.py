@@ -8,6 +8,13 @@ paper-vs-measured observations for EXPERIMENTS.md.
 
 ``fast=True`` asks an experiment to shrink sweep resolution (not
 semantics) so the pytest-benchmark harness stays snappy.
+
+Experiments whose cost is a grid of independent Monte-Carlo points can
+evaluate the grid through :func:`sweep` (re-exported from
+:mod:`repro.parallel`): pass a module-level function and a list of
+parameter points and the points fan out across the process pool sized
+by the CLI's ``--workers`` flag, in grid order, with identical results
+at any pool size.
 """
 
 from __future__ import annotations
@@ -15,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-__all__ = ["Series", "ExperimentResult", "format_table"]
+from repro.parallel.pool import sweep
+
+__all__ = ["Series", "ExperimentResult", "format_table", "sweep"]
 
 
 @dataclass(frozen=True)

@@ -20,12 +20,18 @@ from __future__ import annotations
 
 from repro.analysis.montecarlo import graph_monte_carlo
 from repro.analysis.variance import build_tapered_graph, profile_stats
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, sweep
 from repro.schemes.augmented_chain import AugmentedChainScheme
 from repro.schemes.emss import EmssScheme
 from repro.schemes.rohatgi import RohatgiScheme
 
 __all__ = ["run"]
+
+
+def _candidate_point(task):
+    """One grid point (runs in a pool worker): exact MC on one graph."""
+    name, graph, p, trials = task
+    return name, graph_monte_carlo(graph, p, trials=trials, seed=71)
 
 
 def run(fast: bool = False) -> ExperimentResult:
@@ -43,10 +49,11 @@ def run(fast: bool = False) -> ExperimentResult:
         ("ac(3,3)", AugmentedChainScheme(3, 3).build_graph(n)),
         ("tapered 2->4", build_tapered_graph(n, 2, 4, taper_start=0.4)),
     ]
+    grid = [(name, graph, p, trials) for name, graph in candidates]
+    estimates = dict(sweep(_candidate_point, grid))
     stats_by_name = {}
     for name, graph in candidates:
-        mc = graph_monte_carlo(graph, p, trials=trials, seed=71)
-        stats = profile_stats(list(mc.q.values()))
+        stats = profile_stats(list(estimates[name].q.values()))
         stats_by_name[name] = stats
         cv = stats.std / stats.mean if stats.mean > 0 else float("inf")
         result.rows.append({

@@ -39,6 +39,17 @@ class LossModel(ABC):
     def reset(self) -> None:
         """Return to the initial state (new trial)."""
 
+    def reseed(self, seed: Optional[int]) -> None:
+        """Re-key the model's private RNG, then :meth:`reset`.
+
+        Models without randomness (traces, lossless channels) simply
+        reset.  This is how the reproducible estimators pin down models
+        that were constructed without a seed of their own.
+        """
+        if hasattr(self, "_seed"):
+            self._seed = seed
+        self.reset()
+
     def sample(self, count: int) -> List[bool]:
         """Loss decisions for ``count`` consecutive packets."""
         if count < 0:

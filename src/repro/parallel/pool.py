@@ -1,0 +1,89 @@
+"""Process-pool plumbing shared by every parallel estimator.
+
+Workers are plain ``concurrent.futures.ProcessPoolExecutor`` processes;
+``run_tasks`` preserves submission order, and ``workers=1`` (or a
+single task) bypasses the pool entirely and runs the same jobs in the
+calling process — the serial fallback the determinism tests compare
+against.
+
+The default worker count resolves, in order: an explicit argument, the
+process-wide default set by :func:`set_default_workers` (the CLI's
+``--workers`` flag lands here), the ``REPRO_WORKERS`` environment
+variable (how CI pins pool size), then ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["set_default_workers", "get_default_workers", "resolve_workers",
+           "run_tasks", "sweep"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_default_workers: Optional[int] = None
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default pool size (``None`` = autodetect)."""
+    if workers is not None and workers < 1:
+        raise AnalysisError(f"workers must be >= 1, got {workers}")
+    global _default_workers
+    _default_workers = workers
+
+
+def get_default_workers() -> Optional[int]:
+    """The process-wide default pool size, if one was set."""
+    return _default_workers
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an effective worker count (always >= 1)."""
+    if workers is None:
+        workers = _default_workers
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise AnalysisError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise AnalysisError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def run_tasks(fn: Callable[[_T], _R], tasks: Sequence[_T],
+              workers: Optional[int] = None) -> List[_R]:
+    """Apply ``fn`` to every task, in order, possibly across processes.
+
+    ``fn`` and the tasks must be picklable (module-level function,
+    plain-data arguments).  Results come back in task order regardless
+    of completion order, so deterministic merges can simply fold the
+    returned list left to right.
+    """
+    workers = resolve_workers(workers)
+    if workers == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))
+
+
+def sweep(fn: Callable[[_T], _R], grid: Iterable[_T],
+          workers: Optional[int] = None) -> List[_R]:
+    """Map ``fn`` over a parameter grid, fanning out across the pool.
+
+    The experiment-sweep counterpart of :func:`run_tasks`: ``grid`` is
+    any iterable of parameter points (tuples, dataclasses, dicts — as
+    long as they pickle) and the returned list is in grid order.  With
+    ``workers=1`` this is exactly ``[fn(point) for point in grid]``.
+    """
+    return run_tasks(fn, list(grid), workers)

@@ -1,0 +1,73 @@
+"""Deterministic seed trees and trial chunking.
+
+The parallel engine's reproducibility contract rests on two rules:
+
+* a run's randomness comes from a **seed tree** —
+  ``numpy.random.SeedSequence(seed).spawn(chunks)`` — so chunk ``c``
+  always sees the same independent stream, and
+* the **chunk layout depends only on the trial count**, never on the
+  worker count, so any pool size replays the identical set of
+  (chunk, seed) jobs.
+
+Together they make every run bit-for-bit identical for 1, 2, or 64
+workers: the pool only changes *where* a chunk executes, not *what* it
+computes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from numpy.random import SeedSequence
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["DEFAULT_CHUNKS", "spawn_seed_tree", "chunk_sizes",
+           "resolve_chunks"]
+
+#: Default number of shards a run is split into.  Fixed (rather than
+#: derived from ``os.cpu_count()``) so the chunk layout — and therefore
+#: the result — is identical across machines; 16 slots keep pools of up
+#: to 16 workers busy while leaving each chunk large enough for the
+#: vectorized estimator to stay efficient.
+DEFAULT_CHUNKS = 16
+
+SeedLike = Union[None, int, SeedSequence]
+
+
+def spawn_seed_tree(seed: SeedLike, count: int) -> List[SeedSequence]:
+    """Spawn ``count`` independent child seed sequences from ``seed``.
+
+    ``seed`` may be an int, ``None`` (fresh OS entropy — reproducible
+    within the run, not across runs) or an existing
+    :class:`~numpy.random.SeedSequence` node of a larger tree.
+    """
+    if count < 1:
+        raise AnalysisError(f"need >= 1 seed, got {count}")
+    root = seed if isinstance(seed, SeedSequence) else SeedSequence(seed)
+    return root.spawn(count)
+
+
+def chunk_sizes(total: int, chunks: int) -> List[int]:
+    """Near-equal deterministic split of ``total`` trials into ``chunks``.
+
+    The first ``total % chunks`` chunks carry one extra trial; every
+    chunk is non-empty.
+    """
+    if total < 1:
+        raise AnalysisError(f"need >= 1 trial, got {total}")
+    if not 1 <= chunks <= total:
+        raise AnalysisError(
+            f"chunks must be in [1, {total}], got {chunks}")
+    base, extra = divmod(total, chunks)
+    return [base + 1 if index < extra else base for index in range(chunks)]
+
+
+def resolve_chunks(total: int, chunks: Optional[int] = None) -> int:
+    """Apply the default chunk policy (``min(total, DEFAULT_CHUNKS)``)."""
+    if chunks is None:
+        return min(total, DEFAULT_CHUNKS)
+    if not 1 <= chunks <= total:
+        raise AnalysisError(
+            f"chunks must be in [1, {total}], got {chunks}")
+    return chunks

@@ -5,6 +5,12 @@ high-fidelity counterpart to the vectorized graph-level estimator in
 :mod:`repro.analysis.montecarlo`.  Use them to validate that the
 byte-level implementation matches the graph abstraction; use the
 graph-level estimator for large parameter sweeps.
+
+Each trial's channel RNG is derived from the config seed and the
+trial's *global* index, so a run can be sharded into contiguous
+index ranges (:func:`run_wire_trials`, :func:`run_tesla_trials`) and
+re-merged — :mod:`repro.parallel` fans those ranges out across a
+process pool with output identical to the serial loop.
 """
 
 from __future__ import annotations
@@ -26,7 +32,13 @@ from repro.simulation.session import (
 )
 from repro.simulation.stats import SimulationStats
 
-__all__ = ["wire_monte_carlo", "tesla_monte_carlo", "WireTrialConfig"]
+__all__ = [
+    "wire_monte_carlo",
+    "tesla_monte_carlo",
+    "run_wire_trials",
+    "run_tesla_trials",
+    "WireTrialConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -45,21 +57,24 @@ def _fast_signer() -> Signer:
     return HmacStubSigner(key=b"wire-monte-carlo", signature_size=128)
 
 
-def wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
-                     loss: Optional[LossModel] = None,
-                     delay: Optional[DelayModel] = None) -> SimulationStats:
-    """Aggregate ``trials`` wire-level sessions of ``scheme``.
+def run_wire_trials(scheme: Scheme, config: WireTrialConfig,
+                    first_trial: int, trial_count: int,
+                    loss: Optional[LossModel] = None,
+                    delay: Optional[DelayModel] = None) -> SimulationStats:
+    """Run trials ``first_trial .. first_trial + trial_count - 1``.
 
-    Each trial gets an independent channel (fresh loss RNG derived from
-    the config seed) but statistics accumulate into one
-    :class:`SimulationStats`, so ``stats.q_profile()`` is the empirical
-    per-position ``q_i`` across all trials.
+    Trial indices are global: the channel RNG of trial ``t`` depends
+    only on ``config.seed`` and ``t``, never on the range boundaries,
+    so any partition of ``range(config.trials)`` into contiguous ranges
+    merges back to exactly the serial result.
     """
-    if config.trials < 1:
-        raise SimulationError(f"need >= 1 trial, got {config.trials}")
+    if trial_count < 0:
+        raise SimulationError(f"trial count must be >= 0, got {trial_count}")
+    if first_trial < 0:
+        raise SimulationError(f"first trial must be >= 0, got {first_trial}")
     signer = _fast_signer()
     stats = SimulationStats()
-    for trial in range(config.trials):
+    for trial in range(first_trial, first_trial + trial_count):
         trial_loss = loss if loss is not None else BernoulliLoss(
             config.loss_rate, seed=config.seed + trial * 7919)
         trial_delay = delay if delay is not None else ConstantDelay(0.0)
@@ -80,6 +95,46 @@ def wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
     return stats
 
 
+def wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
+                     loss: Optional[LossModel] = None,
+                     delay: Optional[DelayModel] = None) -> SimulationStats:
+    """Aggregate ``trials`` wire-level sessions of ``scheme``.
+
+    Each trial gets an independent channel (fresh loss RNG derived from
+    the config seed) but statistics accumulate into one
+    :class:`SimulationStats`, so ``stats.q_profile()`` is the empirical
+    per-position ``q_i`` across all trials.
+    """
+    if config.trials < 1:
+        raise SimulationError(f"need >= 1 trial, got {config.trials}")
+    return run_wire_trials(scheme, config, 0, config.trials,
+                           loss=loss, delay=delay)
+
+
+def run_tesla_trials(parameters: TeslaParameters, packet_count: int,
+                     first_trial: int, trial_count: int, loss_rate: float,
+                     delay_mean: float = 0.0, delay_std: float = 0.0,
+                     clock_offset: float = 0.0,
+                     seed: int = 11) -> SimulationStats:
+    """TESLA counterpart of :func:`run_wire_trials` (global indices)."""
+    if trial_count < 0:
+        raise SimulationError(f"trial count must be >= 0, got {trial_count}")
+    if first_trial < 0:
+        raise SimulationError(f"first trial must be >= 0, got {first_trial}")
+    stats = SimulationStats()
+    for trial in range(first_trial, first_trial + trial_count):
+        loss = BernoulliLoss(loss_rate, seed=seed + trial * 104729)
+        if delay_std > 0 or delay_mean > 0:
+            delay: DelayModel = GaussianDelay(delay_mean, delay_std,
+                                              seed=seed + trial * 1299709)
+        else:
+            delay = ConstantDelay(0.0)
+        channel = Channel(loss=loss, delay=delay)
+        run_tesla_session(parameters, packet_count, channel,
+                          clock_offset=clock_offset, stats=stats)
+    return stats
+
+
 def tesla_monte_carlo(parameters: TeslaParameters, packet_count: int,
                       trials: int, loss_rate: float,
                       delay_mean: float = 0.0, delay_std: float = 0.0,
@@ -93,15 +148,6 @@ def tesla_monte_carlo(parameters: TeslaParameters, packet_count: int,
     """
     if trials < 1:
         raise SimulationError(f"need >= 1 trial, got {trials}")
-    stats = SimulationStats()
-    for trial in range(trials):
-        loss = BernoulliLoss(loss_rate, seed=seed + trial * 104729)
-        if delay_std > 0 or delay_mean > 0:
-            delay: DelayModel = GaussianDelay(delay_mean, delay_std,
-                                              seed=seed + trial * 1299709)
-        else:
-            delay = ConstantDelay(0.0)
-        channel = Channel(loss=loss, delay=delay)
-        run_tesla_session(parameters, packet_count, channel,
-                          clock_offset=clock_offset, stats=stats)
-    return stats
+    return run_tesla_trials(parameters, packet_count, 0, trials, loss_rate,
+                            delay_mean=delay_mean, delay_std=delay_std,
+                            clock_offset=clock_offset, seed=seed)

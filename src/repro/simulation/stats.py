@@ -112,3 +112,34 @@ class SimulationStats:
         """Fold one trial's buffer peaks into the run maxima."""
         self.message_buffer_peak = max(self.message_buffer_peak, message_peak)
         self.hash_buffer_peak = max(self.hash_buffer_peak, hash_peak)
+
+    def merge(self, other: "SimulationStats") -> "SimulationStats":
+        """Exact merge of two shards into a new accumulator.
+
+        Counts sum per position, delays concatenate in merge order
+        (shards ordered by trial index reproduce the serial delay
+        sequence exactly), buffer peaks take the max.  Both inputs are
+        left untouched, so merging is safe inside a process pool that
+        still holds references to the shard results.
+        """
+        merged = SimulationStats()
+        for source in (self, other):
+            for position, tally in source.tallies.items():
+                total = merged.tallies.setdefault(position, PositionTally())
+                total.received += tally.received
+                total.verified += tally.verified
+            merged.delays.extend(source.delays)
+            merged.merge_buffer_peaks(source.message_buffer_peak,
+                                      source.hash_buffer_peak)
+            merged.sent += source.sent
+            merged.dropped += source.dropped
+            merged.forged += source.forged
+        return merged
+
+    @staticmethod
+    def merge_all(shards: "List[SimulationStats]") -> "SimulationStats":
+        """Fold :meth:`merge` over shard results in order."""
+        merged = SimulationStats()
+        for shard in shards:
+            merged = merged.merge(shard)
+        return merged

@@ -10,7 +10,7 @@ from repro.analysis.montecarlo import (
 from repro.core.graph import DependenceGraph
 from repro.core.paths import exact_lambda
 from repro.exceptions import AnalysisError
-from repro.network.loss import BernoulliLoss, TraceLoss
+from repro.network.loss import BernoulliLoss, GilbertElliottLoss, TraceLoss
 from repro.schemes.emss import EmssScheme
 
 
@@ -93,6 +93,28 @@ class TestModelDrivenMonteCarlo:
         graph = EmssScheme(2, 1).build_graph(4)
         with pytest.raises(AnalysisError):
             graph_monte_carlo_model(graph, BernoulliLoss(0.1), trials=0)
+
+    def test_gilbert_elliott_deterministic_with_seed(self):
+        # Regression: burst-loss runs used to be irreproducible when the
+        # model was built without a seed; the ``seed`` parameter reseeds
+        # the model so two runs agree exactly.
+        graph = EmssScheme(2, 1).build_graph(30)
+
+        def run(seed):
+            model = GilbertElliottLoss.from_rate_and_burst(0.25, 4.0)
+            return graph_monte_carlo_model(graph, model, trials=400,
+                                           seed=seed)
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_seed_overrides_model_state(self):
+        graph = EmssScheme(2, 1).build_graph(20)
+        model = GilbertElliottLoss.from_rate_and_burst(0.3, 3.0, seed=7)
+        first = graph_monte_carlo_model(graph, model, trials=200, seed=5)
+        # The model's stream was consumed, but reseeding restores it.
+        second = graph_monte_carlo_model(graph, model, trials=200, seed=5)
+        assert first == second
 
 
 class TestTeslaLambdaMonteCarlo:

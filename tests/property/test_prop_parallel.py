@@ -1,0 +1,156 @@
+"""Property-based tests for the parallel engine's merge algebra.
+
+Randomized dependence-graphs (forward-edge DAGs rooted at vertex 1)
+exercise :meth:`McResult.merge` — it must be an exact, associative,
+commutative fold of integer counts — plus the seed-tree/chunking
+helpers the pool builds on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.montecarlo import McResult, graph_monte_carlo
+from repro.core.graph import DependenceGraph
+from repro.exceptions import AnalysisError
+from repro.parallel import (
+    chunk_sizes,
+    parallel_graph_monte_carlo,
+    resolve_chunks,
+    spawn_seed_tree,
+)
+
+
+@st.composite
+def random_graphs(draw):
+    """A random rooted DAG: chain backbone + random forward skip edges."""
+    n = draw(st.integers(min_value=3, max_value=25))
+    edges = [(j - 1, j) for j in range(2, n + 1)]
+    extra = draw(st.lists(
+        st.tuples(st.integers(min_value=1, max_value=n - 2),
+                  st.integers(min_value=2, max_value=n)),
+        max_size=12))
+    for i, j in extra:
+        if i + 1 < j and (i, j) not in edges:
+            edges.append((i, j))
+    return DependenceGraph.from_edges(n, 1, edges)
+
+
+_loss = st.floats(min_value=0.0, max_value=0.6)
+_seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestMergeAlgebra:
+    @given(random_graphs(), _loss, _seeds, _seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_commutative(self, graph, p, seed_a, seed_b):
+        a = graph_monte_carlo(graph, p, trials=80, seed=seed_a)
+        b = graph_monte_carlo(graph, p, trials=120, seed=seed_b)
+        assert a.merge(b) == b.merge(a)
+
+    @given(random_graphs(), _loss, _seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_associative(self, graph, p, seed):
+        shards = [
+            graph_monte_carlo(graph, p, trials=60, seed=child)
+            for child in spawn_seed_tree(seed, 3)
+        ]
+        left = shards[0].merge(shards[1]).merge(shards[2])
+        right = shards[0].merge(shards[1].merge(shards[2]))
+        assert left == right
+
+    @given(random_graphs(), _loss, _seeds,
+           st.lists(st.integers(min_value=20, max_value=150),
+                    min_size=2, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_trials_and_counts_sum(self, graph, p, seed, shard_trials):
+        shards = [
+            graph_monte_carlo(graph, p, trials=trials, seed=child)
+            for trials, child in zip(shard_trials,
+                                     spawn_seed_tree(seed, len(shard_trials)))
+        ]
+        merged = McResult.merge_all(shards)
+        assert merged.trials == sum(shard_trials)
+        for vertex in merged.received_counts:
+            assert merged.received_counts[vertex] == sum(
+                shard.received_counts.get(vertex, 0) for shard in shards)
+            assert merged.verified_counts[vertex] == sum(
+                shard._verified(vertex) for shard in shards
+                if vertex in shard.received_counts)
+            assert merged.q[vertex] == (merged.verified_counts[vertex]
+                                        / merged.received_counts[vertex])
+
+    @given(random_graphs(), _loss, _seeds,
+           st.integers(min_value=2, max_value=9))
+    @settings(max_examples=30, deadline=None)
+    def test_standard_error_shrinks_as_inverse_sqrt(self, graph, p, seed, k):
+        """Merging k identical shards scales every SE by exactly 1/sqrt(k)."""
+        shard = graph_monte_carlo(graph, p, trials=100, seed=seed)
+        merged = McResult.merge_all([shard] * k)
+        for vertex in shard.q:
+            assert merged.standard_error(vertex) == pytest.approx(
+                shard.standard_error(vertex) / math.sqrt(k))
+
+    @given(random_graphs(), st.floats(min_value=0.1, max_value=0.5), _seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_standard_error_shrinks_with_independent_shards(self, graph, p,
+                                                           seed):
+        """Independent shards: SE falls roughly like 1/sqrt(total trials)."""
+        k = 4
+        shards = [
+            graph_monte_carlo(graph, p, trials=400, seed=child)
+            for child in spawn_seed_tree(seed, k)
+        ]
+        merged = McResult.merge_all(shards)
+        vertex = graph.n  # farthest from the signature: mid-range q
+        assume(0.05 < merged.q.get(vertex, 1.0) < 0.95)
+        single = shards[0].standard_error(vertex)
+        assume(single > 0)
+        assert merged.standard_error(vertex) < single / math.sqrt(k) * 1.6
+
+    @given(random_graphs(), _loss, _seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_parallel_estimator_is_a_merge(self, graph, p, seed):
+        result = parallel_graph_monte_carlo(graph, p, trials=90, seed=seed,
+                                            workers=1, chunks=3)
+        shards = [
+            graph_monte_carlo(graph, p, trials=30, seed=child)
+            for child in spawn_seed_tree(seed, 3)
+        ]
+        assert result == McResult.merge_all(shards)
+
+    def test_merge_nothing_rejected(self):
+        with pytest.raises(AnalysisError):
+            McResult.merge_all([])
+
+
+class TestChunkHelpers:
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=80, deadline=None)
+    def test_chunk_sizes_partition(self, total, chunks):
+        assume(chunks <= total)
+        sizes = chunk_sizes(total, chunks)
+        assert sum(sizes) == total
+        assert len(sizes) == chunks
+        assert all(size >= 1 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_default_chunk_policy(self, total):
+        chunks = resolve_chunks(total)
+        assert 1 <= chunks <= min(total, 16)
+
+    @given(_seeds, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=50, deadline=None)
+    def test_seed_tree_reproducible_and_distinct(self, seed, count):
+        first = spawn_seed_tree(seed, count)
+        second = spawn_seed_tree(seed, count)
+        draws_first = [np.random.default_rng(s).random() for s in first]
+        draws_second = [np.random.default_rng(s).random() for s in second]
+        assert draws_first == draws_second
+        assert len(set(draws_first)) == count  # streams are independent

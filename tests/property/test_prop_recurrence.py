@@ -5,7 +5,14 @@ from hypothesis import strategies as st
 
 from repro.analysis import augmented_chain as ac_analysis
 from repro.analysis import emss as emss_analysis
+from repro.analysis.montecarlo import (
+    graph_monte_carlo,
+    graph_monte_carlo_reference,
+)
+from repro.core.graph import DependenceGraph
 from repro.core.recurrence import solve_recurrence
+from repro.schemes.augmented_chain import AugmentedChainScheme
+from repro.schemes.emss import EmssScheme
 
 _loss = st.floats(min_value=0.0, max_value=1.0)
 _moderate_loss = st.floats(min_value=0.0, max_value=0.9)
@@ -48,6 +55,45 @@ class TestRecurrenceProperties:
     @settings(max_examples=40, deadline=None)
     def test_lossless_channel_gives_certainty(self, n, offsets):
         assert solve_recurrence(n, offsets, 0.0).q_min == 1.0
+
+
+def _emss_graph(n):
+    return EmssScheme(2, 1).build_graph(n)
+
+
+def _ac_graph(n):
+    return AugmentedChainScheme(3, 3).build_graph(n)
+
+
+def _wong_lam_star(n):
+    # Wong–Lam's dependence structure as a graph: every packet is
+    # directly authenticated by P_sign (individual verifiability).
+    return DependenceGraph.from_edges(n, 1, [(1, j) for j in range(2, n + 1)])
+
+
+class TestVectorizedMonteCarloMatchesReference:
+    """The ``np.logical_or.reduce`` column-gather rewrite of
+    ``graph_monte_carlo`` must match the pre-rewrite predecessor-loop
+    implementation (kept as a slow reference fixture) bit-for-bit:
+    both consume identical RNG draws, so with the same seed every
+    count — not just every estimate — is equal.
+    """
+
+    @given(st.integers(min_value=5, max_value=40),
+           st.floats(min_value=0.0, max_value=0.9),
+           st.integers(min_value=0, max_value=2**31),
+           st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_emss_ac_star_graphs(self, n, p, seed, protect_root):
+        for build in (_emss_graph, _ac_graph, _wong_lam_star):
+            graph = build(n)
+            fast = graph_monte_carlo(
+                graph, p, trials=150, seed=seed,
+                root_always_received=protect_root)
+            reference = graph_monte_carlo_reference(
+                graph, p, trials=150, seed=seed,
+                root_always_received=protect_root)
+            assert fast == reference
 
 
 class TestEmssProperties:
