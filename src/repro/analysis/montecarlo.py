@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.core.graph import DependenceGraph
 from repro.exceptions import AnalysisError
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
 
 __all__ = [
     "McResult",
@@ -186,15 +188,20 @@ def graph_monte_carlo(graph: DependenceGraph, p: float, trials: int = 10_000,
         raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
     if trials < 1:
         raise AnalysisError(f"need >= 1 trial, got {trials}")
-    graph.validate()
-    n = graph.n
-    rng = np.random.default_rng(seed)
-    received = rng.random((trials, n + 1)) >= p  # column 0 unused
-    received[:, 0] = False
-    if root_always_received:
-        received[:, graph.root] = True
-    verifiable = _propagate(graph, received)
-    return _tally(graph, received, verifiable, trials)
+    registry = get_registry()
+    if registry.enabled:
+        registry.count("mc.graph.runs")
+        registry.count("mc.graph.trials", trials)
+    with span("mc.graph_monte_carlo"):
+        graph.validate()
+        n = graph.n
+        rng = np.random.default_rng(seed)
+        received = rng.random((trials, n + 1)) >= p  # column 0 unused
+        received[:, 0] = False
+        if root_always_received:
+            received[:, graph.root] = True
+        verifiable = _propagate(graph, received)
+        return _tally(graph, received, verifiable, trials)
 
 
 def graph_monte_carlo_reference(graph: DependenceGraph, p: float,
@@ -256,21 +263,26 @@ def graph_monte_carlo_model(graph: DependenceGraph, loss_model,
     """
     if trials < 1:
         raise AnalysisError(f"need >= 1 trial, got {trials}")
-    graph.validate()
-    n = graph.n
-    if seed is not None:
-        loss_model.reseed(seed)
-    else:
-        loss_model.reset()
-    # One bulk draw per trial instead of O(n) Python calls per packet.
-    received = np.empty((trials, n + 1), dtype=bool)
-    received[:, 0] = False
-    for trial in range(trials):
-        received[trial, 1:] = np.logical_not(loss_model.sample(n))
-    if root_always_received:
-        received[:, graph.root] = True
-    verifiable = _propagate(graph, received)
-    return _tally(graph, received, verifiable, trials)
+    registry = get_registry()
+    if registry.enabled:
+        registry.count("mc.model.runs")
+        registry.count("mc.model.trials", trials)
+    with span("mc.graph_monte_carlo_model"):
+        graph.validate()
+        n = graph.n
+        if seed is not None:
+            loss_model.reseed(seed)
+        else:
+            loss_model.reset()
+        # One bulk draw per trial instead of O(n) Python calls per packet.
+        received = np.empty((trials, n + 1), dtype=bool)
+        received[:, 0] = False
+        for trial in range(trials):
+            received[trial, 1:] = np.logical_not(loss_model.sample(n))
+        if root_always_received:
+            received[:, graph.root] = True
+        verifiable = _propagate(graph, received)
+        return _tally(graph, received, verifiable, trials)
 
 
 def tesla_lambda_monte_carlo(n: int, p: float, trials: int = 10_000,
@@ -286,6 +298,10 @@ def tesla_lambda_monte_carlo(n: int, p: float, trials: int = 10_000,
         raise AnalysisError(f"need n >= 1, got {n}")
     if not 0.0 <= p <= 1.0:
         raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    registry = get_registry()
+    if registry.enabled:
+        registry.count("mc.tesla_lambda.runs")
+        registry.count("mc.tesla_lambda.trials", trials)
     rng = np.random.default_rng(seed)
     key_received = rng.random((trials, n)) >= p
     # suffix_any[:, i] == any disclosure with index >= i+1 arrived.

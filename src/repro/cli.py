@@ -6,6 +6,16 @@ Installed as ``repro-experiments``::
     repro-experiments fig8 fig9
     repro-experiments --all --fast
     repro-experiments fig10 --json > fig10.json
+    repro-experiments fig9 --metrics-out metrics.json --profile
+    repro-experiments fig8 --trace-out trace.jsonl
+    repro-experiments bench-report .benchmarks --out BENCH_today.json
+
+Observability flags (see ``docs/observability.md``): ``--metrics-out``
+writes one run manifest + metrics snapshot per experiment,
+``--trace-out`` streams span begin/end records as JSON lines, and
+``--profile`` prints the top cumulative spans after the run.  All
+three are bit-for-bit neutral: results are identical with or without
+them.
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["main", "result_to_dict"]
+
+PROFILE_TOP = 12
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -44,7 +56,8 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (see --list)")
+                        help="experiment ids (see --list), or the "
+                             "'bench-report' subcommand")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
     parser.add_argument("--fast", action="store_true",
@@ -61,17 +74,91 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: all CPUs, or $REPRO_WORKERS; 1 = "
                             "serial, identical output for any value)"
                         ))
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help=(
+                            "write per-experiment run manifests and metric "
+                            "snapshots (counters, span timings, histograms) "
+                            "as JSON to FILE"
+                        ))
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="stream span begin/end records to FILE as "
+                             "JSON lines")
+    parser.add_argument("--profile", action="store_true",
+                        help=f"print the top {PROFILE_TOP} cumulative spans "
+                             "after the run")
     return parser
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench-report",
+        description=(
+            "Fold pytest-benchmark JSON output (from 'pytest benchmarks/ "
+            "--benchmark-autosave' or --benchmark-json) into a single "
+            "BENCH_<date>.json trajectory file."
+        ),
+    )
+    parser.add_argument("directory", nargs="?", default=".benchmarks",
+                        help="directory holding pytest-benchmark JSON "
+                             "files (default: .benchmarks)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="output path (default: BENCH_<date>.json)")
+    return parser
+
+
+def _bench_report_main(argv: List[str]) -> int:
+    from repro.exceptions import AnalysisError
+    from repro.obs.bench import write_bench_report
+
+    args = _build_bench_parser().parse_args(argv)
+    try:
+        out_path = write_bench_report(args.directory, args.out)
+    except AnalysisError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"benchmark trajectory written to {out_path}")
+    return 0
+
+
+def _run_one(experiment_id: str, fast: bool, workers: int,
+             collect: Optional[list]) -> ExperimentResult:
+    """Run one experiment, instrumented when ``collect`` is a list.
+
+    With instrumentation on, the experiment runs under a fresh registry
+    and appends ``{"manifest", "metrics"}`` to ``collect``; disabled
+    runs skip every observability code path (null-registry fast path).
+    """
+    if collect is None:
+        return ALL_EXPERIMENTS[experiment_id](fast=fast)
+
+    from repro.obs import (MetricsRegistry, RunManifest, set_registry, span)
+
+    registry = MetricsRegistry()
+    clock = RunManifest.start("experiment", experiment_id,
+                              parameters={"fast": fast}, workers=workers)
+    previous = set_registry(registry)
+    try:
+        with span(f"experiment.{experiment_id}"):
+            result = ALL_EXPERIMENTS[experiment_id](fast=fast)
+    finally:
+        set_registry(previous)
+    manifest = clock.finish(registry)
+    collect.append({"manifest": manifest.to_dict(),
+                    "metrics": registry.snapshot()})
+    return result
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw_argv and raw_argv[0] == "bench-report":
+        return _bench_report_main(raw_argv[1:])
+    args = _build_parser().parse_args(raw_argv)
     from repro.exceptions import AnalysisError
     from repro.parallel import resolve_workers, set_default_workers
 
     try:
-        resolve_workers(args.workers)  # validates flag and $REPRO_WORKERS
+        workers = resolve_workers(args.workers)  # validates flag and env
     except AnalysisError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -90,24 +177,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    if args.report_path:
-        from repro.experiments.report import write_report
 
-        write_report(args.report_path, ALL_EXPERIMENTS, fast=args.fast,
-                     only=ids)
-        print(f"report written to {args.report_path}")
-        return 0
-    if args.as_json:
-        payload = [
-            result_to_dict(ALL_EXPERIMENTS[experiment_id](fast=args.fast))
-            for experiment_id in ids
-        ]
-        print(json.dumps(payload, indent=2))
-        return 0
-    for experiment_id in ids:
-        result = ALL_EXPERIMENTS[experiment_id](fast=args.fast)
-        print(result.render())
-        print()
+    instrument = bool(args.metrics_out or args.profile)
+    collected: Optional[list] = [] if instrument else None
+    trace_sink = None
+    if args.trace_out:
+        from repro.obs import TraceSink, set_trace_sink
+
+        trace_sink = TraceSink(args.trace_out)
+        set_trace_sink(trace_sink)
+    try:
+        if args.report_path:
+            from repro.experiments.report import write_report
+
+            write_report(args.report_path, ALL_EXPERIMENTS, fast=args.fast,
+                         only=ids)
+            print(f"report written to {args.report_path}")
+            return 0
+        if args.as_json:
+            payload = [
+                result_to_dict(_run_one(experiment_id, args.fast, workers,
+                                        collected))
+                for experiment_id in ids
+            ]
+            print(json.dumps(payload, indent=2))
+        else:
+            for experiment_id in ids:
+                result = _run_one(experiment_id, args.fast, workers,
+                                  collected)
+                print(result.render())
+                print()
+    finally:
+        if trace_sink is not None:
+            from repro.obs import set_trace_sink
+
+            set_trace_sink(None)
+            trace_sink.close()
+
+    if collected is not None:
+        from repro.obs import MetricsRegistry, profile_report, write_json_file
+
+        if args.metrics_out:
+            write_json_file(args.metrics_out,
+                            {"format": 1, "runs": collected})
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        if args.profile:
+            merged = MetricsRegistry.merge_all(
+                MetricsRegistry.from_snapshot(entry["metrics"])
+                for entry in collected)
+            print(file=sys.stderr)
+            print(profile_report(merged, top=PROFILE_TOP), file=sys.stderr)
     return 0
 
 

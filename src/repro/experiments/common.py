@@ -22,9 +22,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.parallel.pool import sweep
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
+from repro.parallel.pool import sweep as _pool_sweep
 
 __all__ = ["Series", "ExperimentResult", "format_table", "sweep"]
+
+
+def sweep(fn, grid, workers=None):
+    """Instrumented :func:`repro.parallel.pool.sweep`.
+
+    Identical semantics and results; when metrics are on, the sweep is
+    timed as one span and its grid size counted, so ``--profile``
+    attributes an experiment's cost to its parameter sweeps.
+    """
+    points = list(grid)
+    registry = get_registry()
+    if registry.enabled:
+        registry.count("sweep.runs")
+        registry.count("sweep.points", len(points))
+    with span("sweep"):
+        return _pool_sweep(fn, points, workers)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,63 @@
+"""``repro.obs`` — dependency-free observability for the reproduction.
+
+Three pieces, designed to be bit-for-bit neutral to simulation results
+(metrics never touch an RNG) and zero-cost when disabled:
+
+* :mod:`repro.obs.registry` — counters, timers and fixed-bucket
+  histograms with an exact ``merge()`` (the :class:`~repro.analysis.
+  montecarlo.McResult` algebra), plus the process-wide current
+  registry and the :data:`NULL_REGISTRY` fast path;
+* :mod:`repro.obs.spans` — nested span timing feeding registry timers
+  and an optional JSON-lines trace sink;
+* :mod:`repro.obs.manifest` — per-run provenance manifests and the
+  schema validation CI leans on; :mod:`repro.obs.bench` folds
+  pytest-benchmark output into ``BENCH_<date>.json`` trajectories.
+"""
+
+from repro.obs.bench import build_bench_report, write_bench_report
+from repro.obs.manifest import (
+    RunManifest,
+    git_sha,
+    validate_metrics_file,
+    validate_metrics_payload,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+    use_registry,
+)
+from repro.obs.sinks import TraceSink, write_json_file
+from repro.obs.spans import (
+    get_trace_sink,
+    profile_report,
+    set_trace_sink,
+    span,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "RunManifest",
+    "TraceSink",
+    "build_bench_report",
+    "get_registry",
+    "get_trace_sink",
+    "git_sha",
+    "metrics_enabled",
+    "profile_report",
+    "set_registry",
+    "set_trace_sink",
+    "span",
+    "use_registry",
+    "validate_metrics_file",
+    "validate_metrics_payload",
+    "write_bench_report",
+    "write_json_file",
+]

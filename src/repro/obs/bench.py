@@ -1,0 +1,109 @@
+"""Fold pytest-benchmark output into a benchmark trajectory file.
+
+The ``benchmarks/`` harness (run as ``pytest benchmarks/
+--benchmark-autosave`` or ``--benchmark-json=FILE``) writes JSON files
+full of per-benchmark statistics.  ``repro-experiments bench-report``
+collects every such file under a directory, reduces each benchmark to
+its headline numbers (min/mean/stddev/rounds), and writes a single
+``BENCH_<date>.json`` — one point of a performance trajectory that
+successive PRs can diff to catch regressions.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.exceptions import AnalysisError
+from repro.obs.manifest import git_sha
+from repro.obs.sinks import write_json_file
+
+__all__ = ["collect_benchmark_files", "fold_benchmark_file",
+           "build_bench_report", "write_bench_report"]
+
+REPORT_VERSION = 1
+
+
+def collect_benchmark_files(root: str) -> List[str]:
+    """All pytest-benchmark JSON files under ``root``, sorted by path.
+
+    Both layouts are accepted: ``--benchmark-autosave``'s
+    ``.benchmarks/<machine>/<file>.json`` tree and loose
+    ``--benchmark-json`` files dropped anywhere under ``root``.
+    """
+    if not os.path.isdir(root):
+        raise AnalysisError(f"benchmark directory not found: {root}")
+    found: List[str] = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if filename.endswith(".json"):
+                found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def fold_benchmark_file(path: str) -> Optional[dict]:
+    """Reduce one pytest-benchmark JSON file to its headline stats.
+
+    Returns ``None`` for JSON files that are not pytest-benchmark
+    output (no ``benchmarks`` list), so unrelated artifacts sharing the
+    directory are skipped rather than fatal.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except ValueError as exc:
+            raise AnalysisError(f"malformed benchmark file {path}: {exc}")
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        return None
+    benchmarks = []
+    for bench in payload["benchmarks"]:
+        stats = bench.get("stats", {})
+        benchmarks.append({
+            "name": bench.get("fullname", bench.get("name", "?")),
+            "min_s": stats.get("min"),
+            "mean_s": stats.get("mean"),
+            "stddev_s": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+        })
+    return {
+        "source": path,
+        "datetime": payload.get("datetime"),
+        "python": payload.get("machine_info", {}).get("python_version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def build_bench_report(root: str) -> dict:
+    """Trajectory payload folding every benchmark file under ``root``."""
+    entries = []
+    for path in collect_benchmark_files(root):
+        folded = fold_benchmark_file(path)
+        if folded is not None:
+            entries.append(folded)
+    if not entries:
+        raise AnalysisError(
+            f"no pytest-benchmark JSON found under {root}; run e.g. "
+            f"'pytest benchmarks/ --benchmark-json=bench.json' first")
+    totals: Dict[str, int] = {"files": len(entries),
+                              "benchmarks": sum(len(e["benchmarks"])
+                                                for e in entries)}
+    return {
+        "report_version": REPORT_VERSION,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "git_sha": git_sha(),
+        "totals": totals,
+        "entries": entries,
+    }
+
+
+def write_bench_report(root: str, out_path: Optional[str] = None) -> str:
+    """Write ``BENCH_<date>.json`` (or ``out_path``) and return its path."""
+    report = build_bench_report(root)
+    if out_path is None:
+        date = datetime.date.today().isoformat()
+        out_path = f"BENCH_{date}.json"
+    write_json_file(out_path, report)
+    return out_path

@@ -1,0 +1,347 @@
+"""Metrics registry: counters, timers and fixed-bucket histograms.
+
+Every quantity is stored as an **integer** — event counts, bucket
+counts, timer totals in nanoseconds — so :meth:`MetricsRegistry.merge`
+is *exact*: associative, commutative, with the empty registry as
+identity.  That is the same algebra as
+:meth:`~repro.analysis.montecarlo.McResult.merge`, and for the same
+reason: per-shard metrics collected inside pool workers must fold to
+the identical totals regardless of how trials were split or in what
+order shards are combined (the property suite asserts all three laws).
+
+Instrumentation must cost nothing when nobody is looking, so the
+module keeps a process-wide *current registry* that defaults to the
+:data:`NULL_REGISTRY` — a singleton whose operations are no-ops and
+whose ``enabled`` attribute lets hot paths skip even argument
+construction::
+
+    reg = get_registry()
+    if reg.enabled:
+        reg.count("mc.trials", trials)
+
+Swap a live registry in with :func:`set_registry` or scope one with
+:func:`use_registry`; both are what the CLI's ``--metrics-out`` /
+``--profile`` flags do under the hood.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "metrics_enabled",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+class Histogram:
+    """Fixed-bucket histogram of non-negative observation counts.
+
+    Parameters
+    ----------
+    bounds:
+        Strictly increasing upper bounds; an observation ``v`` lands in
+        the first bucket with ``v <= bound``, or in the overflow bucket
+        beyond the last bound.  Bounds are part of the histogram's
+        identity: merging histograms with different bounds is an error,
+        never a silent re-bucketing.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow")
+
+    def __init__(self, bounds: Sequence[float],
+                 counts: Optional[Sequence[int]] = None,
+                 overflow: int = 0) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned:
+            raise AnalysisError("histogram needs >= 1 bucket bound")
+        if any(b >= a for b, a in zip(cleaned, cleaned[1:])):
+            raise AnalysisError(f"bounds must strictly increase: {cleaned}")
+        self.bounds: Tuple[float, ...] = cleaned
+        self.counts: List[int] = (list(counts) if counts is not None
+                                  else [0] * len(cleaned))
+        if len(self.counts) != len(cleaned):
+            raise AnalysisError(
+                f"{len(cleaned)} bounds vs {len(self.counts)} counts")
+        self.overflow = int(overflow)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value``."""
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += count
+                return
+        self.overflow += count
+
+    @property
+    def total(self) -> int:
+        """Total observations across all buckets (conserved by merge)."""
+        return sum(self.counts) + self.overflow
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Exact merge: bucket-wise integer sums (same bounds required)."""
+        if self.bounds != other.bounds:
+            raise AnalysisError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}")
+        return Histogram(self.bounds,
+                         [a + b for a, b in zip(self.counts, other.counts)],
+                         self.overflow + other.overflow)
+
+    def as_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "overflow": self.overflow}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        return cls(payload["bounds"], payload["counts"],
+                   payload.get("overflow", 0))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.bounds == other.bounds and self.counts == other.counts
+                and self.overflow == other.overflow)
+
+    def __repr__(self) -> str:
+        return f"<Histogram total={self.total} bounds={self.bounds}>"
+
+
+class MetricsRegistry:
+    """Accumulator for one process's (or one shard's) metrics.
+
+    Three metric families, all integer-valued:
+
+    * **counters** — monotone event counts (``count``);
+    * **timers** — cumulative elapsed nanoseconds plus an invocation
+      count (``add_time``; the span machinery in
+      :mod:`repro.obs.spans` is the usual writer);
+    * **histograms** — fixed-bucket distributions (``observe``).
+
+    A registry is cheap to create and safe to mutate from one thread;
+    cross-process aggregation goes through :meth:`snapshot` (plain
+    picklable dict) and :meth:`merge`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, Tuple[int, int]] = {}  # name -> (ns, calls)
+        self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- writers -------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Increment counter ``name`` by ``delta``."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def add_time(self, name: str, elapsed_ns: int, calls: int = 1) -> None:
+        """Add one (or more) timed invocations to timer ``name``."""
+        total, count = self.timers.get(name, (0, 0))
+        self.timers[name] = (total + int(elapsed_ns), count + calls)
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float]) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(bounds)
+            self.histograms[name] = histogram
+        histogram.observe(value)
+
+    # -- readers -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never written)."""
+        return self.counters.get(name, 0)
+
+    def timer_seconds(self, name: str) -> float:
+        """Cumulative seconds recorded under timer ``name``."""
+        return self.timers.get(name, (0, 0))[0] / 1e9
+
+    def timer_calls(self, name: str) -> int:
+        """Invocation count of timer ``name``."""
+        return self.timers.get(name, (0, 0))[1]
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.timers or self.histograms)
+
+    # -- algebra -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Exact merge into a new registry (inputs untouched).
+
+        Integer sums throughout, so the operation is associative and
+        commutative with the empty registry as identity — shard metrics
+        fold to the same totals in any order.
+        """
+        if not isinstance(other, MetricsRegistry):
+            raise AnalysisError(
+                f"cannot merge MetricsRegistry with {type(other)!r}")
+        merged = MetricsRegistry()
+        for source in (self, other):
+            for name, value in source.counters.items():
+                merged.counters[name] = merged.counters.get(name, 0) + value
+            for name, (total, calls) in source.timers.items():
+                base_total, base_calls = merged.timers.get(name, (0, 0))
+                merged.timers[name] = (base_total + total, base_calls + calls)
+            for name, histogram in source.histograms.items():
+                existing = merged.histograms.get(name)
+                merged.histograms[name] = (
+                    histogram.merge(Histogram(histogram.bounds))
+                    if existing is None else existing.merge(histogram))
+        return merged
+
+    def merge_snapshot(self, payload: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry in place.
+
+        The in-place counterpart of :meth:`merge`, used by the pool to
+        absorb worker shard metrics as they come back (in task order).
+        """
+        other = MetricsRegistry.from_snapshot(payload)
+        with self._lock:
+            for name, value in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, (total, calls) in other.timers.items():
+                base_total, base_calls = self.timers.get(name, (0, 0))
+                self.timers[name] = (base_total + total, base_calls + calls)
+            for name, histogram in other.histograms.items():
+                existing = self.histograms.get(name)
+                self.histograms[name] = (histogram if existing is None
+                                         else existing.merge(histogram))
+
+    @staticmethod
+    def merge_all(registries: Iterable["MetricsRegistry"]
+                  ) -> "MetricsRegistry":
+        """Fold :meth:`merge` over registries (empty iterable is fine)."""
+        merged = MetricsRegistry()
+        for registry in registries:
+            merged = merged.merge(registry)
+        return merged
+
+    # -- serialization -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data view: picklable, JSON-serializable, mergeable."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": dict(self.counters),
+            "timers": {name: [total, calls]
+                       for name, (total, calls) in self.timers.items()},
+            "histograms": {name: histogram.as_dict()
+                           for name, histogram in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict."""
+        version = payload.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise AnalysisError(
+                f"unsupported metrics snapshot version {version!r}")
+        registry = cls()
+        registry.counters = {str(k): int(v)
+                             for k, v in payload.get("counters", {}).items()}
+        registry.timers = {
+            str(k): (int(v[0]), int(v[1]))
+            for k, v in payload.get("timers", {}).items()
+        }
+        registry.histograms = {
+            str(k): Histogram.from_dict(v)
+            for k, v in payload.get("histograms", {}).items()
+        }
+        return registry
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return (self.counters == other.counters
+                and self.timers == other.timers
+                and self.histograms == other.histograms)
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry counters={len(self.counters)} "
+                f"timers={len(self.timers)} "
+                f"histograms={len(self.histograms)}>")
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled fast path: every write is a no-op.
+
+    Call sites guard on ``registry.enabled`` so a disabled run pays one
+    attribute read per instrumentation point; even unguarded writes are
+    harmless (and allocation-free) here.
+    """
+
+    enabled = False
+
+    def count(self, name: str, delta: int = 1) -> None:  # noqa: D102
+        pass
+
+    def add_time(self, name: str, elapsed_ns: int, calls: int = 1) -> None:  # noqa: D102,E501
+        pass
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float]) -> None:  # noqa: D102
+        pass
+
+    def merge_snapshot(self, payload: dict) -> None:  # noqa: D102
+        pass
+
+
+#: Process-wide disabled singleton; ``get_registry()`` returns it until
+#: someone installs a live registry.
+NULL_REGISTRY = NullRegistry()
+
+_current: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed registry (the null singleton by default)."""
+    return _current
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` process-wide (``None`` restores the null one).
+
+    Returns the previously installed registry so callers can restore it.
+    """
+    global _current
+    previous = _current
+    _current = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry]):
+    """Scope ``registry`` as the current one for the ``with`` body.
+
+    Used by pool workers to collect a shard's metrics into a private
+    registry without touching (or double-counting into) whatever the
+    process-global registry happens to be.
+    """
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)
+
+
+def metrics_enabled() -> bool:
+    """True when a live (non-null) registry is installed."""
+    return _current.enabled

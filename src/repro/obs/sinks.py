@@ -1,0 +1,63 @@
+"""Output sinks: JSON-lines trace files and metrics/manifest JSON.
+
+Kept free of any dependency beyond the standard library so the
+observability layer can be imported everywhere (workers, tests, CLI)
+without dragging simulation machinery along.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Optional, TextIO, Union
+
+__all__ = ["TraceSink", "write_json_file"]
+
+
+class TraceSink:
+    """Append-only JSON-lines writer for span trace records.
+
+    Accepts a path (opened and owned by the sink) or an existing text
+    stream (borrowed — :meth:`close` leaves it open, so tests can pass
+    a ``StringIO``).  Writes are serialized under a lock; each record
+    is one ``json.dumps`` line flushed immediately, so a crashed run
+    still leaves a readable prefix.
+    """
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        self._lock = threading.Lock()
+        if isinstance(target, str):
+            self._handle: TextIO = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._handle = target
+            self._owned = False
+        self.records_written = 0
+
+    def write(self, record: dict) -> None:
+        """Append one record as a JSON line."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.records_written += 1
+
+    def close(self) -> None:
+        """Close the underlying handle if this sink opened it."""
+        if self._owned:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+def write_json_file(path: str, payload: dict,
+                    indent: Optional[int] = 2) -> None:
+    """Write ``payload`` as JSON to ``path`` (UTF-8, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=True)
+        handle.write("\n")

@@ -10,6 +10,14 @@ The default worker count resolves, in order: an explicit argument, the
 process-wide default set by :func:`set_default_workers` (the CLI's
 ``--workers`` flag lands here), the ``REPRO_WORKERS`` environment
 variable (how CI pins pool size), then ``os.cpu_count()``.
+
+When a live metrics registry is installed (:mod:`repro.obs`), each
+task runs under a fresh *shard registry* — inside the worker process —
+and ships its snapshot back with the result; ``run_tasks`` folds the
+snapshots into the caller's registry in task order.  Because the
+registry's merge is exact (integer sums), per-shard counters always
+sum to precisely the serial run's totals, and because the fold touches
+no RNG, results stay bit-for-bit identical with metrics on or off.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import AnalysisError
+from repro.obs.registry import MetricsRegistry, get_registry, use_registry
 
 __all__ = ["set_default_workers", "get_default_workers", "resolve_workers",
            "run_tasks", "sweep"]
@@ -61,6 +70,35 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+class _ShardJob:
+    """Picklable wrapper running one task under a fresh shard registry.
+
+    The worker (or the in-process fallback) executes ``fn`` with a
+    private :class:`MetricsRegistry` installed and no trace sink (a
+    forked sink handle shared across processes would interleave), then
+    returns ``(result, snapshot)``.  Workers never mutate the parent's
+    registry — on fork they inherit a reference, which this wrapper
+    shadows for the duration of the task.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_T], _R]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: _T):
+        from repro.obs.spans import set_trace_sink
+
+        shard = MetricsRegistry()
+        sink = set_trace_sink(None)
+        try:
+            with use_registry(shard):
+                result = self.fn(task)
+        finally:
+            set_trace_sink(sink)
+        return result, shard.snapshot()
+
+
 def run_tasks(fn: Callable[[_T], _R], tasks: Sequence[_T],
               workers: Optional[int] = None) -> List[_R]:
     """Apply ``fn`` to every task, in order, possibly across processes.
@@ -71,10 +109,32 @@ def run_tasks(fn: Callable[[_T], _R], tasks: Sequence[_T],
     returned list left to right.
     """
     workers = resolve_workers(workers)
-    if workers == 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(fn, tasks))
+    registry = get_registry()
+    if not registry.enabled:
+        if workers == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            return list(pool.map(fn, tasks))
+    # Instrumented path: identical jobs, plus a metrics snapshot per
+    # shard folded back in task order.  The serial fallback runs the
+    # same _ShardJob wrapper so counter totals match any pool size.
+    from repro.obs.spans import span
+
+    job = _ShardJob(fn)
+    registry.count("pool.batches")
+    registry.count("pool.tasks", len(tasks))
+    with span("pool.run_tasks"):
+        if workers == 1 or len(tasks) <= 1:
+            pairs = [job(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(tasks))) as pool:
+                pairs = list(pool.map(job, tasks))
+    results: List[_R] = []
+    for result, snapshot in pairs:
+        registry.merge_snapshot(snapshot)
+        results.append(result)
+    return results
 
 
 def sweep(fn: Callable[[_T], _R], grid: Iterable[_T],

@@ -1,0 +1,284 @@
+"""Golden session recordings: one pinned trace per scheme.
+
+A golden trace freezes two things at once: the **wire format** (every
+byte the sender emits for a fixed payload set, signer key and channel
+seed) and the **verification semantics** (which send positions a fresh
+receiver verifies when the recorded deliveries are replayed).  The
+regression suite (``tests/simulation/test_golden_traces.py``) checks
+both: regenerating the session must reproduce the stored
+:class:`~repro.simulation.trace.SessionTrace` byte-for-byte, and
+replaying the *stored* trace into a fresh receiver must reproduce the
+stored outcome.  An incompatible change to packet layout, hashing,
+signing or receiver logic fails one of the two — loudly, with a diff
+against a file in version control.
+
+Everything here is deterministic by construction: fixed payloads
+(:func:`~repro.simulation.sender.make_payloads`), an HMAC stub signer
+with a fixed key, seeded channel loss, and explicit seeds for the two
+schemes with internal randomness (the online chain's one-time key
+pairs, TESLA's key chain).
+
+Regenerate the files after an *intentional* format change with::
+
+    PYTHONPATH=src python -m repro.simulation.golden tests/data/traces
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.conformance import DEFAULT_SPECS, default_scheme
+from repro.crypto.hashing import sha256
+from repro.crypto.signatures import HmacStubSigner, Signer
+from repro.exceptions import SimulationError
+from repro.network.channel import Channel
+from repro.network.delay import ConstantDelay
+from repro.network.loss import BernoulliLoss
+from repro.packets import Packet
+from repro.schemes.base import Scheme
+from repro.schemes.rohatgi_online import (
+    OnlineChainReceiver,
+    OnlineRohatgiScheme,
+)
+from repro.schemes.saida import SaidaReceiver, SaidaScheme
+from repro.schemes.sign_each import SignEachScheme, verify_sign_each_packet
+from repro.schemes.tesla import TeslaReceiver, TeslaScheme, TeslaSender
+from repro.schemes.wong_lam import WongLamScheme, verify_wong_lam_packet
+from repro.simulation.receiver import ChainReceiver
+from repro.simulation.sender import StreamSender, make_payloads
+from repro.simulation.trace import SessionTrace
+
+__all__ = [
+    "GOLDEN_BLOCK",
+    "GOLDEN_LOSS",
+    "GOLDEN_CHANNEL_SEED",
+    "GoldenCase",
+    "golden_scheme",
+    "record_golden",
+    "replay_golden",
+    "trace_path",
+    "expected_path",
+    "write_golden_files",
+]
+
+GOLDEN_BLOCK = 12
+GOLDEN_LOSS = 0.25
+GOLDEN_CHANNEL_SEED = 2003  # the paper's publication year
+_SIGNER_KEY = b"golden-trace"
+_ONLINE_OTS_SEED = b"golden-ots"
+_TESLA_CHAIN_SEED = b"golden-tesla"
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One scheme's recorded session and its expected replay outcome."""
+
+    name: str
+    trace: SessionTrace
+    expected: Dict[str, object]
+
+
+def _golden_signer() -> Signer:
+    return HmacStubSigner(key=_SIGNER_KEY, signature_size=128)
+
+
+def golden_scheme(name: str) -> Scheme:
+    """The conformance default scheme, with internal randomness pinned."""
+    if name == "rohatgi-online":
+        return OnlineRohatgiScheme(seed=_ONLINE_OTS_SEED)
+    return default_scheme(name)
+
+
+def _golden_channel() -> Channel:
+    return Channel(loss=BernoulliLoss(GOLDEN_LOSS, seed=GOLDEN_CHANNEL_SEED),
+                   delay=ConstantDelay(0.0))
+
+
+# ---------------------------------------------------------------------
+# Session construction: sent packets + a replay verifier per family
+# ---------------------------------------------------------------------
+
+#: ``verify(trace) -> verified seqs`` given the regenerated sent packets.
+_Verifier = Callable[[SessionTrace], Dict[int, bool]]
+
+
+def _build_session(name: str) -> Tuple[List[Packet], _Verifier]:
+    """Deterministically rebuild the sent packets and a trace verifier.
+
+    The verifier consumes a :class:`SessionTrace` (recorded live or
+    loaded from disk — the point of golden tests is that both behave
+    identically) and returns ``{seq: verified}`` for delivered packets.
+    """
+    scheme = golden_scheme(name)
+    signer = _golden_signer()
+    payloads = make_payloads(GOLDEN_BLOCK)
+
+    if isinstance(scheme, TeslaScheme):
+        sender = TeslaSender(scheme.parameters, signer,
+                             seed=_TESLA_CHAIN_SEED)
+        bootstrap = sender.bootstrap_packet().with_send_time(
+            scheme.parameters.t0)
+        data_packets = [
+            sender.send(payload, scheme.parameters.t0
+                        + index * scheme.parameters.interval)
+            for index, payload in enumerate(payloads)
+        ]
+        flush = sender.flush_keys(GOLDEN_BLOCK)
+        packets = [bootstrap] + data_packets + flush
+
+        def verify_tesla(trace: SessionTrace) -> Dict[int, bool]:
+            records = list(trace)
+            if not records or records[0].packet.seq != bootstrap.seq:
+                raise SimulationError(
+                    "golden TESLA trace must start with the bootstrap packet")
+            receiver = TeslaReceiver(records[0].packet, signer)
+            for record in records[1:]:
+                receiver.receive(record.packet, record.arrival_time)
+            return {
+                seq: bool(verdict.status == "verified")
+                for seq, verdict in receiver.verdicts.items()
+            }
+
+        return packets, verify_tesla
+
+    if isinstance(scheme, OnlineRohatgiScheme):
+        packets = scheme.make_block(payloads, signer)
+        keypairs = scheme._last_keypairs
+
+        def verify_online(trace: SessionTrace) -> Dict[int, bool]:
+            receiver = OnlineChainReceiver(signer, keypairs)
+            trace.replay(lambda packet, _time: receiver.receive(packet))
+            return {record.packet.seq:
+                    bool(receiver.verified.get(record.packet.seq))
+                    for record in trace}
+
+        return packets, verify_online
+
+    sender = StreamSender(scheme, signer, GOLDEN_BLOCK)
+    packets = sender.send_block(payloads)
+    base_seq = packets[0].seq
+
+    if isinstance(scheme, SaidaScheme):
+
+        def verify_saida(trace: SessionTrace) -> Dict[int, bool]:
+            receiver = SaidaReceiver(signer, sha256)
+            trace.replay(receiver.receive)
+            return {record.packet.seq:
+                    bool(receiver.verified.get(record.packet.seq))
+                    for record in trace}
+
+        return packets, verify_saida
+
+    if isinstance(scheme, (WongLamScheme, SignEachScheme)):
+
+        def verify_individual(trace: SessionTrace) -> Dict[int, bool]:
+            verified: Dict[int, bool] = {}
+            for record in trace:
+                packet = record.packet
+                if isinstance(scheme, WongLamScheme):
+                    ok = verify_wong_lam_packet(packet, signer, sha256,
+                                                block_base_seq=base_seq)
+                else:
+                    ok = verify_sign_each_packet(packet, signer)
+                verified[packet.seq] = ok
+            return verified
+
+        return packets, verify_individual
+
+    def verify_chain(trace: SessionTrace) -> Dict[int, bool]:
+        receiver = ChainReceiver(signer, sha256)
+        trace.replay(receiver.receive)
+        return {record.packet.seq:
+                bool(receiver.outcomes.get(record.packet.seq)
+                     and receiver.outcomes[record.packet.seq].verified)
+                for record in trace}
+
+    return packets, verify_chain
+
+
+def _positions(packets: Sequence[Packet],
+               seqs: Sequence[int]) -> List[int]:
+    """Map sequence numbers to 1-based send positions."""
+    order = {packet.seq: index + 1 for index, packet in enumerate(packets)}
+    return sorted(order[seq] for seq in seqs if seq in order)
+
+
+def replay_golden(name: str, trace: SessionTrace) -> Dict[str, object]:
+    """Replay ``trace`` into a fresh receiver; return the outcome record.
+
+    The receiver (and, where needed, key material) is rebuilt from the
+    golden seeds, never from the trace itself — so a trace recorded by
+    an older build is verified by *today's* code, which is exactly the
+    compatibility the golden suite pins.
+    """
+    packets, verify = _build_session(name)
+    verified = verify(trace)
+    received = [record.packet.seq for record in trace]
+    return {
+        "scheme": golden_scheme(name).name,
+        "block_size": GOLDEN_BLOCK,
+        "loss_rate": GOLDEN_LOSS,
+        "channel_seed": GOLDEN_CHANNEL_SEED,
+        "packets_sent": len(packets),
+        "deliveries": len(trace),
+        "received_positions": _positions(packets, received),
+        "verified_positions": _positions(
+            packets, [seq for seq, ok in verified.items() if ok]),
+    }
+
+
+def record_golden(name: str) -> GoldenCase:
+    """Run the deterministic golden session for ``name`` live."""
+    packets, _ = _build_session(name)
+    channel = _golden_channel()
+    trace = SessionTrace()
+    trace.record_all(channel.transmit(packets))
+    return GoldenCase(name=name, trace=trace,
+                      expected=replay_golden(name, trace))
+
+
+# ---------------------------------------------------------------------
+# File layout + regeneration entry point
+# ---------------------------------------------------------------------
+
+def trace_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{name}.trace.jsonl")
+
+
+def expected_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{name}.expected.json")
+
+
+def write_golden_files(directory: str) -> List[str]:
+    """(Re)generate every golden trace + expectation file; return paths."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for name in sorted(DEFAULT_SPECS):
+        case = record_golden(name)
+        path = trace_path(directory, name)
+        case.trace.dump(path)
+        written.append(path)
+        path = expected_path(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(case.expected, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(path)
+    return written
+
+
+def main(argv: Sequence[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.simulation.golden <directory>",
+              file=sys.stderr)
+        return 2
+    for path in write_golden_files(argv[0]):
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -21,6 +21,8 @@ from typing import Optional
 from repro.crypto.signatures import HmacStubSigner, Signer
 from repro.exceptions import SimulationError
 from repro.network.channel import Channel
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
 from repro.network.delay import ConstantDelay, DelayModel, GaussianDelay
 from repro.network.loss import BernoulliLoss, LossModel
 from repro.schemes.base import Scheme
@@ -74,24 +76,34 @@ def run_wire_trials(scheme: Scheme, config: WireTrialConfig,
         raise SimulationError(f"first trial must be >= 0, got {first_trial}")
     signer = _fast_signer()
     stats = SimulationStats()
-    for trial in range(first_trial, first_trial + trial_count):
-        trial_loss = loss if loss is not None else BernoulliLoss(
-            config.loss_rate, seed=config.seed + trial * 7919)
-        trial_delay = delay if delay is not None else ConstantDelay(0.0)
-        if loss is not None:
-            trial_loss.reset()
-        if delay is not None:
-            trial_delay.reset()
-        channel = Channel(loss=trial_loss, delay=trial_delay)
-        if scheme.individually_verifiable:
-            run_individual_session(scheme, config.block_size,
-                                   config.blocks_per_trial, channel,
-                                   signer=signer, stats=stats)
-        else:
-            run_chain_session(scheme, config.block_size,
-                              config.blocks_per_trial, channel,
-                              signer=signer,
-                              t_transmit=config.t_transmit, stats=stats)
+    with span("wire.trials"):
+        for trial in range(first_trial, first_trial + trial_count):
+            trial_loss = loss if loss is not None else BernoulliLoss(
+                config.loss_rate, seed=config.seed + trial * 7919)
+            trial_delay = delay if delay is not None else ConstantDelay(0.0)
+            if loss is not None:
+                trial_loss.reset()
+            if delay is not None:
+                trial_delay.reset()
+            channel = Channel(loss=trial_loss, delay=trial_delay)
+            if scheme.individually_verifiable:
+                run_individual_session(scheme, config.block_size,
+                                       config.blocks_per_trial, channel,
+                                       signer=signer, stats=stats)
+            else:
+                run_chain_session(scheme, config.block_size,
+                                  config.blocks_per_trial, channel,
+                                  signer=signer,
+                                  t_transmit=config.t_transmit, stats=stats)
+    registry = get_registry()
+    if registry.enabled:
+        registry.count("wire.trials", trial_count)
+        registry.count("wire.sessions",
+                       trial_count * config.blocks_per_trial)
+        registry.count("wire.packets_sent", stats.sent)
+        registry.count("wire.packets_dropped", stats.dropped)
+        registry.count("wire.packets_verified",
+                       sum(t.verified for t in stats.tallies.values()))
     return stats
 
 
@@ -122,16 +134,24 @@ def run_tesla_trials(parameters: TeslaParameters, packet_count: int,
     if first_trial < 0:
         raise SimulationError(f"first trial must be >= 0, got {first_trial}")
     stats = SimulationStats()
-    for trial in range(first_trial, first_trial + trial_count):
-        loss = BernoulliLoss(loss_rate, seed=seed + trial * 104729)
-        if delay_std > 0 or delay_mean > 0:
-            delay: DelayModel = GaussianDelay(delay_mean, delay_std,
-                                              seed=seed + trial * 1299709)
-        else:
-            delay = ConstantDelay(0.0)
-        channel = Channel(loss=loss, delay=delay)
-        run_tesla_session(parameters, packet_count, channel,
-                          clock_offset=clock_offset, stats=stats)
+    with span("wire.tesla_trials"):
+        for trial in range(first_trial, first_trial + trial_count):
+            loss = BernoulliLoss(loss_rate, seed=seed + trial * 104729)
+            if delay_std > 0 or delay_mean > 0:
+                delay: DelayModel = GaussianDelay(delay_mean, delay_std,
+                                                  seed=seed + trial * 1299709)
+            else:
+                delay = ConstantDelay(0.0)
+            channel = Channel(loss=loss, delay=delay)
+            run_tesla_session(parameters, packet_count, channel,
+                              clock_offset=clock_offset, stats=stats)
+    registry = get_registry()
+    if registry.enabled:
+        registry.count("wire.tesla_trials", trial_count)
+        registry.count("wire.packets_sent", stats.sent)
+        registry.count("wire.packets_dropped", stats.dropped)
+        registry.count("wire.packets_verified",
+                       sum(t.verified for t in stats.tallies.values()))
     return stats
 
 

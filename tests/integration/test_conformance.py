@@ -1,0 +1,119 @@
+"""Cross-scheme conformance: wire-level simulation vs analytic models.
+
+For every scheme in :mod:`repro.schemes.registry` the byte-level wire
+simulation must reproduce the analytic per-position ``q_i`` profile
+within 3 binomial standard errors at two loss rates.  The suite is
+parametrized over :func:`available_schemes`, so registering a new
+scheme automatically adds it here — and fails loudly (via
+:func:`default_scheme` / :func:`analytic_q_profile` raising
+:class:`AnalysisError`) until a conformance case exists for it.
+
+The oracle per scheme is the *exact* analytic model (closed forms
+where exact, the transfer-matrix evaluation for offset schemes, exact
+loss-pattern enumeration for other graphs).  The paper's Eq. 9/10
+recurrences approximate those exact profiles under a path-independence
+assumption; they are checked separately for the relationship they
+actually satisfy — optimistic upper bound everywhere, tight near the
+signature (see ``test_recurrence_upper_bounds_exact_model``).
+"""
+
+import pytest
+
+from repro.analysis.conformance import (
+    DEFAULT_SPECS,
+    analytic_q_profile,
+    conformance_deviations,
+    default_scheme,
+    recurrence_q_profile,
+)
+from repro.exceptions import AnalysisError
+from repro.schemes.base import Scheme
+from repro.schemes.registry import available_schemes
+
+BLOCK = 12
+TRIALS = 200
+SEED = 7
+LOSS_RATES = (0.1, 0.25)
+MAX_DEVIATION_SE = 3.0
+
+SCHEME_NAMES = sorted(available_schemes())
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_every_registered_scheme_has_a_conformance_case(name):
+    """Registry and conformance table must stay in lockstep."""
+    assert name in DEFAULT_SPECS, (
+        f"scheme {name!r} is registered but has no entry in "
+        f"repro.analysis.conformance.DEFAULT_SPECS")
+    scheme = default_scheme(name)
+    profile = analytic_q_profile(scheme, BLOCK, 0.2)
+    assert set(profile) == set(range(1, BLOCK + 1))
+    assert all(0.0 <= q <= 1.0 for q in profile.values())
+
+
+@pytest.mark.parametrize("p", LOSS_RATES)
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_wire_q_matches_analytic_model(name, p):
+    """Wire-level ``q_i`` within 3 SE of the analytic profile."""
+    scheme = default_scheme(name)
+    rows = conformance_deviations(scheme, BLOCK, p, TRIALS, seed=SEED)
+    worst = max(rows, key=lambda row: row["deviation_se"])
+    assert worst["deviation_se"] <= MAX_DEVIATION_SE, (
+        f"{scheme.name} at p={p}: wire q={worst['wire_q']:.4f} vs "
+        f"model q={worst['model_q']:.4f} at send position "
+        f"{worst['position']} deviates {worst['deviation_se']:.2f} SE "
+        f"(> {MAX_DEVIATION_SE}) over {worst['received']} receipts")
+
+
+@pytest.mark.parametrize("p", LOSS_RATES)
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_recurrence_upper_bounds_exact_model(name, p):
+    """Eq. 9/10 must upper-bound the exact profile, tightly near the root.
+
+    The recurrences assume path-failure independence; path-death
+    events are positively correlated, so the approximation can only
+    err optimistically.  Within ``max(offsets)`` of the signature no
+    two dependence paths share a vertex yet, so there the recurrence
+    must be exact.
+    """
+    scheme = default_scheme(name)
+    recurrence = recurrence_q_profile(scheme, BLOCK, p)
+    if recurrence is None:
+        pytest.skip(f"{scheme.name}: conformance model is already exact")
+    exact = analytic_q_profile(scheme, BLOCK, p)
+    for position in exact:
+        assert recurrence[position] >= exact[position] - 1e-9, (
+            f"{scheme.name} at p={p}: recurrence "
+            f"{recurrence[position]:.6f} below exact "
+            f"{exact[position]:.6f} at send position {position}")
+    offsets = getattr(scheme, "offsets", None)
+    if offsets:
+        tight = range(BLOCK - max(offsets), BLOCK + 1)
+    else:  # augmented chain: only the signature packet is trivially tight
+        tight = (BLOCK,)
+    for position in tight:
+        assert recurrence[position] == pytest.approx(exact[position],
+                                                     abs=1e-12), (
+            f"{scheme.name} at p={p}: recurrence diverges from the "
+            f"exact model at near-signature position {position}")
+
+
+class _UnmodeledScheme(Scheme):
+    """A scheme registered without any conformance/analytic coverage."""
+
+    @property
+    def name(self):
+        return "unmodeled"
+
+    def build_graph(self, n):
+        return None
+
+
+def test_missing_spec_fails_loudly():
+    with pytest.raises(AnalysisError, match="no conformance case"):
+        default_scheme("no-such-scheme")
+
+
+def test_missing_analytic_model_fails_loudly():
+    with pytest.raises(AnalysisError, match="no analytic q_i model"):
+        analytic_q_profile(_UnmodeledScheme(), BLOCK, 0.2)

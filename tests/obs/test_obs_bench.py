@@ -1,0 +1,98 @@
+"""Unit tests for the benchmark-report folding (bench-report subcommand)."""
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.obs.bench import (
+    build_bench_report,
+    collect_benchmark_files,
+    fold_benchmark_file,
+    write_bench_report,
+)
+
+FAKE_BENCH = {
+    "datetime": "2026-08-06T00:00:00",
+    "machine_info": {"python_version": "3.11.0"},
+    "benchmarks": [
+        {
+            "fullname": "benchmarks/test_mc.py::test_graph_mc",
+            "stats": {"min": 0.01, "mean": 0.012, "stddev": 0.001,
+                      "rounds": 25},
+        }
+    ],
+}
+
+
+def _write(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def test_collect_walks_nested_layout(tmp_path):
+    nested = tmp_path / "machine" / "0001_run.json"
+    nested.parent.mkdir()
+    _write(str(nested), FAKE_BENCH)
+    _write(str(tmp_path / "loose.json"), FAKE_BENCH)
+    (tmp_path / "notes.txt").write_text("ignored")
+    found = collect_benchmark_files(str(tmp_path))
+    assert len(found) == 2
+    assert found == sorted(found)
+
+
+def test_collect_missing_directory_is_an_error(tmp_path):
+    with pytest.raises(AnalysisError, match="not found"):
+        collect_benchmark_files(str(tmp_path / "nope"))
+
+
+def test_fold_extracts_headline_stats(tmp_path):
+    path = str(tmp_path / "bench.json")
+    _write(path, FAKE_BENCH)
+    folded = fold_benchmark_file(path)
+    assert folded["python"] == "3.11.0"
+    assert folded["benchmarks"] == [{
+        "name": "benchmarks/test_mc.py::test_graph_mc",
+        "min_s": 0.01, "mean_s": 0.012, "stddev_s": 0.001, "rounds": 25,
+    }]
+
+
+def test_fold_skips_unrelated_json(tmp_path):
+    path = str(tmp_path / "other.json")
+    _write(path, {"format": 1, "runs": []})
+    assert fold_benchmark_file(path) is None
+
+
+def test_fold_rejects_malformed_json(tmp_path):
+    path = str(tmp_path / "broken.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    with pytest.raises(AnalysisError, match="malformed"):
+        fold_benchmark_file(path)
+
+
+def test_build_report_requires_benchmark_files(tmp_path):
+    _write(str(tmp_path / "unrelated.json"), {"hello": 1})
+    with pytest.raises(AnalysisError, match="no pytest-benchmark"):
+        build_bench_report(str(tmp_path))
+
+
+def test_write_bench_report(tmp_path):
+    _write(str(tmp_path / "bench.json"), FAKE_BENCH)
+    out = str(tmp_path / "BENCH_test.json")
+    assert write_bench_report(str(tmp_path), out) == out
+    with open(out, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    assert report["report_version"] == 1
+    assert report["totals"] == {"files": 1, "benchmarks": 1}
+    assert report["entries"][0]["benchmarks"][0]["rounds"] == 25
+
+
+def test_write_bench_report_default_name(tmp_path, monkeypatch):
+    _write(str(tmp_path / "bench.json"), FAKE_BENCH)
+    monkeypatch.chdir(tmp_path)
+    out = write_bench_report(str(tmp_path))
+    assert os.path.basename(out).startswith("BENCH_")
+    assert out.endswith(".json")
+    assert os.path.exists(out)

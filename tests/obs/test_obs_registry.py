@@ -1,0 +1,135 @@
+"""Unit tests for the metrics registry and its exact merge algebra."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+    use_registry,
+)
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        histogram = Histogram((1.0, 10.0))
+        histogram.observe(1.0)     # first bucket (v <= 1.0)
+        histogram.observe(1.0001)  # second bucket
+        histogram.observe(10.0)    # second bucket
+        histogram.observe(10.5)    # overflow
+        assert histogram.counts == [1, 2]
+        assert histogram.overflow == 1
+        assert histogram.total == 4
+
+    def test_rejects_empty_or_unsorted_bounds(self):
+        with pytest.raises(AnalysisError, match="bucket bound"):
+            Histogram(())
+        with pytest.raises(AnalysisError, match="strictly increase"):
+            Histogram((5.0, 5.0))
+
+    def test_merge_requires_identical_bounds(self):
+        with pytest.raises(AnalysisError, match="different bounds"):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_dict_round_trip(self):
+        histogram = Histogram((1.0, 2.0), counts=[3, 4], overflow=5)
+        assert Histogram.from_dict(histogram.as_dict()) == histogram
+
+
+class TestMetricsRegistry:
+    def test_counter_and_timer_readers(self):
+        registry = MetricsRegistry()
+        registry.count("events")
+        registry.count("events", 4)
+        registry.add_time("phase", 2_000_000_000, calls=2)
+        assert registry.counter("events") == 5
+        assert registry.counter("missing") == 0
+        assert registry.timer_seconds("phase") == pytest.approx(2.0)
+        assert registry.timer_calls("phase") == 2
+        assert not registry.empty
+
+    def test_merge_sums_every_family(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("n", 1)
+        b.count("n", 2)
+        a.add_time("t", 10)
+        b.add_time("t", 20, calls=3)
+        a.observe("h", 0.5, (1.0,))
+        b.observe("h", 2.0, (1.0,))
+        merged = a.merge(b)
+        assert merged.counter("n") == 3
+        assert merged.timers["t"] == (30, 4)
+        assert merged.histograms["h"].counts == [1]
+        assert merged.histograms["h"].overflow == 1
+        # inputs untouched
+        assert a.counter("n") == 1 and b.counter("n") == 2
+
+    def test_merge_rejects_non_registry(self):
+        with pytest.raises(AnalysisError, match="cannot merge"):
+            MetricsRegistry().merge({"counters": {}})
+
+    def test_merge_snapshot_in_place_equals_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("n", 7)
+        b.count("n", 5)
+        b.add_time("t", 100)
+        b.observe("h", 3.0, (1.0, 5.0))
+        expected = a.merge(b)
+        a.merge_snapshot(b.snapshot())
+        assert a == expected
+
+    def test_snapshot_is_picklable_and_versioned(self):
+        registry = MetricsRegistry()
+        registry.count("n")
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert MetricsRegistry.from_snapshot(snapshot) == registry
+        with pytest.raises(AnalysisError, match="snapshot version"):
+            MetricsRegistry.from_snapshot({"version": 99})
+
+    def test_merge_all_of_nothing_is_empty(self):
+        assert MetricsRegistry.merge_all([]).empty
+
+
+class TestNullRegistryAndInstallation:
+    def test_null_registry_is_default_and_inert(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not metrics_enabled()
+        NULL_REGISTRY.count("n", 5)
+        NULL_REGISTRY.add_time("t", 123)
+        NULL_REGISTRY.observe("h", 1.0, (1.0,))
+        NULL_REGISTRY.merge_snapshot({"version": 1, "counters": {"n": 1}})
+        assert NULL_REGISTRY.empty
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert not NULL_REGISTRY.enabled
+
+    def test_set_registry_returns_previous(self):
+        live = MetricsRegistry()
+        previous = set_registry(live)
+        try:
+            assert previous is NULL_REGISTRY
+            assert get_registry() is live
+            assert metrics_enabled()
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_scopes_and_restores(self):
+        live = MetricsRegistry()
+        with use_registry(live) as current:
+            assert current is live
+            get_registry().count("inside")
+        assert get_registry() is NULL_REGISTRY
+        assert live.counter("inside") == 1
+
+    def test_use_registry_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY

@@ -1,0 +1,95 @@
+"""Unit tests for span timing, trace records and the profile report."""
+
+import io
+import json
+
+from repro.obs.registry import MetricsRegistry, set_registry
+from repro.obs.sinks import TraceSink
+from repro.obs.spans import (
+    _NULL_SPAN,
+    get_trace_sink,
+    profile_report,
+    set_trace_sink,
+    span,
+)
+
+
+def test_disabled_span_is_the_shared_null_object():
+    assert span("anything") is _NULL_SPAN
+    assert span("anything else") is _NULL_SPAN
+    with span("noop"):
+        pass  # must be harmless
+
+
+def test_span_times_into_current_registry():
+    registry = MetricsRegistry()
+    set_registry(registry)
+    try:
+        with span("phase.one"):
+            pass
+        with span("phase.one"):
+            pass
+    finally:
+        set_registry(None)
+    assert registry.timer_calls("phase.one") == 2
+    total_ns, _ = registry.timers["phase.one"]
+    assert total_ns >= 0
+
+
+def test_nested_spans_record_depth_in_trace():
+    buffer = io.StringIO()
+    sink = TraceSink(buffer)
+    assert set_trace_sink(sink) is None
+    try:
+        assert get_trace_sink() is sink
+        with span("outer"):
+            with span("inner"):
+                pass
+    finally:
+        set_trace_sink(None)
+    records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert [(r["event"], r["span"], r["depth"]) for r in records] == [
+        ("begin", "outer", 0),
+        ("begin", "inner", 1),
+        ("end", "inner", 1),
+        ("end", "outer", 0),
+    ]
+    assert all(r["t_ns"] <= s["t_ns"] for r, s in zip(records, records[1:]))
+
+
+def test_sink_alone_activates_spans():
+    """--trace-out without --metrics-out must still record spans."""
+    buffer = io.StringIO()
+    set_trace_sink(TraceSink(buffer))
+    try:
+        with span("traced"):
+            pass
+    finally:
+        set_trace_sink(None)
+    events = [json.loads(line)["event"]
+              for line in buffer.getvalue().splitlines()]
+    assert events == ["begin", "end"]
+
+
+def test_profile_report_orders_by_cumulative_time():
+    registry = MetricsRegistry()
+    registry.add_time("slow", 3_000_000_000, calls=3)
+    registry.add_time("fast", 1_000_000, calls=1)
+    report = profile_report(registry)
+    lines = report.splitlines()
+    assert "span" in lines[0] and "total" in lines[0]
+    assert lines[2].startswith("slow")
+    assert lines[3].startswith("fast")
+
+
+def test_profile_report_truncates_to_top_n():
+    registry = MetricsRegistry()
+    for index in range(10):
+        registry.add_time(f"span{index}", (index + 1) * 1000)
+    report = profile_report(registry, top=3)
+    assert len(report.splitlines()) == 2 + 3
+    assert "span9" in report and "span0" not in report
+
+
+def test_profile_report_empty_registry():
+    assert profile_report(MetricsRegistry()) == "(no spans recorded)"

@@ -1,0 +1,125 @@
+"""Property-based tests for the observability layer's merge algebra.
+
+The whole point of :mod:`repro.obs` is that metrics follow the same
+exact algebra as :meth:`McResult.merge`: integer counts everywhere, so
+merging shard snapshots is associative and commutative with the empty
+registry as identity.  Histograms must conserve total counts under any
+split of the observation stream, and span enter/exit records must
+always balance — properties Hypothesis can probe far harder than
+example tests.
+"""
+
+import io
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import TraceSink
+from repro.obs.spans import set_trace_sink, span
+
+BOUNDS = (1.0, 10.0, 100.0)
+
+counter_events = st.lists(
+    st.tuples(st.sampled_from(["alpha", "beta", "gamma"]),
+              st.integers(min_value=0, max_value=1000)),
+    max_size=30)
+timer_events = st.lists(
+    st.tuples(st.sampled_from(["t.one", "t.two"]),
+              st.integers(min_value=0, max_value=10**9)),
+    max_size=30)
+histogram_events = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    max_size=50)
+
+
+def build_registry(counters, timers, observations):
+    registry = MetricsRegistry()
+    for name, delta in counters:
+        registry.count(name, delta)
+    for name, elapsed in timers:
+        registry.add_time(name, elapsed)
+    for value in observations:
+        registry.observe("hist", value, BOUNDS)
+    return registry
+
+
+registries = st.builds(build_registry, counter_events, timer_events,
+                       histogram_events)
+
+
+@given(registries, registries)
+@settings(max_examples=60)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(registries, registries, registries)
+@settings(max_examples=60)
+def test_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(registries)
+@settings(max_examples=60)
+def test_merge_identity(a):
+    empty = MetricsRegistry()
+    assert a.merge(empty) == a
+    assert empty.merge(a) == a
+
+
+@given(registries)
+@settings(max_examples=60)
+def test_snapshot_round_trip(a):
+    assert MetricsRegistry.from_snapshot(a.snapshot()) == a
+
+
+@given(histogram_events, st.integers(min_value=1, max_value=7))
+@settings(max_examples=60)
+def test_histogram_counts_conserved_under_shard_splits(values, shards):
+    """Any split of the observation stream merges back to the whole."""
+    whole = MetricsRegistry()
+    for value in values:
+        whole.observe("hist", value, BOUNDS)
+
+    parts = [MetricsRegistry() for _ in range(shards)]
+    for index, value in enumerate(values):
+        parts[index % shards].observe("hist", value, BOUNDS)
+    merged = MetricsRegistry.merge_all(parts)
+
+    assert merged == whole
+    if values:
+        histogram = merged.histograms["hist"]
+        assert histogram.total == len(values)
+
+
+@given(st.lists(st.sampled_from(["load", "solve", "emit"]),
+                min_size=0, max_size=12),
+       st.booleans())
+@settings(max_examples=40)
+def test_span_records_balance(names, raise_inside):
+    """Every begin record has a matching end, even under exceptions."""
+    buffer = io.StringIO()
+    sink = TraceSink(buffer)
+    set_trace_sink(sink)
+    try:
+        for name in names:
+            try:
+                with span(name):
+                    if raise_inside:
+                        raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+    finally:
+        set_trace_sink(None)
+
+    records = [json.loads(line) for line in
+               buffer.getvalue().splitlines() if line]
+    begins = [r for r in records if r["event"] == "begin"]
+    ends = [r for r in records if r["event"] == "end"]
+    assert len(begins) == len(ends) == len(names)
+    assert [r["span"] for r in begins] == names
+    assert [r["span"] for r in ends] == names
+    assert all(r["elapsed_ns"] >= 0 for r in ends)

@@ -1,0 +1,87 @@
+"""Golden-trace regression: wire format and verification semantics.
+
+Each file pair under ``tests/data/traces/`` pins one scheme's fully
+deterministic session (see :mod:`repro.simulation.golden`):
+
+* ``<name>.trace.jsonl`` — the recorded deliveries, packet bytes
+  hex-encoded.  Regenerating the session today must reproduce it
+  byte-for-byte, so any wire-format change (packet layout, hashing,
+  signing, channel behavior) shows up as a diff against a versioned
+  file.
+* ``<name>.expected.json`` — the outcome of replaying the stored trace
+  into a fresh receiver.  Any verification-semantics change shows up
+  here even if the bytes still parse.
+
+After an *intentional* format change, regenerate with::
+
+    PYTHONPATH=src python -m repro.simulation.golden tests/data/traces
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.conformance import DEFAULT_SPECS
+from repro.schemes.registry import available_schemes
+from repro.simulation.golden import (
+    expected_path,
+    record_golden,
+    replay_golden,
+    trace_path,
+)
+from repro.simulation.trace import SessionTrace
+
+TRACE_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "data",
+                         "traces")
+
+SCHEME_NAMES = sorted(DEFAULT_SPECS)
+
+
+def test_every_registered_scheme_has_a_golden_trace():
+    """Registering a scheme without recording a golden fails here."""
+    missing = [
+        name for name in available_schemes()
+        if not (os.path.exists(trace_path(TRACE_DIR, name))
+                and os.path.exists(expected_path(TRACE_DIR, name)))
+    ]
+    assert not missing, (
+        f"no golden trace for {missing}; record one with "
+        f"'PYTHONPATH=src python -m repro.simulation.golden "
+        f"tests/data/traces'")
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_regenerated_session_matches_golden_bytes(name):
+    """Sender + channel reproduce the stored trace byte-for-byte."""
+    with open(trace_path(TRACE_DIR, name), "r", encoding="utf-8") as handle:
+        stored = handle.read()
+    live = record_golden(name).trace.to_string()
+    assert live == stored, (
+        f"{name}: regenerated session differs from the golden trace — "
+        f"the wire format changed; if intentional, regenerate the "
+        f"goldens (see module docstring)")
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_replaying_golden_trace_reproduces_outcome(name):
+    """A fresh receiver verifies exactly the recorded positions."""
+    trace = SessionTrace.load(trace_path(TRACE_DIR, name))
+    with open(expected_path(TRACE_DIR, name), "r",
+              encoding="utf-8") as handle:
+        expected = json.load(handle)
+    assert replay_golden(name, trace) == expected, (
+        f"{name}: replaying the stored trace no longer reproduces the "
+        f"stored outcome — verification semantics changed; if "
+        f"intentional, regenerate the goldens (see module docstring)")
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_golden_traces_round_trip(name):
+    """load() of a dumped trace compares equal record-for-record."""
+    trace = SessionTrace.load(trace_path(TRACE_DIR, name))
+    assert len(trace) > 0
+    import io
+
+    rewritten = SessionTrace.load(io.StringIO(trace.to_string()))
+    assert rewritten == trace
