@@ -36,10 +36,22 @@ from repro.exceptions import (
     CryptoError,
     DesignError,
     GraphError,
+    PacketFormatError,
     ReproError,
     SchemeParameterError,
     SimulationError,
     VerificationError,
+    WireDecodeError,
+)
+from repro.faults import (
+    AdversarialChannel,
+    AttackPlan,
+    BitFlipCorruption,
+    FaultModel,
+    ForgedInjection,
+    ReorderJitter,
+    ReplayDuplication,
+    TruncationCorruption,
 )
 from repro.packets import Packet, packet_from_wire
 from repro.parallel import (
@@ -94,10 +106,20 @@ __all__ = [
     "CryptoError",
     "DesignError",
     "GraphError",
+    "PacketFormatError",
     "ReproError",
     "SchemeParameterError",
     "SimulationError",
     "VerificationError",
+    "WireDecodeError",
+    "AdversarialChannel",
+    "AttackPlan",
+    "BitFlipCorruption",
+    "FaultModel",
+    "ForgedInjection",
+    "ReorderJitter",
+    "ReplayDuplication",
+    "TruncationCorruption",
     "Packet",
     "packet_from_wire",
     "parallel_graph_monte_carlo",

@@ -73,6 +73,16 @@ from repro.schemes.saida import SaidaScheme
 from repro.schemes.sign_each import SignEachScheme
 from repro.schemes.tesla import TeslaScheme
 from repro.schemes.wong_lam import WongLamScheme
+from repro.faults import (
+    AttackPlan,
+    BitFlipCorruption,
+    ForgedInjection,
+    KNOWN_ATTACK_MIXES,
+    ReorderJitter,
+    ReplayDuplication,
+    TruncationCorruption,
+)
+from repro.simulation.adversarial import run_adversarial_trials
 from repro.simulation.runner import (
     WireTrialConfig,
     run_tesla_trials,
@@ -91,6 +101,12 @@ __all__ = [
     "exhaustive_q_profile",
     "wire_q_stats",
     "conformance_deviations",
+    "ADVERSARIAL_MIXES",
+    "COMPLETENESS_POLICY",
+    "attack_mix",
+    "effective_loss_rate",
+    "adversarial_wire_stats",
+    "adversarial_conformance_report",
 ]
 
 
@@ -327,25 +343,23 @@ def wire_q_stats(scheme: Scheme, n: int, p: float, trials: int,
     return run_wire_trials(scheme, config, 0, trials)
 
 
-def conformance_deviations(scheme: Scheme, n: int, p: float, trials: int,
-                           seed: int = 7,
-                           env: Optional[ConformanceEnvironment] = None
-                           ) -> List[dict]:
-    """Per-position comparison rows: wire ``q_i`` vs analytic ``q_i``.
+def _deviation_rows(stats: SimulationStats, analytic: Dict[int, float],
+                    label: str) -> List[dict]:
+    """Per-position comparison rows against an analytic profile.
 
     Each row carries the empirical estimate, the model value, the
-    binomial standard error of the estimate and the deviation in SE
-    units — the quantity the conformance suite thresholds at 3.
+    binomial standard error, the absolute deviation in SE units
+    (``deviation_se``, thresholded by two-sided checks) and the
+    one-sided ``shortfall_se`` — how far the wire result falls *below*
+    the model, the quantity lower-bound checks threshold.
     """
-    stats = wire_q_stats(scheme, n, p, trials, seed=seed, env=env)
-    analytic = analytic_q_profile(scheme, n, p, env=env)
     rows: List[dict] = []
     for position, tally in sorted(stats.tallies.items()):
         if tally.received == 0:
             continue
         if position not in analytic:
             raise AnalysisError(
-                f"{scheme.name}: wire position {position} missing from "
+                f"{label}: wire position {position} missing from "
                 f"the analytic profile")
         wire_q = tally.verified / tally.received
         model_q = analytic[position]
@@ -361,7 +375,187 @@ def conformance_deviations(scheme: Scheme, n: int, p: float, trials: int,
             "model_q": model_q,
             "se": se,
             "deviation_se": abs(wire_q - model_q) / se,
+            "shortfall_se": max(0.0, (model_q - wire_q) / se),
         })
     if not rows:
-        raise AnalysisError(f"{scheme.name}: no positions ever received")
+        raise AnalysisError(f"{label}: no positions ever received")
     return rows
+
+
+def conformance_deviations(scheme: Scheme, n: int, p: float, trials: int,
+                           seed: int = 7,
+                           env: Optional[ConformanceEnvironment] = None
+                           ) -> List[dict]:
+    """Per-position comparison rows: wire ``q_i`` vs analytic ``q_i``.
+
+    Each row carries the empirical estimate, the model value, the
+    binomial standard error of the estimate and the deviation in SE
+    units — the quantity the conformance suite thresholds at 3.
+    """
+    stats = wire_q_stats(scheme, n, p, trials, seed=seed, env=env)
+    analytic = analytic_q_profile(scheme, n, p, env=env)
+    return _deviation_rows(stats, analytic, scheme.name)
+
+
+# ---------------------------------------------------------------------
+# Adversarial side: security-invariant conformance
+# ---------------------------------------------------------------------
+
+#: Attack-mix names with a conformance case (same tuple the CLI
+#: validates ``--attack`` against).
+ADVERSARIAL_MIXES = KNOWN_ATTACK_MIXES
+
+#: How each (mix, scheme) pair is held to the effective-loss model.
+#: ``two-sided`` (the default for pairs not listed) demands the
+#: attacked ``q_i`` match the analytic profile at ``p_eff`` within 3
+#: SE both ways — corruption behaves exactly like loss.  Pairs listed
+#: as ``lower-bound`` are schemes whose receivers *salvage* authentic
+#: content out of partially tampered deliveries (a bit flip confined
+#: to a SAIDA share or a TESLA key-disclosure field destroys that
+#: field, but the payload stays verifiable through redundancy
+#: elsewhere), so corrupted-as-lost is conservative and only the
+#: one-sided shortfall is thresholded.  ``skip`` marks pairs whose
+#: analytic model is perturbed by a non-loss fault dimension
+#: entirely: TESLA's Eq. 6 ``ξ_i`` depends on arrival *timing*, which
+#: the dos mix's reorder jitter shifts.  Soundness is asserted for
+#: every pair regardless of policy.
+COMPLETENESS_POLICY: Dict[tuple, tuple] = {
+    ("pollution", "saida"): (
+        "lower-bound",
+        "leave-one-out reconstruction salvages packets whose flips land "
+        "in the share, and tampered packets still donate intact shares"),
+    ("pollution", "tesla"): (
+        "lower-bound",
+        "flips confined to the key-disclosure field leave the MAC "
+        "verifiable once a later packet re-discloses the key"),
+    ("dos", "tesla"): (
+        "skip",
+        "reorder jitter shifts arrival times, perturbing the Eq. 6 "
+        "safety term independently of loss"),
+}
+
+
+def attack_mix(name: str) -> AttackPlan:
+    """Build a fresh :class:`AttackPlan` for a named conformance mix.
+
+    ``pollution`` models a content-forging attacker: bit flips in the
+    authenticated region, sequence-colliding forged injections and
+    replays — pressure on trust-state integrity.  ``dos`` models a
+    resource attacker: truncation, heavier replay and reorder jitter —
+    pressure on buffers and decoders.  Rates are fixed so the
+    effective loss rate is reproducible across the suite, the
+    ``ext-adversarial`` experiment and CI.
+    """
+    if name == "pollution":
+        return AttackPlan((
+            BitFlipCorruption(0.10),
+            ForgedInjection(0.15, collide=True),
+            ReplayDuplication(0.10),
+        ))
+    if name == "dos":
+        return AttackPlan((
+            TruncationCorruption(0.10),
+            ReplayDuplication(0.15, copies=2),
+            ReorderJitter(0.02),
+        ))
+    raise AnalysisError(
+        f"unknown attack mix {name!r} (known: {', '.join(ADVERSARIAL_MIXES)})")
+
+
+def effective_loss_rate(p: float, plan: AttackPlan) -> float:
+    """``p_eff = 1 - (1-p)(1-c)``: corruption composed onto loss.
+
+    The adversarial conformance model treats a corrupted delivery as a
+    lost one (it can never verify), so an attacked scheme is compared
+    against its own analytic profile evaluated at ``p_eff``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    return 1.0 - (1.0 - p) * (1.0 - plan.corruption_rate)
+
+
+def adversarial_wire_stats(scheme: Scheme, n: int, p: float,
+                           plan: AttackPlan, trials: int, seed: int = 7,
+                           env: Optional[ConformanceEnvironment] = None,
+                           workers: Optional[int] = None
+                           ) -> SimulationStats:
+    """Attacked wire-level statistics for ``trials`` blocks of ``n``.
+
+    The adversarial counterpart of :func:`wire_q_stats`: one driver
+    covers every scheme family.  ``workers`` shards the trials across
+    a process pool (bit-for-bit identical to the serial run).
+    """
+    env = env if env is not None else ConformanceEnvironment()
+    if workers is not None and workers > 1:
+        from repro.parallel.wire import parallel_adversarial_trials
+        return parallel_adversarial_trials(
+            scheme, n, p, plan, trials, seed=seed,
+            delay_mean=env.delay_mean, delay_std=env.delay_std,
+            workers=workers)
+    return run_adversarial_trials(scheme, n, p, plan, 0, trials, seed=seed,
+                                  delay_mean=env.delay_mean,
+                                  delay_std=env.delay_std)
+
+
+def adversarial_conformance_report(name: str, n: int, p: float, mix: str,
+                                   trials: int, seed: int = 7,
+                                   env: Optional[ConformanceEnvironment]
+                                   = None,
+                                   workers: Optional[int] = None) -> dict:
+    """Security-invariant conformance for one (scheme, mix) pair.
+
+    Two invariants, reported as one dict:
+
+    * **soundness** — no forged or corrupted content was ever
+      accepted: ``counters["forged_accepted"]`` must be 0 and ``sound``
+      records that;
+    * **completeness** — the attack gains the adversary nothing beyond
+      loss: the attacked empirical ``q_i`` matches the scheme's
+      analytic profile at :func:`effective_loss_rate` per the pair's
+      :data:`COMPLETENESS_POLICY` (``conformant`` is ``None`` for
+      skipped pairs).
+
+    ``passed`` folds both together.
+    """
+    scheme = default_scheme(name)
+    plan = attack_mix(mix)
+    p_eff = effective_loss_rate(p, plan)
+    stats = adversarial_wire_stats(scheme, n, p, plan, trials, seed=seed,
+                                   env=env, workers=workers)
+    policy, reason = COMPLETENESS_POLICY.get((mix, name), ("two-sided", ""))
+    report = {
+        "scheme": name,
+        "mix": mix,
+        "n": n,
+        "trials": trials,
+        "loss_rate": p,
+        "effective_loss_rate": p_eff,
+        "policy": policy,
+        "policy_reason": reason,
+        "sound": stats.forged_accepted == 0,
+        "counters": {
+            "sent": stats.sent,
+            "dropped": stats.dropped,
+            "corrupted": stats.corrupted,
+            "injected": stats.injected,
+            "replayed": stats.replayed,
+            "undecodable": stats.undecodable,
+            "forged_rejected": stats.forged_rejected,
+            "replays_dropped": stats.replays_dropped,
+            "forged_accepted": stats.forged_accepted,
+        },
+    }
+    if policy == "skip":
+        report["rows"] = []
+        report["max_deviation_se"] = None
+        report["conformant"] = None
+    else:
+        analytic = analytic_q_profile(scheme, n, p_eff, env=env)
+        rows = _deviation_rows(stats, analytic, f"{name}/{mix}")
+        key = "deviation_se" if policy == "two-sided" else "shortfall_se"
+        worst = max(row[key] for row in rows)
+        report["rows"] = rows
+        report["max_deviation_se"] = worst
+        report["conformant"] = worst <= 3.0
+    report["passed"] = report["sound"] and report["conformant"] is not False
+    return report

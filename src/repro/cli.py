@@ -74,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: all CPUs, or $REPRO_WORKERS; 1 = "
                             "serial, identical output for any value)"
                         ))
+    parser.add_argument("--attack", metavar="MIXES", default=None,
+                        help=(
+                            "comma-separated attack mixes for the "
+                            "adversarial experiment (known: pollution, dos; "
+                            "default: all) — e.g. --attack pollution"
+                        ))
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help=(
                             "write per-experiment run manifests and metric "
@@ -164,6 +170,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.workers is not None:
         set_default_workers(args.workers)
+    if args.attack is not None:
+        from repro.faults import set_default_attack
+
+        try:
+            set_default_attack(
+                [m.strip() for m in args.attack.split(",") if m.strip()])
+        except AnalysisError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     if args.list_only:
         for experiment_id in ALL_EXPERIMENTS:
             print(experiment_id)

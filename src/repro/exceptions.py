@@ -52,6 +52,53 @@ class SimulationError(ReproError):
     """The packet-level simulator was driven into an invalid state."""
 
 
+class PacketFormatError(SimulationError, ValueError):
+    """A packet was constructed with fields the wire format cannot carry.
+
+    Oversized blobs, sequence numbers beyond the 32-bit wire fields,
+    non-finite timestamps — anything that would silently mis-encode or
+    blow up inside ``struct`` is rejected here with a clear message.
+    """
+
+
+class WireDecodeError(SimulationError):
+    """A wire buffer could not be decoded into a :class:`~repro.packets.Packet`.
+
+    Base of the strict decode taxonomy.  Every subtype is also a
+    :class:`SimulationError`, so pre-existing callers that catch the
+    broad class keep working; adversarial receivers catch this class to
+    count-and-discard corrupted buffers.
+    """
+
+
+class TruncatedPacketError(WireDecodeError):
+    """The buffer ends before a declared field does."""
+
+
+class HeaderFormatError(WireDecodeError):
+    """A header field is malformed.
+
+    Nonzero reserved bits, an out-of-range signature flag, a non-finite
+    send time, or a header/body sequence mismatch.
+    """
+
+
+class OverlongBlobError(WireDecodeError):
+    """A declared length exceeds the wire format's hard caps.
+
+    The caps bound decode work *before* any allocation or loop, so an
+    adversarial length field cannot drive CPU or memory exhaustion.
+    """
+
+
+class TrailingBytesError(WireDecodeError):
+    """Bytes remain after the last declared field.
+
+    Rejecting them makes the encoding canonical: a successful decode
+    re-encodes to exactly the input buffer.
+    """
+
+
 class DesignError(ReproError):
     """A graph-design request is infeasible.
 

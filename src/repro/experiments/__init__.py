@@ -10,6 +10,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     eq1_bounds,
+    ext_adversarial,
     ext_audience,
     ext_burst_loss,
     ext_design,
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig9": fig09_blocksize.run,
     "fig10": fig10_overhead_delay.run,
     "eq1": eq1_bounds.run,
+    "ext-adversarial": ext_adversarial.run,
     "ext-audience": ext_audience.run,
     "ext-burst": ext_burst_loss.run,
     "ext-design": ext_design.run,

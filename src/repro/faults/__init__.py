@@ -1,0 +1,84 @@
+"""``repro.faults`` — deterministic adversarial fault injection.
+
+The paper's Sec. 2 threat model gives the attacker "full control of
+the network": dropping, modifying, injecting and reordering packets.
+The passive half (dropping) is :mod:`repro.network.loss`; this package
+supplies the active half as a composable layer over any existing
+:class:`~repro.network.channel.Channel`:
+
+* :mod:`repro.faults.models` — the :class:`FaultModel` interface and
+  the concrete attacks (:class:`BitFlipCorruption`,
+  :class:`TruncationCorruption`, :class:`ForgedInjection`,
+  :class:`ReplayDuplication`, :class:`ReorderJitter`), each owning a
+  private RNG with the :meth:`~repro.network.loss.LossModel.reseed`
+  idiom so attacked Monte-Carlo runs shard deterministically;
+* :mod:`repro.faults.plan` — :class:`AttackPlan`, an ordered bundle
+  of fault models with one-seed derivation and the composed
+  corruption rate the effective-loss analysis needs;
+* :mod:`repro.faults.channel` — :class:`AdversarialChannel`, wrapping
+  a channel's deliveries into tampered/injected/replayed *wire bytes*
+  (:class:`WireDelivery`), the Dolev-Yao eavesdrop-and-inject point.
+
+The CLI's ``--attack`` flag parks its mix names here
+(:func:`set_default_attack` / :func:`get_default_attack`) for the
+``ext-adversarial`` experiment to pick up, mirroring how
+``--workers`` flows through :mod:`repro.parallel`.
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import AnalysisError
+from repro.faults.channel import AdversarialChannel, WireDelivery
+from repro.faults.models import (
+    BitFlipCorruption,
+    FaultModel,
+    ForgedInjection,
+    ReorderJitter,
+    ReplayDuplication,
+    TruncationCorruption,
+)
+from repro.faults.plan import AttackPlan
+
+__all__ = [
+    "FaultModel",
+    "BitFlipCorruption",
+    "TruncationCorruption",
+    "ForgedInjection",
+    "ReplayDuplication",
+    "ReorderJitter",
+    "AttackPlan",
+    "AdversarialChannel",
+    "WireDelivery",
+    "set_default_attack",
+    "get_default_attack",
+    "KNOWN_ATTACK_MIXES",
+]
+
+#: Attack-mix names the conformance layer knows how to build; the CLI
+#: validates ``--attack`` against this list without importing the
+#: (heavier) analysis package.
+KNOWN_ATTACK_MIXES = ("pollution", "dos")
+
+_default_attack: Optional[List[str]] = None
+
+
+def set_default_attack(mixes: Optional[Sequence[str]]) -> None:
+    """Set the process-wide attack mixes (the CLI's ``--attack`` flag)."""
+    global _default_attack
+    if mixes is None:
+        _default_attack = None
+        return
+    resolved = [str(m) for m in mixes]
+    unknown = [m for m in resolved if m not in KNOWN_ATTACK_MIXES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown attack mixes: {', '.join(unknown)} "
+            f"(known: {', '.join(KNOWN_ATTACK_MIXES)})")
+    _default_attack = resolved
+
+
+def get_default_attack() -> Optional[List[str]]:
+    """The attack mixes set via :func:`set_default_attack`, if any."""
+    if _default_attack is None:
+        return None
+    return list(_default_attack)

@@ -1,0 +1,134 @@
+"""The adversarial channel: wire-level deliveries under active attack.
+
+:class:`AdversarialChannel` wraps any
+:class:`~repro.network.channel.Channel` and degrades its packet
+deliveries into **byte buffers** — the honest channel decides loss and
+delay exactly as before (so the passive statistics are unchanged),
+then the attack plan gets one shot at every surviving delivery: add
+reorder jitter, tamper the bytes, inject forged packets crafted from
+what it observed, and replay copies.  Receivers downstream see only
+:class:`WireDelivery` blobs and must decode them defensively
+(:meth:`~repro.simulation.receiver.ChainReceiver.ingest_wire`).
+
+Determinism: deliveries are processed in the honest channel's arrival
+order and fault models are consulted in plan order, so the byte stream
+depends only on the channel and plan seeds — attacked trials shard
+across workers bit-for-bit like passive ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.faults.plan import AttackPlan
+from repro.network.channel import Channel
+from repro.packets import Packet
+
+__all__ = ["WireDelivery", "AdversarialChannel"]
+
+
+@dataclass(frozen=True)
+class WireDelivery:
+    """One byte buffer arriving at the receiver.
+
+    ``kind`` labels the adversary's ground truth — ``"genuine"``
+    (untampered original), ``"corrupted"``, ``"forged"`` (injected) or
+    ``"replayed"`` — which attacked sessions use for soundness
+    accounting.  Receivers must never look at it.  ``seq_hint`` is the
+    originating packet's sequence number (``None`` for injections);
+    ground-truth bookkeeping only, for the same reason.
+    """
+
+    arrival_time: float
+    data: bytes
+    kind: str
+    seq_hint: Optional[int] = None
+
+
+class AdversarialChannel:
+    """A lossy channel with an active attacker on the path.
+
+    Parameters
+    ----------
+    channel:
+        The honest loss/delay channel being attacked.  Its
+        ``protect_signature_packets`` setting extends to corruption:
+        a retransmit-until-received ``P_sign`` cannot be kept
+        corrupted either, so corruption of protected packets is
+        skipped with the RNG still advanced (the skip-with-draw idiom
+        the loss models use).  Injection and replay are unaffected —
+        the attacker can always add packets.
+    plan:
+        The fault models to apply, in order.
+    """
+
+    def __init__(self, channel: Channel, plan: AttackPlan) -> None:
+        self.channel = channel
+        self.plan = plan
+        self.corrupted = 0
+        self.injected = 0
+        self.replayed = 0
+
+    def transmit_wire(self, packets: Iterable[Packet]) -> List[WireDelivery]:
+        """Send ``packets``; return attacked wire deliveries in arrival order.
+
+        Ties on arrival time are broken by staging order (genuine
+        before its own injections/replays, earlier deliveries first),
+        keeping the stream deterministic.
+        """
+        staged: List[tuple] = []
+
+        def stage(arrival: float, data: bytes, kind: str,
+                  seq_hint: Optional[int]) -> None:
+            staged.append((arrival, len(staged), data, kind, seq_hint))
+
+        for delivery in self.channel.transmit(packets):
+            packet = delivery.packet
+            protected = (self.channel.protect_signature_packets
+                         and packet.is_signature_packet)
+            arrival = delivery.arrival_time
+            for fault in self.plan.faults:
+                arrival += fault.jitter()
+            wire = packet.to_wire()
+            tampered = False
+            for fault in self.plan.faults:
+                mutated = fault.corrupt(wire)
+                if protected:
+                    continue  # drawn but discarded, like protected loss
+                if mutated is not None and mutated != wire:
+                    wire = mutated
+                    tampered = True
+            if tampered:
+                self.corrupted += 1
+            stage(arrival, wire, "corrupted" if tampered else "genuine",
+                  packet.seq)
+            for fault in self.plan.faults:
+                for offset, forged_wire in fault.forge(packet):
+                    self.injected += 1
+                    stage(arrival + offset, forged_wire, "forged", None)
+                for offset in fault.replay(wire):
+                    self.replayed += 1
+                    stage(arrival + offset, wire, "replayed", packet.seq)
+        staged.sort(key=lambda item: (item[0], item[1]))
+        return [WireDelivery(arrival_time=arrival, data=data, kind=kind,
+                             seq_hint=seq_hint)
+                for arrival, _, data, kind, seq_hint in staged]
+
+    def reset(self) -> None:
+        """New trial: reset the channel, the plan and the counters."""
+        self.channel.reset()
+        self.plan.reset()
+        self.corrupted = 0
+        self.injected = 0
+        self.replayed = 0
+
+    @property
+    def sent(self) -> int:
+        """Packets the honest sender transmitted."""
+        return self.channel.sent
+
+    @property
+    def dropped(self) -> int:
+        """Packets the honest channel lost (not counting corruption)."""
+        return self.channel.dropped

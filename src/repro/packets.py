@@ -20,19 +20,52 @@ Two encodings are defined:
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
-from repro.exceptions import SimulationError
+from repro.exceptions import (
+    HeaderFormatError,
+    OverlongBlobError,
+    PacketFormatError,
+    SimulationError,
+    TrailingBytesError,
+    TruncatedPacketError,
+    WireDecodeError,
+)
 
-__all__ = ["Packet", "packet_from_wire"]
+__all__ = [
+    "Packet",
+    "packet_from_wire",
+    "MAX_BLOB_BYTES",
+    "MAX_CARRIED_HASHES",
+    "WIRE_HEADER_SIZE",
+]
 
 _HEADER = struct.Struct(">IIQdB")  # seq, block_id, flags/reserved, send_time, has_sig
 _U32 = struct.Struct(">I")
+_U32_MAX = 0xFFFFFFFF
+
+#: Hard cap on any length-prefixed field (payload, digest, extra,
+#: signature).  Generous for every scheme here (the largest real blob
+#: is the ~8 KB Lamport OTS) while keeping a hostile length field from
+#: driving a multi-gigabyte allocation.
+MAX_BLOB_BYTES = 1 << 20
+
+#: Hard cap on the carried-hash count, bounding decode work up front.
+MAX_CARRIED_HASHES = 1 << 16
+
+#: Size of the unauthenticated wire header (everything before
+#: :meth:`Packet.auth_bytes` starts).  Fault models that must corrupt
+#: only *authenticated* bytes key off this offset.
+WIRE_HEADER_SIZE = _HEADER.size
 
 
 def _encode_blob(data: bytes) -> bytes:
+    if len(data) > MAX_BLOB_BYTES:
+        raise PacketFormatError(
+            f"blob of {len(data)} bytes exceeds the wire cap {MAX_BLOB_BYTES}")
     return _U32.pack(len(data)) + data
 
 
@@ -71,18 +104,46 @@ class Packet:
     def __post_init__(self) -> None:
         if self.seq < 1:
             raise SimulationError(f"sequence numbers are 1-based, got {self.seq}")
+        if self.seq > _U32_MAX:
+            raise PacketFormatError(
+                f"sequence {self.seq} exceeds the 32-bit wire field")
         if self.block_id < 0:
             raise SimulationError(f"negative block id: {self.block_id}")
+        if self.block_id > _U32_MAX:
+            raise PacketFormatError(
+                f"block id {self.block_id} exceeds the 32-bit wire field")
+        if len(self.payload) > MAX_BLOB_BYTES:
+            raise PacketFormatError(
+                f"payload of {len(self.payload)} bytes exceeds the wire cap")
+        if len(self.extra) > MAX_BLOB_BYTES:
+            raise PacketFormatError(
+                f"extra blob of {len(self.extra)} bytes exceeds the wire cap")
+        if self.signature is not None and len(self.signature) > MAX_BLOB_BYTES:
+            raise PacketFormatError(
+                f"signature of {len(self.signature)} bytes exceeds the wire cap")
+        if len(self.carried) > MAX_CARRIED_HASHES:
+            raise PacketFormatError(
+                f"{len(self.carried)} carried hashes exceed the cap "
+                f"{MAX_CARRIED_HASHES}")
+        if not math.isfinite(self.send_time):
+            raise PacketFormatError(
+                f"send time must be finite, got {self.send_time}")
         seen = set()
         for target, digest in self.carried:
             if target < 1:
                 raise SimulationError(f"carried hash for invalid seq {target}")
+            if target > _U32_MAX:
+                raise PacketFormatError(
+                    f"carried seq {target} exceeds the 32-bit wire field")
             if target == self.seq:
                 raise SimulationError("packet cannot carry its own hash")
             if target in seen:
                 raise SimulationError(f"duplicate carried hash for seq {target}")
             if not digest:
                 raise SimulationError(f"empty hash carried for seq {target}")
+            if len(digest) > MAX_BLOB_BYTES:
+                raise PacketFormatError(
+                    f"carried hash of {len(digest)} bytes exceeds the wire cap")
             seen.add(target)
 
     # ------------------------------------------------------------------
@@ -146,60 +207,98 @@ class Packet:
         return replace(self, send_time=when)
 
 
+def _take(data: bytes, offset: int, count: int, what: str):
+    """Slice ``count`` bytes at ``offset`` or raise the truncation error."""
+    end = offset + count
+    if end > len(data):
+        raise TruncatedPacketError(
+            f"truncated {what}: need {count} bytes at offset {offset}, "
+            f"buffer holds {len(data) - offset}")
+    return bytes(data[offset:end]), end
+
+
+def _take_u32(data: bytes, offset: int, what: str):
+    raw, end = _take(data, offset, 4, what)
+    return _U32.unpack(raw)[0], end
+
+
+def _take_blob(data: bytes, offset: int, what: str):
+    length, offset = _take_u32(data, offset, f"{what} length")
+    if length > MAX_BLOB_BYTES:
+        raise OverlongBlobError(
+            f"{what} declares {length} bytes, cap is {MAX_BLOB_BYTES}")
+    return _take(data, offset, length, what)
+
+
 def packet_from_wire(data: bytes) -> Packet:
-    """Parse a packet serialized by :meth:`Packet.to_wire`.
+    """Strictly parse a packet serialized by :meth:`Packet.to_wire`.
+
+    The decoder is *canonical*: it accepts exactly the buffers
+    :meth:`Packet.to_wire` can produce.  Reserved bits must be zero,
+    the signature flag must be 0 or 1 (and 0 implies an empty
+    signature blob), every declared length is capped **before** any
+    allocation or loop, and no trailing bytes may remain — so a
+    successful decode re-encodes to the identical input, and random
+    corruption cannot alias one valid packet into another layout.
 
     Raises
     ------
-    SimulationError
-        If the buffer is truncated or malformed.
+    WireDecodeError
+        With a taxonomy subtype: :class:`TruncatedPacketError`,
+        :class:`HeaderFormatError`, :class:`OverlongBlobError` or
+        :class:`TrailingBytesError`.  All are :class:`SimulationError`
+        subclasses, so older ``except SimulationError`` sites still
+        catch them.
     """
+    header, offset = _take(data, 0, _HEADER.size, "packet header")
+    seq, block_id, reserved, send_time, has_sig = _HEADER.unpack(header)
+    if reserved != 0:
+        raise HeaderFormatError(f"nonzero reserved field: {reserved:#x}")
+    if has_sig not in (0, 1):
+        raise HeaderFormatError(f"signature flag must be 0 or 1, got {has_sig}")
+    if not math.isfinite(send_time):
+        raise HeaderFormatError(f"non-finite send time: {send_time}")
+    # The auth_bytes section repeats seq/block_id for injectivity.
+    body_ids, offset = _take(data, offset, 8, "body sequence fields")
+    seq2, block2 = struct.unpack(">II", body_ids)
+    if (seq2, block2) != (seq, block_id):
+        raise HeaderFormatError("header/body sequence mismatch")
+    payload, offset = _take_blob(data, offset, "payload")
+    carried_count, offset = _take_u32(data, offset, "carried-hash count")
+    if carried_count > MAX_CARRIED_HASHES:
+        raise OverlongBlobError(
+            f"{carried_count} carried hashes declared, cap is "
+            f"{MAX_CARRIED_HASHES}")
+    carried = []
+    for index in range(carried_count):
+        target, offset = _take_u32(data, offset,
+                                   f"carried target #{index + 1}")
+        digest, offset = _take_blob(data, offset,
+                                    f"carried hash #{index + 1}")
+        carried.append((target, digest))
+    extra, offset = _take_blob(data, offset, "extra blob")
+    signature, offset = _take_blob(data, offset, "signature")
+    if has_sig == 0 and signature:
+        raise HeaderFormatError(
+            f"{len(signature)} signature bytes present but the signature "
+            f"flag is clear")
+    if offset != len(data):
+        raise TrailingBytesError(
+            f"{len(data) - offset} trailing bytes after the signature blob")
     try:
-        seq, block_id, _reserved, send_time, has_sig = _HEADER.unpack_from(data, 0)
-        offset = _HEADER.size
-        # The auth_bytes section repeats seq/block_id for injectivity.
-        seq2, block2 = struct.unpack_from(">II", data, offset)
-        offset += 8
-        if (seq2, block2) != (seq, block_id):
-            raise SimulationError("header/body sequence mismatch")
-        (payload_len,) = _U32.unpack_from(data, offset)
-        offset += 4
-        payload = bytes(data[offset:offset + payload_len])
-        if len(payload) != payload_len:
-            raise SimulationError("truncated payload")
-        offset += payload_len
-        (carried_count,) = _U32.unpack_from(data, offset)
-        offset += 4
-        carried = []
-        for _ in range(carried_count):
-            (target,) = _U32.unpack_from(data, offset)
-            offset += 4
-            (digest_len,) = _U32.unpack_from(data, offset)
-            offset += 4
-            digest = bytes(data[offset:offset + digest_len])
-            if len(digest) != digest_len:
-                raise SimulationError("truncated carried hash")
-            offset += digest_len
-            carried.append((target, digest))
-        (extra_len,) = _U32.unpack_from(data, offset)
-        offset += 4
-        extra = bytes(data[offset:offset + extra_len])
-        if len(extra) != extra_len:
-            raise SimulationError("truncated extra blob")
-        offset += extra_len
-        (sig_len,) = _U32.unpack_from(data, offset)
-        offset += 4
-        signature = bytes(data[offset:offset + sig_len])
-        if len(signature) != sig_len:
-            raise SimulationError("truncated signature")
-    except struct.error as exc:
-        raise SimulationError(f"malformed packet buffer: {exc}") from exc
-    return Packet(
-        seq=seq,
-        block_id=block_id,
-        payload=payload,
-        carried=tuple(carried),
-        signature=signature if has_sig else None,
-        extra=extra,
-        send_time=send_time,
-    )
+        return Packet(
+            seq=seq,
+            block_id=block_id,
+            payload=payload,
+            carried=tuple(carried),
+            signature=signature if has_sig else None,
+            extra=extra,
+            send_time=send_time,
+        )
+    except WireDecodeError:
+        raise
+    except SimulationError as exc:
+        # Field validation (zero seq, duplicate carried targets, ...)
+        # folded into the decode taxonomy: a buffer that cannot yield a
+        # valid Packet is undecodable, whatever the reason.
+        raise HeaderFormatError(f"invalid packet fields: {exc}") from exc

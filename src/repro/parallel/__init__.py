@@ -16,6 +16,8 @@ Entry points
   — sharded byte-level sessions, identical to the serial drivers.
 * :func:`parallel_multicast` — heterogeneous audiences, one receiver
   per worker.
+* :func:`parallel_adversarial_trials` — sharded attacked sessions
+  (every scheme family) with exact soundness-counter folds.
 * :func:`sweep` — map any picklable function over a parameter grid.
 * :func:`set_default_workers` — process-wide pool size (the CLI's
   ``--workers`` flag; ``REPRO_WORKERS`` in the environment also works).
@@ -36,6 +38,7 @@ from repro.parallel.seeds import (
     spawn_seed_tree,
 )
 from repro.parallel.wire import (
+    parallel_adversarial_trials,
     parallel_multicast,
     parallel_tesla_monte_carlo,
     parallel_wire_monte_carlo,
@@ -45,6 +48,7 @@ __all__ = [
     "parallel_graph_monte_carlo",
     "parallel_wire_monte_carlo",
     "parallel_tesla_monte_carlo",
+    "parallel_adversarial_trials",
     "parallel_multicast",
     "sweep",
     "run_tasks",

@@ -18,12 +18,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.exceptions import SimulationError
+from repro.faults.plan import AttackPlan
 from repro.network.delay import DelayModel
 from repro.network.loss import LossModel
 from repro.parallel.pool import run_tasks
 from repro.parallel.seeds import chunk_sizes, resolve_chunks
 from repro.schemes.base import Scheme
 from repro.schemes.tesla import TeslaParameters
+from repro.simulation.adversarial import run_adversarial_trials
 from repro.simulation.multicast import (
     MulticastResult,
     ReceiverSpec,
@@ -37,20 +39,21 @@ from repro.simulation.runner import (
 from repro.simulation.stats import SimulationStats
 
 __all__ = ["parallel_wire_monte_carlo", "parallel_tesla_monte_carlo",
-           "parallel_multicast"]
+           "parallel_adversarial_trials", "parallel_multicast"]
 
 
 def _wire_chunk(task) -> SimulationStats:
-    scheme, config, first_trial, trial_count, loss, delay = task
+    scheme, config, first_trial, trial_count, loss, delay, attack = task
     return run_wire_trials(scheme, config, first_trial, trial_count,
-                           loss=loss, delay=delay)
+                           loss=loss, delay=delay, attack=attack)
 
 
 def parallel_wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
                               workers: Optional[int] = None,
                               chunks: Optional[int] = None,
                               loss: Optional[LossModel] = None,
-                              delay: Optional[DelayModel] = None
+                              delay: Optional[DelayModel] = None,
+                              attack: Optional[AttackPlan] = None
                               ) -> SimulationStats:
     """Sharded :func:`~repro.simulation.runner.wire_monte_carlo`.
 
@@ -58,6 +61,9 @@ def parallel_wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
     trial ``t`` sees the same channel randomness wherever it runs
     (custom ``loss``/``delay`` models are pickled to each worker and
     ``reset()`` per trial, exactly as the serial loop resets them).
+    ``attack`` plans likewise ship to each worker and are reseeded from
+    the global trial index, so attacked runs stay bit-for-bit identical
+    across worker counts.
     """
     if config.trials < 1:
         raise SimulationError(f"need >= 1 trial, got {config.trials}")
@@ -66,9 +72,46 @@ def parallel_wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
     tasks = []
     first_trial = 0
     for size in sizes:
-        tasks.append((scheme, config, first_trial, size, loss, delay))
+        tasks.append((scheme, config, first_trial, size, loss, delay, attack))
         first_trial += size
     shards = run_tasks(_wire_chunk, tasks, workers)
+    return SimulationStats.merge_all(shards)
+
+
+def _adversarial_chunk(task) -> SimulationStats:
+    (scheme, block_size, loss_rate, plan, first_trial, trial_count, seed,
+     delay_mean, delay_std) = task
+    return run_adversarial_trials(scheme, block_size, loss_rate, plan,
+                                  first_trial, trial_count, seed=seed,
+                                  delay_mean=delay_mean,
+                                  delay_std=delay_std)
+
+
+def parallel_adversarial_trials(scheme: Scheme, block_size: int,
+                                loss_rate: float, plan: AttackPlan,
+                                trials: int, seed: int = 7,
+                                delay_mean: float = 0.0,
+                                delay_std: float = 0.0,
+                                workers: Optional[int] = None,
+                                chunks: Optional[int] = None
+                                ) -> SimulationStats:
+    """Sharded :func:`~repro.simulation.adversarial.run_adversarial_trials`.
+
+    Every scheme family is covered; the attack plan is pickled to each
+    worker and reseeded per trial off the global index, so soundness
+    counters and ``q_i`` tallies merge to the serial result exactly.
+    """
+    if trials < 1:
+        raise SimulationError(f"need >= 1 trial, got {trials}")
+    chunks = resolve_chunks(trials, chunks)
+    sizes = chunk_sizes(trials, chunks)
+    tasks = []
+    first_trial = 0
+    for size in sizes:
+        tasks.append((scheme, block_size, loss_rate, plan, first_trial,
+                      size, seed, delay_mean, delay_std))
+        first_trial += size
+    shards = run_tasks(_adversarial_chunk, tasks, workers)
     return SimulationStats.merge_all(shards)
 
 

@@ -27,6 +27,7 @@ There is no dependence-graph: packets carry shares, not hashes, so
 
 from __future__ import annotations
 
+import itertools
 import math
 import struct
 from typing import Dict, List, Optional, Sequence
@@ -140,61 +141,132 @@ class SaidaScheme(Scheme):
         )
 
 
+#: Reconstruction attempts allowed per block, as a multiple of ``n``.
+#: The subset search below is combinatorial in the number of polluted
+#: shares, so without a budget a polluted block could be turned into
+#: unbounded decode/signature checks; past the budget the block is
+#: declared failed.  ``8n`` covers every ``k``-subset drawn from the
+#: first ``k + 3`` shares at conformance block sizes — i.e. any three
+#: polluted shares are survivable — while keeping the worst case a
+#: small constant number of HMAC checks per block.
+_MAX_ATTEMPT_FACTOR = 8
+
+
 class SaidaReceiver:
     """Receiver: collect shares, reconstruct, verify, release.
 
     Feed arriving packets to :meth:`receive`; per-seq verdicts appear
     in :attr:`verified` (True/False) once decidable.  Packets of a
     block arriving after reconstruction verify immediately.
+
+    The receiver is defensive against active attackers: the first
+    share per ``(block, index)`` wins (duplicates counted in
+    :attr:`duplicate_shares`), shares whose declared ``(k, n)`` shape
+    or index is invalid or disagrees with the block's first share are
+    dropped (:attr:`rejected_shares`), verdicts are final (a forged
+    packet cannot overwrite a ``True``), and when reconstruction fails
+    it searches ``k``-subsets of the shares in hand (growing-window
+    order, failed subsets memoized) — polluted shares cannot poison a
+    block while ``k`` clean ones arrived early enough — under a
+    per-block attempt budget so pollution cannot become a CPU DoS.
     """
 
     def __init__(self, signer: Signer,
                  hash_function: HashFunction = sha256) -> None:
         self._signer = signer
         self._hash = hash_function
-        self._pending: Dict[int, List[Packet]] = {}
+        self._pending: Dict[int, Dict[int, Packet]] = {}
+        self._shapes: Dict[int, tuple] = {}
+        self._attempts: Dict[int, int] = {}
+        self._tried: Dict[int, set] = {}
         self._hash_lists: Dict[int, List[bytes]] = {}
         self._failed_blocks: set = set()
         self.verified: Dict[int, bool] = {}
+        self.duplicate_shares = 0
+        self.rejected_shares = 0
 
     # ------------------------------------------------------------------
 
-    def _try_reconstruct(self, block_id: int, k: int, n: int,
-                         signature_length: int) -> bool:
-        packets = self._pending.get(block_id, [])
-        if len(packets) < k:
-            return False
-        shares = []
-        for packet in packets:
-            index, _, _, _ = _EXTRA.unpack_from(packet.extra, 0)
-            shares.append((index, packet.extra[_EXTRA.size:]))
+    def _decode_attempt(self, block_id: int, shares: Sequence,
+                        k: int, n: int) -> Optional[List[bytes]]:
+        """One reconstruction attempt; the block's hashes, or ``None``."""
         try:
             blob = rs_decode(shares, k)
-            header = struct.unpack_from(">II", blob, 0)
-            blob_block, count = header
+            blob_block, count = struct.unpack_from(">II", blob, 0)
+            # Shape check *before* slicing: a garbage count from a
+            # polluted decode must not drive a huge allocation.
+            if blob_block != block_id or count != n:
+                return None
             size = self._hash.digest_size
             offset = 8
             hashes = [blob[offset + i * size: offset + (i + 1) * size]
                       for i in range(count)]
             signature = blob[offset + count * size:]
         except Exception:
-            self._failed_blocks.add(block_id)
-            return False
-        if blob_block != block_id or count != n:
-            self._failed_blocks.add(block_id)
-            return False
+            return None
         if not self._signer.verify(_signed_portion(block_id, hashes),
                                    signature):
-            self._failed_blocks.add(block_id)
+            return None
+        return hashes
+
+    def _candidate_subsets(self, items: Sequence, k: int):
+        """``k``-subsets of ``items`` in growing-window order.
+
+        Window ``w`` yields every subset whose last element is
+        ``items[w - 1]``, so each subset appears exactly once and the
+        cheap candidates (the first ``k`` shares, then subsets dodging
+        one polluted share, then two, ...) come first.  Unlike a
+        leave-one-out sweep this reaches *every* combination given
+        budget, so any number of polluted shares is survivable as long
+        as ``k`` clean ones arrived early enough in index order.
+        """
+        for window in range(k, len(items) + 1):
+            last = items[window - 1]
+            for head in itertools.combinations(items[:window - 1], k - 1):
+                yield list(head) + [last]
+
+    def _try_reconstruct(self, block_id: int, k: int, n: int) -> bool:
+        shares_map = self._pending.get(block_id, {})
+        if len(shares_map) < k:
             return False
-        self._hash_lists[block_id] = hashes
-        return True
+        items = [(index, packet.extra[_EXTRA.size:])
+                 for index, packet in sorted(shares_map.items())]
+        budget = _MAX_ATTEMPT_FACTOR * n
+        tried = self._tried.setdefault(block_id, set())
+        exhausted = False
+        for shares in self._candidate_subsets(items, k):
+            attempts = self._attempts.get(block_id, 0)
+            if attempts >= budget:
+                self._failed_blocks.add(block_id)
+                exhausted = True
+                break
+            key = tuple(index for index, _ in shares)
+            # The budget is cumulative across arrivals; remembering
+            # failed subsets keeps later arrivals from burning it on
+            # combinations that already lost.
+            if key in tried:
+                continue
+            tried.add(key)
+            self._attempts[block_id] = attempts + 1
+            hashes = self._decode_attempt(block_id, shares, k, n)
+            if hashes is not None:
+                self._hash_lists[block_id] = hashes
+                return True
+        if not exhausted and len(shares_map) >= n:
+            # Every share arrived and no subset verifies: conclusive.
+            self._failed_blocks.add(block_id)
+        return False
 
     def _check_payload(self, packet: Packet, base_index: int) -> bool:
         hashes = self._hash_lists[packet.block_id]
         if not 0 <= base_index < len(hashes):
             return False
         return self._hash.digest(packet.payload) == hashes[base_index]
+
+    def _finish_block(self, block_id: int) -> None:
+        self._shapes.pop(block_id, None)
+        self._attempts.pop(block_id, None)
+        self._tried.pop(block_id, None)
 
     # ------------------------------------------------------------------
 
@@ -205,6 +277,11 @@ class SaidaReceiver:
                 packet.extra, 0)
         except struct.error as exc:
             raise SimulationError(f"malformed SAIDA packet: {exc}") from exc
+        if packet.seq in self.verified:
+            # Verdicts are final: replays and seq-colliding forgeries
+            # cannot overwrite an earlier decision.
+            self.duplicate_shares += 1
+            return
         block_id = packet.block_id
         if block_id in self._hash_lists:
             self.verified[packet.seq] = self._check_payload(packet, index)
@@ -212,15 +289,31 @@ class SaidaReceiver:
         if block_id in self._failed_blocks:
             self.verified[packet.seq] = False
             return
-        self._pending.setdefault(block_id, []).append(packet)
-        if self._try_reconstruct(block_id, k, n, signature_length):
-            for held in self._pending.pop(block_id):
+        shape = self._shapes.get(block_id)
+        if shape is None:
+            if not (1 <= k <= n <= 255 and 0 <= index < n):
+                self.rejected_shares += 1
+                return
+            self._shapes[block_id] = (k, n)
+        else:
+            if (k, n) != shape or not 0 <= index < n:
+                self.rejected_shares += 1
+                return
+        shares_map = self._pending.setdefault(block_id, {})
+        if index in shares_map:
+            self.duplicate_shares += 1
+            return
+        shares_map[index] = packet
+        if self._try_reconstruct(block_id, k, n):
+            for held in self._pending.pop(block_id).values():
                 held_index, _, _, _ = _EXTRA.unpack_from(held.extra, 0)
                 self.verified[held.seq] = self._check_payload(held,
                                                               held_index)
+            self._finish_block(block_id)
         elif block_id in self._failed_blocks:
-            for held in self._pending.pop(block_id, []):
+            for held in self._pending.pop(block_id, {}).values():
                 self.verified[held.seq] = False
+            self._finish_block(block_id)
 
     # ------------------------------------------------------------------
 

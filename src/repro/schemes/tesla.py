@@ -348,6 +348,11 @@ class TeslaReceiver:
         self._highest_key = 0
         self._pending: Dict[int, List[Packet]] = {}
         self.verdicts: Dict[int, TeslaVerdict] = {}
+        #: Re-received sequence numbers dropped (verdicts are final).
+        self.replays_dropped = 0
+        #: Disclosed keys rejected: failed authentication or an index
+        #: beyond the committed chain.
+        self.rejected_keys = 0
 
     # ------------------------------------------------------------------
 
@@ -362,6 +367,11 @@ class TeslaReceiver:
 
     def _learn_key(self, index: int, chain_key: bytes) -> bool:
         """Authenticate a disclosed chain key and derive MAC keys."""
+        if index > self.parameters.chain_length:
+            # The commitment covers chain_length keys; a larger index
+            # is forged, and authenticating it would walk the chain
+            # attacker-many steps (CPU exhaustion) before failing.
+            return False
         if index <= self._highest_key:
             return True  # already known (or older than the anchor)
         if not self._anchor.authenticate(index, chain_key):
@@ -401,10 +411,23 @@ class TeslaReceiver:
         if disclosed_index >= 1 and disclosed_key:
             if not self._learn_key(disclosed_index, disclosed_key):
                 # A forged key never poisons state; data part still handled.
+                self.rejected_keys += 1
                 if interval == 0:
                     return
         if interval >= 1:
-            if not self._is_safe(interval, receiver_time):
+            if packet.seq in self.verdicts:
+                # Verdicts are final: a replay or seq-colliding forgery
+                # cannot overwrite or resurrect an earlier decision.
+                self.replays_dropped += 1
+            elif interval > self.parameters.chain_length:
+                # No genuine sender can MAC past the committed chain,
+                # and such a key is never disclosed — buffering would
+                # pin the packet (and memory) forever.
+                self.verdicts[packet.seq] = TeslaVerdict(
+                    seq=packet.seq, interval=interval, status="bad-key",
+                    arrival_time=receiver_time,
+                )
+            elif not self._is_safe(interval, receiver_time):
                 self.verdicts[packet.seq] = TeslaVerdict(
                     seq=packet.seq, interval=interval, status="unsafe",
                     arrival_time=receiver_time,

@@ -13,18 +13,36 @@ paper's Sec. 3 buffer analysis talks about:
 Verification cascades: a packet becomes trusted either by signature or
 by matching a trusted hash; its carried hashes then become trusted,
 which may release buffered packets, recursively.
+
+Two entry points feed the engine.  :meth:`ChainReceiver.receive` is
+the trusting path for simulations that deliver parsed packets over a
+loss-only channel (first delivery per sequence wins, as before).
+:meth:`ChainReceiver.ingest_wire` is the defensive path for
+adversarial channels: it decodes raw bytes (counting undecodable
+buffers), detects replays by content digest, rejects forgeries
+without letting them claim a sequence slot, and keeps several
+same-sequence candidates buffered so a forged packet can never evict
+the genuine one from contention — no crash, no trust-state pollution,
+bounded memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import HashFunction, sha256
 from repro.crypto.signatures import Signer
-from repro.packets import Packet
+from repro.exceptions import WireDecodeError
+from repro.packets import Packet, packet_from_wire
 
 __all__ = ["PacketOutcome", "ChainReceiver"]
+
+#: Buffered same-sequence candidates kept per slot on the defensive
+#: path.  The eavesdrop-and-inject adversary sends forgeries *after*
+#: the genuine packet, so slot 1 suffices for it; the margin covers
+#: blind pre-emptive collisions without unbounding memory.
+DEFAULT_MAX_CANDIDATES = 4
 
 
 @dataclass
@@ -55,12 +73,16 @@ class ChainReceiver:
     hash_function:
         Must match the sender's hash (sizes included).
     max_buffered:
-        Optional hard cap on the message buffer.  Real receivers
-        cannot hold unverified packets forever — the paper notes the
-        buffering that EMSS/AC/TESLA require "is subject to Denial of
-        Service attacks".  When the cap is hit, the oldest buffered
-        packet is evicted (it can never verify afterwards); evictions
-        are counted in :attr:`evicted`.
+        Optional hard cap on the message buffer (total buffered
+        candidates).  Real receivers cannot hold unverified packets
+        forever — the paper notes the buffering that EMSS/AC/TESLA
+        require "is subject to Denial of Service attacks".  When the
+        cap is hit, the oldest candidate of the lowest buffered
+        sequence is evicted (it can never verify afterwards);
+        evictions are counted in :attr:`evicted`.
+    max_candidates:
+        Cap on buffered same-sequence candidates (defensive path);
+        further colliding packets are rejected, not buffered.
     on_verified:
         Optional ``callback(packet, time)`` invoked for every packet
         the instant it verifies (including cascade releases) — the
@@ -72,26 +94,40 @@ class ChainReceiver:
     Packets whose authentication data *mismatches* a trusted hash or
     signature are flagged ``forged`` — in a loss-only simulation none
     should ever appear, and tests assert exactly that; in adversarial
-    tests they do.
+    tests they do, and :attr:`forged_rejected` counts them.
     """
 
     def __init__(self, signer: Signer,
                  hash_function: HashFunction = sha256,
                  max_buffered: Optional[int] = None,
+                 max_candidates: int = DEFAULT_MAX_CANDIDATES,
                  on_verified=None) -> None:
         if max_buffered is not None and max_buffered < 1:
             raise ValueError(f"max_buffered must be >= 1, got {max_buffered}")
+        if max_candidates < 1:
+            raise ValueError(
+                f"max_candidates must be >= 1, got {max_candidates}")
         self._signer = signer
         self._hash = hash_function
         self._max_buffered = max_buffered
+        self._max_candidates = max_candidates
         self._on_verified = on_verified
         self._trusted: Dict[int, bytes] = {}
-        self._buffered: Dict[int, Tuple[Packet, float]] = {}
+        # seq -> [(packet, arrival_time, auth digest), ...] in arrival order
+        self._buffered: Dict[int, List[Tuple[Packet, float, bytes]]] = {}
+        self._buffered_total = 0
+        # seq -> auth digest of the packet that verified for that slot
+        self._accepted: Dict[int, bytes] = {}
         self.outcomes: Dict[int, PacketOutcome] = {}
         self.evicted = 0
+        self.undecodable = 0
+        self.forged_rejected = 0
+        self.replays_dropped = 0
         self._message_buffer_peak = 0
         self._hash_buffer_peak = 0
 
+    # ------------------------------------------------------------------
+    # Trusting path: parsed packets from a loss-only channel
     # ------------------------------------------------------------------
 
     def receive(self, packet: Packet, arrival_time: float) -> PacketOutcome:
@@ -99,7 +135,8 @@ class ChainReceiver:
 
         The outcome may flip to verified later, when a subsequent
         packet supplies the missing hash — the returned object is
-        updated in place.
+        updated in place.  Duplicate sequences return the existing
+        outcome untouched (first delivery wins).
         """
         outcome = self.outcomes.get(packet.seq)
         if outcome is not None:
@@ -109,27 +146,131 @@ class ChainReceiver:
         auth = packet.auth_bytes()
         if packet.signature is not None:
             if self._signer.verify(auth, packet.signature):
-                self._mark_verified(packet, arrival_time)
+                self._mark_verified(packet, arrival_time,
+                                    self._hash.digest(auth))
             else:
                 outcome.forged = True
+                self.forged_rejected += 1
             return outcome
         digest = self._hash.digest(auth)
         expected = self._trusted.get(packet.seq)
         if expected is not None:
             if expected == digest:
-                self._mark_verified(packet, arrival_time)
+                self._mark_verified(packet, arrival_time, digest)
             else:
                 outcome.forged = True
+                self.forged_rejected += 1
             return outcome
-        self._buffered[packet.seq] = (packet, arrival_time)
+        self._buffer_candidate(packet, arrival_time, digest)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Defensive path: raw bytes from an adversarial channel
+    # ------------------------------------------------------------------
+
+    def ingest_wire(self, data: bytes,
+                    arrival_time: float) -> Optional[PacketOutcome]:
+        """Decode and ingest one wire buffer; ``None`` if undecodable.
+
+        Undecodable buffers (truncation, bit flips that break framing,
+        garbage) are counted in :attr:`undecodable` and discarded —
+        they cannot crash the receiver or consume buffer space.
+        """
+        try:
+            packet = packet_from_wire(data)
+        except WireDecodeError:
+            self.undecodable += 1
+            return None
+        return self.ingest(packet, arrival_time)
+
+    def ingest(self, packet: Packet,
+               arrival_time: float) -> Optional[PacketOutcome]:
+        """Defensively ingest one decoded packet.
+
+        Differences from :meth:`receive`, all aimed at an attacker who
+        controls the network:
+
+        * exact duplicates of already-processed content are dropped and
+          counted in :attr:`replays_dropped`;
+        * a packet whose authentication data mismatches never *claims*
+          the sequence slot — a forgery racing the genuine packet
+          cannot poison its outcome (counted in
+          :attr:`forged_rejected`);
+        * unverifiable packets are buffered as same-sequence
+          *candidates* (bounded by ``max_candidates``), so trust
+          resolves to whichever candidate matches once the covering
+          hash arrives, regardless of arrival order.
+        """
+        seq = packet.seq
+        outcome = self.outcomes.get(seq)
+        auth = packet.auth_bytes()
+        digest = self._hash.digest(auth)
+        if outcome is not None and outcome.verified:
+            if self._accepted.get(seq) == digest:
+                self.replays_dropped += 1
+            else:
+                self.forged_rejected += 1
+            return outcome
+        if packet.signature is not None:
+            if self._signer.verify(auth, packet.signature):
+                outcome = self._ensure_outcome(seq, arrival_time)
+                self._mark_verified(packet, arrival_time, digest)
+            else:
+                # Rejected forgery: no outcome is created, so the slot
+                # stays claimable by the genuine packet.
+                self.forged_rejected += 1
+                if outcome is not None:
+                    outcome.forged = True
+            return outcome
+        expected = self._trusted.get(seq)
+        if expected is not None:
+            if expected == digest:
+                outcome = self._ensure_outcome(seq, arrival_time)
+                self._mark_verified(packet, arrival_time, digest)
+            else:
+                self.forged_rejected += 1
+                if outcome is not None:
+                    outcome.forged = True
+            return outcome
+        # No verdict possible yet: buffer as a candidate for this slot.
+        for _held, _arrival, held_digest in self._buffered.get(seq, ()):
+            if held_digest == digest:
+                self.replays_dropped += 1
+                return outcome
+        candidates = self._buffered.get(seq, [])
+        if len(candidates) >= self._max_candidates:
+            # Slot contention exhausted; drop the newcomer determinately.
+            self.forged_rejected += 1
+            return outcome
+        outcome = self._ensure_outcome(seq, arrival_time)
+        self._buffer_candidate(packet, arrival_time, digest)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _ensure_outcome(self, seq: int, arrival_time: float) -> PacketOutcome:
+        outcome = self.outcomes.get(seq)
+        if outcome is None:
+            outcome = PacketOutcome(seq=seq, arrival_time=arrival_time)
+            self.outcomes[seq] = outcome
+        return outcome
+
+    def _buffer_candidate(self, packet: Packet, arrival_time: float,
+                          digest: bytes) -> None:
+        self._buffered.setdefault(packet.seq, []).append(
+            (packet, arrival_time, digest))
+        self._buffered_total += 1
         if (self._max_buffered is not None
-                and len(self._buffered) > self._max_buffered):
+                and self._buffered_total > self._max_buffered):
             oldest = min(self._buffered)
-            del self._buffered[oldest]
+            candidates = self._buffered[oldest]
+            candidates.pop(0)
+            if not candidates:
+                del self._buffered[oldest]
+            self._buffered_total -= 1
             self.evicted += 1
         self._message_buffer_peak = max(self._message_buffer_peak,
-                                        len(self._buffered))
-        return outcome
+                                        self._buffered_total)
 
     def evict_block(self, block_id: int) -> int:
         """Drop buffered packets of a finished block; returns the count.
@@ -139,45 +280,78 @@ class ChainReceiver:
         support was lost can never verify; callers that track block
         boundaries reclaim the memory here.
         """
-        stale = [seq for seq, (packet, _) in self._buffered.items()
-                 if packet.block_id == block_id]
-        for seq in stale:
-            del self._buffered[seq]
-        self.evicted += len(stale)
-        return len(stale)
+        dropped = 0
+        for seq in list(self._buffered):
+            candidates = self._buffered[seq]
+            keep = [entry for entry in candidates
+                    if entry[0].block_id != block_id]
+            dropped += len(candidates) - len(keep)
+            if keep:
+                self._buffered[seq] = keep
+            else:
+                del self._buffered[seq]
+        self._buffered_total -= dropped
+        self.evicted += dropped
+        return dropped
 
     # ------------------------------------------------------------------
 
-    def _mark_verified(self, packet: Packet, now: float) -> None:
+    def _mark_verified(self, packet: Packet, now: float,
+                       digest: bytes) -> None:
         """Trust ``packet``, absorb its hashes, cascade to buffered packets."""
-        worklist = [packet]
+        worklist = [(packet, digest)]
         while worklist:
-            current = worklist.pop()
+            current, current_digest = worklist.pop()
             outcome = self.outcomes[current.seq]
             outcome.verified = True
             outcome.verified_time = now
+            self._accepted[current.seq] = current_digest
+            stale = self._buffered.pop(current.seq, None)
+            if stale:
+                self._buffered_total -= len(stale)
+                for _held, _arrival, stale_digest in stale:
+                    if stale_digest == current_digest:
+                        self.replays_dropped += 1
+                    else:
+                        self.forged_rejected += 1
             if self._on_verified is not None:
                 self._on_verified(current, now)
-            for target, digest in current.carried:
+            for target, carried_digest in current.carried:
                 known = self._trusted.get(target)
-                if known is not None and known != digest:
+                if known is not None and known != carried_digest:
                     # Conflicting trusted hashes can only come from a
                     # forged-but-signed packet; keep the first.
                     continue
-                self._trusted[target] = digest
-                held = self._buffered.get(target)
+                self._trusted[target] = carried_digest
+                held = self._buffered.pop(target, None)
                 if held is None:
                     continue
-                held_packet, _arrival = held
-                del self._buffered[target]
-                if self._hash.digest(held_packet.auth_bytes()) == digest:
-                    worklist.append(held_packet)
-                else:
-                    self.outcomes[target].forged = True
+                self._buffered_total -= len(held)
+                matched: Optional[Tuple[Packet, bytes]] = None
+                for held_packet, _arrival, held_digest in held:
+                    if held_digest == carried_digest:
+                        if matched is None:
+                            matched = (held_packet, held_digest)
+                        else:
+                            self.replays_dropped += 1
+                    else:
+                        self.outcomes[target].forged = True
+                        self.forged_rejected += 1
+                if matched is not None:
+                    worklist.append(matched)
             self._hash_buffer_peak = max(self._hash_buffer_peak,
                                          self.pending_hash_count)
 
     # ------------------------------------------------------------------
+
+    def accepted_digest(self, seq: int) -> Optional[bytes]:
+        """Auth digest of the packet that verified for ``seq``, if any.
+
+        Ground-truth audits compare this against the digest of what the
+        sender actually sent — the soundness check that no forged or
+        corrupted content was ever accepted.
+        """
+        return self._accepted.get(seq)
 
     @property
     def pending_hash_count(self) -> int:
@@ -186,8 +360,8 @@ class ChainReceiver:
 
     @property
     def buffered_count(self) -> int:
-        """Arrived-but-unverified packets (message buffer level)."""
-        return len(self._buffered)
+        """Arrived-but-unverified candidates (message buffer level)."""
+        return self._buffered_total
 
     @property
     def message_buffer_peak(self) -> int:

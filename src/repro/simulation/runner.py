@@ -62,18 +62,39 @@ def _fast_signer() -> Signer:
 def run_wire_trials(scheme: Scheme, config: WireTrialConfig,
                     first_trial: int, trial_count: int,
                     loss: Optional[LossModel] = None,
-                    delay: Optional[DelayModel] = None) -> SimulationStats:
+                    delay: Optional[DelayModel] = None,
+                    attack=None) -> SimulationStats:
     """Run trials ``first_trial .. first_trial + trial_count - 1``.
 
     Trial indices are global: the channel RNG of trial ``t`` depends
     only on ``config.seed`` and ``t``, never on the range boundaries,
     so any partition of ``range(config.trials)`` into contiguous ranges
     merges back to exactly the serial result.
+
+    ``attack`` (an :class:`~repro.faults.plan.AttackPlan`) switches the
+    run to the adversarial driver
+    (:func:`repro.simulation.adversarial.run_adversarial_trials`):
+    wire bytes cross an actively hostile channel and the statistics
+    gain soundness counters.  Custom ``loss``/``delay`` models and
+    multi-block trials are passive-only.
     """
     if trial_count < 0:
         raise SimulationError(f"trial count must be >= 0, got {trial_count}")
     if first_trial < 0:
         raise SimulationError(f"first trial must be >= 0, got {first_trial}")
+    if attack is not None:
+        from repro.simulation.adversarial import run_adversarial_trials
+        if loss is not None or delay is not None:
+            raise SimulationError(
+                "attacked runs derive their channel per trial; custom "
+                "loss/delay models are passive-only")
+        if config.blocks_per_trial != 1:
+            raise SimulationError(
+                "attacked runs use one block per trial")
+        return run_adversarial_trials(
+            scheme, config.block_size, config.loss_rate, attack,
+            first_trial, trial_count, seed=config.seed,
+            t_transmit=config.t_transmit)
     signer = _fast_signer()
     stats = SimulationStats()
     with span("wire.trials"):
@@ -109,18 +130,20 @@ def run_wire_trials(scheme: Scheme, config: WireTrialConfig,
 
 def wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
                      loss: Optional[LossModel] = None,
-                     delay: Optional[DelayModel] = None) -> SimulationStats:
+                     delay: Optional[DelayModel] = None,
+                     attack=None) -> SimulationStats:
     """Aggregate ``trials`` wire-level sessions of ``scheme``.
 
     Each trial gets an independent channel (fresh loss RNG derived from
     the config seed) but statistics accumulate into one
     :class:`SimulationStats`, so ``stats.q_profile()`` is the empirical
-    per-position ``q_i`` across all trials.
+    per-position ``q_i`` across all trials.  ``attack`` runs the trials
+    through an adversarial channel (see :func:`run_wire_trials`).
     """
     if config.trials < 1:
         raise SimulationError(f"need >= 1 trial, got {config.trials}")
     return run_wire_trials(scheme, config, 0, config.trials,
-                           loss=loss, delay=delay)
+                           loss=loss, delay=delay, attack=attack)
 
 
 def run_tesla_trials(parameters: TeslaParameters, packet_count: int,

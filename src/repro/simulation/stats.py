@@ -44,6 +44,14 @@ class SimulationStats:
     sent: int = 0
     dropped: int = 0
     forged: int = 0
+    # Adversarial accounting (all zero in passive loss-only runs).
+    corrupted: int = 0       # deliveries tampered on the wire
+    injected: int = 0        # forged packets the attacker added
+    replayed: int = 0        # duplicate deliveries the attacker added
+    undecodable: int = 0     # buffers rejected by the strict decoder
+    forged_rejected: int = 0  # decodable packets rejected by auth checks
+    replays_dropped: int = 0  # duplicates dropped by replay detection
+    forged_accepted: int = 0  # attacker content verified — MUST stay 0
 
     def record(self, position: int, received: bool, verified: bool,
                delay: Optional[float] = None) -> None:
@@ -134,6 +142,13 @@ class SimulationStats:
             merged.sent += source.sent
             merged.dropped += source.dropped
             merged.forged += source.forged
+            merged.corrupted += source.corrupted
+            merged.injected += source.injected
+            merged.replayed += source.replayed
+            merged.undecodable += source.undecodable
+            merged.forged_rejected += source.forged_rejected
+            merged.replays_dropped += source.replays_dropped
+            merged.forged_accepted += source.forged_accepted
         return merged
 
     @staticmethod

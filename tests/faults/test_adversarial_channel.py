@@ -1,0 +1,128 @@
+"""Unit tests for the adversarial channel wrapper."""
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.faults import (
+    AdversarialChannel,
+    AttackPlan,
+    BitFlipCorruption,
+    ForgedInjection,
+    ReplayDuplication,
+)
+from repro.network.channel import Channel
+from repro.network.loss import BernoulliLoss
+from repro.packets import packet_from_wire
+from repro.schemes.rohatgi import RohatgiScheme
+from repro.simulation.sender import make_payloads
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"adv-channel-test")
+
+
+@pytest.fixture
+def block(signer):
+    return RohatgiScheme().make_block(make_payloads(6), signer)
+
+
+def _attacked(plan, loss=None, protect=True):
+    return AdversarialChannel(
+        Channel(loss=loss, protect_signature_packets=protect), plan)
+
+
+class TestCounters:
+    def test_corruption_counted(self, block):
+        adv = _attacked(AttackPlan((BitFlipCorruption(1.0, seed=1),)))
+        deliveries = adv.transmit_wire(block)
+        # The signature packet is protected; the other five corrupt.
+        assert adv.corrupted == len(block) - 1
+        kinds = [d.kind for d in deliveries]
+        assert kinds.count("corrupted") == len(block) - 1
+
+    def test_injection_and_replay_counted(self, block):
+        adv = _attacked(AttackPlan((
+            ForgedInjection(1.0, seed=2),
+            ReplayDuplication(1.0, copies=2, seed=3),
+        )))
+        deliveries = adv.transmit_wire(block)
+        assert adv.injected == len(block)
+        assert adv.replayed == 2 * len(block)
+        assert len(deliveries) == 4 * len(block)
+
+    def test_passive_statistics_unchanged(self, block):
+        adv = _attacked(AttackPlan((BitFlipCorruption(1.0, seed=1),)),
+                        loss=BernoulliLoss(0.3, seed=11))
+        adv.transmit_wire(block)
+        assert adv.sent == len(block)
+        honest = Channel(loss=BernoulliLoss(0.3, seed=11))
+        honest.transmit(block)
+        assert adv.dropped == honest.dropped
+
+
+class TestSemantics:
+    def test_protected_signature_packet_never_corrupted(self, block):
+        adv = _attacked(AttackPlan((BitFlipCorruption(1.0, seed=1),)))
+        deliveries = adv.transmit_wire(block)
+        sig = next(d for d in deliveries if d.seq_hint == block[0].seq)
+        assert sig.kind == "genuine"
+        assert packet_from_wire(sig.data) == block[0].with_send_time(
+            packet_from_wire(sig.data).send_time)
+
+    def test_unprotected_signature_packet_corruptible(self, block):
+        adv = _attacked(AttackPlan((BitFlipCorruption(1.0, seed=1),)),
+                        protect=False)
+        adv.transmit_wire(block)
+        assert adv.corrupted == len(block)
+
+    def test_forged_arrives_strictly_after_genuine(self, block):
+        adv = _attacked(AttackPlan((ForgedInjection(1.0, seed=2),)))
+        deliveries = adv.transmit_wire(block)
+        genuine_pos = {d.seq_hint: i for i, d in enumerate(deliveries)
+                       if d.kind == "genuine"}
+        for i, delivery in enumerate(deliveries):
+            if delivery.kind == "forged":
+                seq = packet_from_wire(delivery.data).seq
+                assert i > genuine_pos[seq]
+
+    def test_ground_truth_hints(self, block):
+        adv = _attacked(AttackPlan((ForgedInjection(1.0, seed=2),
+                                    ReplayDuplication(1.0, seed=3))))
+        for delivery in adv.transmit_wire(block):
+            if delivery.kind == "forged":
+                assert delivery.seq_hint is None
+            else:
+                assert delivery.seq_hint is not None
+
+    def test_arrival_order_sorted(self, block):
+        adv = _attacked(AttackPlan((ReplayDuplication(1.0, copies=3,
+                                                      seed=5),)))
+        deliveries = adv.transmit_wire(block)
+        times = [d.arrival_time for d in deliveries]
+        assert times == sorted(times)
+
+
+class TestDeterminism:
+    def test_reseed_reproduces_stream(self, block):
+        def run():
+            plan = AttackPlan((BitFlipCorruption(0.5),
+                               ForgedInjection(0.5),
+                               ReplayDuplication(0.5)))
+            plan.reseed(123)
+            adv = _attacked(plan, loss=BernoulliLoss(0.2, seed=7))
+            return [(d.arrival_time, d.data, d.kind, d.seq_hint)
+                    for d in adv.transmit_wire(block)]
+
+        assert run() == run()
+
+    def test_reset_restores_counters_and_stream(self, block):
+        plan = AttackPlan((BitFlipCorruption(0.5, seed=9),))
+        adv = _attacked(plan)
+        first = adv.transmit_wire(block)
+        counted = adv.corrupted
+        adv.reset()
+        assert (adv.corrupted, adv.injected, adv.replayed) == (0, 0, 0)
+        second = adv.transmit_wire(block)
+        assert adv.corrupted == counted
+        assert [d.data for d in first] == [d.data for d in second]

@@ -1,0 +1,102 @@
+"""Adversarial conformance: security invariants across every scheme.
+
+Two invariants hold for every registered scheme under every canonical
+attack mix:
+
+* **soundness** — zero forged or corrupted packets are ever accepted
+  as authentic (``forged_accepted == 0``);
+* **completeness** — the attacked wire-level ``q_i`` still matches the
+  analytic model evaluated at the *effective* loss rate
+  ``p_eff = 1 - (1-p)(1-c)``, within 3 binomial standard errors
+  (one-sided for schemes whose receivers salvage more than the model
+  predicts; see ``COMPLETENESS_POLICY``).
+
+The suite is parametrized over :func:`available_schemes` ×
+``ADVERSARIAL_MIXES``, so a newly registered scheme is attacked
+automatically — and fails loudly until it degrades gracefully.
+"""
+
+import pytest
+
+from repro.analysis.conformance import (
+    ADVERSARIAL_MIXES,
+    COMPLETENESS_POLICY,
+    adversarial_conformance_report,
+    adversarial_wire_stats,
+    attack_mix,
+    default_scheme,
+    effective_loss_rate,
+)
+from repro.exceptions import AnalysisError
+from repro.schemes.registry import available_schemes
+
+BLOCK = 12
+TRIALS = 200
+SEED = 7
+LOSS_RATE = 0.1
+
+SCHEME_NAMES = sorted(available_schemes())
+
+
+@pytest.mark.parametrize("mix", ADVERSARIAL_MIXES)
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_soundness_and_completeness_under_attack(name, mix):
+    report = adversarial_conformance_report(
+        name, BLOCK, LOSS_RATE, mix, TRIALS, seed=SEED)
+    counters = report["counters"]
+    assert report["sound"], (
+        f"{name} under {mix!r} accepted "
+        f"{counters['forged_accepted']} forged packets")
+    assert report["passed"], (
+        f"{name} under {mix!r}: worst deviation "
+        f"{report['max_deviation_se']} SE (policy {report['policy']})")
+    # The attack actually exercised the adversarial path.  Replays are
+    # the one fault class present in every canonical mix; corruption
+    # and injection can each be zero (protected-signature schemes skip
+    # corruption, the dos mix carries no injector).
+    assert counters["replayed"] > 0
+    assert counters["replays_dropped"] > 0
+
+
+def test_unknown_mix_raises():
+    with pytest.raises(AnalysisError):
+        attack_mix("nonexistent-mix")
+    with pytest.raises(AnalysisError):
+        adversarial_conformance_report(
+            SCHEME_NAMES[0], BLOCK, LOSS_RATE, "nonexistent-mix", 10)
+
+
+def test_effective_loss_rate_composition():
+    plan = attack_mix("pollution")
+    c = plan.corruption_rate
+    p_eff = effective_loss_rate(0.1, plan)
+    assert p_eff == pytest.approx(1.0 - 0.9 * (1.0 - c))
+    assert effective_loss_rate(0.0, plan) == pytest.approx(c)
+    with pytest.raises(AnalysisError):
+        effective_loss_rate(1.5, plan)
+
+
+def test_policy_table_only_names_known_pairs():
+    for (mix, scheme_name), (policy, _reason) in COMPLETENESS_POLICY.items():
+        assert mix in ADVERSARIAL_MIXES
+        assert scheme_name in SCHEME_NAMES
+        assert policy in ("two-sided", "lower-bound", "skip")
+
+
+@pytest.mark.parametrize("name", ["rohatgi", "emss"])
+def test_sharded_attack_is_bit_for_bit_deterministic(name):
+    """The same attacked experiment folds identically across workers."""
+    scheme = default_scheme(name)
+    plan = attack_mix("pollution")
+    reports = [
+        adversarial_wire_stats(scheme, BLOCK, LOSS_RATE, plan, 60,
+                               seed=SEED, workers=workers)
+        for workers in (1, 2, 4)
+    ]
+    baseline = reports[0]
+    for stats in reports[1:]:
+        assert stats.tallies == baseline.tallies
+        for counter in ("sent", "dropped", "corrupted", "injected",
+                        "replayed", "undecodable", "forged_rejected",
+                        "replays_dropped", "forged_accepted"):
+            assert getattr(stats, counter) == getattr(baseline, counter)

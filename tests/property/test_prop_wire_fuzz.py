@@ -1,0 +1,115 @@
+"""Property fuzz: the strict wire decoder is total and canonical.
+
+Three invariants over arbitrary and adversarially mutated buffers:
+
+* **totality** — ``packet_from_wire`` either returns a valid packet or
+  raises :class:`WireDecodeError`; nothing else ever escapes;
+* **canonicality** — any buffer that decodes re-encodes to *exactly*
+  itself, so corruption can never alias one valid packet into a
+  different wire layout;
+* **round trip** — every constructible packet survives
+  ``decode(encode(p)) == p``.
+
+Mutations mirror the fault models: random byte flips, truncation,
+extension, and splices of two valid packets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WireDecodeError
+from repro.packets import Packet, packet_from_wire
+
+_digests = st.binary(min_size=1, max_size=48)
+
+
+@st.composite
+def packets(draw):
+    seq = draw(st.integers(min_value=1, max_value=2 ** 32 - 1))
+    targets = draw(st.lists(
+        st.integers(min_value=1,
+                    max_value=2 ** 32 - 1).filter(lambda t: t != seq),
+        max_size=5, unique=True))
+    return Packet(
+        seq=seq,
+        block_id=draw(st.integers(min_value=0, max_value=2 ** 32 - 1)),
+        payload=draw(st.binary(max_size=200)),
+        carried=tuple((t, draw(_digests)) for t in targets),
+        signature=draw(st.one_of(st.none(), st.binary(max_size=150))),
+        extra=draw(st.binary(max_size=80)),
+        send_time=draw(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False)),
+    )
+
+
+def _decode_or_none(blob):
+    """Totality harness: anything but WireDecodeError is a failure."""
+    try:
+        return packet_from_wire(blob)
+    except WireDecodeError:
+        return None
+
+
+class TestRoundTrip:
+    @given(packets())
+    @settings(max_examples=200, deadline=None)
+    def test_decode_encode_identity(self, packet):
+        assert packet_from_wire(packet.to_wire()) == packet
+
+    @given(packets())
+    @settings(max_examples=200, deadline=None)
+    def test_wire_is_canonical(self, packet):
+        wire = packet.to_wire()
+        assert packet_from_wire(wire).to_wire() == wire
+
+
+class TestMutations:
+    @given(packets(), st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_byte_flips_decode_canonically_or_reject(self, packet, data):
+        wire = bytearray(packet.to_wire())
+        flips = data.draw(st.lists(
+            st.tuples(st.integers(min_value=0, max_value=len(wire) - 1),
+                      st.integers(min_value=1, max_value=255)),
+            min_size=1, max_size=6))
+        for offset, mask in flips:
+            wire[offset] ^= mask
+        mutated = bytes(wire)
+        decoded = _decode_or_none(mutated)
+        if decoded is not None:
+            # Canonicality: a surviving decode IS the buffer it came
+            # from — the mutation produced another valid encoding, it
+            # did not alias into a different layout.
+            assert decoded.to_wire() == mutated
+
+    @given(packets(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_always_rejected(self, packet, data):
+        wire = packet.to_wire()
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        assert _decode_or_none(wire[:cut]) is None
+
+    @given(packets(), st.binary(min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_extension_always_rejected(self, packet, tail):
+        assert _decode_or_none(packet.to_wire() + tail) is None
+
+    @given(packets(), packets(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_splices_decode_canonically_or_reject(self, a, b, data):
+        wa, wb = a.to_wire(), b.to_wire()
+        cut_a = data.draw(st.integers(min_value=0, max_value=len(wa)))
+        cut_b = data.draw(st.integers(min_value=0, max_value=len(wb)))
+        spliced = wa[:cut_a] + wb[cut_b:]
+        decoded = _decode_or_none(spliced)
+        if decoded is not None:
+            assert decoded.to_wire() == spliced
+
+
+class TestGarbage:
+    @given(st.binary(max_size=600))
+    @settings(max_examples=400, deadline=None)
+    def test_arbitrary_buffers_are_total(self, blob):
+        decoded = _decode_or_none(blob)
+        if decoded is not None:
+            assert decoded.to_wire() == blob

@@ -1,0 +1,146 @@
+"""Wire-format hardening: construction caps and the decode taxonomy."""
+
+import math
+import struct
+
+import pytest
+
+from repro.exceptions import (
+    HeaderFormatError,
+    OverlongBlobError,
+    PacketFormatError,
+    SimulationError,
+    TrailingBytesError,
+    TruncatedPacketError,
+    WireDecodeError,
+)
+from repro.packets import (
+    MAX_BLOB_BYTES,
+    MAX_CARRIED_HASHES,
+    WIRE_HEADER_SIZE,
+    Packet,
+    packet_from_wire,
+)
+
+
+def _sample():
+    return Packet(seq=7, block_id=2, payload=b"hello",
+                  carried=((9, b"\xaa" * 16), (11, b"\xbb" * 16)),
+                  signature=b"\xcc" * 32, extra=b"opaque", send_time=1.25)
+
+
+class TestConstructionCaps:
+    def test_seq_beyond_wire_field(self):
+        with pytest.raises(PacketFormatError):
+            Packet(seq=2 ** 32, block_id=0, payload=b"")
+
+    def test_block_id_beyond_wire_field(self):
+        with pytest.raises(PacketFormatError):
+            Packet(seq=1, block_id=2 ** 32, payload=b"")
+
+    def test_oversized_payload(self):
+        with pytest.raises(PacketFormatError):
+            Packet(seq=1, block_id=0, payload=b"\x00" * (MAX_BLOB_BYTES + 1))
+
+    def test_oversized_extra_and_signature(self):
+        big = b"\x00" * (MAX_BLOB_BYTES + 1)
+        with pytest.raises(PacketFormatError):
+            Packet(seq=1, block_id=0, payload=b"", extra=big)
+        with pytest.raises(PacketFormatError):
+            Packet(seq=1, block_id=0, payload=b"", signature=big)
+
+    def test_carried_target_beyond_wire_field(self):
+        with pytest.raises(PacketFormatError):
+            Packet(seq=1, block_id=0, payload=b"",
+                   carried=((2 ** 32, b"\x01"),))
+
+    def test_nonfinite_send_time(self):
+        for bad in (math.inf, -math.inf, math.nan):
+            with pytest.raises(PacketFormatError):
+                Packet(seq=1, block_id=0, payload=b"", send_time=bad)
+
+    def test_format_error_is_simulation_and_value_error(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=2 ** 32, block_id=0, payload=b"")
+        with pytest.raises(ValueError):
+            Packet(seq=2 ** 32, block_id=0, payload=b"")
+
+
+class TestDecodeTaxonomy:
+    def test_round_trip_is_canonical(self):
+        packet = _sample()
+        wire = packet.to_wire()
+        decoded = packet_from_wire(wire)
+        assert decoded == packet
+        assert decoded.to_wire() == wire
+
+    def test_every_truncation_raises_truncated(self):
+        wire = _sample().to_wire()
+        for cut in range(len(wire)):
+            with pytest.raises(TruncatedPacketError):
+                packet_from_wire(wire[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        wire = _sample().to_wire()
+        with pytest.raises(TrailingBytesError):
+            packet_from_wire(wire + b"\x00")
+
+    def test_nonzero_reserved_field(self):
+        wire = bytearray(_sample().to_wire())
+        wire[10] = 0xFF  # inside the 8-byte reserved field (offsets 8-15)
+        with pytest.raises(HeaderFormatError):
+            packet_from_wire(bytes(wire))
+
+    def test_bad_signature_flag(self):
+        wire = bytearray(_sample().to_wire())
+        wire[WIRE_HEADER_SIZE - 1] = 2
+        with pytest.raises(HeaderFormatError):
+            packet_from_wire(bytes(wire))
+
+    def test_cleared_flag_with_signature_bytes(self):
+        wire = bytearray(_sample().to_wire())
+        wire[WIRE_HEADER_SIZE - 1] = 0
+        with pytest.raises(HeaderFormatError):
+            packet_from_wire(bytes(wire))
+
+    def test_header_body_seq_mismatch(self):
+        wire = bytearray(_sample().to_wire())
+        struct.pack_into(">I", wire, 0, 8)  # header seq only
+        with pytest.raises(HeaderFormatError):
+            packet_from_wire(bytes(wire))
+
+    def test_overlong_payload_declared(self):
+        packet = Packet(seq=1, block_id=0, payload=b"")
+        wire = bytearray(packet.to_wire())
+        # Payload length field sits right after header + body ids.
+        struct.pack_into(">I", wire, WIRE_HEADER_SIZE + 8,
+                         MAX_BLOB_BYTES + 1)
+        with pytest.raises(OverlongBlobError):
+            packet_from_wire(bytes(wire))
+
+    def test_overlong_carried_count_declared(self):
+        packet = Packet(seq=1, block_id=0, payload=b"")
+        wire = bytearray(packet.to_wire())
+        struct.pack_into(">I", wire, WIRE_HEADER_SIZE + 12,
+                         MAX_CARRIED_HASHES + 1)
+        with pytest.raises(OverlongBlobError):
+            packet_from_wire(bytes(wire))
+
+    def test_invalid_fields_fold_into_taxonomy(self):
+        wire = bytearray(_sample().to_wire())
+        struct.pack_into(">I", wire, 0, 0)  # seq 0 in header...
+        struct.pack_into(">I", wire, WIRE_HEADER_SIZE, 0)  # ...and body
+        with pytest.raises(HeaderFormatError):
+            packet_from_wire(bytes(wire))
+
+    def test_taxonomy_subtypes_are_wire_and_simulation_errors(self):
+        for subtype in (TruncatedPacketError, HeaderFormatError,
+                        OverlongBlobError, TrailingBytesError):
+            assert issubclass(subtype, WireDecodeError)
+            assert issubclass(subtype, SimulationError)
+
+    def test_catching_base_class_suffices(self):
+        wire = _sample().to_wire()
+        for bad in (wire[:10], wire + b"\x00", b"", b"\xff" * 64):
+            with pytest.raises(WireDecodeError):
+                packet_from_wire(bad)
