@@ -101,6 +101,7 @@ __all__ = [
     "exhaustive_q_profile",
     "wire_q_stats",
     "conformance_deviations",
+    "deviation_rows",
     "ADVERSARIAL_MIXES",
     "COMPLETENESS_POLICY",
     "attack_mix",
@@ -380,6 +381,12 @@ def _deviation_rows(stats: SimulationStats, analytic: Dict[int, float],
     if not rows:
         raise AnalysisError(f"{label}: no positions ever received")
     return rows
+
+
+#: Public name: callers outside the conformance suite (e.g. the live
+#: serving layer's 3-SE acceptance check) compare their own stats
+#: against an analytic profile with the same rows and thresholds.
+deviation_rows = _deviation_rows
 
 
 def conformance_deviations(scheme: Scheme, n: int, p: float, trials: int,

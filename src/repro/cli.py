@@ -9,6 +9,9 @@ Installed as ``repro-experiments``::
     repro-experiments fig9 --metrics-out metrics.json --profile
     repro-experiments fig8 --trace-out trace.jsonl
     repro-experiments bench-report .benchmarks --out BENCH_today.json
+    repro-experiments serve --receivers 8 --ramp 20:0.3 --attack pollution
+    repro-experiments loadgen --receivers 64 --attack pollution \
+        --metrics-out soak.json
 
 Observability flags (see ``docs/observability.md``): ``--metrics-out``
 writes one run manifest + metrics snapshot per experiment,
@@ -57,7 +60,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids (see --list), or the "
-                             "'bench-report' subcommand")
+                             "'bench-report', 'serve' and 'loadgen' "
+                             "subcommands")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
     parser.add_argument("--fast", action="store_true",
@@ -159,6 +163,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "bench-report":
         return _bench_report_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "loadgen":
+        from repro.serve.cli import loadgen_main
+
+        return loadgen_main(raw_argv[1:])
     args = _build_parser().parse_args(raw_argv)
     from repro.exceptions import AnalysisError
     from repro.parallel import resolve_workers, set_default_workers

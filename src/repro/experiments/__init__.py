@@ -16,6 +16,7 @@ from repro.experiments import (
     ext_design,
     ext_erasure,
     ext_independence_gap,
+    ext_live,
     ext_psign_replication,
     ext_variance,
     ext_wire_validation,
@@ -54,6 +55,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-design": ext_design.run,
     "ext-erasure": ext_erasure.run,
     "ext-gap": ext_independence_gap.run,
+    "ext-live": ext_live.run,
     "ext-psign": ext_psign_replication.run,
     "ext-variance": ext_variance.run,
     "ext-wire": ext_wire_validation.run,

@@ -1,0 +1,82 @@
+"""Extension: the live serving loop under a loss ramp and attack.
+
+The offline experiments pick scheme parameters *before* the run; the
+paper's closing complaint — "there is no effective way of choosing
+these parameters" — really bites when the channel changes underneath
+a running stream.  This experiment exercises :mod:`repro.serve`'s
+answer: a live session streams blocks to concurrent receivers while
+the channel loss ramps up mid-stream (optionally with the
+``pollution`` adversary riding on top), and the adaptive controller
+re-designs the EMSS dependence graph from the receivers' own loss
+reports.
+
+Reported per phase (scheme × scheduled loss): empirical ``q_min``
+against the controller's predicted ``q_min``, plus the adaptation
+trace — which blocks switched parameters and what the pooled loss
+estimate read at the time.  Soundness (``forged_accepted == 0``) is
+asserted end-to-end through the wire path.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.serve.loadgen import run_loadgen
+from repro.serve.service import ServeConfig
+
+__all__ = ["run"]
+
+SEED = 2003
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Live adaptive session: loss ramp, pollution mix, q_min per phase."""
+    result = ExperimentResult(
+        experiment_id="ext-live",
+        title="Live serving: adaptive scheme control under a loss ramp",
+    )
+    receivers = 4 if fast else 8
+    blocks = 16 if fast else 40
+    ramp_at = blocks // 2
+    config = ServeConfig(
+        receivers=receivers, blocks=blocks, block_size=12,
+        loss_schedule=((0, 0.05), (ramp_at, 0.3)), attack="pollution",
+        seed=SEED,
+    )
+    loadgen = run_loadgen(config)
+    session = loadgen.session
+    for phase in sorted(session.stats):
+        stats = session.stats[phase]
+        received = sum(t.received for t in stats.tallies.values())
+        result.rows.append({
+            "phase": phase,
+            "received": received,
+            "q_min": stats.q_min if received else "—",
+            "mean_delay": stats.mean_delay,
+            "forged_accepted": stats.forged_accepted,
+        })
+    switches = [event for event in session.events if event.switched]
+    for event in switches:
+        result.rows.append({
+            "phase": f"switch@block{event.block_id}",
+            "p_hat": round(event.p_hat, 4),
+            "p_design": event.p_design,
+            "scheme": f"emss{event.parameters}",
+            "predicted_q_min": round(event.predicted_q_min, 4),
+        })
+    result.note(
+        f"loss ramps 0.05 -> 0.3 at block {ramp_at}; the controller "
+        f"re-optimized {len(switches)} time(s) from pooled receiver "
+        "loss reports, trading hash overhead for robustness exactly "
+        "as the offline design optimizer would at the new operating "
+        "point."
+    )
+    result.note(
+        "soundness: forged_accepted is "
+        f"{session.forged_accepted} across "
+        f"{receivers * blocks} receiver-blocks under the pollution "
+        "mix — the live wire path inherits the strict-decoder and "
+        "digest-audit guarantees of the offline harness."
+        if session.forged_accepted == 0 else
+        "SOUNDNESS VIOLATION: forged content verified in the live path."
+    )
+    return result

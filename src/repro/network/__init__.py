@@ -1,11 +1,12 @@
 """Network models: loss, delay, channels and clocks (paper Sec. 4.1)."""
 
 from repro.network.channel import Channel, Delivery
-from repro.network.clock import DriftingClock
+from repro.network.clock import Clock, DriftingClock, MonotonicClock, VirtualClock
 from repro.network.delay import ConstantDelay, DelayModel, GaussianDelay, gaussian_cdf
 from repro.network.loss import (
     BernoulliLoss,
     GilbertElliottLoss,
+    LossEstimator,
     LossModel,
     MarkovLoss,
     NoLoss,
@@ -15,13 +16,17 @@ from repro.network.loss import (
 __all__ = [
     "Channel",
     "Delivery",
+    "Clock",
     "DriftingClock",
+    "MonotonicClock",
+    "VirtualClock",
     "ConstantDelay",
     "DelayModel",
     "GaussianDelay",
     "gaussian_cdf",
     "BernoulliLoss",
     "GilbertElliottLoss",
+    "LossEstimator",
     "LossModel",
     "MarkovLoss",
     "NoLoss",

@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import SimulationError
 from repro.network.delay import ConstantDelay, DelayModel
-from repro.network.loss import LossModel, NoLoss
+from repro.network.loss import LossEstimator, LossModel, NoLoss
 from repro.packets import Packet
 
 __all__ = ["Delivery", "Channel"]
@@ -54,12 +54,16 @@ class Channel:
 
     def __init__(self, loss: Optional[LossModel] = None,
                  delay: Optional[DelayModel] = None,
-                 protect_signature_packets: bool = True) -> None:
+                 protect_signature_packets: bool = True,
+                 estimator: Optional[LossEstimator] = None) -> None:
         self.loss = loss if loss is not None else NoLoss()
         self.delay = delay if delay is not None else ConstantDelay(0.0)
         self.protect_signature_packets = protect_signature_packets
-        self.sent = 0
-        self.dropped = 0
+        #: Ground-truth estimator fed one observation per transmitted
+        #: packet; ``sent``/``dropped``/``observed_loss_rate`` are views
+        #: of it, so the channel and any adaptive consumer read the
+        #: same numbers.
+        self.estimator = estimator if estimator is not None else LossEstimator()
 
     def transmit(self, packets: Iterable[Packet]) -> List[Delivery]:
         """Send ``packets`` (already stamped with ``send_time``).
@@ -69,11 +73,11 @@ class Channel:
         """
         heap: List[Tuple[float, int, int, Packet]] = []
         for index, packet in enumerate(packets):
-            self.sent += 1
             lost = self.loss.is_lost()
-            if lost and not (self.protect_signature_packets
-                             and packet.is_signature_packet):
-                self.dropped += 1
+            dropped = lost and not (self.protect_signature_packets
+                                    and packet.is_signature_packet)
+            self.estimator.observe(dropped)
+            if dropped:
                 continue
             arrival = packet.send_time + self.delay.sample()
             if arrival < packet.send_time:
@@ -95,12 +99,19 @@ class Channel:
         """New trial: reset models and counters."""
         self.loss.reset()
         self.delay.reset()
-        self.sent = 0
-        self.dropped = 0
+        self.estimator.reset()
+
+    @property
+    def sent(self) -> int:
+        """Packets transmitted so far."""
+        return self.estimator.observed
+
+    @property
+    def dropped(self) -> int:
+        """Packets the loss model dropped so far."""
+        return self.estimator.lost
 
     @property
     def observed_loss_rate(self) -> float:
         """Fraction of transmitted packets dropped so far."""
-        if self.sent == 0:
-            return 0.0
-        return self.dropped / self.sent
+        return self.estimator.lifetime_rate

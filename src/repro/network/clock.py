@@ -1,19 +1,95 @@
-"""Simulated clocks for TESLA's time-synchronization assumption.
+"""Clocks: injectable time sources and TESLA's synchronization model.
 
-TESLA requires "that the sender and receivers synchronize their clocks
-within a certain margin"; the margin enters the receiver's security
-condition.  :class:`DriftingClock` models a receiver clock with a fixed
-offset plus linear drift so experiments can probe what happens when the
-synchronization assumption erodes.
+Two concerns live here:
+
+* :class:`DriftingClock` models a receiver clock with a fixed offset
+  plus linear drift — TESLA requires "that the sender and receivers
+  synchronize their clocks within a certain margin", and the margin
+  enters the receiver's security condition;
+* the :class:`Clock` interface with its :class:`VirtualClock` /
+  :class:`MonotonicClock` implementations is how time-dependent code
+  (the live serving layer, TESLA disclosure checks) takes *injectable*
+  time.  Nothing in the simulation or serving stack may default to
+  ``time.time()``-style wall clocks: a test that freezes a
+  :class:`VirtualClock` must reproduce bit-identical transcripts, so
+  every ``now()`` has to flow from an explicit clock object.
 """
 
 from __future__ import annotations
 
+import asyncio
+import time
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.exceptions import SimulationError
 
-__all__ = ["DriftingClock"]
+__all__ = ["Clock", "VirtualClock", "MonotonicClock", "DriftingClock"]
+
+
+class Clock(ABC):
+    """An injectable time source for simulations and live services.
+
+    ``now()`` is the only thing verification logic may ask; ``sleep``
+    exists so async pacing code works unchanged under virtual time
+    (where sleeping advances the clock instead of waiting).
+    """
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (epoch defined by the implementation)."""
+
+    @abstractmethod
+    async def sleep(self, duration: float) -> None:
+        """Pause the calling task for ``duration`` clock seconds."""
+
+
+class VirtualClock(Clock):
+    """Deterministic manual-advance clock for tests and LocalTransport.
+
+    Time moves only when somebody calls :meth:`advance` (or awaits
+    :meth:`sleep`, which advances without real waiting).  Two runs
+    that perform the same sequence of advances read identical times —
+    the property the frozen-transcript regression tests pin down.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, duration: float) -> None:
+        """Move time forward by ``duration`` seconds."""
+        if duration < 0:
+            raise SimulationError(
+                f"cannot advance time backwards ({duration})")
+        self._now += duration
+
+    async def sleep(self, duration: float) -> None:
+        """Advance virtual time; yields to the event loop exactly once."""
+        if duration < 0:
+            raise SimulationError(f"cannot sleep a negative time ({duration})")
+        self._now += duration
+        await asyncio.sleep(0)
+
+
+class MonotonicClock(Clock):
+    """Wall clock for real transports, zeroed at construction.
+
+    Backed by ``time.monotonic()`` so it never jumps backwards; the
+    origin shift keeps its readings comparable to a
+    :class:`VirtualClock` starting at 0.
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    async def sleep(self, duration: float) -> None:
+        await asyncio.sleep(max(0.0, duration))
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from collections import deque
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +26,7 @@ __all__ = [
     "MarkovLoss",
     "TraceLoss",
     "NoLoss",
+    "LossEstimator",
 ]
 
 
@@ -285,3 +287,117 @@ class TraceLoss(LossModel):
     @property
     def mean_loss_rate(self) -> float:
         return sum(self._trace) / len(self._trace)
+
+
+class LossEstimator:
+    """Windowed loss-rate estimation from observed packet fates.
+
+    The dual of a :class:`LossModel`: instead of *deciding* loss it
+    *measures* it, one observation per packet slot.  Three views of
+    the same stream are maintained, each answering a different
+    question the adaptive layer asks:
+
+    * :attr:`lifetime_rate` — dropped/observed since construction,
+      the :attr:`~repro.network.channel.Channel.observed_loss_rate`
+      semantics;
+    * :attr:`window_rate` — the exact rate over the most recent
+      ``window`` observations, the "what is the channel doing *now*"
+      estimate loss reports feed back to the sender;
+    * :attr:`ewma_rate` — an exponentially weighted moving average
+      (weight ``alpha`` on the newest observation), the smoothed
+      signal a controller can act on without chasing per-block noise.
+
+    Purely arithmetic — no RNG, no clock — so an estimator is exactly
+    as deterministic as the observation stream it is fed.
+
+    Parameters
+    ----------
+    window:
+        Exact sliding-window length in observations.
+    alpha:
+        EWMA weight of the newest observation, in ``(0, 1]``.
+    """
+
+    def __init__(self, window: int = 256, alpha: float = 0.125) -> None:
+        if window < 1:
+            raise SimulationError(f"window must be >= 1, got {window}")
+        if not 0.0 < alpha <= 1.0:
+            raise SimulationError(f"alpha must be in (0, 1], got {alpha}")
+        self.window = window
+        self.alpha = alpha
+        self.observed = 0
+        self.lost = 0
+        self._recent: Deque[bool] = deque(maxlen=window)
+        self._recent_lost = 0
+        self._ewma: Optional[float] = None
+
+    def observe(self, lost: bool) -> None:
+        """Record one packet slot's fate (``True`` = the packet was lost)."""
+        lost = bool(lost)
+        self.observed += 1
+        if lost:
+            self.lost += 1
+        if len(self._recent) == self.window and self._recent[0]:
+            self._recent_lost -= 1
+        self._recent.append(lost)
+        if lost:
+            self._recent_lost += 1
+        value = 1.0 if lost else 0.0
+        if self._ewma is None:
+            self._ewma = value
+        else:
+            self._ewma += self.alpha * (value - self._ewma)
+
+    def observe_block(self, lost: int, total: int) -> None:
+        """Fold an aggregate report: ``lost`` of ``total`` packets lost.
+
+        The aggregate erases ordering, so a deterministic one is
+        chosen: losses are spread evenly across the ``total`` slots.
+        A clustered order (e.g. losses-last) would bias every sliding
+        window that truncates an aggregate mid-way — a window holding
+        the tail of a clean-then-lossy block reads a rate the channel
+        never had.
+        """
+        if total < 0 or not 0 <= lost <= total:
+            raise SimulationError(
+                f"need 0 <= lost <= total, got lost={lost}, total={total}")
+        for index in range(total):
+            step = ((index + 1) * lost) // total - (index * lost) // total
+            self.observe(step > 0)
+
+    def reset(self) -> None:
+        """Forget everything (new trial)."""
+        self.observed = 0
+        self.lost = 0
+        self._recent.clear()
+        self._recent_lost = 0
+        self._ewma = None
+
+    @property
+    def lifetime_rate(self) -> float:
+        """Lost/observed since construction (0.0 before any observation)."""
+        if self.observed == 0:
+            return 0.0
+        return self.lost / self.observed
+
+    @property
+    def window_rate(self) -> float:
+        """Exact loss rate over the last ``window`` observations."""
+        if not self._recent:
+            return 0.0
+        return self._recent_lost / len(self._recent)
+
+    @property
+    def window_fill(self) -> int:
+        """Observations currently inside the window (≤ ``window``)."""
+        return len(self._recent)
+
+    @property
+    def ewma_rate(self) -> float:
+        """EWMA loss rate (0.0 before any observation)."""
+        return self._ewma if self._ewma is not None else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<LossEstimator observed={self.observed} "
+                f"lifetime={self.lifetime_rate:.3f} "
+                f"window={self.window_rate:.3f} ewma={self.ewma_rate:.3f}>")

@@ -33,6 +33,7 @@ from repro.crypto.keychain import KeyChain, KeyChainCommitment
 from repro.crypto.mac import Mac, hmac_sha256
 from repro.crypto.signatures import Signer
 from repro.exceptions import SchemeParameterError, SimulationError
+from repro.network.clock import Clock
 from repro.packets import Packet
 from repro.schemes.base import Scheme
 
@@ -329,10 +330,19 @@ class TeslaReceiver:
     clock_offset:
         Receiver clock minus sender clock; |offset| must be within the
         bootstrap's ``max_clock_offset`` for correctness.
+    clock:
+        Optional injectable :class:`~repro.network.clock.Clock` used
+        when :meth:`receive` is called without an explicit
+        ``receiver_time``.  The security condition depends on *when*
+        a packet arrived; requiring either an explicit time or an
+        injected clock guarantees a wall clock can never leak into the
+        disclosure check (frozen virtual clocks must yield
+        bit-identical transcripts).
     """
 
     def __init__(self, bootstrap: Packet, signer: Signer,
-                 mac: Mac = hmac_sha256, clock_offset: float = 0.0) -> None:
+                 mac: Mac = hmac_sha256, clock_offset: float = 0.0,
+                 clock: Optional["Clock"] = None) -> None:
         unsigned = Packet(seq=bootstrap.seq, block_id=bootstrap.block_id,
                           payload=bootstrap.payload, carried=bootstrap.carried,
                           extra=bootstrap.extra)
@@ -343,6 +353,7 @@ class TeslaReceiver:
         self.parameters = info.parameters
         self.mac = mac
         self.clock_offset = clock_offset
+        self.clock = clock
         self._anchor = KeyChainCommitment(0, info.commitment)
         self._mac_keys: Dict[int, bytes] = {}
         self._highest_key = 0
@@ -404,8 +415,21 @@ class TeslaReceiver:
 
     # ------------------------------------------------------------------
 
-    def receive(self, packet: Packet, receiver_time: float) -> None:
-        """Process one arriving packet at local time ``receiver_time``."""
+    def receive(self, packet: Packet,
+                receiver_time: Optional[float] = None) -> None:
+        """Process one arriving packet at local time ``receiver_time``.
+
+        When ``receiver_time`` is omitted the injected ``clock`` is
+        read instead; constructing the receiver without a clock and
+        calling without a time is an error — there is deliberately no
+        wall-clock fallback.
+        """
+        if receiver_time is None:
+            if self.clock is None:
+                raise SimulationError(
+                    "receive() needs an explicit receiver_time or an "
+                    "injected Clock; wall-clock defaults are forbidden")
+            receiver_time = self.clock.now()
         interval, _tag, disclosed_index, disclosed_key = _decode_extra(
             packet.extra, self.mac.tag_size)
         if disclosed_index >= 1 and disclosed_key:

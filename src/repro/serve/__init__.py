@@ -1,0 +1,77 @@
+"""``repro.serve`` — live multicast authentication serving.
+
+Everything below :mod:`repro.simulation` treats a block as an offline
+artifact: build it, push it through a channel, tally.  This package
+is the *online* counterpart the ROADMAP's north star asks for — an
+asyncio service that signs and streams blocks to N concurrent
+receivers and re-designs its dependence graph on the fly:
+
+* :mod:`repro.serve.transport` — pluggable delivery fabrics: an
+  in-process :class:`LocalTransport` with bounded per-receiver queues
+  (deterministic under virtual time, the test substrate) and a real
+  :class:`UdpTransport` over asyncio datagram endpoints; both speak
+  :class:`~repro.faults.WireDelivery` plus JSON control frames that
+  can never collide with packet bytes;
+* :mod:`repro.serve.sender` — :class:`SenderService`: packetizes each
+  block with the *current* scheme, pushes it through one impairment
+  channel per receiver (optionally an
+  :class:`~repro.faults.AdversarialChannel`), and publishes the
+  ground truth the end-to-end soundness audit needs;
+* :mod:`repro.serve.receiver` — :class:`ReceiverSession` /
+  :class:`ReceiverPool`: defensive wire ingestion via
+  :meth:`~repro.simulation.stream_receiver.StreamReceiver.ingest_wire`,
+  per-block loss reports through a
+  :class:`~repro.network.loss.LossEstimator`, canonical JSON-line
+  transcripts;
+* :mod:`repro.serve.adaptive` — :class:`AdaptiveController`: folds
+  the pool's loss reports into
+  :mod:`repro.design.optimizer` and re-selects scheme parameters per
+  block against a ``q_min``/overhead budget;
+* :mod:`repro.serve.service` — :func:`run_live_session`: the
+  block-barrier orchestration loop tying the four together, emitting
+  a :class:`~repro.obs.RunManifest` and per-phase
+  :class:`~repro.simulation.stats.SimulationStats`;
+* :mod:`repro.serve.loadgen` — soak-run driver behind the
+  ``repro-experiments loadgen`` CLI and the CI soak job.
+
+Determinism contract: with the local transport every source of time
+is a :class:`~repro.network.clock.VirtualClock`, every RNG seed is
+derived from the config seed, and the sender waits for all receivers'
+block reports before starting the next block — so two runs of the
+same config produce byte-identical per-receiver transcripts at any
+receiver count.
+"""
+
+from repro.serve.adaptive import AdaptationEvent, AdaptiveController
+from repro.serve.loadgen import run_loadgen
+from repro.serve.receiver import LossReport, ReceiverPool, ReceiverSession
+from repro.serve.sender import BlockTruth, SenderService
+from repro.serve.service import ServeConfig, SessionResult, run_live_session
+from repro.serve.transport import (
+    ControlFrame,
+    LocalTransport,
+    Transport,
+    UdpTransport,
+    decode_control,
+    encode_control,
+)
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptiveController",
+    "BlockTruth",
+    "ControlFrame",
+    "LocalTransport",
+    "LossReport",
+    "ReceiverPool",
+    "ReceiverSession",
+    "SenderService",
+    "ServeConfig",
+    "SessionResult",
+    "Transport",
+    "UdpTransport",
+    "decode_control",
+    "encode_control",
+    "run_live_session",
+    "run_loadgen",
+]

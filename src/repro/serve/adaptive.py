@@ -1,0 +1,220 @@
+"""Closing the loop: loss feedback into the parameter optimizer.
+
+The paper's complaint about EMSS/AC — "there is no effective way of
+choosing these parameters" — was answered offline by
+:mod:`repro.design.optimizer`.  :class:`AdaptiveController` makes the
+choice *live*: it folds every receiver's per-block loss report into a
+pool-wide :class:`~repro.network.loss.LossEstimator`, quantizes the
+EWMA rate up onto a design grid, and re-runs the optimizer whenever
+the grid point moves.  Quantizing up keeps the adaptation
+conservative (design for at least the observed loss) and, more
+importantly, deterministic: tiny float differences in the estimate
+cannot flip the chosen parameters, only a genuine grid-point crossing
+can.
+
+Every decision is recorded as an :class:`AdaptationEvent` so sessions
+can assert on the switching behaviour (the acceptance test pins the
+staircase p=0.05 → emss(1,2) ... p=0.3 → emss(2,1)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.design.optimizer import ParameterChoice, optimize_emss
+from repro.exceptions import DesignError, SimulationError
+from repro.network.loss import LossEstimator
+from repro.schemes.base import Scheme
+from repro.schemes.registry import make_scheme
+from repro.serve.receiver import LossReport
+
+__all__ = ["AdaptationEvent", "AdaptiveController", "DEFAULT_P_GRID"]
+
+DEFAULT_P_GRID = (0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5)
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One controller decision, taken after observing ``block_id``."""
+
+    block_id: int
+    p_hat: float
+    p_design: float
+    scheme: str
+    parameters: Tuple[int, int]
+    predicted_q_min: float
+    cost: float
+    switched: bool
+    feasible: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for :class:`~repro.obs.RunManifest` storage."""
+        return {
+            "block_id": self.block_id,
+            "p_hat": self.p_hat,
+            "p_design": self.p_design,
+            "scheme": self.scheme,
+            "parameters": list(self.parameters),
+            "predicted_q_min": self.predicted_q_min,
+            "cost": self.cost,
+            "switched": self.switched,
+            "feasible": self.feasible,
+        }
+
+
+class AdaptiveController:
+    """Per-block scheme re-selection from pooled loss reports.
+
+    Parameters
+    ----------
+    block_size:
+        ``n`` handed to the optimizer (payloads per block).
+    q_min_target:
+        Authentication-probability floor the design must meet.
+    estimator:
+        Pool-wide loss estimator; a fresh one if omitted.
+    p_grid:
+        Sorted design grid; the EWMA estimate is quantized *up* to the
+        nearest grid point.  Estimates above the top of the grid clamp
+        to it.
+    initial_p:
+        Loss rate the session is designed for before any feedback.
+    estimate:
+        Which estimator view drives decisions: ``"window"`` (default —
+        the exact rate over the last ``window`` packet slots pooled
+        across receivers, stable under bursty per-block loss) or
+        ``"ewma"`` (faster-reacting but, with block-granular feedback,
+        dominated by each block's tail).
+    slack_se:
+        Statistical slack before quantizing: the design point is the
+        smallest grid point not more than this many binomial standard
+        errors *below* the estimate.  Without it, a channel running at
+        exactly a grid-point rate hovers epsilon above it by sampling
+        noise and flaps a full grid step.  ``0`` disables the slack.
+    m_values, d_values, max_delay_slots:
+        Search space forwarded to
+        :func:`~repro.design.optimizer.optimize_emss`.
+    """
+
+    def __init__(self, block_size: int, q_min_target: float = 0.75,
+                 estimator: Optional[LossEstimator] = None,
+                 p_grid: Sequence[float] = DEFAULT_P_GRID,
+                 initial_p: float = 0.05,
+                 estimate: str = "window",
+                 slack_se: float = 1.0,
+                 m_values: Sequence[int] = tuple(range(1, 7)),
+                 d_values: Sequence[int] = (1, 2, 4, 8),
+                 max_delay_slots: Optional[int] = 8) -> None:
+        if block_size < 1:
+            raise SimulationError(f"block_size must be >= 1, got {block_size}")
+        if not p_grid or list(p_grid) != sorted(set(p_grid)):
+            raise SimulationError("p_grid must be sorted and duplicate-free")
+        if estimate not in ("window", "ewma"):
+            raise SimulationError(
+                f"estimate must be 'window' or 'ewma', got {estimate!r}")
+        if slack_se < 0:
+            raise SimulationError(f"slack_se must be >= 0, got {slack_se}")
+        self.estimate = estimate
+        self.slack_se = slack_se
+        self.block_size = block_size
+        self.q_min_target = q_min_target
+        self.estimator = estimator if estimator is not None else LossEstimator()
+        self.p_grid = tuple(p_grid)
+        self.m_values = tuple(m_values)
+        self.d_values = tuple(d_values)
+        self.max_delay_slots = max_delay_slots
+        self.events: List[AdaptationEvent] = []
+        self._p_design = self.quantize(initial_p)
+        self._choice = self._optimize(self._p_design)
+        if self._choice is None:
+            raise DesignError(
+                f"initial design infeasible at p={self._p_design}")
+        self._scheme = make_scheme(self._spec(self._choice))
+
+    # ------------------------------------------------------------------
+
+    def quantize(self, p_hat: float) -> float:
+        """Round a loss estimate up onto the design grid (clamped)."""
+        for point in self.p_grid:
+            if p_hat <= point:
+                return point
+        return self.p_grid[-1]
+
+    @staticmethod
+    def _spec(choice: ParameterChoice) -> str:
+        m, d = choice.parameters
+        return f"emss({m},{d})"
+
+    def _optimize(self, p_design: float) -> Optional[ParameterChoice]:
+        try:
+            return optimize_emss(self.block_size, p_design,
+                                 self.q_min_target,
+                                 m_values=self.m_values,
+                                 d_values=self.d_values,
+                                 max_delay_slots=self.max_delay_slots)
+        except DesignError:
+            return None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def scheme(self) -> Scheme:
+        """The scheme the next block should be packetized with."""
+        return self._scheme
+
+    @property
+    def choice(self) -> ParameterChoice:
+        """The current optimizer selection."""
+        return self._choice
+
+    @property
+    def p_design(self) -> float:
+        """Grid point the current parameters were designed for."""
+        return self._p_design
+
+    def observe(self, block_id: int,
+                reports: Sequence[LossReport]) -> AdaptationEvent:
+        """Fold one block's reports; maybe re-select parameters.
+
+        Reports are folded in sorted receiver order so the pooled
+        estimator's state is independent of task scheduling.
+        """
+        for report in sorted(reports, key=lambda r: r.receiver_id):
+            self.estimator.observe_block(report.expected - report.received,
+                                         report.expected)
+        if self.estimate == "window":
+            p_hat = self.estimator.window_rate
+        else:
+            p_hat = self.estimator.ewma_rate
+        fill = self.estimator.window_fill
+        slack = 0.0
+        if self.slack_se > 0 and fill > 0:
+            slack = self.slack_se * math.sqrt(
+                max(p_hat * (1.0 - p_hat), 1.0 / fill) / fill)
+        p_design = self.quantize(max(0.0, p_hat - slack))
+        switched = False
+        feasible = True
+        if p_design != self._p_design:
+            choice = self._optimize(p_design)
+            if choice is None:
+                # Infeasible at the requested operating point: keep
+                # flying on the current parameters rather than stall
+                # the stream; the design point does not advance, so
+                # the next block retries.
+                feasible = False
+            else:
+                switched = choice.parameters != self._choice.parameters
+                self._choice = choice
+                self._p_design = p_design
+                if switched:
+                    self._scheme = make_scheme(self._spec(choice))
+        event = AdaptationEvent(
+            block_id=block_id, p_hat=p_hat, p_design=p_design,
+            scheme=self._choice.scheme, parameters=self._choice.parameters,
+            predicted_q_min=self._choice.q_min, cost=self._choice.cost,
+            switched=switched, feasible=feasible,
+        )
+        self.events.append(event)
+        return event

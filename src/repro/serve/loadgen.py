@@ -1,0 +1,78 @@
+"""Load generation: instrumented soak runs of the live service.
+
+:func:`run_loadgen` is the programmatic face of ``repro-experiments
+loadgen`` and the CI soak job: it runs one
+:func:`~repro.serve.service.run_live_session` under a fresh
+:class:`~repro.obs.MetricsRegistry`, then packages the sealed manifest
+and metrics snapshot into the same ``{"format": 1, "runs": [...]}``
+payload the sweep CLI emits — so the soak artifact validates with
+:func:`~repro.obs.validate_metrics_file` like every other metrics
+file — and distills the numbers the job gates on (``forged_accepted``
+above all) into a flat summary dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.signatures import Signer
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.manifest import METRICS_FILE_VERSION
+from repro.serve.service import ServeConfig, SessionResult, run_live_session
+
+__all__ = ["LoadgenResult", "run_loadgen"]
+
+
+@dataclass
+class LoadgenResult:
+    """One soak run: session results, metrics payload, gate summary."""
+
+    session: SessionResult
+    metrics_payload: dict
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The soak gate: no attacker content ever verified."""
+        return self.session.forged_accepted == 0
+
+
+def run_loadgen(config: ServeConfig,
+                signer: Optional[Signer] = None) -> LoadgenResult:
+    """Run one instrumented live session and package its artifacts."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        session = run_live_session(config, signer=signer)
+    metrics_payload = {
+        "format": METRICS_FILE_VERSION,
+        "runs": [{
+            "manifest": session.manifest.to_dict(),
+            "metrics": registry.snapshot(),
+        }],
+    }
+    phases: List[Dict[str, object]] = []
+    for phase in sorted(session.stats):
+        stats = session.stats[phase]
+        received = sum(t.received for t in stats.tallies.values())
+        phases.append({
+            "phase": phase,
+            "received": received,
+            "q_min": stats.q_min if received else None,
+            "forged_accepted": stats.forged_accepted,
+        })
+    switches = [event.block_id for event in session.events if event.switched]
+    summary: Dict[str, object] = {
+        "receivers": config.receivers,
+        "blocks": config.blocks,
+        "transport": config.transport,
+        "attack": config.attack,
+        "forged_accepted": session.forged_accepted,
+        "delivered": session.delivered,
+        "queue_drops": sum(session.queue_drops.values()),
+        "schemes_used": session.schemes_used,
+        "adaptation_switches": switches,
+        "phases": phases,
+    }
+    return LoadgenResult(session=session, metrics_payload=metrics_payload,
+                         summary=summary)

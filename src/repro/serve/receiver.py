@@ -1,0 +1,261 @@
+"""The receiving half of a live session.
+
+Each :class:`ReceiverSession` consumes one transport subscription,
+feeds data frames through the defensive
+:meth:`~repro.simulation.stream_receiver.StreamReceiver.ingest_wire`
+path, and on every control frame closes out the block: evicts buffers,
+audits what verified against the sender's authentic digests (the
+``forged_accepted`` soundness invariant), tallies per-phase
+:class:`~repro.simulation.stats.SimulationStats`, appends a canonical
+transcript line, updates its :class:`~repro.network.loss.LossEstimator`
+and emits a :class:`LossReport` upstream.
+
+Transcript lines are canonical JSON (sorted keys, fixed separators)
+over values that derive only from seeds and virtual time — the
+byte-identity surface the determinism regression pins.
+
+:class:`ReceiverPool` fans N sessions out as asyncio tasks and gives
+the service a per-block barrier: :meth:`ReceiverPool.wait_block`
+resolves once every session has reported the block, which is what
+makes bounded-queue drops and adaptation decisions deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.crypto.hashing import HashFunction, sha256
+from repro.crypto.signatures import Signer
+from repro.exceptions import SimulationError
+from repro.network.loss import LossEstimator
+from repro.obs import get_registry
+from repro.serve.transport import ControlFrame, Transport, decode_control
+from repro.simulation.stats import SimulationStats
+from repro.simulation.stream_receiver import StreamReceiver
+
+__all__ = ["LossReport", "ReceiverSession", "ReceiverPool"]
+
+
+@dataclass(frozen=True)
+class LossReport:
+    """One receiver's per-block feedback to the adaptive loop."""
+
+    receiver_id: str
+    block_id: int
+    expected: int
+    received: int
+    window_rate: float
+    ewma_rate: float
+
+    @property
+    def block_loss_rate(self) -> float:
+        """Fraction of this block's packets that never arrived."""
+        if self.expected == 0:
+            return 0.0
+        return 1.0 - self.received / self.expected
+
+
+class ReceiverSession:
+    """One live receiver: defensive ingestion, accounting, reporting.
+
+    Parameters
+    ----------
+    receiver_id:
+        Stable identity used in reports and transcripts.
+    signer:
+        Verifier for block signatures (public part suffices).
+    hash_function:
+        Must match the sender's.
+    estimator:
+        Loss estimator fed one observation per expected packet slot;
+        a fresh default-window estimator if omitted.
+    max_buffered:
+        DoS cap forwarded to the underlying verifier.
+    """
+
+    def __init__(self, receiver_id: str, signer: Signer,
+                 hash_function: HashFunction = sha256,
+                 estimator: Optional[LossEstimator] = None,
+                 max_buffered: Optional[int] = None) -> None:
+        self.receiver_id = receiver_id
+        self._hash = hash_function
+        self.stream = StreamReceiver(signer, hash_function,
+                                     max_buffered=max_buffered)
+        self.estimator = estimator if estimator is not None else LossEstimator()
+        self.transcript: List[str] = []
+        self.stats: Dict[str, SimulationStats] = {}
+        self.reports: List[LossReport] = []
+        self.forged_accepted = 0
+        self.blocks_closed = 0
+
+    async def run(self, transport: Transport,
+                  report_sink: Callable[[LossReport], "asyncio.Future"]
+                  ) -> None:
+        """Consume the subscription until the final control frame."""
+        async for delivery in transport.subscribe(self.receiver_id):
+            frame = decode_control(delivery.data)
+            if frame is None:
+                self.stream.ingest_wire(delivery.data, delivery.arrival_time)
+                continue
+            if frame.final:
+                break
+            report = self.close_block(frame)
+            await report_sink(report)
+
+    def close_block(self, frame: ControlFrame) -> LossReport:
+        """Settle one finished block against its control frame."""
+        verifier = self.stream.verifier
+        digests = dict(frame.digests)
+        intact = set(frame.intact)
+        expected = frame.last_seq - frame.base_seq + 1
+        arrived = 0
+        events: List[list] = []
+        stats = self.stats.setdefault(frame.phase, SimulationStats())
+        for seq in range(frame.base_seq, frame.last_seq + 1):
+            outcome = verifier.outcomes.get(seq)
+            verified = outcome is not None and outcome.verified
+            if outcome is not None:
+                arrived += 1
+            if verified:
+                accepted = verifier.accepted_digest(seq)
+                authentic = digests.get(seq)
+                if (accepted is None or authentic is None
+                        or accepted.hex() != authentic):
+                    # Attacker content survived verification: the
+                    # invariant every security test keys on.
+                    self.forged_accepted += 1
+                    stats.forged_accepted += 1
+            position = seq - frame.base_seq + 1
+            # Adversarial tally convention (run_adversarial_trials):
+            # "received" means the authentic bytes made it through
+            # untampered, or the slot verified anyway.
+            received_for_stats = seq in intact or verified
+            delay = outcome.delay if verified else None
+            stats.record(position, received_for_stats, verified, delay)
+            if verified:
+                status = "v"
+                when = outcome.verified_time
+            elif outcome is not None:
+                status = "a"
+                when = None
+            else:
+                status = "l"
+                when = None
+            events.append([seq, status, when])
+        self.estimator.observe_block(expected - arrived, expected)
+        released = self.stream.finish_block(frame.block_id, frame.last_seq)
+        self.blocks_closed += 1
+        record = {
+            "r": self.receiver_id,
+            "b": frame.block_id,
+            "phase": frame.phase,
+            "scheme": frame.scheme,
+            "delivered": len(released),
+            "events": events,
+        }
+        self.transcript.append(
+            json.dumps(record, sort_keys=True, separators=(",", ":")))
+        report = LossReport(
+            receiver_id=self.receiver_id, block_id=frame.block_id,
+            expected=expected, received=arrived,
+            window_rate=self.estimator.window_rate,
+            ewma_rate=self.estimator.ewma_rate,
+        )
+        self.reports.append(report)
+        registry = get_registry()
+        if registry.enabled:
+            registry.count("serve.block.closes", 1)
+            registry.count(f"serve.{self.receiver_id}.delivered",
+                           len(released))
+            registry.count(f"serve.{self.receiver_id}.arrived", arrived)
+        return report
+
+    def transcript_bytes(self) -> bytes:
+        """The canonical transcript: one JSON line per closed block."""
+        return ("\n".join(self.transcript) + "\n").encode("utf-8")
+
+
+class ReceiverPool:
+    """N concurrent receiver sessions plus the per-block barrier.
+
+    Parameters
+    ----------
+    receiver_ids:
+        Session identities, one task each.
+    signer:
+        Shared verifier (stateless verification; safe to share).
+    hash_function, estimator_factory, max_buffered:
+        Forwarded to each session; ``estimator_factory`` builds one
+        private estimator per receiver.
+    """
+
+    def __init__(self, receiver_ids: Sequence[str], signer: Signer,
+                 hash_function: HashFunction = sha256,
+                 estimator_factory: Optional[
+                     Callable[[], LossEstimator]] = None,
+                 max_buffered: Optional[int] = None) -> None:
+        if not receiver_ids:
+            raise SimulationError("need at least one receiver")
+        if len(set(receiver_ids)) != len(receiver_ids):
+            raise SimulationError("receiver ids must be unique")
+        self.sessions: Dict[str, ReceiverSession] = {}
+        for receiver_id in receiver_ids:
+            estimator = (estimator_factory() if estimator_factory is not None
+                         else LossEstimator())
+            self.sessions[receiver_id] = ReceiverSession(
+                receiver_id, signer, hash_function, estimator=estimator,
+                max_buffered=max_buffered)
+        self._reports: Dict[int, Dict[str, LossReport]] = {}
+        self._events: Dict[int, asyncio.Event] = {}
+        self._tasks: List[asyncio.Task] = []
+
+    def start(self, transport: Transport) -> None:
+        """Spawn one task per session (requires a running event loop)."""
+        if self._tasks:
+            raise SimulationError("pool already started")
+        for session in self.sessions.values():
+            self._tasks.append(
+                asyncio.create_task(session.run(transport, self._on_report),
+                                    name=f"serve-{session.receiver_id}"))
+
+    async def _on_report(self, report: LossReport) -> None:
+        per_block = self._reports.setdefault(report.block_id, {})
+        per_block[report.receiver_id] = report
+        if len(per_block) == len(self.sessions):
+            self._event(report.block_id).set()
+
+    def _event(self, block_id: int) -> asyncio.Event:
+        event = self._events.get(block_id)
+        if event is None:
+            event = asyncio.Event()
+            self._events[block_id] = event
+        return event
+
+    async def wait_block(self, block_id: int) -> List[LossReport]:
+        """Barrier: every session's report for ``block_id``, sorted by id."""
+        await self._event(block_id).wait()
+        self._events.pop(block_id, None)
+        reports = self._reports.pop(block_id)
+        return [reports[receiver_id] for receiver_id in sorted(reports)]
+
+    async def join(self) -> None:
+        """Wait for every session task to finish (after the final frame)."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+
+    def merged_stats(self) -> Dict[str, SimulationStats]:
+        """Per-phase stats folded across receivers (sorted, exact)."""
+        merged: Dict[str, SimulationStats] = {}
+        for receiver_id in sorted(self.sessions):
+            for phase, stats in self.sessions[receiver_id].stats.items():
+                base = merged.get(phase)
+                merged[phase] = stats if base is None else base.merge(stats)
+        return merged
+
+    @property
+    def forged_accepted(self) -> int:
+        """Total attacker content accepted across the pool (must be 0)."""
+        return sum(s.forged_accepted for s in self.sessions.values())

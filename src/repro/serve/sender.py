@@ -1,0 +1,247 @@
+"""The sending half of a live session.
+
+:class:`SenderService` owns the stream state (sequence numbers, block
+ids, the pacing clock) but — unlike the offline
+:class:`~repro.simulation.sender.StreamSender` — takes the scheme *per
+block*, because the adaptive controller may re-parameterize between
+blocks.  Each block is packetized once, then pushed through one
+impairment channel per receiver (independent loss draws, optionally an
+:class:`~repro.faults.AdversarialChannel` with a per-(receiver, block)
+reseeded plan) and onto the transport, followed by a control frame
+carrying the block's ground truth.
+
+Seed derivation, all from one root seed:
+
+* loss for receiver ``r`` (0-based), block ``b``:
+  ``seed + 7919 * (r + 1) + 104729 * (b + 1)``;
+* attack plan for the same pair: the loss seed plus ``15485863``
+  (:meth:`~repro.faults.AttackPlan.reseed` spreads it further across
+  the plan's members).
+
+Fresh models per (receiver, block) make every cell of the session an
+independent, reproducible sample — the same property the Monte-Carlo
+trial runners get from their per-trial seeds — and per-phase counter
+folds stay exact because all accounting is integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence
+
+from repro.crypto.hashing import HashFunction, sha256
+from repro.crypto.signatures import Signer
+from repro.exceptions import SimulationError
+from repro.faults import AdversarialChannel, AttackPlan, WireDelivery
+from repro.network.channel import Channel
+from repro.network.clock import Clock
+from repro.network.delay import ConstantDelay
+from repro.network.loss import BernoulliLoss
+from repro.obs import get_registry
+from repro.schemes.base import Scheme
+from repro.serve.transport import ControlFrame, Transport, encode_control
+
+__all__ = ["BlockTruth", "SenderService", "default_channel_factory"]
+
+_LOSS_STRIDE_RECEIVER = 7919
+_LOSS_STRIDE_BLOCK = 104729
+_ATTACK_OFFSET = 15485863
+
+
+@dataclass(frozen=True)
+class BlockTruth:
+    """Ground truth of one block as one receiver's channel produced it.
+
+    ``intact`` holds the sequence numbers whose *untampered* bytes the
+    transport accepted for this receiver (genuine kind, not dropped by
+    queue backpressure); ``digests`` maps every sequence the sender
+    emitted to the hex digest of its authentic bytes.  Together they
+    are what the receiver-side audit and the per-phase ``q_i`` tallies
+    score against.
+    """
+
+    receiver_id: str
+    block_id: int
+    base_seq: int
+    last_seq: int
+    phase: str
+    scheme: str
+    intact: FrozenSet[int]
+    digests: Mapping[int, str]
+    sent: int
+    dropped: int
+    corrupted: int
+    injected: int
+    replayed: int
+    queue_dropped: int
+
+
+def default_channel_factory(seed: int,
+                            attack_plan_factory: Optional[
+                                Callable[[], AttackPlan]] = None
+                            ) -> Callable[[int, int, float], Channel]:
+    """Seeded per-(receiver, block) channel construction.
+
+    Returns a factory ``(receiver_index, block_id, loss_rate) ->``
+    :class:`~repro.network.channel.Channel` (or an
+    :class:`~repro.faults.AdversarialChannel` wrapping one when an
+    attack-plan factory is supplied).  Every call builds fresh models
+    with the documented seed derivation, so a session's channel bank
+    is fully determined by the root seed.
+    """
+
+    def build(receiver_index: int, block_id: int, loss_rate: float):
+        cell_seed = (seed + _LOSS_STRIDE_RECEIVER * (receiver_index + 1)
+                     + _LOSS_STRIDE_BLOCK * (block_id + 1))
+        channel = Channel(loss=BernoulliLoss(loss_rate, seed=cell_seed),
+                          delay=ConstantDelay(0.0))
+        if attack_plan_factory is None:
+            return channel
+        plan = attack_plan_factory()
+        plan.reseed(cell_seed + _ATTACK_OFFSET)
+        return AdversarialChannel(channel, plan)
+
+    return build
+
+
+class SenderService:
+    """Signs, packetizes and streams blocks over a transport.
+
+    Parameters
+    ----------
+    transport:
+        Delivery fabric (started by the caller).
+    receiver_ids:
+        Subscribed receivers, in the canonical (sorted) order the
+        session uses everywhere.
+    signer:
+        Block-signature signer.
+    channel_factory:
+        ``(receiver_index, block_id, loss_rate) -> Channel`` — see
+        :func:`default_channel_factory`.
+    clock:
+        Pacing clock; block transmission advances it by
+        ``packets * t_transmit``.
+    t_transmit:
+        Seconds between consecutive packet transmissions (Eq. 4's
+        clock unit).
+    hash_function:
+        Must match the receivers'.
+    """
+
+    def __init__(self, transport: Transport, receiver_ids: Sequence[str],
+                 signer: Signer,
+                 channel_factory: Callable[[int, int, float], Channel],
+                 clock: Clock, t_transmit: float = 0.001,
+                 hash_function: HashFunction = sha256) -> None:
+        if not receiver_ids:
+            raise SimulationError("need at least one receiver")
+        if t_transmit <= 0:
+            raise SimulationError(
+                f"t_transmit must be > 0, got {t_transmit}")
+        self.transport = transport
+        self.receiver_ids = list(receiver_ids)
+        self.signer = signer
+        self.channel_factory = channel_factory
+        self.clock = clock
+        self.t_transmit = t_transmit
+        self.hash_function = hash_function
+        self._next_seq = 1
+        self._next_block = 0
+        self._send_clock = 0.0  # virtual send-time base, paper pacing
+
+    @property
+    def next_block_id(self) -> int:
+        """Block id the next :meth:`send_block` will use."""
+        return self._next_block
+
+    async def send_block(self, scheme: Scheme, payloads: Sequence[bytes],
+                         loss_rate: float, phase: str
+                         ) -> Dict[str, BlockTruth]:
+        """Packetize one block with ``scheme`` and stream it to everyone.
+
+        Returns per-receiver ground truth; the control frame each
+        receiver gets carries its own ``intact`` set plus the shared
+        digest map.
+        """
+        if not payloads:
+            raise SimulationError("empty block")
+        block_id = self._next_block
+        base_seq = self._next_seq
+        packets = scheme.make_block(list(payloads), self.signer,
+                                    self.hash_function, block_id=block_id,
+                                    base_seq=base_seq)
+        self._next_block += 1
+        self._next_seq += len(packets)
+        stamped = []
+        for packet in packets:
+            stamped.append(packet.with_send_time(self._send_clock))
+            self._send_clock += self.t_transmit
+        last_seq = base_seq + len(packets) - 1
+        digests = {
+            packet.seq: self.hash_function.digest(packet.auth_bytes()).hex()
+            for packet in stamped
+        }
+        registry = get_registry()
+        truths: Dict[str, BlockTruth] = {}
+        for index, receiver_id in enumerate(self.receiver_ids):
+            channel = self.channel_factory(index, block_id, loss_rate)
+            if isinstance(channel, AdversarialChannel):
+                deliveries = channel.transmit_wire(stamped)
+                corrupted = channel.corrupted
+                injected = channel.injected
+                replayed = channel.replayed
+            else:
+                deliveries = [
+                    WireDelivery(arrival_time=delivery.arrival_time,
+                                 data=delivery.packet.to_wire(),
+                                 kind="genuine", seq_hint=delivery.packet.seq)
+                    for delivery in channel.transmit(stamped)
+                ]
+                corrupted = injected = replayed = 0
+            transport_dropped = await self.transport.send(receiver_id,
+                                                          deliveries)
+            dropped_genuine = {d.seq_hint for d in transport_dropped
+                               if d.kind == "genuine"}
+            intact = frozenset(
+                d.seq_hint for d in deliveries
+                if d.kind == "genuine" and d.seq_hint is not None
+                and d.seq_hint not in dropped_genuine)
+            truth = BlockTruth(
+                receiver_id=receiver_id, block_id=block_id,
+                base_seq=base_seq, last_seq=last_seq, phase=phase,
+                scheme=scheme.name, intact=intact, digests=digests,
+                sent=channel.sent, dropped=channel.dropped,
+                corrupted=corrupted, injected=injected, replayed=replayed,
+                queue_dropped=len(transport_dropped),
+            )
+            truths[receiver_id] = truth
+            frame = ControlFrame(
+                block_id=block_id, base_seq=base_seq, last_seq=last_seq,
+                scheme=scheme.name, phase=phase,
+                intact=tuple(sorted(intact)),
+                digests=tuple(sorted(digests.items())),
+            )
+            control = WireDelivery(
+                arrival_time=self._send_clock, data=encode_control(frame),
+                kind="control", seq_hint=None)
+            await self.transport.send(receiver_id, [control])
+            if registry.enabled:
+                registry.count("serve.packets.sent", channel.sent)
+                registry.count("serve.packets.dropped", channel.dropped)
+                if corrupted or injected or replayed:
+                    registry.count("serve.attack.corrupted", corrupted)
+                    registry.count("serve.attack.injected", injected)
+                    registry.count("serve.attack.replayed", replayed)
+        await self.clock.sleep(len(stamped) * self.t_transmit)
+        return truths
+
+    async def send_final(self) -> None:
+        """End the session: final control frame to every receiver."""
+        frame = ControlFrame(block_id=-1, base_seq=0, last_seq=0,
+                             scheme="", phase="", final=True)
+        data = encode_control(frame)
+        for receiver_id in self.receiver_ids:
+            await self.transport.send(receiver_id, [
+                WireDelivery(arrival_time=self._send_clock, data=data,
+                             kind="control", seq_hint=None)])

@@ -1,0 +1,240 @@
+"""Session orchestration: sender, pool, controller, one barrier loop.
+
+:func:`run_live_session` wires the serve components together and runs
+a complete adaptive session to completion:
+
+1. packetize block ``b`` with the controller's *current* scheme and
+   stream it to every receiver through per-(receiver, block) seeded
+   channels;
+2. barrier on :meth:`~repro.serve.receiver.ReceiverPool.wait_block` —
+   every receiver has closed the block and reported its losses;
+3. feed the reports to the :class:`~repro.serve.adaptive.\
+AdaptiveController`, which may re-select the scheme parameters the
+   *next* block is built with.
+
+The barrier is what makes the whole thing deterministic on the local
+transport: queues are drained before the next block is enqueued, so
+backpressure drops depend only on the config, and the controller sees
+the same report sequence every run.
+
+The function is synchronous (it owns ``asyncio.run``) and returns a
+:class:`SessionResult`: the sealed :class:`~repro.obs.RunManifest`
+(with the adaptation trace in its parameters), per-phase merged
+:class:`~repro.simulation.stats.SimulationStats`, and the canonical
+per-receiver transcripts the determinism regression compares.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.conformance import attack_mix
+from repro.crypto.signatures import HmacStubSigner, Signer
+from repro.exceptions import SimulationError
+from repro.faults import KNOWN_ATTACK_MIXES
+from repro.network.clock import Clock, MonotonicClock, VirtualClock
+from repro.obs import RunManifest, get_registry
+from repro.serve.adaptive import AdaptationEvent, AdaptiveController
+from repro.serve.receiver import LossReport, ReceiverPool
+from repro.serve.sender import SenderService, default_channel_factory
+from repro.serve.transport import LocalTransport, Transport, UdpTransport
+from repro.simulation.sender import make_payloads
+from repro.simulation.stats import SimulationStats
+
+__all__ = ["ServeConfig", "SessionResult", "run_live_session"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that determines a live session, and nothing else.
+
+    ``loss_schedule`` is a sorted tuple of ``(first_block, loss_rate)``
+    steps; the rate in force for block ``b`` is the last step with
+    ``first_block <= b``.  A ramp like ``((0, 0.05), (20, 0.3))``
+    drives the adaptation staircase the acceptance test asserts on.
+    """
+
+    receivers: int = 8
+    blocks: int = 20
+    block_size: int = 12
+    payload_size: int = 32
+    loss_schedule: Tuple[Tuple[int, float], ...] = ((0, 0.05),)
+    attack: Optional[str] = None
+    q_min_target: float = 0.75
+    seed: int = 7
+    t_transmit: float = 0.001
+    queue_size: int = 256
+    transport: str = "local"
+    adaptive: bool = True
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.receivers < 1:
+            raise SimulationError("need at least one receiver")
+        if self.blocks < 1:
+            raise SimulationError("need at least one block")
+        if self.transport not in ("local", "udp"):
+            raise SimulationError(
+                f"unknown transport {self.transport!r} (local|udp)")
+        if self.attack is not None and self.attack not in KNOWN_ATTACK_MIXES:
+            raise SimulationError(
+                f"unknown attack mix {self.attack!r}; "
+                f"known: {', '.join(sorted(KNOWN_ATTACK_MIXES))}")
+        if not self.loss_schedule or self.loss_schedule[0][0] != 0:
+            raise SimulationError("loss_schedule must start at block 0")
+        blocks_in_schedule = [step[0] for step in self.loss_schedule]
+        if blocks_in_schedule != sorted(set(blocks_in_schedule)):
+            raise SimulationError(
+                "loss_schedule blocks must be strictly increasing")
+        for _, rate in self.loss_schedule:
+            if not 0.0 <= rate < 1.0:
+                raise SimulationError(
+                    f"loss rates must be in [0, 1), got {rate}")
+
+    def loss_for_block(self, block_id: int) -> float:
+        """Scheduled channel loss rate in force for ``block_id``."""
+        rate = self.loss_schedule[0][1]
+        for first_block, step_rate in self.loss_schedule:
+            if block_id >= first_block:
+                rate = step_rate
+        return rate
+
+    def receiver_ids(self) -> List[str]:
+        """Canonical receiver identities, sorted."""
+        return [f"r{index:02d}" for index in range(self.receivers)]
+
+    def to_parameters(self) -> Dict[str, object]:
+        """Manifest-ready parameter record."""
+        return {
+            "receivers": self.receivers,
+            "blocks": self.blocks,
+            "block_size": self.block_size,
+            "payload_size": self.payload_size,
+            "loss_schedule": [list(step) for step in self.loss_schedule],
+            "attack": self.attack,
+            "q_min_target": self.q_min_target,
+            "t_transmit": self.t_transmit,
+            "queue_size": self.queue_size,
+            "transport": self.transport,
+            "adaptive": self.adaptive,
+        }
+
+
+@dataclass
+class SessionResult:
+    """A finished session, ready for assertions and reporting."""
+
+    manifest: RunManifest
+    stats: Dict[str, SimulationStats] = field(default_factory=dict)
+    transcripts: Dict[str, bytes] = field(default_factory=dict)
+    events: List[AdaptationEvent] = field(default_factory=list)
+    reports: Dict[str, List[LossReport]] = field(default_factory=dict)
+    queue_drops: Dict[str, int] = field(default_factory=dict)
+    forged_accepted: int = 0
+    delivered: int = 0
+
+    @property
+    def schemes_used(self) -> List[str]:
+        """Distinct scheme specs in block order (first use)."""
+        seen: List[str] = []
+        for event in self.events:
+            spec = f"{event.scheme}({event.parameters[0]},{event.parameters[1]})"
+            if spec not in seen:
+                seen.append(spec)
+        return seen
+
+
+def _build_transport(config: ServeConfig, clock: Clock) -> Transport:
+    if config.transport == "local":
+        return LocalTransport(queue_size=config.queue_size)
+    return UdpTransport(clock, queue_size=config.queue_size)
+
+
+def default_serve_signer(seed: int) -> Signer:
+    """The session's default signer: fast, deterministic, seed-keyed."""
+    return HmacStubSigner(key=b"repro-serve-%016d" % seed)
+
+
+async def _drive_session(config: ServeConfig, transport: Transport,
+                         sender: SenderService, pool: ReceiverPool,
+                         controller: AdaptiveController) -> None:
+    registry = get_registry()
+    await transport.start(config.receiver_ids())
+    pool.start(transport)
+    try:
+        for block_id in range(config.blocks):
+            loss_rate = config.loss_for_block(block_id)
+            scheme = controller.scheme
+            phase = f"{scheme.name}@p={loss_rate:g}"
+            payloads = make_payloads(config.block_size, config.payload_size,
+                                     tag=b"blk%04d" % block_id)
+            await sender.send_block(scheme, payloads, loss_rate, phase)
+            reports = await pool.wait_block(block_id)
+            if config.adaptive:
+                controller.observe(block_id, reports)
+            if registry.enabled:
+                registry.count("serve.block.runs", 1)
+        await sender.send_final()
+        await pool.join()
+    finally:
+        await transport.close()
+
+
+def run_live_session(config: ServeConfig,
+                     signer: Optional[Signer] = None) -> SessionResult:
+    """Run one complete live session and return its results.
+
+    With the default local transport and any fixed config this is a
+    pure function of ``config`` — including every transcript byte.
+    """
+    registry = get_registry()
+    signer = signer if signer is not None else default_serve_signer(config.seed)
+    clock: Clock
+    if config.transport == "local":
+        clock = VirtualClock()
+    else:
+        clock = MonotonicClock()
+    transport = _build_transport(config, clock)
+    attack_plan_factory = None
+    if config.attack is not None:
+        attack_name = config.attack
+        attack_plan_factory = lambda: attack_mix(attack_name)  # noqa: E731
+    channel_factory = default_channel_factory(config.seed,
+                                              attack_plan_factory)
+    controller = AdaptiveController(
+        block_size=config.block_size, q_min_target=config.q_min_target,
+        initial_p=config.loss_for_block(0))
+    pool = ReceiverPool(config.receiver_ids(), signer)
+    sender = SenderService(transport, config.receiver_ids(), signer,
+                           channel_factory, clock,
+                           t_transmit=config.t_transmit)
+    manifest_clock = RunManifest.start(
+        "serve", f"live-{config.transport}",
+        parameters=config.to_parameters(), seed_root=config.seed, workers=1)
+    if registry.enabled:
+        registry.count("serve.receiver.sessions", config.receivers)
+
+    session = _drive_session(config, transport, sender, pool, controller)
+    if config.timeout_s is not None:
+        async def _bounded() -> None:
+            await asyncio.wait_for(session, timeout=config.timeout_s)
+        asyncio.run(_bounded())
+    else:
+        asyncio.run(session)
+
+    manifest = manifest_clock.finish(registry if registry.enabled else None)
+    manifest.parameters["adaptation"] = [
+        event.to_dict() for event in controller.events]
+    result = SessionResult(manifest=manifest)
+    result.stats = pool.merged_stats()
+    result.events = list(controller.events)
+    result.forged_accepted = pool.forged_accepted
+    for receiver_id in sorted(pool.sessions):
+        session_obj = pool.sessions[receiver_id]
+        result.transcripts[receiver_id] = session_obj.transcript_bytes()
+        result.reports[receiver_id] = list(session_obj.reports)
+        result.queue_drops[receiver_id] = transport.queue_drops(receiver_id)
+        result.delivered += len(session_obj.stream.delivered)
+    return result

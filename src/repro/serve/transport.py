@@ -1,0 +1,367 @@
+"""Pluggable transports for the live serving layer.
+
+A transport moves :class:`~repro.faults.WireDelivery` buffers from the
+sender to per-receiver subscriptions.  Two frame kinds share the wire:
+
+* **data frames** — packet bytes exactly as
+  :meth:`repro.packets.Packet.to_wire` produced (or as the adversary
+  mangled them);
+* **control frames** — JSON block metadata prefixed with
+  :data:`CONTROL_PREFIX`.  A wire packet's header starts with its
+  ``seq`` as a big-endian ``u32`` and ``seq >= 1`` is enforced by the
+  strict decoder, so a prefix of four zero bytes can *never* decode as
+  a packet — control frames are unambiguous without any out-of-band
+  channel, and a truncation or bit-flip fault that mangles one simply
+  yields an undecodable buffer downstream.
+
+:class:`LocalTransport` is the deterministic in-process fabric: one
+bounded :class:`asyncio.Queue` per receiver, drop-newest backpressure
+for data frames (counted per receiver), lossless blocking delivery
+for control frames (block boundaries must arrive or the session
+stalls).  Because the sender enqueues a whole block without yielding
+to the event loop, the drop pattern is a pure function of queue depth
+— bit-for-bit reproducible.
+
+:class:`UdpTransport` binds one datagram endpoint per receiver on the
+loopback interface and stamps arrivals from an injectable
+:class:`~repro.network.clock.Clock`; ground-truth ``kind`` tags do not
+survive a real network, so receiver-side deliveries carry
+``kind="unknown"`` and the soundness audit relies on control-frame
+digests instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.faults import WireDelivery
+from repro.network.clock import Clock
+from repro.obs import get_registry
+
+__all__ = [
+    "CONTROL_PREFIX",
+    "ControlFrame",
+    "encode_control",
+    "decode_control",
+    "Transport",
+    "LocalTransport",
+    "UdpTransport",
+]
+
+#: Four zero bytes = a wire header whose ``seq`` is 0, which the strict
+#: packet decoder rejects unconditionally — followed by a magic tag so
+#: random garbage starting with zeros is not mistaken for control.
+CONTROL_PREFIX = b"\x00\x00\x00\x00RSRV"
+
+#: Queue-depth histogram buckets (shared so shard merges never see
+#: mismatched bounds).
+QUEUE_DEPTH_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                     256.0, 512.0, 1024.0)
+
+
+@dataclass(frozen=True)
+class ControlFrame:
+    """Block-boundary metadata the sender publishes to each receiver.
+
+    ``intact`` and ``digests`` are the *trusted side channel* of the
+    simulation harness: which of this receiver's deliveries left the
+    adversary untampered, and the authentic digest of every packet the
+    sender emitted.  Receivers use them only for ground-truth
+    accounting (loss tallies, the ``forged_accepted`` audit) — never
+    for verification, which runs purely on the wire bytes.
+
+    A frame with ``final=True`` ends the subscription; its other
+    fields are ignored.
+    """
+
+    block_id: int
+    base_seq: int
+    last_seq: int
+    scheme: str
+    phase: str
+    final: bool = False
+    intact: Tuple[int, ...] = ()
+    digests: Tuple[Tuple[int, str], ...] = ()
+
+
+def encode_control(frame: ControlFrame) -> bytes:
+    """Canonical byte encoding (sorted keys, no whitespace)."""
+    payload = {
+        "block_id": frame.block_id,
+        "base_seq": frame.base_seq,
+        "last_seq": frame.last_seq,
+        "scheme": frame.scheme,
+        "phase": frame.phase,
+        "final": frame.final,
+        "intact": list(frame.intact),
+        "digests": [list(item) for item in frame.digests],
+    }
+    return CONTROL_PREFIX + json.dumps(
+        payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_control(data: bytes) -> Optional[ControlFrame]:
+    """Decode a control frame; ``None`` for anything else (data frames)."""
+    if not data.startswith(CONTROL_PREFIX):
+        return None
+    try:
+        payload = json.loads(data[len(CONTROL_PREFIX):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None  # mangled control frame: treated as wire garbage
+    try:
+        return ControlFrame(
+            block_id=int(payload["block_id"]),
+            base_seq=int(payload["base_seq"]),
+            last_seq=int(payload["last_seq"]),
+            scheme=str(payload["scheme"]),
+            phase=str(payload["phase"]),
+            final=bool(payload["final"]),
+            intact=tuple(int(s) for s in payload["intact"]),
+            digests=tuple((int(s), str(d)) for s, d in payload["digests"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class Transport(ABC):
+    """Sender-to-receivers delivery fabric."""
+
+    @abstractmethod
+    async def start(self, receiver_ids: Sequence[str]) -> None:
+        """Provision per-receiver endpoints before any send."""
+
+    @abstractmethod
+    async def send(self, receiver_id: str,
+                   deliveries: Sequence[WireDelivery]) -> List[WireDelivery]:
+        """Push ``deliveries`` toward one receiver, in order.
+
+        Returns the deliveries the *transport itself* dropped (queue
+        backpressure); an empty list means everything was accepted for
+        delivery.  Network loss downstream of a real transport is not
+        reported here — that is what loss reports measure.
+        """
+
+    @abstractmethod
+    def subscribe(self, receiver_id: str) -> AsyncIterator[WireDelivery]:
+        """Async iteration over one receiver's arriving deliveries."""
+
+    @abstractmethod
+    async def close(self) -> None:
+        """Tear down endpoints and wake any blocked subscriber."""
+
+    @abstractmethod
+    def queue_drops(self, receiver_id: str) -> int:
+        """Deliveries dropped by backpressure for ``receiver_id`` so far."""
+
+
+_CLOSE = object()  # subscription sentinel
+
+
+class LocalTransport(Transport):
+    """Deterministic in-process transport over bounded asyncio queues.
+
+    Parameters
+    ----------
+    queue_size:
+        Per-receiver queue capacity in frames.  Data frames beyond
+        capacity are dropped (newest-dropped policy) and counted;
+        control frames block the sender instead — explicit
+        backpressure, because a lost block boundary would wedge the
+        session's barrier.
+    """
+
+    def __init__(self, queue_size: int = 256) -> None:
+        if queue_size < 1:
+            raise SimulationError(
+                f"queue size must be >= 1, got {queue_size}")
+        self.queue_size = queue_size
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._drops: Dict[str, int] = {}
+        self._closed = False
+
+    async def start(self, receiver_ids: Sequence[str]) -> None:
+        for receiver_id in receiver_ids:
+            if receiver_id in self._queues:
+                raise SimulationError(
+                    f"duplicate receiver id {receiver_id!r}")
+            self._queues[receiver_id] = asyncio.Queue(maxsize=self.queue_size)
+            self._drops[receiver_id] = 0
+
+    def _queue(self, receiver_id: str) -> asyncio.Queue:
+        queue = self._queues.get(receiver_id)
+        if queue is None:
+            raise SimulationError(f"unknown receiver {receiver_id!r}")
+        return queue
+
+    async def send(self, receiver_id: str,
+                   deliveries: Sequence[WireDelivery]) -> List[WireDelivery]:
+        queue = self._queue(receiver_id)
+        registry = get_registry()
+        dropped: List[WireDelivery] = []
+        for delivery in deliveries:
+            if delivery.data.startswith(CONTROL_PREFIX):
+                await queue.put(delivery)  # backpressure, never dropped
+            else:
+                try:
+                    queue.put_nowait(delivery)
+                except asyncio.QueueFull:
+                    dropped.append(delivery)
+        if dropped:
+            self._drops[receiver_id] += len(dropped)
+        if registry.enabled:
+            registry.count("serve.transport.frames",
+                           len(deliveries) - len(dropped))
+            if dropped:
+                registry.count("serve.transport.queue_drops", len(dropped))
+            registry.observe("serve.queue_depth", queue.qsize(),
+                             QUEUE_DEPTH_BOUNDS)
+        return dropped
+
+    async def subscribe(self, receiver_id: str
+                        ) -> AsyncIterator[WireDelivery]:
+        queue = self._queue(receiver_id)
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            yield item
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._queues.values():
+            # Bypass maxsize so close always lands even on full queues.
+            queue._queue.append(_CLOSE)  # noqa: SLF001 (stdlib deque)
+            queue._wakeup_next(queue._getters)  # noqa: SLF001
+
+    def queue_drops(self, receiver_id: str) -> int:
+        return self._drops.get(receiver_id, 0)
+
+
+class _ReceiverProtocol(asyncio.DatagramProtocol):
+    """Datagram endpoint feeding one receiver's bounded queue."""
+
+    def __init__(self, transport_owner: "UdpTransport",
+                 receiver_id: str) -> None:
+        self._owner = transport_owner
+        self._receiver_id = receiver_id
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._owner._deliver(self._receiver_id, data)
+
+
+class UdpTransport(Transport):
+    """Real datagram transport over loopback asyncio endpoints.
+
+    One receiving socket per receiver; arrival times are stamped from
+    the injected clock the moment the datagram surfaces.  UDP gives no
+    backpressure signal, so the bounded ingress queue applies the same
+    drop-newest policy as :class:`LocalTransport` — drops show up in
+    :meth:`queue_drops`, not in :meth:`send`'s return value (the
+    sender cannot see them, exactly like real packet loss).
+
+    Parameters
+    ----------
+    clock:
+        Arrival-time source (a wall clock for real use; tests may
+        inject anything).
+    host:
+        Interface to bind; loopback by default.
+    queue_size:
+        Ingress queue capacity per receiver.
+    """
+
+    def __init__(self, clock: Clock, host: str = "127.0.0.1",
+                 queue_size: int = 1024) -> None:
+        if queue_size < 1:
+            raise SimulationError(
+                f"queue size must be >= 1, got {queue_size}")
+        self.clock = clock
+        self.host = host
+        self.queue_size = queue_size
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._drops: Dict[str, int] = {}
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        self._endpoints: List[asyncio.DatagramTransport] = []
+        self._sender: Optional[asyncio.DatagramTransport] = None
+        self._closed = False
+
+    async def start(self, receiver_ids: Sequence[str]) -> None:
+        loop = asyncio.get_running_loop()
+        for receiver_id in receiver_ids:
+            if receiver_id in self._queues:
+                raise SimulationError(
+                    f"duplicate receiver id {receiver_id!r}")
+            self._queues[receiver_id] = asyncio.Queue()
+            self._drops[receiver_id] = 0
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda rid=receiver_id: _ReceiverProtocol(self, rid),
+                local_addr=(self.host, 0))
+            self._endpoints.append(transport)
+            sockname = transport.get_extra_info("sockname")
+            self._addresses[receiver_id] = (sockname[0], sockname[1])
+        sender, _ = await loop.create_datagram_endpoint(
+            asyncio.DatagramProtocol, local_addr=(self.host, 0))
+        self._sender = sender
+
+    def _deliver(self, receiver_id: str, data: bytes) -> None:
+        queue = self._queues[receiver_id]
+        if queue.qsize() >= self.queue_size:
+            self._drops[receiver_id] += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.count("serve.transport.queue_drops", 1)
+            return
+        delivery = WireDelivery(arrival_time=self.clock.now(), data=data,
+                                kind="unknown", seq_hint=None)
+        queue.put_nowait(delivery)
+        registry = get_registry()
+        if registry.enabled:
+            registry.count("serve.transport.frames", 1)
+            registry.observe("serve.queue_depth", queue.qsize(),
+                             QUEUE_DEPTH_BOUNDS)
+
+    async def send(self, receiver_id: str,
+                   deliveries: Sequence[WireDelivery]) -> List[WireDelivery]:
+        if self._sender is None:
+            raise SimulationError("transport not started")
+        address = self._addresses.get(receiver_id)
+        if address is None:
+            raise SimulationError(f"unknown receiver {receiver_id!r}")
+        for delivery in deliveries:
+            self._sender.sendto(delivery.data, address)
+        # Let the loop run the receiving protocols before piling on.
+        await asyncio.sleep(0)
+        return []
+
+    async def subscribe(self, receiver_id: str
+                        ) -> AsyncIterator[WireDelivery]:
+        queue = self._queues.get(receiver_id)
+        if queue is None:
+            raise SimulationError(f"unknown receiver {receiver_id!r}")
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            yield item
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for endpoint in self._endpoints:
+            endpoint.close()
+        if self._sender is not None:
+            self._sender.close()
+        for queue in self._queues.values():
+            queue.put_nowait(_CLOSE)
+        await asyncio.sleep(0)
+
+    def queue_drops(self, receiver_id: str) -> int:
+        return self._drops.get(receiver_id, 0)

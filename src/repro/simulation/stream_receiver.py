@@ -91,6 +91,20 @@ class StreamReceiver:
         self._verifier.receive(packet, arrival_time)
         return self._release()
 
+    def ingest_wire(self, data: bytes,
+                    arrival_time: float) -> List[DeliveredPayload]:
+        """Defensive counterpart of :meth:`receive` for raw wire bytes.
+
+        Routes through
+        :meth:`~repro.simulation.receiver.ChainReceiver.ingest_wire`,
+        so undecodable buffers, replays and forgeries degrade the
+        verifier's counters instead of the stream state; whatever the
+        ingest verifies is released in order exactly like the trusting
+        path.
+        """
+        self._verifier.ingest_wire(data, arrival_time)
+        return self._release()
+
     # ------------------------------------------------------------------
 
     def _release(self) -> List[DeliveredPayload]:

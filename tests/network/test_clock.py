@@ -1,9 +1,11 @@
 """Unit tests for simulated receiver clocks."""
 
+import asyncio
+
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.network.clock import DriftingClock
+from repro.network.clock import DriftingClock, MonotonicClock, VirtualClock
 
 
 class TestDriftingClock:
@@ -38,3 +40,62 @@ class TestDriftingClock:
         clock = DriftingClock(t_sync=10.0)
         with pytest.raises(SimulationError):
             clock.max_offset_until(5.0)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=5.0).now() == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(SimulationError):
+            clock.advance(-0.1)
+
+    def test_sleep_advances_without_waiting(self):
+        async def scenario():
+            clock = VirtualClock()
+            await clock.sleep(10.0)
+            return clock.now()
+
+        assert asyncio.run(scenario()) == pytest.approx(10.0)
+
+    def test_sleep_negative_rejected(self):
+        async def scenario():
+            await VirtualClock().sleep(-1.0)
+
+        with pytest.raises(SimulationError):
+            asyncio.run(scenario())
+
+
+class TestMonotonicClock:
+    def test_starts_near_zero_and_increases(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        second = clock.now()
+        assert first >= 0.0
+        assert second >= first
+
+    def test_sleep_waits_wall_time(self):
+        async def scenario():
+            clock = MonotonicClock()
+            before = clock.now()
+            await clock.sleep(0.01)
+            return clock.now() - before
+
+        assert asyncio.run(scenario()) >= 0.009
+
+    def test_sleep_clamps_negative(self):
+        async def scenario():
+            await MonotonicClock().sleep(-5.0)
+
+        asyncio.run(scenario())  # must not raise or hang

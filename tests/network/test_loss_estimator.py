@@ -1,0 +1,128 @@
+"""Unit tests for the windowed loss estimator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.channel import Channel
+from repro.network.delay import ConstantDelay
+from repro.network.loss import BernoulliLoss, LossEstimator
+from repro.packets import Packet
+
+
+def _packets(count):
+    return [Packet(seq=i + 1, block_id=0, payload=b"p%d" % i,
+                   send_time=i * 0.01) for i in range(count)]
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            LossEstimator(window=0)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(SimulationError):
+            LossEstimator(alpha=0.0)
+        with pytest.raises(SimulationError):
+            LossEstimator(alpha=1.5)
+
+    def test_observe_block_bounds(self):
+        estimator = LossEstimator()
+        with pytest.raises(SimulationError):
+            estimator.observe_block(3, 2)
+        with pytest.raises(SimulationError):
+            estimator.observe_block(-1, 2)
+
+
+class TestRates:
+    def test_empty_estimator_reads_zero(self):
+        estimator = LossEstimator()
+        assert estimator.lifetime_rate == 0.0
+        assert estimator.window_rate == 0.0
+        assert estimator.ewma_rate == 0.0
+
+    def test_lifetime_rate_is_exact(self):
+        estimator = LossEstimator()
+        estimator.observe_block(lost=3, total=10)
+        assert estimator.observed == 10
+        assert estimator.lost == 3
+        assert estimator.lifetime_rate == pytest.approx(0.3)
+
+    def test_window_rate_forgets_old_observations(self):
+        estimator = LossEstimator(window=4)
+        for _ in range(4):
+            estimator.observe(True)
+        assert estimator.window_rate == 1.0
+        for _ in range(4):
+            estimator.observe(False)
+        # The four losses slid out of the window; lifetime remembers.
+        assert estimator.window_rate == 0.0
+        assert estimator.lifetime_rate == pytest.approx(0.5)
+
+    def test_partial_window_uses_actual_length(self):
+        estimator = LossEstimator(window=100)
+        estimator.observe(True)
+        estimator.observe(False)
+        assert estimator.window_rate == pytest.approx(0.5)
+
+    def test_ewma_seeds_on_first_observation(self):
+        estimator = LossEstimator(alpha=0.5)
+        estimator.observe(True)
+        assert estimator.ewma_rate == 1.0
+        estimator.observe(False)
+        assert estimator.ewma_rate == pytest.approx(0.5)
+        estimator.observe(False)
+        assert estimator.ewma_rate == pytest.approx(0.25)
+
+    def test_observe_block_spreads_losses_evenly(self):
+        aggregate = LossEstimator(window=8)
+        manual = LossEstimator(window=8)
+        aggregate.observe_block(lost=2, total=5)
+        for fate in (False, False, True, False, True):  # evenly spread
+            manual.observe(fate)
+        assert aggregate.window_rate == manual.window_rate
+        assert aggregate.ewma_rate == pytest.approx(manual.ewma_rate)
+
+    def test_unaligned_window_sees_unbiased_rate(self):
+        # Window (16) not a multiple of the aggregate size (10): the
+        # even spread keeps the windowed estimate at the true rate.
+        estimator = LossEstimator(window=16)
+        for _ in range(5):
+            estimator.observe_block(lost=2, total=10)
+        assert estimator.window_rate == pytest.approx(0.2, abs=0.07)
+
+    def test_reset_forgets_everything(self):
+        estimator = LossEstimator()
+        estimator.observe_block(lost=5, total=10)
+        estimator.reset()
+        assert estimator.observed == 0
+        assert estimator.lifetime_rate == 0.0
+        assert estimator.window_rate == 0.0
+        assert estimator.ewma_rate == 0.0
+
+
+class TestChannelIntegration:
+    def test_channel_feeds_estimator(self):
+        channel = Channel(loss=BernoulliLoss(0.5, seed=11),
+                          delay=ConstantDelay(0.0))
+        channel.transmit(_packets(200))
+        assert channel.sent == 200
+        assert channel.estimator.observed == 200
+        assert channel.observed_loss_rate == channel.estimator.lifetime_rate
+        assert 0.3 < channel.observed_loss_rate < 0.7
+
+    def test_injected_estimator_is_used(self):
+        estimator = LossEstimator(window=16)
+        channel = Channel(loss=BernoulliLoss(0.0, seed=1),
+                          delay=ConstantDelay(0.0), estimator=estimator)
+        channel.transmit(_packets(5))
+        assert estimator.observed == 5
+        assert channel.observed_loss_rate == 0.0
+
+    def test_channel_reset_clears_estimator(self):
+        channel = Channel(loss=BernoulliLoss(0.5, seed=3),
+                          delay=ConstantDelay(0.0))
+        channel.transmit(_packets(50))
+        channel.reset()
+        assert channel.sent == 0
+        assert channel.dropped == 0
+        assert channel.observed_loss_rate == 0.0

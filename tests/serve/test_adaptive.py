@@ -1,0 +1,101 @@
+"""Adaptive controller units: quantization, switching, infeasibility."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.serve.adaptive import DEFAULT_P_GRID, AdaptiveController
+from repro.serve.receiver import LossReport
+
+
+def _report(block_id, lost, total, receiver_id="r00"):
+    return LossReport(receiver_id=receiver_id, block_id=block_id,
+                      expected=total, received=total - lost,
+                      window_rate=0.0, ewma_rate=0.0)
+
+
+class TestQuantization:
+    def test_rounds_up_to_grid(self):
+        controller = AdaptiveController(block_size=12)
+        assert controller.quantize(0.0) == 0.02
+        assert controller.quantize(0.06) == 0.1
+        assert controller.quantize(0.3) == 0.3
+
+    def test_clamps_above_grid(self):
+        controller = AdaptiveController(block_size=12)
+        assert controller.quantize(0.9) == DEFAULT_P_GRID[-1]
+
+    def test_grid_must_be_sorted(self):
+        with pytest.raises(SimulationError):
+            AdaptiveController(block_size=12, p_grid=(0.3, 0.1))
+
+    def test_estimate_mode_validated(self):
+        with pytest.raises(SimulationError):
+            AdaptiveController(block_size=12, estimate="median")
+
+
+class TestInitialDesign:
+    def test_initial_choice_matches_optimizer(self):
+        controller = AdaptiveController(block_size=12, initial_p=0.05)
+        assert controller.choice.scheme == "emss"
+        assert controller.choice.q_min >= 0.75
+        assert controller.scheme.name == "emss{0}".format(
+            "(%d,%d)" % controller.choice.parameters)
+
+    def test_p_design_starts_quantized(self):
+        controller = AdaptiveController(block_size=12, initial_p=0.04)
+        assert controller.p_design == 0.05
+
+
+class TestSwitching:
+    def test_rising_loss_switches_parameters(self):
+        controller = AdaptiveController(block_size=12, initial_p=0.02)
+        start = controller.choice.parameters
+        # Saturate the window with heavy loss; the design point must
+        # move up the grid and the parameters must change.
+        event = None
+        for block_id in range(4):
+            event = controller.observe(block_id,
+                                       [_report(block_id, 30, 100)])
+        assert event.p_design >= 0.3
+        assert controller.choice.parameters != start
+        assert any(e.switched for e in controller.events)
+        assert controller.choice.q_min >= 0.75
+
+    def test_stable_loss_never_switches(self):
+        controller = AdaptiveController(block_size=12, initial_p=0.05)
+        for block_id in range(6):
+            controller.observe(block_id, [_report(block_id, 5, 100)])
+        assert not any(e.switched for e in controller.events)
+        assert all(e.p_design == 0.05 for e in controller.events)
+
+    def test_reports_folded_in_sorted_receiver_order(self):
+        a = AdaptiveController(block_size=12, initial_p=0.05)
+        b = AdaptiveController(block_size=12, initial_p=0.05)
+        reports = [_report(0, 3, 50, "r01"), _report(0, 20, 50, "r00")]
+        a.observe(0, reports)
+        b.observe(0, list(reversed(reports)))
+        assert a.events[-1].p_hat == b.events[-1].p_hat
+
+    def test_event_serializes_for_manifest(self):
+        controller = AdaptiveController(block_size=12)
+        event = controller.observe(0, [_report(0, 0, 100)])
+        payload = event.to_dict()
+        assert payload["block_id"] == 0
+        assert payload["parameters"] == list(event.parameters)
+        assert isinstance(payload["switched"], bool)
+
+
+class TestInfeasibility:
+    def test_infeasible_point_keeps_current_choice(self):
+        # d capped at 1 makes the top of the grid (p=0.5) unreachable
+        # at a 0.99 target; the controller must keep flying on what it
+        # has instead of stalling the stream.
+        controller = AdaptiveController(block_size=12, initial_p=0.02,
+                                        d_values=(1,), q_min_target=0.99)
+        before = controller.choice
+        event = None
+        for block_id in range(4):
+            event = controller.observe(block_id,
+                                       [_report(block_id, 70, 100)])
+        assert not event.feasible
+        assert controller.choice == before

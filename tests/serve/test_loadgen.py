@@ -1,0 +1,89 @@
+"""Loadgen packaging, schema validity, and the CLI entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_metrics_file, validate_metrics_payload
+from repro.serve.loadgen import run_loadgen
+from repro.serve.service import ServeConfig
+
+CONFIG = ServeConfig(receivers=4, blocks=6, block_size=8,
+                     attack="pollution", seed=11)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_loadgen(CONFIG)
+
+
+class TestLoadgenArtifacts:
+    def test_metrics_payload_validates(self, result):
+        assert validate_metrics_payload(result.metrics_payload) == 1
+
+    def test_manifest_records_config_and_adaptation(self, result):
+        manifest = result.metrics_payload["runs"][0]["manifest"]
+        assert manifest["kind"] == "serve"
+        assert manifest["parameters"]["receivers"] == 4
+        assert manifest["parameters"]["attack"] == "pollution"
+        assert len(manifest["parameters"]["adaptation"]) == CONFIG.blocks
+        assert manifest["seed_root"] == 11
+
+    def test_trial_counts_lifted_from_serve_counters(self, result):
+        manifest = result.metrics_payload["runs"][0]["manifest"]
+        counts = manifest["trial_counts"]
+        assert counts["serve.block.runs"] == CONFIG.blocks
+        assert counts["serve.receiver.sessions"] == CONFIG.receivers
+
+    def test_metrics_cover_transport_and_packets(self, result):
+        metrics = result.metrics_payload["runs"][0]["metrics"]
+        counters = metrics["counters"]
+        assert counters["serve.packets.sent"] > 0
+        assert counters["serve.transport.frames"] > 0
+        assert "serve.queue_depth" in metrics["histograms"]
+
+    def test_summary_gates(self, result):
+        assert result.ok
+        assert result.summary["forged_accepted"] == 0
+        assert result.summary["receivers"] == 4
+        assert {p["phase"] for p in result.summary["phases"]} == set(
+            result.session.stats)
+
+
+class TestServeCli:
+    def test_loadgen_writes_validatable_metrics(self, tmp_path, capsys):
+        out = tmp_path / "soak.json"
+        code = main(["loadgen", "--receivers", "2", "--blocks", "3",
+                     "--block-size", "8", "--attack", "pollution",
+                     "--seed", "5", "--metrics-out", str(out)])
+        assert code == 0
+        assert validate_metrics_file(str(out)) == 1
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["forged_accepted"] == 0
+        assert summary["schemes_used"]
+
+    def test_serve_prints_summary(self, capsys):
+        code = main(["serve", "--receivers", "2", "--blocks", "3",
+                     "--block-size", "8", "--ramp", "2:0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live session" in out
+        assert "forged accepted    : 0" in out
+
+    def test_serve_json_mode(self, capsys):
+        code = main(["serve", "--receivers", "2", "--blocks", "2",
+                     "--block-size", "8", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["blocks"] == 2
+
+    def test_bad_attack_rejected(self, capsys):
+        code = main(["loadgen", "--attack", "zalgo", "--blocks", "1"])
+        assert code == 2
+        assert "zalgo" in capsys.readouterr().err
+
+    def test_ext_live_experiment_registered(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        assert "ext-live" in ALL_EXPERIMENTS

@@ -1,0 +1,164 @@
+"""Transports: control-frame encoding, backpressure, UDP loopback."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.faults import WireDelivery
+from repro.network.clock import MonotonicClock
+from repro.serve.transport import (
+    CONTROL_PREFIX,
+    ControlFrame,
+    LocalTransport,
+    UdpTransport,
+    decode_control,
+    encode_control,
+)
+
+
+def _data(payload, seq=None):
+    return WireDelivery(arrival_time=0.0, data=payload, kind="genuine",
+                        seq_hint=seq)
+
+
+class TestControlFrames:
+    def test_round_trip(self):
+        frame = ControlFrame(block_id=3, base_seq=10, last_seq=21,
+                             scheme="emss(2,1)", phase="emss(2,1)@p=0.1",
+                             intact=(10, 12, 21),
+                             digests=((10, "ab"), (12, "cd")))
+        assert decode_control(encode_control(frame)) == frame
+
+    def test_final_frame_round_trip(self):
+        frame = ControlFrame(block_id=-1, base_seq=0, last_seq=0,
+                             scheme="", phase="", final=True)
+        decoded = decode_control(encode_control(frame))
+        assert decoded.final
+
+    def test_data_frames_are_not_control(self):
+        # A real wire packet starts with seq >= 1 as big-endian u32, so
+        # it can never carry the four-zero-byte control prefix.
+        assert decode_control(b"\x00\x00\x00\x01rest-of-packet") is None
+        assert decode_control(b"arbitrary bytes") is None
+
+    def test_mangled_control_payload_is_garbage(self):
+        valid = encode_control(ControlFrame(1, 1, 5, "emss(1,1)", "x"))
+        assert decode_control(valid[:-4]) is None
+        assert decode_control(CONTROL_PREFIX + b"\xff\xfe") is None
+
+    def test_encoding_is_canonical(self):
+        frame = ControlFrame(1, 1, 5, "emss(1,1)", "x", intact=(1, 2))
+        assert encode_control(frame) == encode_control(frame)
+
+
+class TestLocalTransport:
+    def test_delivery_in_order(self):
+        async def scenario():
+            transport = LocalTransport(queue_size=8)
+            await transport.start(["r0"])
+            await transport.send("r0", [_data(b"\x00\x00\x00\x01a", 1),
+                                        _data(b"\x00\x00\x00\x02b", 2)])
+            await transport.close()
+            return [d.seq_hint async for d in transport.subscribe("r0")]
+
+        assert asyncio.run(scenario()) == [1, 2]
+
+    def test_data_frames_drop_beyond_capacity(self):
+        async def scenario():
+            transport = LocalTransport(queue_size=2)
+            await transport.start(["r0"])
+            deliveries = [_data(b"\x00\x00\x00\x01x%d" % i, i)
+                          for i in range(1, 6)]
+            dropped = await transport.send("r0", deliveries)
+            return ([d.seq_hint for d in dropped],
+                    transport.queue_drops("r0"))
+
+        dropped, counted = asyncio.run(scenario())
+        assert dropped == [3, 4, 5]  # newest dropped, oldest kept
+        assert counted == 3
+
+    def test_drop_pattern_is_deterministic(self):
+        def run():
+            async def scenario():
+                transport = LocalTransport(queue_size=3)
+                await transport.start(["r0"])
+                deliveries = [_data(b"\x00\x00\x00\x01y%d" % i, i)
+                              for i in range(10)]
+                dropped = await transport.send("r0", deliveries)
+                return tuple(d.seq_hint for d in dropped)
+
+            return asyncio.run(scenario())
+
+        assert run() == run()
+
+    def test_control_frames_never_dropped(self):
+        async def scenario():
+            transport = LocalTransport(queue_size=1)
+            await transport.start(["r0"])
+            control = encode_control(ControlFrame(0, 1, 3, "emss(1,1)", "x"))
+            fills = [_data(b"\x00\x00\x00\x01fill", 1)]
+            await transport.send("r0", fills)
+
+            async def drain_one():
+                await asyncio.sleep(0)
+                gen = transport.subscribe("r0")
+                return await gen.__anext__()
+
+            drain = asyncio.create_task(drain_one())
+            # Queue is full: the control send must block until the
+            # drain task frees a slot, and must never be dropped.
+            dropped = await transport.send(
+                "r0", [WireDelivery(0.0, control, "control", None)])
+            await drain
+            return dropped
+
+        assert asyncio.run(scenario()) == []
+
+    def test_unknown_receiver_rejected(self):
+        async def scenario():
+            transport = LocalTransport()
+            await transport.start(["r0"])
+            await transport.send("nope", [])
+
+        with pytest.raises(SimulationError):
+            asyncio.run(scenario())
+
+    def test_close_wakes_subscribers_even_when_full(self):
+        async def scenario():
+            transport = LocalTransport(queue_size=1)
+            await transport.start(["r0"])
+            await transport.send("r0", [_data(b"\x00\x00\x00\x01z", 1)])
+            await transport.close()
+            return [d.seq_hint async for d in transport.subscribe("r0")]
+
+        assert asyncio.run(scenario()) == [1]
+
+
+class TestUdpTransport:
+    def test_loopback_round_trip(self):
+        async def scenario():
+            transport = UdpTransport(MonotonicClock())
+            await transport.start(["r0", "r1"])
+            payload = b"\x00\x00\x00\x01udp-payload"
+            await transport.send("r0", [_data(payload, 1)])
+
+            async def first():
+                gen = transport.subscribe("r0")
+                return await gen.__anext__()
+
+            delivery = await asyncio.wait_for(first(), timeout=5.0)
+            await transport.close()
+            return delivery
+
+        delivery = asyncio.run(scenario())
+        assert delivery.data == b"\x00\x00\x00\x01udp-payload"
+        assert delivery.kind == "unknown"
+        assert delivery.arrival_time >= 0.0
+
+    def test_send_before_start_rejected(self):
+        async def scenario():
+            await UdpTransport(MonotonicClock()).send("r0", [])
+
+        with pytest.raises(SimulationError):
+            asyncio.run(scenario())
