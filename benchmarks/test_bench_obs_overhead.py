@@ -1,0 +1,87 @@
+"""Observability overhead: instrumented serve vs the null fast path.
+
+Not a paper figure — this is the guard rail for the lifecycle tracer
+and timeseries sampler: the same live session runs (a) uninstrumented
+(null tracer, null registry), (b) fully traced (``sample=1``) and
+(c) trace-sampled at ``1/16``.  All three land in the bench report so
+the regression gate watches the overhead itself, and the test asserts
+the instrumented runs stay within a bounded slowdown of the null run
+— tracing must never dominate the serving stack it observes.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.obs.lifecycle import LifecycleTracer
+from repro.obs.timeseries import TimeseriesSampler
+from repro.serve.service import ServeConfig, run_live_session
+
+RECEIVERS = 4
+BLOCKS = 6
+BLOCK_SIZE = 8
+
+#: Instrumented runs must stay within this factor of the null run.
+#: Generous on purpose: CI machines are noisy and the point is to
+#: catch order-of-magnitude accidents (per-event I/O, quadratic
+#: buffering), not a few percent of dict building.
+MAX_SLOWDOWN = 5.0
+
+_BASELINE_S = {}
+
+
+def _config():
+    return ServeConfig(receivers=RECEIVERS, blocks=BLOCKS,
+                       block_size=BLOCK_SIZE,
+                       loss_schedule=((0, 0.1),), seed=23)
+
+
+def _run_instrumented(sample):
+    tracer = LifecycleTracer(23, sample=sample)
+    sampler = TimeseriesSampler(interval_s=0.01)
+    session = run_live_session(_config(), lifecycle=tracer,
+                               timeseries=sampler)
+    return session, tracer, sampler
+
+
+def test_obs_overhead_null(benchmark, show):
+    session = benchmark(run_live_session, _config())
+    assert session.forged_accepted == 0
+    _BASELINE_S["null"] = benchmark.stats.stats.min
+
+    result = ExperimentResult(
+        experiment_id="bench-obs-overhead",
+        title="serve baseline: null tracer, null registry")
+    result.rows.append({"mode": "null", "session s":
+                        benchmark.stats.stats.mean})
+    show(result)
+
+
+@pytest.mark.parametrize("sample", (1, 16))
+def test_obs_overhead_traced(benchmark, show, sample):
+    session, tracer, sampler = benchmark(_run_instrumented, sample)
+
+    assert session.forged_accepted == 0
+    assert tracer.events_recorded > 0
+    assert sampler.samples
+    if sample > 1:
+        # Sampling must actually shed events.
+        assert tracer.events_dropped > 0
+
+    seconds = benchmark.stats.stats.min
+    baseline = _BASELINE_S.get("null")
+    if baseline is not None and baseline > 0:
+        slowdown = seconds / baseline
+        assert slowdown < MAX_SLOWDOWN, (
+            f"lifecycle tracing (sample={sample}) slowed serving by "
+            f"x{slowdown:.2f} (budget x{MAX_SLOWDOWN})")
+
+    result = ExperimentResult(
+        experiment_id="bench-obs-overhead",
+        title=f"serve instrumented: trace sample=1/{sample}")
+    result.rows.append({
+        "mode": f"sample={sample}",
+        "session s": benchmark.stats.stats.mean,
+        "events": tracer.events_recorded,
+        "sampled out": tracer.events_dropped,
+    })
+    show(result)

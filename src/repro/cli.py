@@ -9,9 +9,10 @@ Installed as ``repro-experiments``::
     repro-experiments fig9 --metrics-out metrics.json --profile
     repro-experiments fig8 --trace-out trace.jsonl
     repro-experiments bench-report .benchmarks --out BENCH_today.json
+    repro-experiments bench-diff BENCH_BASELINE.json BENCH_today.json
     repro-experiments serve --receivers 8 --ramp 20:0.3 --attack pollution
     repro-experiments loadgen --receivers 64 --attack pollution \
-        --metrics-out soak.json
+        --metrics-out soak.json --lifecycle-out lifecycle.jsonl
 
 Observability flags (see ``docs/observability.md``): ``--metrics-out``
 writes one run manifest + metrics snapshot per experiment,
@@ -60,8 +61,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids (see --list), or the "
-                             "'bench-report', 'serve' and 'loadgen' "
-                             "subcommands")
+                             "'bench-report', 'bench-diff', 'serve' and "
+                             "'loadgen' subcommands")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
     parser.add_argument("--fast", action="store_true",
@@ -130,6 +131,73 @@ def _bench_report_main(argv: List[str]) -> int:
     return 0
 
 
+def _build_bench_diff_parser() -> argparse.ArgumentParser:
+    from repro.obs.bench import DEFAULT_REGRESSION_THRESHOLD
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench-diff",
+        description=(
+            "Compare two bench-report trajectory files and exit non-zero "
+            "when any benchmark regressed beyond the threshold — the CI "
+            "performance gate."
+        ),
+    )
+    parser.add_argument("baseline", help="baseline bench-report JSON "
+                                         "(e.g. BENCH_BASELINE.json)")
+    parser.add_argument("current", help="bench-report JSON to judge")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_REGRESSION_THRESHOLD, metavar="F",
+                        help="allowed fractional slowdown before a "
+                             "benchmark counts as regressed (default "
+                             f"{DEFAULT_REGRESSION_THRESHOLD:g} = "
+                             f"{DEFAULT_REGRESSION_THRESHOLD:.0%})")
+    parser.add_argument("--metric", choices=("min", "mean"), default="min",
+                        help="headline stat to compare (default min: "
+                             "noise-robust)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full diff as JSON")
+    return parser
+
+
+def _bench_diff_main(argv: List[str]) -> int:
+    from repro.exceptions import AnalysisError
+    from repro.obs.bench import diff_bench_reports, load_bench_report
+
+    args = _build_bench_diff_parser().parse_args(argv)
+    try:
+        baseline = load_bench_report(args.baseline)
+        current = load_bench_report(args.current)
+        diff = diff_bench_reports(baseline, current,
+                                  threshold=args.threshold,
+                                  metric=f"{args.metric}_s")
+    except AnalysisError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(f"compared {len(diff['compared'])} benchmarks on "
+              f"{diff['metric']} (threshold {diff['threshold']:.0%})")
+        for row in diff["compared"]:
+            marker = " "
+            if row in diff["regressions"]:
+                marker = "!"
+            elif row in diff["improvements"]:
+                marker = "+"
+            print(f"  {marker} {row['name']}: {row['baseline_s']:.6g}s -> "
+                  f"{row['current_s']:.6g}s (x{row['ratio']:.2f})")
+        for name in diff["missing"]:
+            print(f"  ? missing from current: {name}")
+        for name in diff["added"]:
+            print(f"  * new benchmark: {name}")
+    if diff["regressions"]:
+        print(f"FAIL: {len(diff['regressions'])} benchmark(s) regressed "
+              f"beyond {diff['threshold']:.0%}", file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold", file=sys.stderr)
+    return 0
+
+
 def _run_one(experiment_id: str, fast: bool, workers: int,
              collect: Optional[list]) -> ExperimentResult:
     """Run one experiment, instrumented when ``collect`` is a list.
@@ -163,6 +231,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "bench-report":
         return _bench_report_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "bench-diff":
+        return _bench_diff_main(raw_argv[1:])
     if raw_argv and raw_argv[0] == "serve":
         from repro.serve.cli import serve_main
 

@@ -28,7 +28,8 @@ The CLI's ``--attack`` flag parks its mix names here
 from typing import List, Optional, Sequence
 
 from repro.exceptions import AnalysisError
-from repro.faults.channel import AdversarialChannel, WireDelivery
+from repro.faults.channel import (ATTACK_KINDS, AdversarialChannel,
+                                  WireDelivery)
 from repro.faults.models import (
     BitFlipCorruption,
     FaultModel,
@@ -49,6 +50,7 @@ __all__ = [
     "AttackPlan",
     "AdversarialChannel",
     "WireDelivery",
+    "ATTACK_KINDS",
     "set_default_attack",
     "get_default_attack",
     "KNOWN_ATTACK_MIXES",

@@ -25,7 +25,11 @@ from repro.faults.plan import AttackPlan
 from repro.network.channel import Channel
 from repro.packets import Packet
 
-__all__ = ["WireDelivery", "AdversarialChannel"]
+__all__ = ["WireDelivery", "AdversarialChannel", "ATTACK_KINDS"]
+
+#: Ground-truth kinds that mark adversarial interference; lifecycle
+#: tracing turns them into attack-tag attributes on transport events.
+ATTACK_KINDS = ("corrupted", "forged", "replayed")
 
 
 @dataclass(frozen=True)
@@ -36,14 +40,22 @@ class WireDelivery:
     (untampered original), ``"corrupted"``, ``"forged"`` (injected) or
     ``"replayed"`` — which attacked sessions use for soundness
     accounting.  Receivers must never look at it.  ``seq_hint`` is the
-    originating packet's sequence number (``None`` for injections);
-    ground-truth bookkeeping only, for the same reason.
+    originating packet's sequence number (``None`` for injections) and
+    ``block_hint`` the originating packet's block id; ground-truth
+    bookkeeping and lifecycle-trace attribution only, for the same
+    reason.
     """
 
     arrival_time: float
     data: bytes
     kind: str
     seq_hint: Optional[int] = None
+    block_hint: Optional[int] = None
+
+    @property
+    def attack_tag(self) -> Optional[str]:
+        """The kind when it marks adversarial interference, else None."""
+        return self.kind if self.kind in ATTACK_KINDS else None
 
 
 class AdversarialChannel:
@@ -80,8 +92,9 @@ class AdversarialChannel:
         staged: List[tuple] = []
 
         def stage(arrival: float, data: bytes, kind: str,
-                  seq_hint: Optional[int]) -> None:
-            staged.append((arrival, len(staged), data, kind, seq_hint))
+                  seq_hint: Optional[int], block_hint: Optional[int]) -> None:
+            staged.append((arrival, len(staged), data, kind, seq_hint,
+                           block_hint))
 
         for delivery in self.channel.transmit(packets):
             packet = delivery.packet
@@ -102,18 +115,20 @@ class AdversarialChannel:
             if tampered:
                 self.corrupted += 1
             stage(arrival, wire, "corrupted" if tampered else "genuine",
-                  packet.seq)
+                  packet.seq, packet.block_id)
             for fault in self.plan.faults:
                 for offset, forged_wire in fault.forge(packet):
                     self.injected += 1
-                    stage(arrival + offset, forged_wire, "forged", None)
+                    stage(arrival + offset, forged_wire, "forged", None,
+                          packet.block_id)
                 for offset in fault.replay(wire):
                     self.replayed += 1
-                    stage(arrival + offset, wire, "replayed", packet.seq)
+                    stage(arrival + offset, wire, "replayed", packet.seq,
+                          packet.block_id)
         staged.sort(key=lambda item: (item[0], item[1]))
         return [WireDelivery(arrival_time=arrival, data=data, kind=kind,
-                             seq_hint=seq_hint)
-                for arrival, _, data, kind, seq_hint in staged]
+                             seq_hint=seq_hint, block_hint=block_hint)
+                for arrival, _, data, kind, seq_hint, block_hint in staged]
 
     def reset(self) -> None:
         """New trial: reset the channel, the plan and the counters."""

@@ -1,7 +1,7 @@
 """``repro.obs`` — dependency-free observability for the reproduction.
 
-Three pieces, designed to be bit-for-bit neutral to simulation results
-(metrics never touch an RNG) and zero-cost when disabled:
+Designed to be bit-for-bit neutral to simulation results (metrics
+never touch an RNG) and zero-cost when disabled:
 
 * :mod:`repro.obs.registry` — counters, timers and fixed-bucket
   histograms with an exact ``merge()`` (the :class:`~repro.analysis.
@@ -9,12 +9,45 @@ Three pieces, designed to be bit-for-bit neutral to simulation results
   registry and the :data:`NULL_REGISTRY` fast path;
 * :mod:`repro.obs.spans` — nested span timing feeding registry timers
   and an optional JSON-lines trace sink;
+* :mod:`repro.obs.lifecycle` — deterministic per-packet lifecycle
+  traces (``sign -> frame -> enqueue -> transport -> ingest ->
+  verify``) with hash-derived trace IDs and hash-selected sampling,
+  byte-identical across runs of the same config;
+* :mod:`repro.obs.timeseries` — per-receiver gauges on a fixed
+  virtual-time grid for watching a live session evolve;
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON and
+  Prometheus text renderings of the above;
 * :mod:`repro.obs.manifest` — per-run provenance manifests and the
   schema validation CI leans on; :mod:`repro.obs.bench` folds
-  pytest-benchmark output into ``BENCH_<date>.json`` trajectories.
+  pytest-benchmark output into ``BENCH_<date>.json`` trajectories and
+  diffs two of them for the regression gate.
 """
 
-from repro.obs.bench import build_bench_report, write_bench_report
+from repro.obs.bench import (
+    build_bench_report,
+    diff_bench_reports,
+    index_bench_report,
+    load_bench_report,
+    write_bench_report,
+)
+from repro.obs.export import (
+    chrome_trace_payload,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.lifecycle import (
+    LIFECYCLE_STAGES,
+    NULL_LIFECYCLE,
+    LifecycleTracer,
+    NullLifecycleTracer,
+    get_lifecycle,
+    lifecycle_sampled,
+    lifecycle_trace_id,
+    set_lifecycle,
+    use_lifecycle,
+    validate_lifecycle_file,
+)
 from repro.obs.manifest import (
     RunManifest,
     git_sha,
@@ -38,26 +71,49 @@ from repro.obs.spans import (
     set_trace_sink,
     span,
 )
+from repro.obs.timeseries import (
+    TimeseriesSampler,
+    validate_timeseries_file,
+)
 
 __all__ = [
     "Histogram",
+    "LIFECYCLE_STAGES",
+    "LifecycleTracer",
     "MetricsRegistry",
+    "NullLifecycleTracer",
     "NullRegistry",
+    "NULL_LIFECYCLE",
     "NULL_REGISTRY",
     "RunManifest",
+    "TimeseriesSampler",
     "TraceSink",
     "build_bench_report",
+    "chrome_trace_payload",
+    "diff_bench_reports",
+    "get_lifecycle",
     "get_registry",
     "get_trace_sink",
     "git_sha",
+    "index_bench_report",
+    "lifecycle_sampled",
+    "lifecycle_trace_id",
+    "load_bench_report",
     "metrics_enabled",
     "profile_report",
+    "prometheus_text",
+    "set_lifecycle",
     "set_registry",
     "set_trace_sink",
     "span",
+    "use_lifecycle",
     "use_registry",
+    "validate_lifecycle_file",
     "validate_metrics_file",
     "validate_metrics_payload",
+    "validate_timeseries_file",
     "write_bench_report",
+    "write_chrome_trace",
     "write_json_file",
+    "write_prometheus",
 ]

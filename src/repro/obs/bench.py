@@ -21,9 +21,15 @@ from repro.obs.manifest import git_sha
 from repro.obs.sinks import write_json_file
 
 __all__ = ["collect_benchmark_files", "fold_benchmark_file",
-           "build_bench_report", "write_bench_report"]
+           "build_bench_report", "write_bench_report",
+           "index_bench_report", "diff_bench_reports",
+           "load_bench_report"]
 
 REPORT_VERSION = 1
+
+#: Default regression threshold: flag a benchmark when its headline
+#: stat grew by more than this fraction over the baseline.
+DEFAULT_REGRESSION_THRESHOLD = 0.2
 
 
 def collect_benchmark_files(root: str) -> List[str]:
@@ -96,6 +102,91 @@ def build_bench_report(root: str) -> dict:
         "git_sha": git_sha(),
         "totals": totals,
         "entries": entries,
+    }
+
+
+def load_bench_report(path: str) -> dict:
+    """Load and shape-check a ``bench-report`` trajectory file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise AnalysisError(f"cannot read bench report {path}: {exc}")
+    except ValueError as exc:
+        raise AnalysisError(f"malformed bench report {path}: {exc}")
+    if (not isinstance(payload, dict)
+            or payload.get("report_version") != REPORT_VERSION
+            or not isinstance(payload.get("entries"), list)):
+        raise AnalysisError(
+            f"{path} is not a bench-report file (need report_version="
+            f"{REPORT_VERSION} with an 'entries' list)")
+    return payload
+
+
+def index_bench_report(report: dict, metric: str = "min_s"
+                       ) -> Dict[str, float]:
+    """Benchmark name → headline stat, folded across a report's entries.
+
+    ``metric`` picks the stat (``min_s`` by default — the standard
+    noise-robust choice — or ``mean_s``).  A name appearing in several
+    entries keeps its best (smallest) reading, mirroring how repeated
+    benchmark files refine rather than contradict each other.
+    """
+    if metric not in ("min_s", "mean_s"):
+        raise AnalysisError(
+            f"unknown bench metric {metric!r} (min_s|mean_s)")
+    indexed: Dict[str, float] = {}
+    for entry in report.get("entries", []):
+        for bench in entry.get("benchmarks", []):
+            value = bench.get(metric)
+            name = bench.get("name", "?")
+            if value is None:
+                continue
+            value = float(value)
+            if name not in indexed or value < indexed[name]:
+                indexed[name] = value
+    return indexed
+
+
+def diff_bench_reports(baseline: dict, current: dict,
+                       threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+                       metric: str = "min_s") -> dict:
+    """Compare two bench reports; flag per-benchmark regressions.
+
+    A benchmark regresses when ``current > baseline * (1 + threshold)``
+    on the chosen stat.  The result carries every compared benchmark
+    with its ratio, plus the names only one side knows about — CI
+    treats a non-empty ``regressions`` list as a failure and surfaces
+    ``missing`` loudly (a silently dropped benchmark is how a
+    trajectory rots).
+    """
+    if threshold < 0:
+        raise AnalysisError(f"threshold must be >= 0, got {threshold}")
+    base = index_bench_report(baseline, metric)
+    cur = index_bench_report(current, metric)
+    regressions = []
+    improvements = []
+    compared = []
+    for name in sorted(set(base) & set(cur)):
+        base_value, cur_value = base[name], cur[name]
+        if base_value <= 0:
+            continue  # degenerate timing; nothing meaningful to compare
+        ratio = cur_value / base_value
+        row = {"name": name, "baseline_s": base_value,
+               "current_s": cur_value, "ratio": ratio}
+        compared.append(row)
+        if ratio > 1.0 + threshold:
+            regressions.append(row)
+        elif ratio < 1.0 / (1.0 + threshold):
+            improvements.append(row)
+    return {
+        "metric": metric,
+        "threshold": threshold,
+        "compared": compared,
+        "regressions": regressions,
+        "improvements": improvements,
+        "missing": sorted(set(base) - set(cur)),
+        "added": sorted(set(cur) - set(base)),
     }
 
 

@@ -1,0 +1,197 @@
+"""Render observability artifacts for external tooling.
+
+Two targets, both dependency-free:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace_payload`) — the
+  format Perfetto and ``chrome://tracing`` load.  Each packet trace
+  becomes one duration slice (a balanced ``B``/``E`` pair) on a track
+  keyed by receiver (``pid``) and sequence (``tid``), with every
+  lifecycle stage in between as an instant (``i``) event.  Timestamps
+  are the session's virtual clock scaled to microseconds, so the
+  rendered timeline *is* the paper's pacing model.
+* **Prometheus text exposition** (:func:`prometheus_text`) — a
+  point-in-time snapshot of a metrics registry (counters, timers,
+  histograms in cumulative-bucket form) plus optional free gauges,
+  suitable for ``node_exporter``-style textfile collection.
+
+Both renderings are deterministic: sorted iteration everywhere, no
+timestamps besides the virtual ones already in the data.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.exceptions import AnalysisError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "chrome_trace_payload",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+_MICRO = 1e6  # trace-event timestamps are microseconds
+
+
+def chrome_trace_payload(events: Iterable[dict]) -> dict:
+    """Fold lifecycle events into a Chrome trace-event JSON payload.
+
+    ``events`` are lifecycle records (dicts with ``trace``/``r``/``b``/
+    ``seq``/``stage``/``status``/``t``), typically
+    :meth:`~repro.obs.lifecycle.LifecycleTracer.events` output or the
+    parsed lines of a ``--lifecycle-out`` file.  Each trace renders as:
+
+    * one ``B`` (begin) at its earliest event,
+    * one ``i`` (instant) per stage event, named ``stage:status``,
+    * one ``E`` (end) at its latest event —
+
+    always balanced, the invariant the property suite pins.  Receivers
+    map to ``pid`` (sorted order) so Perfetto groups tracks per
+    receiver; ``tid`` is the packet sequence number.
+    """
+    by_trace: Dict[str, List[dict]] = {}
+    receivers: List[str] = []
+    for event in events:
+        by_trace.setdefault(event["trace"], []).append(event)
+        receiver = event["r"]
+        if receiver not in receivers:
+            receivers.append(receiver)
+    pid_of = {receiver: index + 1
+              for index, receiver in enumerate(sorted(receivers))}
+    trace_events: List[dict] = []
+    ordered = sorted(
+        by_trace.items(),
+        key=lambda item: (item[1][0]["b"], item[1][0]["r"],
+                          item[1][0]["seq"]))
+    for trace, records in ordered:
+        records = sorted(records, key=lambda r: (r["t"],))
+        first, last = records[0], records[-1]
+        pid = pid_of[first["r"]]
+        tid = int(first["seq"])
+        name = f"b{first['b']}/s{first['seq']}"
+        trace_events.append({
+            "ph": "B", "name": name, "cat": "packet",
+            "ts": first["t"] * _MICRO, "pid": pid, "tid": tid,
+            "args": {"trace": trace, "receiver": first["r"]},
+        })
+        for record in records:
+            args = {key: value for key, value in record.items()
+                    if key not in ("trace", "r", "b", "seq", "stage",
+                                   "status", "t")}
+            trace_events.append({
+                "ph": "i", "name": f"{record['stage']}:{record['status']}",
+                "cat": record["stage"], "ts": record["t"] * _MICRO,
+                "pid": pid, "tid": tid, "s": "t", "args": args,
+            })
+        trace_events.append({
+            "ph": "E", "name": name, "cat": "packet",
+            "ts": last["t"] * _MICRO, "pid": pid, "tid": tid,
+            "args": {},
+        })
+    metadata = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": f"receiver {receiver}"}}
+        for receiver, pid in sorted(pid_of.items())
+    ]
+    return {"traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Iterable[dict]) -> int:
+    """Write the Perfetto-loadable trace JSON; returns the event count."""
+    payload = chrome_trace_payload(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True,
+                  separators=(",", ":"))
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name to the Prometheus grammar."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: Union[int, float]) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None,
+                    gauges: Optional[Mapping[str, float]] = None,
+                    prefix: str = "repro") -> str:
+    """Render a registry snapshot in Prometheus text format.
+
+    Counters become ``<prefix>_<name>_total``; timers expose
+    ``_seconds_total`` and ``_calls_total``; histograms render
+    cumulative ``_bucket{le=...}`` series with ``+Inf`` and ``_count``.
+    ``gauges`` (name → number) are appended as gauge samples — the
+    serving layer passes its final per-receiver timeseries readings.
+    """
+    if registry is None and gauges is None:
+        raise AnalysisError("nothing to render: no registry, no gauges")
+    lines: List[str] = []
+    if registry is not None:
+        for name in sorted(registry.counters):
+            metric = f"{prefix}_{_prom_name(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_fmt(registry.counters[name])}")
+        for name in sorted(registry.timers):
+            total_ns, calls = registry.timers[name]
+            base = f"{prefix}_{_prom_name(name)}"
+            lines.append(f"# TYPE {base}_seconds_total counter")
+            lines.append(f"{base}_seconds_total {_fmt(total_ns / 1e9)}")
+            lines.append(f"# TYPE {base}_calls_total counter")
+            lines.append(f"{base}_calls_total {calls}")
+        for name in sorted(registry.histograms):
+            histogram = registry.histograms[name]
+            base = f"{prefix}_{_prom_name(name)}"
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                cumulative += count
+                lines.append(
+                    f'{base}_bucket{{le="{_fmt(float(bound))}"}} '
+                    f"{cumulative}")
+            cumulative += histogram.overflow
+            lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{base}_count {cumulative}")
+    if gauges:
+        for name in sorted(gauges):
+            value = gauges[name]
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise AnalysisError(
+                    f"gauge {name!r} must be a number, got "
+                    f"{type(value).__name__}")
+            metric = f"{prefix}_{_prom_name(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str,
+                     registry: Optional[MetricsRegistry] = None,
+                     gauges: Optional[Mapping[str, float]] = None,
+                     prefix: str = "repro") -> None:
+    """Write :func:`prometheus_text` output to ``path``."""
+    text = prometheus_text(registry, gauges, prefix=prefix)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Optional, TextIO, Union
+from typing import List, Optional, TextIO, Union
 
 __all__ = ["TraceSink", "write_json_file"]
 
@@ -19,12 +19,22 @@ class TraceSink:
 
     Accepts a path (opened and owned by the sink) or an existing text
     stream (borrowed — :meth:`close` leaves it open, so tests can pass
-    a ``StringIO``).  Writes are serialized under a lock; each record
-    is one ``json.dumps`` line flushed immediately, so a crashed run
-    still leaves a readable prefix.
+    a ``StringIO``).  Writes are serialized under a lock.
+
+    Two write disciplines:
+
+    * ``buffered=False`` (default) — each record is one ``json.dumps``
+      line flushed immediately, so a crashed run still leaves a
+      readable prefix;
+    * ``buffered=True`` — records accumulate in memory until
+      :meth:`flush`.  :meth:`close` always flushes first and the
+      context manager closes on error paths too, so even a run that
+      dies mid-stream yields a parseable JSON-lines file — never a
+      torn line, never silently dropped buffered events.
     """
 
-    def __init__(self, target: Union[str, TextIO]) -> None:
+    def __init__(self, target: Union[str, TextIO],
+                 buffered: bool = False) -> None:
         self._lock = threading.Lock()
         if isinstance(target, str):
             self._handle: TextIO = open(target, "w", encoding="utf-8")
@@ -32,18 +42,45 @@ class TraceSink:
         else:
             self._handle = target
             self._owned = False
+        self.buffered = buffered
+        self._pending: List[str] = []
+        self._closed = False
         self.records_written = 0
 
     def write(self, record: dict) -> None:
         """Append one record as a JSON line."""
         line = json.dumps(record, sort_keys=True)
         with self._lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            if self.buffered:
+                self._pending.append(line)
+            else:
+                self._handle.write(line + "\n")
+                self._handle.flush()
             self.records_written += 1
 
+    def flush(self) -> int:
+        """Drain buffered records to the handle; returns the count.
+
+        A no-op (returning 0) in unbuffered mode, where every write
+        already hit the handle.
+        """
+        with self._lock:
+            pending, self._pending = self._pending, []
+            if pending:
+                self._handle.write("\n".join(pending) + "\n")
+            self._handle.flush()
+        return len(pending)
+
     def close(self) -> None:
-        """Close the underlying handle if this sink opened it."""
+        """Flush, then close the underlying handle if this sink opened it.
+
+        Idempotent: safe to call from both a ``finally`` block and a
+        context-manager exit.
+        """
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
         if self._owned:
             self._handle.close()
 
@@ -51,6 +88,8 @@ class TraceSink:
         return self
 
     def __exit__(self, *exc_info) -> bool:
+        # Close (and therefore flush) even when the body raised: the
+        # error path is exactly when a partial trace is most valuable.
         self.close()
         return False
 

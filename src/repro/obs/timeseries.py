@@ -1,0 +1,160 @@
+"""Fixed-interval gauge sampling on the session's virtual clock.
+
+Block-level aggregates answer "how did the run go"; operators of a
+live stream want "how is it going *now*": buffered packets per
+receiver, the loss estimate the controller is about to act on, the
+scheme parameters currently in force.  :class:`TimeseriesSampler`
+records those gauges on a fixed **virtual-time** grid — tick ``k``
+fires the first time the clock reaches ``k * interval_s`` — so the
+sample schedule, like everything else in a serve session, is a pure
+function of the config and the emitted file is byte-identical across
+runs.
+
+Rows are plain dicts written as sorted-key JSON lines (one line per
+receiver per tick, plus one ``_controller`` row carrying the adaptive
+state).  The sampler buffers in memory and flushes on ``close`` — the
+same crash-safe discipline as the lifecycle tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import AnalysisError
+from repro.obs.sinks import TraceSink
+
+__all__ = ["TimeseriesSampler", "validate_timeseries_file",
+           "CONTROLLER_ROW"]
+
+#: Reserved "receiver" id for the controller-state row of each tick.
+CONTROLLER_ROW = "_controller"
+
+
+class TimeseriesSampler:
+    """Per-receiver gauges on a fixed virtual-time grid.
+
+    Parameters
+    ----------
+    interval_s:
+        Virtual seconds between ticks; the serving loop asks
+        :meth:`due` after each block barrier and records one row-set
+        when a tick boundary has been crossed (stamped with the last
+        crossed tick, so the grid stays exact even when a single
+        block spans several intervals).
+    sink:
+        A path, text stream or :class:`~repro.obs.sinks.TraceSink` the
+        rows are written to on :meth:`flush`/:meth:`close`; ``None``
+        keeps them in memory only.
+    """
+
+    def __init__(self, interval_s: float = 0.05,
+                 sink: Union[None, str, TraceSink] = None) -> None:
+        if interval_s <= 0:
+            raise AnalysisError(
+                f"timeseries interval must be > 0, got {interval_s}")
+        self.interval_s = float(interval_s)
+        if sink is None or isinstance(sink, TraceSink):
+            self._sink: Optional[TraceSink] = sink
+        else:
+            self._sink = TraceSink(sink)
+        self._tick = 1  # next grid index to fire
+        self.samples: List[dict] = []
+        self._flushed = 0
+
+    def due(self, now: float) -> bool:
+        """Whether the clock has crossed the next tick boundary."""
+        return now >= self._tick * self.interval_s
+
+    def record(self, now: float, rows: Sequence[Dict[str, object]]) -> bool:
+        """Record ``rows`` if a tick is due; returns whether it fired.
+
+        Each row must carry an ``"r"`` receiver id; the sampler stamps
+        the quantized tick time as ``"t"`` (grid index times interval,
+        never the raw clock reading — byte-stable across runs).
+        """
+        if not self.due(now):
+            return False
+        while (self._tick + 1) * self.interval_s <= now:
+            self._tick += 1
+        tick_time = self._tick * self.interval_s
+        self._tick += 1
+        for row in rows:
+            if "r" not in row:
+                raise AnalysisError("timeseries row missing receiver id 'r'")
+            stamped = {"t": tick_time}
+            stamped.update(row)
+            self.samples.append(stamped)
+        return True
+
+    # -- output --------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write unflushed rows to the sink; returns the count written."""
+        pending = self.samples[self._flushed:]
+        if self._sink is not None:
+            for row in pending:
+                self._sink.write(row)
+        self._flushed = len(self.samples)
+        return len(pending)
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent)."""
+        self.flush()
+        if self._sink is not None:
+            self._sink.close()
+
+    def __enter__(self) -> "TimeseriesSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def last_gauges(self) -> Dict[str, Dict[str, object]]:
+        """Latest row per receiver id (for end-of-run snapshots)."""
+        latest: Dict[str, Dict[str, object]] = {}
+        for row in self.samples:
+            latest[str(row["r"])] = row
+        return latest
+
+
+def validate_timeseries_file(path: str) -> int:
+    """Validate a timeseries JSON-lines file; returns the row count.
+
+    Rows must be JSON objects with ``t`` (non-decreasing) and ``r``;
+    every other field must be a JSON number or string.
+    """
+    count = 0
+    last_t = float("-inf")
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError as exc:
+                raise AnalysisError(
+                    f"{path}:{line_no}: not valid JSON: {exc}")
+            if not isinstance(row, dict) or "t" not in row or "r" not in row:
+                raise AnalysisError(
+                    f"{path}:{line_no}: timeseries rows need 't' and 'r'")
+            t = row["t"]
+            if not isinstance(t, (int, float)) or isinstance(t, bool):
+                raise AnalysisError(f"{path}:{line_no}: 't' must be a number")
+            if t < last_t:
+                raise AnalysisError(
+                    f"{path}:{line_no}: tick time went backwards "
+                    f"({t} < {last_t})")
+            last_t = t
+            for name, value in row.items():
+                if name in ("r", "scheme"):
+                    continue
+                if isinstance(value, bool) or not isinstance(
+                        value, (int, float, str)):
+                    raise AnalysisError(
+                        f"{path}:{line_no}: gauge {name!r} must be a "
+                        f"number or string, got {type(value).__name__}")
+            count += 1
+    return count

@@ -174,6 +174,27 @@ class AdaptiveController:
         """Grid point the current parameters were designed for."""
         return self._p_design
 
+    def gauges(self) -> Dict[str, object]:
+        """Current controller state as a flat timeseries row.
+
+        Emitted under the :data:`~repro.obs.timeseries.CONTROLLER_ROW`
+        pseudo-receiver so live dashboards can plot the adaptation
+        staircase next to the per-receiver loss estimates.
+        """
+        m, d = self._choice.parameters
+        last = self.events[-1] if self.events else None
+        return {
+            "p_hat": last.p_hat if last is not None else 0.0,
+            "p_design": self._p_design,
+            "scheme": self._spec(self._choice),
+            "m": m,
+            "d": d,
+            "predicted_q_min": self._choice.q_min,
+            "cost": self._choice.cost,
+            "decisions": len(self.events),
+            "switches": sum(1 for e in self.events if e.switched),
+        }
+
     def observe(self, block_id: int,
                 reports: Sequence[LossReport]) -> AdaptationEvent:
         """Fold one block's reports; maybe re-select parameters.

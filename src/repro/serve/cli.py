@@ -17,10 +17,19 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.exceptions import ReproError
-from repro.serve.loadgen import run_loadgen
+from repro.serve.loadgen import ObsOptions, run_loadgen
 from repro.serve.service import ServeConfig
 
-__all__ = ["serve_main", "loadgen_main", "config_from_args"]
+__all__ = ["serve_main", "loadgen_main", "config_from_args",
+           "obs_from_args"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}")
+    return value
 
 
 def _ramp_step(text: str) -> Tuple[int, float]:
@@ -82,6 +91,31 @@ def _build_parser(prog: str, soak: bool) -> argparse.ArgumentParser:
                              "as JSON to FILE" +
                              ("" if not soak else
                               " (validates with the standard schema)"))
+    obs = parser.add_argument_group(
+        "observability outputs",
+        "deterministic artifacts: identical configs emit identical bytes")
+    obs.add_argument("--lifecycle-out", metavar="FILE", default=None,
+                     help="write per-packet lifecycle traces as JSON "
+                          "lines (sign/frame/enqueue/transport/ingest/"
+                          "verify)")
+    obs.add_argument("--timeseries-out", metavar="FILE", default=None,
+                     help="write per-receiver gauges on a fixed "
+                          "virtual-time grid as JSON lines")
+    obs.add_argument("--prom-out", metavar="FILE", default=None,
+                     help="write a Prometheus text-format snapshot of "
+                          "the run's metrics and final gauges")
+    obs.add_argument("--perfetto-out", metavar="FILE", default=None,
+                     help="write a Chrome trace-event JSON loadable in "
+                          "Perfetto / chrome://tracing")
+    obs.add_argument("--trace-sample", type=_positive_int, default=1,
+                     metavar="N",
+                     help="keep 1/N of the lifecycle traces, selected "
+                          "deterministically by trace-ID hash "
+                          "(default 1: keep all)")
+    obs.add_argument("--timeseries-interval", type=float, default=0.05,
+                     metavar="S",
+                     help="virtual seconds between timeseries ticks "
+                          "(default 0.05)")
     if not soak:
         parser.add_argument("--json", action="store_true", dest="as_json",
                             help="emit the session summary as JSON")
@@ -109,6 +143,21 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         transport=args.transport,
         adaptive=not args.no_adaptive,
         timeout_s=args.timeout_s,
+    )
+
+
+def obs_from_args(args: argparse.Namespace) -> Optional[ObsOptions]:
+    """Translate observability flags; ``None`` when nothing is requested."""
+    if not (args.lifecycle_out or args.timeseries_out or args.prom_out
+            or args.perfetto_out):
+        return None
+    return ObsOptions(
+        lifecycle_out=args.lifecycle_out,
+        timeseries_out=args.timeseries_out,
+        prom_out=args.prom_out,
+        perfetto_out=args.perfetto_out,
+        trace_sample=args.trace_sample,
+        timeseries_interval=args.timeseries_interval,
     )
 
 
@@ -141,7 +190,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         argv)
     try:
         config = config_from_args(args)
-        result = run_loadgen(config)
+        result = run_loadgen(config, obs=obs_from_args(args))
     except ReproError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -162,7 +211,7 @@ def loadgen_main(argv: Optional[List[str]] = None) -> int:
         argv)
     try:
         config = config_from_args(args)
-        result = run_loadgen(config)
+        result = run_loadgen(config, obs=obs_from_args(args))
     except ReproError as error:
         print(str(error), file=sys.stderr)
         return 2

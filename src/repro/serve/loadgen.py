@@ -9,6 +9,12 @@ payload the sweep CLI emits — so the soak artifact validates with
 :func:`~repro.obs.validate_metrics_file` like every other metrics
 file — and distills the numbers the job gates on (``forged_accepted``
 above all) into a flat summary dict.
+
+With an :class:`ObsOptions` the run additionally emits the
+deterministic observability artifacts: a packet-lifecycle JSON-lines
+file, a gauge timeseries, a Perfetto/Chrome trace and a Prometheus
+text snapshot.  All of them derive from seeds and virtual time only,
+so CI diffs two runs of the same config byte-for-byte.
 """
 
 from __future__ import annotations
@@ -18,10 +24,36 @@ from typing import Dict, List, Optional
 
 from repro.crypto.signatures import Signer
 from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import write_chrome_trace, write_prometheus
+from repro.obs.lifecycle import LifecycleTracer
 from repro.obs.manifest import METRICS_FILE_VERSION
+from repro.obs.timeseries import TimeseriesSampler
 from repro.serve.service import ServeConfig, SessionResult, run_live_session
 
-__all__ = ["LoadgenResult", "run_loadgen"]
+__all__ = ["LoadgenResult", "ObsOptions", "run_loadgen"]
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """Where (and how densely) a loadgen run writes observability.
+
+    Any output left ``None`` is skipped; ``trace_sample`` keeps
+    ``1/N`` of the lifecycle traces (selected deterministically by
+    trace-ID hash) and ``timeseries_interval`` is the virtual-time
+    gauge grid in seconds.
+    """
+
+    lifecycle_out: Optional[str] = None
+    timeseries_out: Optional[str] = None
+    prom_out: Optional[str] = None
+    perfetto_out: Optional[str] = None
+    trace_sample: int = 1
+    timeseries_interval: float = 0.05
+
+    @property
+    def wants_lifecycle(self) -> bool:
+        """Whether any output needs the lifecycle tracer running."""
+        return self.lifecycle_out is not None or self.perfetto_out is not None
 
 
 @dataclass
@@ -39,11 +71,34 @@ class LoadgenResult:
 
 
 def run_loadgen(config: ServeConfig,
-                signer: Optional[Signer] = None) -> LoadgenResult:
+                signer: Optional[Signer] = None,
+                obs: Optional[ObsOptions] = None) -> LoadgenResult:
     """Run one instrumented live session and package its artifacts."""
     registry = MetricsRegistry()
-    with use_registry(registry):
-        session = run_live_session(config, signer=signer)
+    lifecycle: Optional[LifecycleTracer] = None
+    timeseries: Optional[TimeseriesSampler] = None
+    if obs is not None and obs.wants_lifecycle:
+        lifecycle = LifecycleTracer(config.seed, sample=obs.trace_sample,
+                                    sink=obs.lifecycle_out)
+    if obs is not None and obs.timeseries_out is not None:
+        timeseries = TimeseriesSampler(interval_s=obs.timeseries_interval,
+                                       sink=obs.timeseries_out)
+    try:
+        with use_registry(registry):
+            session = run_live_session(config, signer=signer,
+                                       lifecycle=lifecycle,
+                                       timeseries=timeseries)
+        if obs is not None and obs.perfetto_out is not None:
+            # Export before flushing: flush drains the event buffer.
+            write_chrome_trace(obs.perfetto_out, lifecycle.events())
+    finally:
+        # Closing flushes whatever is still buffered — on the success
+        # path and on every error path alike (satellite invariant: a
+        # crashed instrumented run still leaves parseable JSON lines).
+        if lifecycle is not None:
+            lifecycle.close()
+        if timeseries is not None:
+            timeseries.close()
     metrics_payload = {
         "format": METRICS_FILE_VERSION,
         "runs": [{
@@ -51,6 +106,16 @@ def run_loadgen(config: ServeConfig,
             "metrics": registry.snapshot(),
         }],
     }
+    if obs is not None and obs.prom_out is not None:
+        gauges: Dict[str, float] = {}
+        if timeseries is not None:
+            for receiver, row in sorted(timeseries.last_gauges().items()):
+                for name, value in sorted(row.items()):
+                    if name == "r" or isinstance(value, (str, bool)):
+                        continue
+                    gauges[f"serve_{receiver}_{name}"] = value
+        write_prometheus(obs.prom_out, registry=registry,
+                         gauges=gauges or None)
     phases: List[Dict[str, object]] = []
     for phase in sorted(session.stats):
         stats = session.stats[phase]
@@ -74,5 +139,9 @@ def run_loadgen(config: ServeConfig,
         "adaptation_switches": switches,
         "phases": phases,
     }
+    if lifecycle is not None:
+        summary["lifecycle_events"] = lifecycle.events_recorded
+    if timeseries is not None:
+        summary["timeseries_samples"] = len(timeseries.samples)
     return LoadgenResult(session=session, metrics_payload=metrics_payload,
                          summary=summary)

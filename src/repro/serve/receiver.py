@@ -30,8 +30,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.crypto.hashing import HashFunction, sha256
 from repro.crypto.signatures import Signer
 from repro.exceptions import SimulationError
+from repro.faults import ATTACK_KINDS, WireDelivery
 from repro.network.loss import LossEstimator
 from repro.obs import get_registry
+from repro.obs.lifecycle import NOISE_SEQ, get_lifecycle
 from repro.serve.transport import ControlFrame, Transport, decode_control
 from repro.simulation.stats import SimulationStats
 from repro.simulation.stream_receiver import StreamReceiver
@@ -98,15 +100,57 @@ class ReceiverSession:
         async for delivery in transport.subscribe(self.receiver_id):
             frame = decode_control(delivery.data)
             if frame is None:
-                self.stream.ingest_wire(delivery.data, delivery.arrival_time)
+                self._ingest_data(delivery)
                 continue
             if frame.final:
                 break
-            report = self.close_block(frame)
+            report = self.close_block(frame, now=delivery.arrival_time)
             await report_sink(report)
 
-    def close_block(self, frame: ControlFrame) -> LossReport:
-        """Settle one finished block against its control frame."""
+    #: Verifier ingest taxonomy -> lifecycle ``ingest`` stage status.
+    _INGEST_STATUS = {
+        "verified": "decode",
+        "buffered": "buffer",
+        "forged-reject": "reject",
+        "slot-reject": "reject",
+        "replay-drop": "replay",
+        "undecodable": "undecodable",
+    }
+
+    def _ingest_data(self, delivery: WireDelivery) -> None:
+        """Defensive ingest of one data frame, with lifecycle tracing."""
+        self.stream.ingest_wire(delivery.data, delivery.arrival_time)
+        tracer = get_lifecycle()
+        if not tracer.enabled:
+            return
+        verifier = self.stream.verifier
+        status = self._INGEST_STATUS.get(verifier.last_ingest)
+        if status is None:
+            return  # frame did not reach the verifier's taxonomy
+        packet = verifier.last_ingest_packet
+        if packet is not None:
+            block_id, seq = packet.block_id, packet.seq
+        else:
+            # Undecodable garbage: attribute to the open block's noise
+            # slot — there is no packet to name.
+            block_id, seq = self.blocks_closed, NOISE_SEQ
+        attrs = {}
+        if delivery.kind in ATTACK_KINDS:
+            attrs["kind"] = delivery.kind
+        if verifier.last_ingest == "slot-reject":
+            attrs["detail"] = "slot-full"
+        tracer.record(self.receiver_id, block_id, seq, "ingest", status,
+                      delivery.arrival_time, **attrs)
+
+    def close_block(self, frame: ControlFrame,
+                    now: Optional[float] = None) -> LossReport:
+        """Settle one finished block against its control frame.
+
+        ``now`` is the control frame's arrival time; verdicts for
+        non-verified slots are stamped with it so lifecycle traces stay
+        monotone.  When omitted (direct harness calls) the latest event
+        time seen inside the block is used instead.
+        """
         verifier = self.stream.verifier
         digests = dict(frame.digests)
         intact = set(frame.intact)
@@ -114,6 +158,15 @@ class ReceiverSession:
         arrived = 0
         events: List[list] = []
         stats = self.stats.setdefault(frame.phase, SimulationStats())
+        tracer = get_lifecycle()
+        close_time = now
+        if close_time is None:
+            close_time = 0.0
+            for seq in range(frame.base_seq, frame.last_seq + 1):
+                outcome = verifier.outcomes.get(seq)
+                if outcome is not None:
+                    close_time = max(close_time, outcome.arrival_time,
+                                     outcome.verified_time or 0.0)
         for seq in range(frame.base_seq, frame.last_seq + 1):
             outcome = verifier.outcomes.get(seq)
             verified = outcome is not None and outcome.verified
@@ -145,6 +198,18 @@ class ReceiverSession:
                 status = "l"
                 when = None
             events.append([seq, status, when])
+            if tracer.enabled:
+                if verified:
+                    tracer.record(self.receiver_id, frame.block_id, seq,
+                                  "verify", "verified",
+                                  outcome.verified_time, delay=outcome.delay)
+                elif outcome is not None:
+                    attrs = {"forged": True} if outcome.forged else {}
+                    tracer.record(self.receiver_id, frame.block_id, seq,
+                                  "verify", "arrived", close_time, **attrs)
+                else:
+                    tracer.record(self.receiver_id, frame.block_id, seq,
+                                  "verify", "lost", close_time)
         self.estimator.observe_block(expected - arrived, expected)
         released = self.stream.finish_block(frame.block_id, frame.last_seq)
         self.blocks_closed += 1

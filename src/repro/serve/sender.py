@@ -38,6 +38,7 @@ from repro.network.clock import Clock
 from repro.network.delay import ConstantDelay
 from repro.network.loss import BernoulliLoss
 from repro.obs import get_registry
+from repro.obs.lifecycle import NOISE_SEQ, get_lifecycle
 from repro.schemes.base import Scheme
 from repro.serve.transport import ControlFrame, Transport, encode_control
 
@@ -183,6 +184,7 @@ class SenderService:
             for packet in stamped
         }
         registry = get_registry()
+        tracer = get_lifecycle()
         truths: Dict[str, BlockTruth] = {}
         for index, receiver_id in enumerate(self.receiver_ids):
             channel = self.channel_factory(index, block_id, loss_rate)
@@ -195,10 +197,35 @@ class SenderService:
                 deliveries = [
                     WireDelivery(arrival_time=delivery.arrival_time,
                                  data=delivery.packet.to_wire(),
-                                 kind="genuine", seq_hint=delivery.packet.seq)
+                                 kind="genuine", seq_hint=delivery.packet.seq,
+                                 block_hint=delivery.packet.block_id)
                     for delivery in channel.transmit(stamped)
                 ]
                 corrupted = injected = replayed = 0
+            if tracer.enabled:
+                surviving = {d.seq_hint for d in deliveries
+                             if d.seq_hint is not None}
+                for packet in stamped:
+                    tracer.record(receiver_id, block_id, packet.seq,
+                                  "sign", "signed", packet.send_time,
+                                  scheme=scheme.name)
+                    tracer.record(receiver_id, block_id, packet.seq,
+                                  "frame", "framed", packet.send_time)
+                    if packet.seq not in surviving:
+                        tracer.record(receiver_id, block_id, packet.seq,
+                                      "transport", "drop", packet.send_time)
+                for delivery in deliveries:
+                    seq = (delivery.seq_hint if delivery.seq_hint is not None
+                           else NOISE_SEQ)
+                    tag = delivery.attack_tag
+                    if tag is None:
+                        tracer.record(receiver_id, block_id, seq,
+                                      "transport", "deliver",
+                                      delivery.arrival_time)
+                    else:
+                        tracer.record(receiver_id, block_id, seq,
+                                      "transport", "deliver",
+                                      delivery.arrival_time, kind=tag)
             transport_dropped = await self.transport.send(receiver_id,
                                                           deliveries)
             dropped_genuine = {d.seq_hint for d in transport_dropped

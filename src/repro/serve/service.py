@@ -36,6 +36,8 @@ from repro.exceptions import SimulationError
 from repro.faults import KNOWN_ATTACK_MIXES
 from repro.network.clock import Clock, MonotonicClock, VirtualClock
 from repro.obs import RunManifest, get_registry
+from repro.obs.lifecycle import LifecycleTracer, use_lifecycle
+from repro.obs.timeseries import CONTROLLER_ROW, TimeseriesSampler
 from repro.serve.adaptive import AdaptationEvent, AdaptiveController
 from repro.serve.receiver import LossReport, ReceiverPool
 from repro.serve.sender import SenderService, default_channel_factory
@@ -157,9 +159,35 @@ def default_serve_signer(seed: int) -> Signer:
     return HmacStubSigner(key=b"repro-serve-%016d" % seed)
 
 
+def _gauge_rows(pool: ReceiverPool,
+                controller: AdaptiveController) -> List[Dict[str, object]]:
+    """One timeseries row per receiver (sorted) plus the controller row."""
+    rows: List[Dict[str, object]] = []
+    for receiver_id in sorted(pool.sessions):
+        session = pool.sessions[receiver_id]
+        verifier = session.stream.verifier
+        rows.append({
+            "r": receiver_id,
+            "buffered": verifier.buffered_count,
+            "pending": session.stream.pending,
+            "delivered": len(session.stream.delivered),
+            "window_rate": session.estimator.window_rate,
+            "ewma_rate": session.estimator.ewma_rate,
+            "forged_rejected": verifier.forged_rejected,
+            "undecodable": verifier.undecodable,
+            "replays_dropped": verifier.replays_dropped,
+        })
+    row: Dict[str, object] = {"r": CONTROLLER_ROW}
+    row.update(controller.gauges())
+    rows.append(row)
+    return rows
+
+
 async def _drive_session(config: ServeConfig, transport: Transport,
                          sender: SenderService, pool: ReceiverPool,
-                         controller: AdaptiveController) -> None:
+                         controller: AdaptiveController, clock: Clock,
+                         timeseries: Optional[TimeseriesSampler] = None
+                         ) -> None:
     registry = get_registry()
     await transport.start(config.receiver_ids())
     pool.start(transport)
@@ -174,6 +202,8 @@ async def _drive_session(config: ServeConfig, transport: Transport,
             reports = await pool.wait_block(block_id)
             if config.adaptive:
                 controller.observe(block_id, reports)
+            if timeseries is not None and timeseries.due(clock.now()):
+                timeseries.record(clock.now(), _gauge_rows(pool, controller))
             if registry.enabled:
                 registry.count("serve.block.runs", 1)
         await sender.send_final()
@@ -183,11 +213,20 @@ async def _drive_session(config: ServeConfig, transport: Transport,
 
 
 def run_live_session(config: ServeConfig,
-                     signer: Optional[Signer] = None) -> SessionResult:
+                     signer: Optional[Signer] = None,
+                     lifecycle: Optional[LifecycleTracer] = None,
+                     timeseries: Optional[TimeseriesSampler] = None
+                     ) -> SessionResult:
     """Run one complete live session and return its results.
 
     With the default local transport and any fixed config this is a
-    pure function of ``config`` — including every transcript byte.
+    pure function of ``config`` — including every transcript byte, and
+    (when a ``lifecycle`` tracer or ``timeseries`` sampler is passed)
+    every observability byte too.  The tracer is installed process-wide
+    for the session's duration; on an exception both collectors are
+    flushed to their sinks before re-raising, so a crashed run still
+    leaves parseable artifacts.  Closing the sinks stays with the
+    caller (they may want to export the buffered events first).
     """
     registry = get_registry()
     signer = signer if signer is not None else default_serve_signer(config.seed)
@@ -216,17 +255,42 @@ def run_live_session(config: ServeConfig,
     if registry.enabled:
         registry.count("serve.receiver.sessions", config.receivers)
 
-    session = _drive_session(config, transport, sender, pool, controller)
-    if config.timeout_s is not None:
-        async def _bounded() -> None:
-            await asyncio.wait_for(session, timeout=config.timeout_s)
-        asyncio.run(_bounded())
-    else:
-        asyncio.run(session)
+    session = _drive_session(config, transport, sender, pool, controller,
+                             clock, timeseries)
+    try:
+        with use_lifecycle(lifecycle):
+            if config.timeout_s is not None:
+                async def _bounded() -> None:
+                    await asyncio.wait_for(session, timeout=config.timeout_s)
+                asyncio.run(_bounded())
+            else:
+                asyncio.run(session)
+    except BaseException:
+        # Crash-safety: persist whatever the collectors buffered so a
+        # failed run still tells its story, then let the error travel.
+        if lifecycle is not None:
+            lifecycle.flush()
+        if timeseries is not None:
+            timeseries.flush()
+        raise
 
     manifest = manifest_clock.finish(registry if registry.enabled else None)
     manifest.parameters["adaptation"] = [
         event.to_dict() for event in controller.events]
+    observability: Dict[str, object] = {}
+    if lifecycle is not None:
+        observability["lifecycle"] = {
+            "events": lifecycle.events_recorded,
+            "sampled_out": lifecycle.events_dropped,
+            "sample": lifecycle.sample,
+        }
+    if timeseries is not None:
+        observability["timeseries"] = {
+            "rows": len(timeseries.samples),
+            "interval_s": timeseries.interval_s,
+        }
+    if observability:
+        manifest.parameters["observability"] = observability
     result = SessionResult(manifest=manifest)
     result.stats = pool.merged_stats()
     result.events = list(controller.events)

@@ -42,6 +42,7 @@ from repro.exceptions import SimulationError
 from repro.faults import WireDelivery
 from repro.network.clock import Clock
 from repro.obs import get_registry
+from repro.obs.lifecycle import NOISE_SEQ, get_lifecycle
 
 __all__ = [
     "CONTROL_PREFIX",
@@ -202,15 +203,23 @@ class LocalTransport(Transport):
                    deliveries: Sequence[WireDelivery]) -> List[WireDelivery]:
         queue = self._queue(receiver_id)
         registry = get_registry()
+        tracer = get_lifecycle()
         dropped: List[WireDelivery] = []
         for delivery in deliveries:
             if delivery.data.startswith(CONTROL_PREFIX):
                 await queue.put(delivery)  # backpressure, never dropped
-            else:
-                try:
-                    queue.put_nowait(delivery)
-                except asyncio.QueueFull:
-                    dropped.append(delivery)
+                continue
+            try:
+                queue.put_nowait(delivery)
+                status = "queued"
+            except asyncio.QueueFull:
+                dropped.append(delivery)
+                status = "queue-drop"
+            if tracer.enabled and delivery.block_hint is not None:
+                seq = (delivery.seq_hint if delivery.seq_hint is not None
+                       else NOISE_SEQ)
+                tracer.record(receiver_id, delivery.block_hint, seq,
+                              "enqueue", status, delivery.arrival_time)
         if dropped:
             self._drops[receiver_id] += len(dropped)
         if registry.enabled:

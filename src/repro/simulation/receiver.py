@@ -125,6 +125,14 @@ class ChainReceiver:
         self.replays_dropped = 0
         self._message_buffer_peak = 0
         self._hash_buffer_peak = 0
+        #: Taxonomy of the most recent defensive ingest — one of
+        #: "undecodable", "replay-drop", "forged-reject", "slot-reject",
+        #: "verified", "buffered" — plus the decoded packet (None when
+        #: decoding failed).  Written by :meth:`ingest_wire`/:meth:`ingest`
+        #: so lifecycle tracing can attribute the event without decoding
+        #: the wire bytes a second time.
+        self.last_ingest: Optional[str] = None
+        self.last_ingest_packet: Optional[Packet] = None
 
     # ------------------------------------------------------------------
     # Trusting path: parsed packets from a loss-only channel
@@ -180,6 +188,8 @@ class ChainReceiver:
             packet = packet_from_wire(data)
         except WireDecodeError:
             self.undecodable += 1
+            self.last_ingest = "undecodable"
+            self.last_ingest_packet = None
             return None
         return self.ingest(packet, arrival_time)
 
@@ -205,20 +215,25 @@ class ChainReceiver:
         outcome = self.outcomes.get(seq)
         auth = packet.auth_bytes()
         digest = self._hash.digest(auth)
+        self.last_ingest_packet = packet
         if outcome is not None and outcome.verified:
             if self._accepted.get(seq) == digest:
                 self.replays_dropped += 1
+                self.last_ingest = "replay-drop"
             else:
                 self.forged_rejected += 1
+                self.last_ingest = "forged-reject"
             return outcome
         if packet.signature is not None:
             if self._signer.verify(auth, packet.signature):
                 outcome = self._ensure_outcome(seq, arrival_time)
                 self._mark_verified(packet, arrival_time, digest)
+                self.last_ingest = "verified"
             else:
                 # Rejected forgery: no outcome is created, so the slot
                 # stays claimable by the genuine packet.
                 self.forged_rejected += 1
+                self.last_ingest = "forged-reject"
                 if outcome is not None:
                     outcome.forged = True
             return outcome
@@ -227,8 +242,10 @@ class ChainReceiver:
             if expected == digest:
                 outcome = self._ensure_outcome(seq, arrival_time)
                 self._mark_verified(packet, arrival_time, digest)
+                self.last_ingest = "verified"
             else:
                 self.forged_rejected += 1
+                self.last_ingest = "forged-reject"
                 if outcome is not None:
                     outcome.forged = True
             return outcome
@@ -236,14 +253,17 @@ class ChainReceiver:
         for _held, _arrival, held_digest in self._buffered.get(seq, ()):
             if held_digest == digest:
                 self.replays_dropped += 1
+                self.last_ingest = "replay-drop"
                 return outcome
         candidates = self._buffered.get(seq, [])
         if len(candidates) >= self._max_candidates:
             # Slot contention exhausted; drop the newcomer determinately.
             self.forged_rejected += 1
+            self.last_ingest = "slot-reject"
             return outcome
         outcome = self._ensure_outcome(seq, arrival_time)
         self._buffer_candidate(packet, arrival_time, digest)
+        self.last_ingest = "buffered"
         return outcome
 
     # ------------------------------------------------------------------

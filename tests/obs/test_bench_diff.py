@@ -1,0 +1,147 @@
+"""Unit tests for the bench-report diff and its CLI gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import AnalysisError
+from repro.obs.bench import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    diff_bench_reports,
+    index_bench_report,
+    load_bench_report,
+)
+
+
+def _report(benchmarks):
+    return {
+        "report_version": 1,
+        "generated_at": "2026-01-01T00:00:00+00:00",
+        "git_sha": None,
+        "totals": {"files": 1, "benchmarks": len(benchmarks)},
+        "entries": [{
+            "source": "bench.json",
+            "datetime": None,
+            "python": "3.x",
+            "benchmarks": [
+                {"name": name, "min_s": value, "mean_s": value * 1.1,
+                 "stddev_s": 0.0, "rounds": 5}
+                for name, value in benchmarks.items()
+            ],
+        }],
+    }
+
+
+class TestIndex:
+    def test_indexes_by_name_on_min(self):
+        indexed = index_bench_report(_report({"a": 1.0, "b": 2.0}))
+        assert indexed == {"a": 1.0, "b": 2.0}
+
+    def test_repeated_names_keep_best_reading(self):
+        report = _report({"a": 2.0})
+        report["entries"].append(
+            _report({"a": 1.5})["entries"][0])
+        assert index_bench_report(report) == {"a": 1.5}
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(AnalysisError):
+            index_bench_report(_report({"a": 1.0}), metric="max_s")
+
+
+class TestDiff:
+    def test_regression_flagged_beyond_threshold(self):
+        diff = diff_bench_reports(_report({"a": 1.0}),
+                                  _report({"a": 1.5}), threshold=0.2)
+        assert [row["name"] for row in diff["regressions"]] == ["a"]
+        assert diff["regressions"][0]["ratio"] == pytest.approx(1.5)
+
+    def test_within_threshold_passes(self):
+        diff = diff_bench_reports(_report({"a": 1.0}),
+                                  _report({"a": 1.15}), threshold=0.2)
+        assert diff["regressions"] == []
+        assert diff["improvements"] == []
+        assert len(diff["compared"]) == 1
+
+    def test_improvement_flagged_symmetrically(self):
+        diff = diff_bench_reports(_report({"a": 1.0}),
+                                  _report({"a": 0.5}), threshold=0.2)
+        assert [row["name"] for row in diff["improvements"]] == ["a"]
+
+    def test_missing_and_added_reported(self):
+        diff = diff_bench_reports(_report({"a": 1.0, "gone": 1.0}),
+                                  _report({"a": 1.0, "new": 1.0}))
+        assert diff["missing"] == ["gone"]
+        assert diff["added"] == ["new"]
+
+    def test_default_threshold_is_twenty_percent(self):
+        assert DEFAULT_REGRESSION_THRESHOLD == pytest.approx(0.2)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(AnalysisError):
+            diff_bench_reports(_report({}), _report({}), threshold=-0.1)
+
+
+class TestLoad:
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_report({"a": 1.0})))
+        assert index_bench_report(load_bench_report(str(path))) == {"a": 1.0}
+
+    def test_load_rejects_non_report(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(AnalysisError):
+            load_bench_report(str(path))
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_bench_report(str(tmp_path / "nope.json"))
+
+
+class TestCli:
+    def _write(self, tmp_path, name, benchmarks):
+        path = tmp_path / name
+        path.write_text(json.dumps(_report(benchmarks)))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 1.05})
+        assert cli_main(["bench-diff", base, cur]) == 0
+        assert "no regressions" in capsys.readouterr().err
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 2.0})
+        assert cli_main(["bench-diff", base, cur]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.err
+        assert "x2.00" in captured.out
+
+    def test_threshold_flag_loosens_gate(self, tmp_path):
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 2.0})
+        assert cli_main(["bench-diff", base, cur, "--threshold", "1.5"]) == 0
+
+    def test_exit_two_on_bad_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        assert cli_main(["bench-diff", base, str(bad)]) == 2
+        assert "bench-report" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 1.0})
+        assert cli_main(["bench-diff", base, cur, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "min_s"
+        assert len(payload["compared"]) == 1
+
+    def test_mean_metric_selectable(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 1.0})
+        assert cli_main(["bench-diff", base, cur, "--metric", "mean",
+                         "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["metric"] == "mean_s"

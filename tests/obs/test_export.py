@@ -1,0 +1,109 @@
+"""Unit tests for the Chrome-trace and Prometheus exporters."""
+
+import json
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.obs.export import (
+    chrome_trace_payload,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.lifecycle import LifecycleTracer
+from repro.obs.registry import MetricsRegistry
+
+
+def _events():
+    tracer = LifecycleTracer(run_seed=11)
+    for seq in (1, 2):
+        tracer.record("r00", 0, seq, "sign", "signed", 0.001 * seq)
+        tracer.record("r00", 0, seq, "transport", "deliver", 0.002 * seq)
+        tracer.record("r00", 0, seq, "verify", "verified", 0.01)
+    tracer.record("r01", 0, 1, "sign", "signed", 0.0)
+    tracer.record("r01", 0, 1, "verify", "lost", 0.01)
+    return tracer.events()
+
+
+class TestChromeTrace:
+    def test_balanced_begin_end_pairs_per_trace(self):
+        payload = chrome_trace_payload(_events())
+        events = payload["traceEvents"]
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 3
+        # Per (pid, tid) track the B/E counts match too.
+        for begin in begins:
+            track = (begin["pid"], begin["tid"])
+            assert sum(1 for e in ends
+                       if (e["pid"], e["tid"]) == track) >= 1
+
+    def test_instants_carry_stage_and_status(self):
+        payload = chrome_trace_payload(_events())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert {"sign:signed", "transport:deliver", "verify:verified",
+                "verify:lost"} <= {e["name"] for e in instants}
+
+    def test_timestamps_scaled_to_microseconds(self):
+        payload = chrome_trace_payload(_events())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert any(e["ts"] == pytest.approx(1000.0) for e in instants)
+
+    def test_receivers_map_to_sorted_pids_with_metadata(self):
+        payload = chrome_trace_payload(_events())
+        meta = {e["args"]["name"]: e["pid"]
+                for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert meta == {"receiver r00": 1, "receiver r01": 2}
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(path, _events())
+        payload = json.loads(open(path).read())
+        assert len(payload["traceEvents"]) == count
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        write_chrome_trace(a, _events())
+        write_chrome_trace(b, _events())
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+
+class TestPrometheus:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.count("serve.packets.sent", 100)
+        registry.observe("serve.queue_depth", 3.0, (1.0, 4.0, 16.0))
+        registry.observe("serve.queue_depth", 20.0, (1.0, 4.0, 16.0))
+        return registry
+
+    def test_counters_and_histograms_render(self):
+        text = prometheus_text(registry=self._registry())
+        assert "# TYPE repro_serve_packets_sent_total counter" in text
+        assert "repro_serve_packets_sent_total 100" in text
+        assert 'repro_serve_queue_depth_bucket{le="4.0"} 1' in text
+        assert 'repro_serve_queue_depth_bucket{le="+Inf"} 2' in text
+        assert "repro_serve_queue_depth_count 2" in text
+
+    def test_gauges_render_and_reject_non_numbers(self):
+        text = prometheus_text(gauges={"serve_r00_buffered": 3})
+        assert "# TYPE repro_serve_r00_buffered gauge" in text
+        assert "repro_serve_r00_buffered 3" in text
+        with pytest.raises(AnalysisError):
+            prometheus_text(gauges={"bad": "nope"})
+
+    def test_nothing_to_render_is_an_error(self):
+        with pytest.raises(AnalysisError):
+            prometheus_text()
+
+    def test_names_sanitized_to_grammar(self):
+        text = prometheus_text(gauges={"serve/r-00.x": 1})
+        assert "repro_serve_r_00_x 1" in text
+
+    def test_write_prometheus(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(path, registry=self._registry())
+        content = open(path).read()
+        assert content.endswith("\n")
+        assert "repro_serve_packets_sent_total" in content

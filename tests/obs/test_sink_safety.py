@@ -1,0 +1,120 @@
+"""Crash-safety of the trace sinks and instrumented serve runs.
+
+The satellite invariant: an instrumented run that dies mid-stream must
+still leave parseable JSON-lines artifacts behind — never a torn line,
+never silently dropped buffered events.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.lifecycle import LifecycleTracer
+from repro.obs.sinks import TraceSink
+from repro.obs.timeseries import TimeseriesSampler
+from repro.serve.service import ServeConfig, run_live_session
+
+
+class TestTraceSinkBuffering:
+    def test_unbuffered_writes_hit_the_handle_immediately(self):
+        stream = io.StringIO()
+        sink = TraceSink(stream)
+        sink.write({"a": 1})
+        assert stream.getvalue() == '{"a": 1}\n'
+        assert sink.flush() == 0  # nothing pending
+
+    def test_buffered_writes_wait_for_flush(self):
+        stream = io.StringIO()
+        sink = TraceSink(stream, buffered=True)
+        sink.write({"a": 1})
+        sink.write({"b": 2})
+        assert stream.getvalue() == ""
+        assert sink.flush() == 2
+        assert [json.loads(line) for line in
+                stream.getvalue().splitlines()] == [{"a": 1}, {"b": 2}]
+
+    def test_close_flushes_buffered_records(self):
+        stream = io.StringIO()
+        sink = TraceSink(stream, buffered=True)
+        sink.write({"a": 1})
+        sink.close()
+        assert stream.getvalue() == '{"a": 1}\n'
+        sink.close()  # idempotent
+
+    def test_context_manager_flushes_on_exception(self):
+        stream = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with TraceSink(stream, buffered=True) as sink:
+                sink.write({"a": 1})
+                raise RuntimeError("boom")
+        assert stream.getvalue() == '{"a": 1}\n'
+
+    def test_owned_file_closed_borrowed_stream_left_open(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = TraceSink(path)
+        sink.write({"a": 1})
+        sink.close()
+        assert json.loads(open(path).read()) == {"a": 1}
+        stream = io.StringIO()
+        TraceSink(stream).close()
+        stream.write("still open")  # would raise on a closed stream
+
+
+class _Boom(Exception):
+    pass
+
+
+class _CrashingSigner:
+    """A signer that explodes on the Nth block signature.
+
+    Crashing the *sender* keeps the failure in the session's main
+    coroutine (a dead receiver task would just stall the barrier),
+    which is the realistic mid-run abort: some blocks fully traced,
+    the current one cut off.
+    """
+
+    def __init__(self, inner, after):
+        self._inner = inner
+        self._after = after
+        self._calls = 0
+
+    @property
+    def signature_size(self):
+        return self._inner.signature_size
+
+    def sign(self, data):
+        self._calls += 1
+        if self._calls > self._after:
+            raise _Boom("signer died mid-run")
+        return self._inner.sign(data)
+
+    def verify(self, data, signature):
+        return self._inner.verify(data, signature)
+
+
+class TestCrashedRunLeavesParseableArtifacts:
+    def test_crashing_session_still_yields_valid_json_lines(self, tmp_path):
+        from repro.serve.service import default_serve_signer
+
+        lifecycle_path = str(tmp_path / "lifecycle.jsonl")
+        timeseries_path = str(tmp_path / "timeseries.jsonl")
+        config = ServeConfig(receivers=2, blocks=6, block_size=8, seed=13)
+        signer = _CrashingSigner(default_serve_signer(config.seed), after=3)
+        tracer = LifecycleTracer(config.seed, sink=lifecycle_path)
+        sampler = TimeseriesSampler(interval_s=0.001, sink=timeseries_path)
+        with pytest.raises(_Boom):
+            with tracer, sampler:
+                run_live_session(config, signer=signer, lifecycle=tracer,
+                                 timeseries=sampler)
+        # Every line of both artifacts parses; the story up to the
+        # crash survived.
+        lifecycle_lines = open(lifecycle_path).read().splitlines()
+        assert lifecycle_lines, "crash dropped all lifecycle events"
+        for line in lifecycle_lines:
+            event = json.loads(line)
+            assert {"trace", "r", "b", "seq", "stage", "status",
+                    "t"} <= set(event)
+        for line in open(timeseries_path).read().splitlines():
+            row = json.loads(line)
+            assert "r" in row and "t" in row

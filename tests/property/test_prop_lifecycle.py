@@ -1,0 +1,108 @@
+"""Property-based tests for packet-lifecycle traces.
+
+Four invariants over whole instrumented serve sessions (and synthetic
+event streams where a session would be wasteful):
+
+* **completeness** — every trace that begins with a ``sign`` event
+  ends with a terminal ``verify`` event (verified / arrived / lost);
+* **monotonicity** — within a trace, timestamps never go backwards in
+  the canonical file order;
+* **balance** — the Perfetto export emits exactly one ``B`` and one
+  ``E`` per trace, at the trace's extremal timestamps;
+* **sampling** — a ``1/N`` sampled run's events are *exactly* the
+  hash-selected subset of the full run's, never an approximation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import chrome_trace_payload
+from repro.obs.lifecycle import LifecycleTracer, lifecycle_sampled
+from repro.serve.service import ServeConfig, run_live_session
+
+TERMINAL_STATUSES = {"verified", "arrived", "lost"}
+
+serve_configs = st.builds(
+    ServeConfig,
+    receivers=st.integers(min_value=1, max_value=3),
+    blocks=st.integers(min_value=1, max_value=4),
+    block_size=st.integers(min_value=2, max_value=8),
+    loss_schedule=st.sampled_from(
+        (((0, 0.0),), ((0, 0.1),), ((0, 0.3),), ((0, 0.05), (2, 0.4)))),
+    attack=st.sampled_from((None, "pollution", "dos")),
+    seed=st.integers(min_value=0, max_value=2**16),
+    queue_size=st.sampled_from((4, 256)),
+)
+
+
+def _traced_session(config, sample=1):
+    tracer = LifecycleTracer(config.seed, sample=sample)
+    run_live_session(config, lifecycle=tracer)
+    return tracer
+
+
+def _by_trace(events):
+    traces = {}
+    for event in events:
+        traces.setdefault(event["trace"], []).append(event)
+    return traces
+
+
+@given(serve_configs)
+@settings(max_examples=10, deadline=None)
+def test_every_signed_trace_reaches_a_terminal_verdict(config):
+    tracer = _traced_session(config)
+    events = tracer.events()
+    assert events, "an instrumented session must trace something"
+    for trace, trace_events in _by_trace(events).items():
+        stages = [e["stage"] for e in trace_events]
+        if "sign" not in stages:
+            continue  # noise traces (forged injections) have no sign
+        terminals = [e for e in trace_events if e["stage"] == "verify"]
+        assert terminals, f"trace {trace} signed but never concluded"
+        assert all(e["status"] in TERMINAL_STATUSES for e in terminals)
+
+
+@given(serve_configs)
+@settings(max_examples=10, deadline=None)
+def test_timestamps_monotone_within_each_trace(config):
+    tracer = _traced_session(config)
+    for trace_events in _by_trace(tracer.events()).values():
+        times = [e["t"] for e in trace_events]
+        assert times == sorted(times)
+
+
+@given(serve_configs)
+@settings(max_examples=8, deadline=None)
+def test_perfetto_export_balances_begin_end_pairs(config):
+    tracer = _traced_session(config)
+    events = tracer.events()
+    payload = chrome_trace_payload(events)
+    begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+    ends = [e for e in payload["traceEvents"] if e["ph"] == "E"]
+    assert len(begins) == len(ends) == len(_by_trace(events))
+    for trace_events in _by_trace(events).values():
+        times = [e["t"] * 1e6 for e in trace_events]
+        first, last = trace_events[0], trace_events[-1]
+        track = [e for e in begins
+                 if e["args"].get("trace") == first["trace"]]
+        assert len(track) == 1
+        assert track[0]["ts"] == min(times)
+    # Every instant lies inside [B, E] of its own track.
+    spans = {}
+    for event in payload["traceEvents"]:
+        if event["ph"] in ("B", "E"):
+            key = (event["pid"], event["tid"], event["name"])
+            low, high = spans.get(key, (float("inf"), float("-inf")))
+            spans[key] = (min(low, event["ts"]), max(high, event["ts"]))
+    for low, high in spans.values():
+        assert low <= high
+
+
+@given(serve_configs, st.sampled_from((2, 4, 16)))
+@settings(max_examples=8, deadline=None)
+def test_sampled_run_is_exactly_the_hash_selected_subset(config, sample):
+    full = _traced_session(config).events()
+    sampled = _traced_session(config, sample=sample).events()
+    expected = [e for e in full if lifecycle_sampled(e["trace"], sample)]
+    assert sampled == expected
