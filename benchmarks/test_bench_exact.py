@@ -1,0 +1,65 @@
+"""Exact periodic oracle: vectorized transfer matrix vs the old walk.
+
+The ``test_exact_periodic_reach12_n400`` hot spot (~2.3 s under the
+dictionary walk) is the workload benchmarked here under the shipping
+``np.bincount`` oracle; the speedup assertion keeps the vectorized
+path from silently regressing back to per-state Python, and the
+cross-check keeps it honest against the reference it replaced.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.exact_periodic import (
+    exact_periodic_q_min,
+    exact_periodic_q_profile,
+    exact_periodic_q_profile_reference,
+)
+from repro.experiments.common import ExperimentResult
+
+N = 400
+OFFSETS = (1, 5, 12)
+LOSS_RATE = 0.2
+MIN_SPEEDUP = 5.0
+
+
+def test_bench_exact_periodic_oracle(benchmark, show):
+    q_min = benchmark(exact_periodic_q_min, N, list(OFFSETS), LOSS_RATE)
+
+    assert 0.0 < q_min < 1.0
+    oracle_seconds = benchmark.stats.stats.mean
+
+    # Correctness: full-precision agreement with the reference walk on
+    # the benchmarked workload itself.
+    start = time.perf_counter()
+    reference = exact_periodic_q_profile_reference(N, list(OFFSETS),
+                                                   LOSS_RATE)
+    reference_seconds = time.perf_counter() - start
+    oracle = exact_periodic_q_profile(N, list(OFFSETS), LOSS_RATE)
+    for got, want in zip(oracle, reference):
+        assert got == pytest.approx(want, abs=1e-12)
+    assert q_min == pytest.approx(min(reference), abs=1e-12)
+
+    speedup = reference_seconds / oracle_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized oracle only {speedup:.1f}x over the reference walk "
+        f"(need >= {MIN_SPEEDUP}x): {oracle_seconds:.4f}s vs "
+        f"{reference_seconds:.4f}s")
+
+    result = ExperimentResult(
+        experiment_id="bench-exact",
+        title="exact periodic oracle, reach 12, n=400",
+    )
+    result.rows.append({
+        "n": N,
+        "offsets": str(list(OFFSETS)),
+        "p": LOSS_RATE,
+        "q_min": q_min,
+        "oracle s": oracle_seconds,
+        "reference s": reference_seconds,
+        "speedup": speedup,
+    })
+    result.note("np.bincount transfer matrix vs the dictionary walk it "
+                "replaced; both exact to 1e-12")
+    show(result)

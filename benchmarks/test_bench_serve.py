@@ -9,14 +9,25 @@ second; the fan-out series shows how the single-sender event loop
 amortizes across sessions.
 """
 
+import time
+
 import pytest
 
+from repro.crypto.signatures import RsaSigner
 from repro.experiments.common import ExperimentResult
 from repro.serve.service import ServeConfig, run_live_session
 
 BLOCKS = 4
 BLOCK_SIZE = 8
 RECEIVER_COUNTS = (1, 16, 64)
+
+#: Batch-signing comparison: a real (expensive) signature scheme, the
+#: fan-out where amortization matters, one batch covering the session.
+RSA_BITS = 3072
+BATCH_RECEIVERS = 64
+BATCH_BLOCKS = 8
+BATCH_SIZE = 8
+MIN_BATCH_SPEEDUP = 3.0
 
 
 def _config(receivers):
@@ -49,4 +60,77 @@ def test_serve_throughput(benchmark, show, receivers):
     })
     result.note("local transport, virtual time, loss p=0.05, "
                 "adaptive controller on")
+    show(result)
+
+
+@pytest.fixture(scope="module")
+def rsa_signer():
+    """One RSA-2048 key pair shared by both arms of the comparison."""
+    return RsaSigner.generate(RSA_BITS)
+
+
+def _batch_config(batch_size):
+    return ServeConfig(receivers=BATCH_RECEIVERS, blocks=BATCH_BLOCKS,
+                       block_size=2, payload_size=16,
+                       loss_schedule=((0, 0.05),), seed=17,
+                       adaptive=False, batch_size=batch_size)
+
+
+def test_serve_batch_signing_speedup(benchmark, show, rsa_signer):
+    """>= 3x pkts/sec at 64 receivers with batch 8 vs per-block RSA.
+
+    Per-block signing pays one RSA signature per block plus one RSA
+    verification per (receiver, block); batch signing pays one
+    signature per 8 blocks and — through the shared verifier cache —
+    one real verification per batch for the whole pool.  Both arms
+    must produce byte-identical receiver transcripts: the speedup may
+    not change a single verdict.
+    """
+    per_block_config = _batch_config(1)
+    batch_config = _batch_config(BATCH_SIZE)
+
+    per_block_seconds = []
+    for _ in range(2):
+        start = time.perf_counter()
+        per_block_session = run_live_session(per_block_config,
+                                             signer=rsa_signer)
+        per_block_seconds.append(time.perf_counter() - start)
+    per_seconds = min(per_block_seconds)
+
+    batch_session = benchmark(run_live_session, batch_config, rsa_signer)
+    # min-of-rounds on both arms: the gate compares best-case against
+    # best-case so scheduler noise cannot flip it either way
+    batch_seconds = benchmark.stats.stats.min
+
+    assert per_block_session.forged_accepted == 0
+    assert batch_session.forged_accepted == 0
+    assert batch_session.transcripts == per_block_session.transcripts
+    assert batch_session.delivered == per_block_session.delivered
+    assert batch_session.delivered > 0
+
+    pkts_per_sec_batch = batch_session.delivered / batch_seconds
+    pkts_per_sec_per_block = per_block_session.delivered / per_seconds
+    speedup = pkts_per_sec_batch / pkts_per_sec_per_block
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batch signing only {speedup:.2f}x over per-block "
+        f"(need >= {MIN_BATCH_SPEEDUP}x): {batch_seconds:.4f}s vs "
+        f"{per_seconds:.4f}s per session")
+
+    result = ExperimentResult(
+        experiment_id="bench-serve-batch",
+        title=f"batch signing, {BATCH_RECEIVERS} receivers, "
+              f"rsa-{RSA_BITS}",
+    )
+    for arm, seconds, pkts in (
+            ("per-block", per_seconds, pkts_per_sec_per_block),
+            (f"batch {BATCH_SIZE}", batch_seconds, pkts_per_sec_batch)):
+        result.rows.append({
+            "signing": arm,
+            "blocks": BATCH_BLOCKS,
+            "delivered pkts": batch_session.delivered,
+            "session s": seconds,
+            "pkts/sec": pkts,
+        })
+    result.note(f"one RSA-{RSA_BITS} key, identical transcripts; "
+                f"speedup {speedup:.2f}x (gate >= {MIN_BATCH_SPEEDUP}x)")
     show(result)

@@ -58,6 +58,7 @@ from repro.analysis.exact_periodic import exact_periodic_q_profile
 from repro.analysis.montecarlo import _propagate
 from repro.core.graph import DependenceGraph
 from repro.core.recurrence import solve_recurrence
+from repro.crypto.batch import StreamBatchSigner
 from repro.crypto.signatures import HmacStubSigner, Signer
 from repro.exceptions import AnalysisError
 from repro.network.channel import Channel
@@ -484,13 +485,17 @@ def effective_loss_rate(p: float, plan: AttackPlan) -> float:
 def adversarial_wire_stats(scheme: Scheme, n: int, p: float,
                            plan: AttackPlan, trials: int, seed: int = 7,
                            env: Optional[ConformanceEnvironment] = None,
-                           workers: Optional[int] = None
+                           workers: Optional[int] = None,
+                           signer: Optional[Signer] = None
                            ) -> SimulationStats:
     """Attacked wire-level statistics for ``trials`` blocks of ``n``.
 
     The adversarial counterpart of :func:`wire_q_stats`: one driver
     covers every scheme family.  ``workers`` shards the trials across
     a process pool (bit-for-bit identical to the serial run).
+    ``signer`` overrides the block signer — a
+    :class:`~repro.crypto.batch.StreamBatchSigner` runs the whole
+    matrix over batch attachments instead of plain signatures.
     """
     env = env if env is not None else ConformanceEnvironment()
     if workers is not None and workers > 1:
@@ -498,17 +503,18 @@ def adversarial_wire_stats(scheme: Scheme, n: int, p: float,
         return parallel_adversarial_trials(
             scheme, n, p, plan, trials, seed=seed,
             delay_mean=env.delay_mean, delay_std=env.delay_std,
-            workers=workers)
+            workers=workers, signer=signer)
     return run_adversarial_trials(scheme, n, p, plan, 0, trials, seed=seed,
                                   delay_mean=env.delay_mean,
-                                  delay_std=env.delay_std)
+                                  delay_std=env.delay_std, signer=signer)
 
 
 def adversarial_conformance_report(name: str, n: int, p: float, mix: str,
                                    trials: int, seed: int = 7,
                                    env: Optional[ConformanceEnvironment]
                                    = None,
-                                   workers: Optional[int] = None) -> dict:
+                                   workers: Optional[int] = None,
+                                   batch_size: int = 1) -> dict:
     """Security-invariant conformance for one (scheme, mix) pair.
 
     Two invariants, reported as one dict:
@@ -522,17 +528,27 @@ def adversarial_conformance_report(name: str, n: int, p: float, mix: str,
       :data:`COMPLETENESS_POLICY` (``conformant`` is ``None`` for
       skipped pairs).
 
-    ``passed`` folds both together.
+    ``passed`` folds both together.  With ``batch_size > 1`` the block
+    signer is wrapped in a :class:`~repro.crypto.batch.\
+StreamBatchSigner`, so every signature on the attacked wire is a batch
+    attachment — the invariants must hold over the batch construction
+    exactly as over plain signatures.
     """
     scheme = default_scheme(name)
     plan = attack_mix(mix)
     p_eff = effective_loss_rate(p, plan)
+    signer: Optional[Signer] = None
+    if batch_size > 1:
+        signer = StreamBatchSigner(
+            HmacStubSigner(key=b"adversarial-wire", signature_size=128),
+            batch_size, seed=seed)
     stats = adversarial_wire_stats(scheme, n, p, plan, trials, seed=seed,
-                                   env=env, workers=workers)
+                                   env=env, workers=workers, signer=signer)
     policy, reason = COMPLETENESS_POLICY.get((mix, name), ("two-sided", ""))
     report = {
         "scheme": name,
         "mix": mix,
+        "batch_size": batch_size,
         "n": n,
         "trials": trials,
         "loss_rate": p,

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import AnalysisError
 
-__all__ = ["exact_periodic_q_profile", "exact_periodic_q_min"]
+__all__ = ["exact_periodic_q_profile", "exact_periodic_q_profile_reference",
+           "exact_periodic_q_min"]
 
 _MAX_REACH = 16
 
@@ -66,6 +69,58 @@ def exact_periodic_q_profile(n: int, offsets: Sequence[int],
     is encoded by starting, for each position ``i <= K+1``, from the
     exact joint distribution grown step by step — positions whose
     branch clamps to the root are verifiable whenever received.
+
+    This is the vectorized transfer-matrix evaluation: the state
+    distribution is a dense vector over all ``2^K`` bitmasks and each
+    position applies the (sparse, two-outcomes-per-state) linear
+    operator with a pair of ``np.bincount`` scatters.  It matches
+    :func:`exact_periodic_q_profile_reference` — the original
+    dictionary walk, kept as the differential-testing ground truth —
+    to full double precision.
+    """
+    a_set = _clean_offsets(offsets)
+    if n < 1:
+        raise AnalysisError(f"block size must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"loss rate must be in [0, 1], got {p}")
+    reach = a_set[-1]
+    survive = 1.0 - p
+    size = 1 << reach
+    states = np.arange(size, dtype=np.int64)
+    # A state supports the next packet when any offset branch is alive.
+    supported = np.zeros(size, dtype=bool)
+    for a in a_set:
+        supported |= ((states >> (a - 1)) & 1).astype(bool)
+    shifted = (states << 1) & (size - 1)
+    weights = np.zeros(size)
+    weights[1] = 1.0  # root verifiable with certainty
+    profile = [1.0]
+    for i in range(2, n + 1):
+        clamp = reach >= i - 1  # some branch reaches back to the root
+        alive_mask = np.ones(size, dtype=bool) if clamp else supported
+        if clamp:
+            profile.append(1.0)
+        else:
+            profile.append(float(weights[alive_mask].sum()))
+        supported_weight = np.where(alive_mask, weights, 0.0)
+        unsupported_weight = np.where(alive_mask, 0.0, weights)
+        weights = (
+            np.bincount(shifted | 1, weights=supported_weight * survive,
+                        minlength=size)
+            + np.bincount(shifted, weights=supported_weight * p
+                          + unsupported_weight, minlength=size)
+        )
+    return profile
+
+
+def exact_periodic_q_profile_reference(n: int, offsets: Sequence[int],
+                                       p: float) -> List[float]:
+    """Original dictionary-based walk; ground truth for the oracle.
+
+    Same contract as :func:`exact_periodic_q_profile`, ``O(n · 2^K)``
+    with per-state Python dictionaries.  Kept verbatim so the
+    vectorized path is forever differential-testable against the code
+    it replaced.
     """
     a_set = _clean_offsets(offsets)
     if n < 1:

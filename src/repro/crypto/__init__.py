@@ -6,6 +6,16 @@ from the Python standard library only (``hashlib``/``hmac``/``secrets``
 plus from-scratch RSA arithmetic).
 """
 
+from repro.crypto.batch import (
+    BatchAttachment,
+    BatchSigner,
+    BatchVerifier,
+    StreamBatchSigner,
+    batch_attachment_size,
+    decode_batch_attachment,
+    encode_batch_attachment,
+    is_batch_attachment,
+)
 from repro.crypto.gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow
 from repro.crypto.hashing import (
     HashFunction,
@@ -36,6 +46,14 @@ from repro.crypto.signatures import (
 )
 
 __all__ = [
+    "BatchAttachment",
+    "BatchSigner",
+    "BatchVerifier",
+    "StreamBatchSigner",
+    "batch_attachment_size",
+    "decode_batch_attachment",
+    "encode_batch_attachment",
+    "is_batch_attachment",
     "gf_add",
     "gf_div",
     "gf_inv",

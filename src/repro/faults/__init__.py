@@ -31,6 +31,7 @@ from repro.exceptions import AnalysisError
 from repro.faults.channel import (ATTACK_KINDS, AdversarialChannel,
                                   WireDelivery)
 from repro.faults.models import (
+    BatchRootForgery,
     BitFlipCorruption,
     FaultModel,
     ForgedInjection,
@@ -42,6 +43,7 @@ from repro.faults.plan import AttackPlan
 
 __all__ = [
     "FaultModel",
+    "BatchRootForgery",
     "BitFlipCorruption",
     "TruncationCorruption",
     "ForgedInjection",

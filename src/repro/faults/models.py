@@ -33,6 +33,9 @@ from abc import ABC
 from dataclasses import replace
 from typing import List, Optional, Tuple
 
+from repro.crypto.batch import BatchAttachment, encode_batch_attachment
+from repro.crypto.hashing import HashFunction, sha256
+from repro.crypto.merkle import MerkleTree
 from repro.exceptions import SimulationError
 from repro.packets import WIRE_HEADER_SIZE, Packet
 
@@ -43,6 +46,7 @@ __all__ = [
     "ForgedInjection",
     "ReplayDuplication",
     "ReorderJitter",
+    "BatchRootForgery",
 ]
 
 #: Sequence-number displacement for non-colliding forged packets: far
@@ -224,6 +228,68 @@ class ReplayDuplication(FaultModel):
             return []
         return [self._rng.uniform(self.min_delay, self.max_delay)
                 for _ in range(self.copies)]
+
+
+class BatchRootForgery(FaultModel):
+    """Forge a batch-signed packet with a perfectly consistent proof.
+
+    The strongest attack the batch construction admits short of
+    breaking the signature itself: the forged copy swaps the payload
+    of an observed signature packet, then carries a *structurally
+    valid* batch attachment built over the forged packet's own
+    authentication bytes — the strict decode succeeds and the Merkle
+    walk reproduces the attacker's root exactly.  The only check left
+    standing between the forgery and acceptance is the root-signature
+    verification, which must fail because the attacker cannot sign the
+    domain-separated root.  A receiver that skipped or cached that
+    check wrongly would accept, and the conformance suite's
+    ``forged_accepted == 0`` gate would trip.
+    """
+
+    def __init__(self, rate: float, batch_size: int = 8,
+                 signature_size: int = 128, epsilon: float = 1e-6,
+                 hash_function: HashFunction = sha256,
+                 seed: Optional[int] = None) -> None:
+        self.rate = _check_rate(rate, "batch-root forgery rate")
+        if batch_size < 1:
+            raise SimulationError(
+                f"batch_size must be >= 1, got {batch_size}")
+        if signature_size < 1:
+            raise SimulationError(
+                f"signature_size must be >= 1, got {signature_size}")
+        if epsilon <= 0:
+            raise SimulationError(f"epsilon must be > 0, got {epsilon}")
+        self.batch_size = batch_size
+        self.signature_size = signature_size
+        self.epsilon = epsilon
+        self.hash_function = hash_function
+        self._seed = seed
+        self.reset()
+
+    def forge(self, packet: Packet) -> List[Tuple[float, bytes]]:
+        if packet.signature is None:
+            return []  # only signature packets carry a root to forge
+        if self._rng.random() >= self.rate:
+            return []
+        payload = (b"forged-root:"
+                   + self._rng.getrandbits(64).to_bytes(8, "big"))
+        forged = replace(packet, payload=payload, signature=b"")
+        leaf = forged.auth_bytes()
+        position = self._rng.randrange(self.batch_size)
+        leaves = [
+            self._rng.getrandbits(256).to_bytes(32, "big")
+            for _ in range(self.batch_size - 1)
+        ]
+        leaves.insert(position, leaf)
+        tree = MerkleTree(leaves, self.hash_function)
+        fake_signature = bytes(self._rng.getrandbits(8)
+                               for _ in range(self.signature_size))
+        attachment = encode_batch_attachment(BatchAttachment(
+            leaf_index=position, leaf_count=self.batch_size,
+            proof=tree.proof(position), root_signature=fake_signature))
+        forged = replace(forged, signature=attachment)
+        offset = self.epsilon * (1.0 + self._rng.random())
+        return [(offset, forged.to_wire())]
 
 
 class ReorderJitter(FaultModel):

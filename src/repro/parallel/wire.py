@@ -80,11 +80,11 @@ def parallel_wire_monte_carlo(scheme: Scheme, config: WireTrialConfig,
 
 def _adversarial_chunk(task) -> SimulationStats:
     (scheme, block_size, loss_rate, plan, first_trial, trial_count, seed,
-     delay_mean, delay_std) = task
+     delay_mean, delay_std, signer) = task
     return run_adversarial_trials(scheme, block_size, loss_rate, plan,
                                   first_trial, trial_count, seed=seed,
                                   delay_mean=delay_mean,
-                                  delay_std=delay_std)
+                                  delay_std=delay_std, signer=signer)
 
 
 def parallel_adversarial_trials(scheme: Scheme, block_size: int,
@@ -93,13 +93,16 @@ def parallel_adversarial_trials(scheme: Scheme, block_size: int,
                                 delay_mean: float = 0.0,
                                 delay_std: float = 0.0,
                                 workers: Optional[int] = None,
-                                chunks: Optional[int] = None
-                                ) -> SimulationStats:
+                                chunks: Optional[int] = None,
+                                signer=None) -> SimulationStats:
     """Sharded :func:`~repro.simulation.adversarial.run_adversarial_trials`.
 
     Every scheme family is covered; the attack plan is pickled to each
     worker and reseeded per trial off the global index, so soundness
     counters and ``q_i`` tallies merge to the serial result exactly.
+    A custom ``signer`` must be picklable and a pure function of its
+    inputs (e.g. :class:`~repro.crypto.batch.StreamBatchSigner`) for
+    the shard-invariance guarantee to hold.
     """
     if trials < 1:
         raise SimulationError(f"need >= 1 trial, got {trials}")
@@ -109,7 +112,7 @@ def parallel_adversarial_trials(scheme: Scheme, block_size: int,
     first_trial = 0
     for size in sizes:
         tasks.append((scheme, block_size, loss_rate, plan, first_trial,
-                      size, seed, delay_mean, delay_std))
+                      size, seed, delay_mean, delay_std, signer))
         first_trial += size
     shards = run_tasks(_adversarial_chunk, tasks, workers)
     return SimulationStats.merge_all(shards)

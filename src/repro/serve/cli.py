@@ -83,6 +83,17 @@ def _build_parser(prog: str, soak: bool) -> argparse.ArgumentParser:
                              "controller designs for (default 0.75)")
     parser.add_argument("--no-adaptive", action="store_true",
                         help="freeze the initial scheme parameters")
+    parser.add_argument("--batch-size", type=_positive_int, default=1,
+                        metavar="N",
+                        help="blocks amortized per root signature: sign "
+                             "one Merkle root over N blocks and attach "
+                             "per-block proofs (default 1: sign every "
+                             "block)")
+    parser.add_argument("--flush-deadline", type=float, default=None,
+                        metavar="S", dest="flush_deadline",
+                        help="flush a partial batch once its oldest "
+                             "block has waited S virtual seconds "
+                             "(default: only full batches flush early)")
     parser.add_argument("--timeout", type=float, default=None, metavar="S",
                         dest="timeout_s",
                         help="abort the session after S seconds")
@@ -143,6 +154,8 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         transport=args.transport,
         adaptive=not args.no_adaptive,
         timeout_s=args.timeout_s,
+        batch_size=args.batch_size,
+        flush_deadline=args.flush_deadline,
     )
 
 

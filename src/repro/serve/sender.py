@@ -26,9 +26,10 @@ folds stay exact because all accounting is integer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
+from repro.crypto.batch import BatchSigner
 from repro.crypto.hashing import HashFunction, sha256
 from repro.crypto.signatures import Signer
 from repro.exceptions import SimulationError
@@ -39,10 +40,17 @@ from repro.network.delay import ConstantDelay
 from repro.network.loss import BernoulliLoss
 from repro.obs import get_registry
 from repro.obs.lifecycle import NOISE_SEQ, get_lifecycle
+from repro.packets import Packet
 from repro.schemes.base import Scheme
 from repro.serve.transport import ControlFrame, Transport, encode_control
 
 __all__ = ["BlockTruth", "SenderService", "default_channel_factory"]
+
+#: Histogram bounds for blocks amortized per root signature.
+_BATCH_SIZE_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: Histogram bounds for encoded batch-attachment sizes (bytes).
+_PROOF_BYTES_BOUNDS = (64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0)
 
 _LOSS_STRIDE_RECEIVER = 7919
 _LOSS_STRIDE_BLOCK = 104729
@@ -105,8 +113,55 @@ def default_channel_factory(seed: int,
     return build
 
 
+class _DeferredSigner:
+    """Placeholder signer for blocks whose signature arrives at flush.
+
+    ``auth_bytes`` excludes the signature field, so packetizing with an
+    empty sentinel leaves every digest and carried hash final; the
+    batch flush later swaps the sentinel for the real attachment.
+    """
+
+    def __init__(self, inner: Signer) -> None:
+        self.name = inner.name
+        self.signature_size = inner.signature_size
+        self._inner = inner
+
+    def sign(self, message: bytes) -> bytes:
+        return b""
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self._inner.verify(message, signature)
+
+
+@dataclass
+class _PendingBlock:
+    """One packetized block waiting for its batch flush."""
+
+    block_id: int
+    base_seq: int
+    last_seq: int
+    scheme_name: str
+    phase: str
+    loss_rate: float
+    stamped: List[Packet]
+    digests: Dict[int, str]
+    control_time: float
+
+
 class SenderService:
     """Signs, packetizes and streams blocks over a transport.
+
+    With ``batch_size > 1`` the service runs in batch-signing mode
+    (:mod:`repro.crypto.batch`): blocks are packetized and paced
+    immediately but held back from the transport with a placeholder
+    signature; once ``batch_size`` blocks are pending — or the oldest
+    pending block has waited ``flush_deadline`` virtual seconds — one
+    Merkle root covering every pending signature packet is signed and
+    each packet's placeholder is replaced by its proof-carrying
+    attachment before the blocks stream out.  Because channel draws are
+    seeded per (receiver, block) and send times are stamped at
+    packetization, the loss pattern, digests and receiver verdicts are
+    identical to per-block signing on the same seed.
 
     Parameters
     ----------
@@ -128,18 +183,33 @@ class SenderService:
         clock unit).
     hash_function:
         Must match the receivers'.
+    batch_size:
+        Blocks amortized per root signature; ``1`` (default) signs
+        every block directly, exactly as before.
+    flush_deadline:
+        Virtual seconds the oldest pending block may wait before a
+        partial batch is flushed anyway (bounds latency); ``None``
+        flushes only on a full batch or at end of session.
     """
 
     def __init__(self, transport: Transport, receiver_ids: Sequence[str],
                  signer: Signer,
                  channel_factory: Callable[[int, int, float], Channel],
                  clock: Clock, t_transmit: float = 0.001,
-                 hash_function: HashFunction = sha256) -> None:
+                 hash_function: HashFunction = sha256,
+                 batch_size: int = 1,
+                 flush_deadline: Optional[float] = None) -> None:
         if not receiver_ids:
             raise SimulationError("need at least one receiver")
         if t_transmit <= 0:
             raise SimulationError(
                 f"t_transmit must be > 0, got {t_transmit}")
+        if batch_size < 1:
+            raise SimulationError(
+                f"batch_size must be >= 1, got {batch_size}")
+        if flush_deadline is not None and flush_deadline <= 0:
+            raise SimulationError(
+                f"flush_deadline must be > 0, got {flush_deadline}")
         self.transport = transport
         self.receiver_ids = list(receiver_ids)
         self.signer = signer
@@ -147,6 +217,11 @@ class SenderService:
         self.clock = clock
         self.t_transmit = t_transmit
         self.hash_function = hash_function
+        self.batch_size = batch_size
+        self.flush_deadline = flush_deadline
+        self._batch = BatchSigner(signer, hash_function)
+        self._pending: List[_PendingBlock] = []
+        self._pending_since: Optional[float] = None
         self._next_seq = 1
         self._next_block = 0
         self._send_clock = 0.0  # virtual send-time base, paper pacing
@@ -165,11 +240,85 @@ class SenderService:
         receiver gets carries its own ``intact`` set plus the shared
         digest map.
         """
+        pending = self._packetize(scheme, payloads, loss_rate, phase,
+                                  self.signer)
+        truths = await self._transmit_block(pending)
+        await self.clock.sleep(len(pending.stamped) * self.t_transmit)
+        return truths
+
+    async def submit_block(self, scheme: Scheme, payloads: Sequence[bytes],
+                           loss_rate: float, phase: str
+                           ) -> Dict[int, Dict[str, BlockTruth]]:
+        """Queue one block, flushing per the batch policy.
+
+        In per-block mode (``batch_size == 1``) this is exactly
+        :meth:`send_block`.  In batch mode the block is packetized with
+        a placeholder signature and held; the return value maps the
+        block ids flushed *by this call* (possibly none, possibly
+        several) to their per-receiver ground truth.
+        """
+        if self.batch_size == 1:
+            block_id = self._next_block
+            truths = await self.send_block(scheme, payloads, loss_rate,
+                                           phase)
+            return {block_id: truths}
+        pending = self._packetize(scheme, payloads, loss_rate, phase,
+                                  _DeferredSigner(self.signer))
+        self._pending.append(pending)
+        if self._pending_since is None:
+            self._pending_since = self.clock.now()
+        await self.clock.sleep(len(pending.stamped) * self.t_transmit)
+        deadline_hit = (
+            self.flush_deadline is not None
+            and self.clock.now() - self._pending_since >= self.flush_deadline)
+        if len(self._pending) >= self.batch_size or deadline_hit:
+            return await self.flush_pending()
+        return {}
+
+    async def flush_pending(self) -> Dict[int, Dict[str, BlockTruth]]:
+        """Sign one Merkle root over all pending blocks and stream them."""
+        if not self._pending:
+            return {}
+        pending_blocks = self._pending
+        self._pending = []
+        self._pending_since = None
+        signature_slots = []  # (pending_index, packet_index)
+        for p_index, pending in enumerate(pending_blocks):
+            for k_index, packet in enumerate(pending.stamped):
+                if packet.signature is not None:
+                    self._batch.append(packet.auth_bytes())
+                    signature_slots.append((p_index, k_index))
+        attachments = self._batch.flush()
+        registry = get_registry()
+        if registry.enabled:
+            registry.count("serve.batch.signs", 1)
+            registry.count("serve.batch.flushes", 1)
+            registry.observe("serve.batch.blocks_per_signature",
+                             float(len(pending_blocks)),
+                             bounds=_BATCH_SIZE_BOUNDS)
+            for attachment in attachments:
+                registry.observe("serve.batch.proof_bytes",
+                                 float(len(attachment)),
+                                 bounds=_PROOF_BYTES_BOUNDS)
+        for (p_index, k_index), attachment in zip(signature_slots,
+                                                  attachments):
+            pending = pending_blocks[p_index]
+            pending.stamped[k_index] = replace(pending.stamped[k_index],
+                                               signature=attachment)
+        results: Dict[int, Dict[str, BlockTruth]] = {}
+        for pending in pending_blocks:
+            results[pending.block_id] = await self._transmit_block(pending)
+        return results
+
+    def _packetize(self, scheme: Scheme, payloads: Sequence[bytes],
+                   loss_rate: float, phase: str,
+                   signer: Signer) -> _PendingBlock:
+        """Build and stamp one block; advances seq/block/send-time state."""
         if not payloads:
             raise SimulationError("empty block")
         block_id = self._next_block
         base_seq = self._next_seq
-        packets = scheme.make_block(list(payloads), self.signer,
+        packets = scheme.make_block(list(payloads), signer,
                                     self.hash_function, block_id=block_id,
                                     base_seq=base_seq)
         self._next_block += 1
@@ -178,11 +327,26 @@ class SenderService:
         for packet in packets:
             stamped.append(packet.with_send_time(self._send_clock))
             self._send_clock += self.t_transmit
-        last_seq = base_seq + len(packets) - 1
         digests = {
             packet.seq: self.hash_function.digest(packet.auth_bytes()).hex()
             for packet in stamped
         }
+        return _PendingBlock(
+            block_id=block_id, base_seq=base_seq,
+            last_seq=base_seq + len(packets) - 1,
+            scheme_name=scheme.name, phase=phase, loss_rate=loss_rate,
+            stamped=stamped, digests=digests,
+            control_time=self._send_clock)
+
+    async def _transmit_block(self, pending: _PendingBlock
+                              ) -> Dict[str, BlockTruth]:
+        """Push one packetized block through every receiver's channel."""
+        block_id = pending.block_id
+        base_seq = pending.base_seq
+        last_seq = pending.last_seq
+        stamped = pending.stamped
+        digests = pending.digests
+        loss_rate = pending.loss_rate
         registry = get_registry()
         tracer = get_lifecycle()
         truths: Dict[str, BlockTruth] = {}
@@ -208,7 +372,7 @@ class SenderService:
                 for packet in stamped:
                     tracer.record(receiver_id, block_id, packet.seq,
                                   "sign", "signed", packet.send_time,
-                                  scheme=scheme.name)
+                                  scheme=pending.scheme_name)
                     tracer.record(receiver_id, block_id, packet.seq,
                                   "frame", "framed", packet.send_time)
                     if packet.seq not in surviving:
@@ -236,8 +400,8 @@ class SenderService:
                 and d.seq_hint not in dropped_genuine)
             truth = BlockTruth(
                 receiver_id=receiver_id, block_id=block_id,
-                base_seq=base_seq, last_seq=last_seq, phase=phase,
-                scheme=scheme.name, intact=intact, digests=digests,
+                base_seq=base_seq, last_seq=last_seq, phase=pending.phase,
+                scheme=pending.scheme_name, intact=intact, digests=digests,
                 sent=channel.sent, dropped=channel.dropped,
                 corrupted=corrupted, injected=injected, replayed=replayed,
                 queue_dropped=len(transport_dropped),
@@ -245,12 +409,12 @@ class SenderService:
             truths[receiver_id] = truth
             frame = ControlFrame(
                 block_id=block_id, base_seq=base_seq, last_seq=last_seq,
-                scheme=scheme.name, phase=phase,
+                scheme=pending.scheme_name, phase=pending.phase,
                 intact=tuple(sorted(intact)),
                 digests=tuple(sorted(digests.items())),
             )
             control = WireDelivery(
-                arrival_time=self._send_clock, data=encode_control(frame),
+                arrival_time=pending.control_time, data=encode_control(frame),
                 kind="control", seq_hint=None)
             await self.transport.send(receiver_id, [control])
             if registry.enabled:
@@ -260,11 +424,11 @@ class SenderService:
                     registry.count("serve.attack.corrupted", corrupted)
                     registry.count("serve.attack.injected", injected)
                     registry.count("serve.attack.replayed", replayed)
-        await self.clock.sleep(len(stamped) * self.t_transmit)
         return truths
 
     async def send_final(self) -> None:
-        """End the session: final control frame to every receiver."""
+        """End the session: flush any partial batch, then signal EOF."""
+        await self.flush_pending()
         frame = ControlFrame(block_id=-1, base_seq=0, last_seq=0,
                              scheme="", phase="", final=True)
         data = encode_control(frame)

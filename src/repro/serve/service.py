@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.conformance import attack_mix
+from repro.crypto.batch import BatchVerifier
 from repro.crypto.signatures import HmacStubSigner, Signer
 from repro.exceptions import SimulationError
 from repro.faults import KNOWN_ATTACK_MIXES
@@ -71,12 +72,20 @@ class ServeConfig:
     transport: str = "local"
     adaptive: bool = True
     timeout_s: Optional[float] = None
+    batch_size: int = 1
+    flush_deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.receivers < 1:
             raise SimulationError("need at least one receiver")
         if self.blocks < 1:
             raise SimulationError("need at least one block")
+        if self.batch_size < 1:
+            raise SimulationError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.flush_deadline is not None and self.flush_deadline <= 0:
+            raise SimulationError(
+                f"flush_deadline must be > 0, got {self.flush_deadline}")
         if self.transport not in ("local", "udp"):
             raise SimulationError(
                 f"unknown transport {self.transport!r} (local|udp)")
@@ -121,6 +130,8 @@ class ServeConfig:
             "queue_size": self.queue_size,
             "transport": self.transport,
             "adaptive": self.adaptive,
+            "batch_size": self.batch_size,
+            "flush_deadline": self.flush_deadline,
         }
 
 
@@ -191,6 +202,16 @@ async def _drive_session(config: ServeConfig, transport: Transport,
     registry = get_registry()
     await transport.start(config.receiver_ids())
     pool.start(transport)
+
+    async def settle(flushed_block_id: int) -> None:
+        reports = await pool.wait_block(flushed_block_id)
+        if config.adaptive:
+            controller.observe(flushed_block_id, reports)
+        if timeseries is not None and timeseries.due(clock.now()):
+            timeseries.record(clock.now(), _gauge_rows(pool, controller))
+        if registry.enabled:
+            registry.count("serve.block.runs", 1)
+
     try:
         for block_id in range(config.blocks):
             loss_rate = config.loss_for_block(block_id)
@@ -198,14 +219,12 @@ async def _drive_session(config: ServeConfig, transport: Transport,
             phase = f"{scheme.name}@p={loss_rate:g}"
             payloads = make_payloads(config.block_size, config.payload_size,
                                      tag=b"blk%04d" % block_id)
-            await sender.send_block(scheme, payloads, loss_rate, phase)
-            reports = await pool.wait_block(block_id)
-            if config.adaptive:
-                controller.observe(block_id, reports)
-            if timeseries is not None and timeseries.due(clock.now()):
-                timeseries.record(clock.now(), _gauge_rows(pool, controller))
-            if registry.enabled:
-                registry.count("serve.block.runs", 1)
+            flushed = await sender.submit_block(scheme, payloads, loss_rate,
+                                                phase)
+            for flushed_id in sorted(flushed):
+                await settle(flushed_id)
+        for flushed_id in sorted(await sender.flush_pending()):
+            await settle(flushed_id)
         await sender.send_final()
         await pool.join()
     finally:
@@ -245,10 +264,16 @@ def run_live_session(config: ServeConfig,
     controller = AdaptiveController(
         block_size=config.block_size, q_min_target=config.q_min_target,
         initial_p=config.loss_for_block(0))
-    pool = ReceiverPool(config.receiver_ids(), signer)
+    # Receivers always verify through a BatchVerifier: plain signatures
+    # pass straight through to the inner signer, batch attachments get
+    # the proof walk plus one cached root verification per batch.  The
+    # pool shares one session signer, so the root cache is shared too.
+    pool = ReceiverPool(config.receiver_ids(), BatchVerifier(signer))
     sender = SenderService(transport, config.receiver_ids(), signer,
                            channel_factory, clock,
-                           t_transmit=config.t_transmit)
+                           t_transmit=config.t_transmit,
+                           batch_size=config.batch_size,
+                           flush_deadline=config.flush_deadline)
     manifest_clock = RunManifest.start(
         "serve", f"live-{config.transport}",
         parameters=config.to_parameters(), seed_root=config.seed, workers=1)

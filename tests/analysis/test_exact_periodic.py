@@ -6,6 +6,7 @@ from repro.analysis.exact_chain import exact_q_profile
 from repro.analysis.exact_periodic import (
     exact_periodic_q_min,
     exact_periodic_q_profile,
+    exact_periodic_q_profile_reference,
 )
 from repro.analysis.montecarlo import graph_monte_carlo
 from repro.core.recurrence import solve_recurrence
@@ -65,6 +66,34 @@ class TestAgainstRecurrence:
         rec_adjacent = solve_recurrence(n, [1, 2], p).q_min
         rec_spread = solve_recurrence(n, [1, 7], p).q_min
         assert rec_adjacent == pytest.approx(rec_spread, abs=0.02)
+
+
+class TestAgainstReference:
+    """The vectorized oracle vs the dictionary walk it replaced.
+
+    The reference implementation is the original per-state Python
+    loop, kept verbatim; the shipping oracle is the ``np.bincount``
+    transfer-matrix evaluation.  They must agree to full double
+    precision across block sizes, offset shapes (contiguous, sparse,
+    rootless starts, max reach) and the loss-rate extremes.
+    """
+
+    @pytest.mark.parametrize("n", [1, 2, 17, 80])
+    @pytest.mark.parametrize("offsets", [
+        (1,), (1, 2), (1, 5, 12), (3,), (2, 3, 5), (1, 16)])
+    @pytest.mark.parametrize("p", [0.0, 0.1, 0.35, 1.0])
+    def test_oracle_matches_reference_grid(self, n, offsets, p):
+        oracle = exact_periodic_q_profile(n, list(offsets), p)
+        reference = exact_periodic_q_profile_reference(n, list(offsets), p)
+        assert len(oracle) == len(reference) == n
+        for got, want in zip(oracle, reference):
+            assert got == pytest.approx(want, abs=1e-12)
+
+    def test_reference_validates_like_the_oracle(self):
+        with pytest.raises(AnalysisError):
+            exact_periodic_q_profile_reference(10, [1, 17], 0.1)
+        with pytest.raises(AnalysisError):
+            exact_periodic_q_profile_reference(0, [1], 0.1)
 
 
 class TestValidation:

@@ -27,7 +27,10 @@ from repro.analysis.conformance import (
     default_scheme,
     effective_loss_rate,
 )
+from repro.crypto.batch import StreamBatchSigner
+from repro.crypto.signatures import HmacStubSigner
 from repro.exceptions import AnalysisError
+from repro.faults import AttackPlan, BatchRootForgery
 from repro.schemes.registry import available_schemes
 
 BLOCK = 12
@@ -81,6 +84,58 @@ def test_policy_table_only_names_known_pairs():
         assert mix in ADVERSARIAL_MIXES
         assert scheme_name in SCHEME_NAMES
         assert policy in ("two-sided", "lower-bound", "skip")
+
+
+@pytest.mark.parametrize("mix", ADVERSARIAL_MIXES)
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_soundness_and_completeness_with_batch_signing(name, mix):
+    """The full matrix again, with every signature a batch attachment.
+
+    Same invariants as the per-block column: the batch construction
+    may cost proof bytes, it may never cost soundness (zero forged
+    acceptances) or completeness (attacked ``q_i`` within 3 SE of the
+    analytic model at the effective loss rate).
+    """
+    report = adversarial_conformance_report(
+        name, BLOCK, LOSS_RATE, mix, TRIALS, seed=SEED, batch_size=8)
+    counters = report["counters"]
+    assert report["batch_size"] == 8
+    assert report["sound"], (
+        f"{name} under {mix!r} with batch signing accepted "
+        f"{counters['forged_accepted']} forged packets")
+    assert report["passed"], (
+        f"{name} under {mix!r} with batch signing: worst deviation "
+        f"{report['max_deviation_se']} SE (policy {report['policy']})")
+    assert counters["replayed"] > 0
+    assert counters["replays_dropped"] > 0
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_forged_batch_root_never_accepted(name):
+    """A structurally perfect forged batch attachment must be rejected.
+
+    :class:`~repro.faults.BatchRootForgery` builds forged signature
+    packets whose attachments decode strictly and whose Merkle walks
+    succeed — only the root-signature check stands.  With every
+    genuine signature also a batch attachment, acceptance would mean
+    the verifier skipped or mis-cached exactly that check.
+    """
+    scheme = default_scheme(name)
+    plan = AttackPlan((BatchRootForgery(0.5, batch_size=8),))
+    signer = StreamBatchSigner(
+        HmacStubSigner(key=b"adversarial-wire", signature_size=128),
+        8, seed=SEED)
+    stats = adversarial_wire_stats(scheme, BLOCK, LOSS_RATE, plan, 60,
+                                   seed=SEED, signer=signer)
+    assert stats.forged_accepted == 0
+    if name == "saida":
+        # SAIDA disperses its signature as Reed-Solomon shares; no
+        # packet carries a signature blob, so there is no batch root
+        # on the wire to forge and the attack is vacuously defeated.
+        assert stats.injected == 0
+    else:
+        assert stats.injected > 0
+        assert stats.forged_rejected + stats.undecodable >= stats.injected
 
 
 @pytest.mark.parametrize("name", ["rohatgi", "emss"])

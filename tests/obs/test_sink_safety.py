@@ -80,6 +80,10 @@ class _CrashingSigner:
         self._calls = 0
 
     @property
+    def name(self):
+        return self._inner.name
+
+    @property
     def signature_size(self):
         return self._inner.signature_size
 
