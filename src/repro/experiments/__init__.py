@@ -18,6 +18,7 @@ from repro.experiments import (
     ext_independence_gap,
     ext_live,
     ext_psign_replication,
+    ext_topology,
     ext_variance,
     ext_wire_validation,
     fig01_graphs,
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-gap": ext_independence_gap.run,
     "ext-live": ext_live.run,
     "ext-psign": ext_psign_replication.run,
+    "ext-topology": ext_topology.run,
     "ext-variance": ext_variance.run,
     "ext-wire": ext_wire_validation.run,
 }

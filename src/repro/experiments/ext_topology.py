@@ -1,0 +1,116 @@
+"""Extension: multicast distribution trees over a real topology.
+
+The paper's receivers each get an independent loss draw; a deployed
+multicast session pushes every packet down a distribution tree, so a
+single hot spine edge degrades a whole subtree at once and the
+per-receiver losses stop being independent.  This experiment runs the
+live serving loop over :mod:`repro.topology` graphs and measures the
+two levers the tree model adds:
+
+* **per-subtree adaptation** — on a heterogeneous spine (one router's
+  uplink three times as lossy as its sibling's) a single global
+  controller must split the difference, over-protecting the clean
+  subtree and under-protecting the hot one.  Folding loss reports per
+  subtree lets each group settle on its own EMSS design point; the
+  headline number is the delivered-verified ratio (verified packets
+  over packets addressed), global vs per-subtree, under a loss ramp
+  0.05 → 0.3;
+* **k-redundant trees** — on a dual-plane spine, a second
+  edge-disjoint tree turns spine loss into an AND of two independent
+  failures.  The receiver deduplicates, the channel accounts every
+  suppressed copy, and the same ratio quantifies what the second
+  plane buys at spine loss 0.25.
+
+Soundness is asserted across both arms: no forged packet is ever
+accepted, topology or not.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.serve.service import ServeConfig, run_live_session
+
+__all__ = ["run"]
+
+SEED = 7
+
+#: One spine uplink 3x as lossy as the other — the shape where a
+#: global design point is wrong for both subtrees at once.
+HOT_SPINE = "spine:2:3,1"
+DUAL_SPINE = "dualspine:2"
+
+
+def _ratio(result, config: ServeConfig) -> float:
+    """Verified packets over packets addressed (the headline metric)."""
+    verified = sum(tally.verified for stats in result.stats.values()
+                   for tally in stats.tallies.values())
+    return verified / (config.blocks * config.block_size * config.receivers)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Tree-topology serving: per-subtree adaptation and k-redundancy."""
+    result = ExperimentResult(
+        experiment_id="ext-topology",
+        title="Multicast trees: per-subtree adaptation and redundant paths",
+    )
+    blocks = 12 if fast else 24
+    step = blocks // 3
+    ramp = ((0, 0.05), (step, 0.15), (2 * step, 0.3))
+    base = dict(receivers=8, blocks=blocks, block_size=12, seed=SEED,
+                loss_schedule=ramp, topology=HOT_SPINE)
+    arms = {
+        "global controller": ServeConfig(**base),
+        "per-subtree controller": ServeConfig(**base, subtree_adaptive=True),
+    }
+    ratios = {}
+    forged = 0
+    for label, config in arms.items():
+        session = run_live_session(config)
+        ratios[label] = _ratio(session, config)
+        forged += session.forged_accepted
+        switches = sum(1 for event in session.events if event.switched)
+        result.rows.append({
+            "arm": label,
+            "topology": HOT_SPINE,
+            "loss ramp": "0.05 -> 0.3",
+            "delivered-verified ratio": round(ratios[label], 4),
+            "parameter switches": switches,
+        })
+
+    k_blocks = 8 if fast else 16
+    k_base = dict(receivers=8, blocks=k_blocks, block_size=12, seed=SEED,
+                  loss_schedule=((0, 0.25),), topology=DUAL_SPINE)
+    k_ratios = {}
+    for k in (1, 2):
+        config = ServeConfig(**k_base, trees=k)
+        session = run_live_session(config)
+        k_ratios[k] = _ratio(session, config)
+        forged += session.forged_accepted
+        result.rows.append({
+            "arm": f"k={k} tree(s)",
+            "topology": DUAL_SPINE,
+            "loss ramp": "0.25 flat",
+            "delivered-verified ratio": round(k_ratios[k], 4),
+            "duplicates suppressed": session.duplicates_suppressed,
+        })
+
+    gain = ratios["per-subtree controller"] - ratios["global controller"]
+    result.note(
+        f"hot spine ({HOT_SPINE}): folding loss reports per subtree "
+        f"moves the delivered-verified ratio by {gain:+.4f} over one "
+        "global controller — the hot subtree gets a harder EMSS design "
+        "while the clean one keeps its cheaper graph."
+    )
+    result.note(
+        f"dual-plane spine at p=0.25: a second edge-disjoint tree "
+        f"lifts the ratio from {k_ratios[1]:.4f} to {k_ratios[2]:.4f}; "
+        "every duplicate copy is suppressed at the receiver and "
+        "accounted, so the gain is pure delivery probability."
+    )
+    result.note(
+        "soundness: forged_accepted totals "
+        f"{forged} across all four arms."
+        if forged == 0 else
+        "SOUNDNESS VIOLATION: forged content verified over a topology."
+    )
+    return result

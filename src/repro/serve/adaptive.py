@@ -30,14 +30,20 @@ from repro.schemes.base import Scheme
 from repro.schemes.registry import make_scheme
 from repro.serve.receiver import LossReport
 
-__all__ = ["AdaptationEvent", "AdaptiveController", "DEFAULT_P_GRID"]
+__all__ = ["AdaptationEvent", "AdaptiveController",
+           "SubtreeAdaptiveController", "DEFAULT_P_GRID"]
 
 DEFAULT_P_GRID = (0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5)
 
 
 @dataclass(frozen=True)
 class AdaptationEvent:
-    """One controller decision, taken after observing ``block_id``."""
+    """One controller decision, taken after observing ``block_id``.
+
+    ``group`` names the subtree the decision applies to when a
+    :class:`SubtreeAdaptiveController` took it; pool-wide decisions
+    leave it ``None``.
+    """
 
     block_id: int
     p_hat: float
@@ -48,10 +54,11 @@ class AdaptationEvent:
     cost: float
     switched: bool
     feasible: bool = True
+    group: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form for :class:`~repro.obs.RunManifest` storage."""
-        return {
+        record = {
             "block_id": self.block_id,
             "p_hat": self.p_hat,
             "p_design": self.p_design,
@@ -62,6 +69,9 @@ class AdaptationEvent:
             "switched": self.switched,
             "feasible": self.feasible,
         }
+        if self.group is not None:
+            record["group"] = self.group
+        return record
 
 
 class AdaptiveController:
@@ -96,6 +106,9 @@ class AdaptiveController:
     m_values, d_values, max_delay_slots:
         Search space forwarded to
         :func:`~repro.design.optimizer.optimize_emss`.
+    group:
+        Subtree label stamped on every event this controller emits
+        (``None`` for the classic pool-wide controller).
     """
 
     def __init__(self, block_size: int, q_min_target: float = 0.75,
@@ -106,7 +119,8 @@ class AdaptiveController:
                  slack_se: float = 1.0,
                  m_values: Sequence[int] = tuple(range(1, 7)),
                  d_values: Sequence[int] = (1, 2, 4, 8),
-                 max_delay_slots: Optional[int] = 8) -> None:
+                 max_delay_slots: Optional[int] = 8,
+                 group: Optional[str] = None) -> None:
         if block_size < 1:
             raise SimulationError(f"block_size must be >= 1, got {block_size}")
         if not p_grid or list(p_grid) != sorted(set(p_grid)):
@@ -118,6 +132,7 @@ class AdaptiveController:
             raise SimulationError(f"slack_se must be >= 0, got {slack_se}")
         self.estimate = estimate
         self.slack_se = slack_se
+        self.group = group
         self.block_size = block_size
         self.q_min_target = q_min_target
         self.estimator = estimator if estimator is not None else LossEstimator()
@@ -235,7 +250,92 @@ class AdaptiveController:
             block_id=block_id, p_hat=p_hat, p_design=p_design,
             scheme=self._choice.scheme, parameters=self._choice.parameters,
             predicted_q_min=self._choice.q_min, cost=self._choice.cost,
-            switched=switched, feasible=feasible,
+            switched=switched, feasible=feasible, group=self.group,
         )
         self.events.append(event)
         return event
+
+
+class SubtreeAdaptiveController:
+    """Per-subtree scheme selection: one inner controller per branch.
+
+    A shared spine edge degrades its whole subtree at once, so one
+    pool-wide loss estimate either over-provisions the clean branches
+    or under-protects the hot one.  This controller partitions
+    :class:`~repro.serve.receiver.LossReport`\\ s by their ``subtree``
+    label and runs an independent :class:`AdaptiveController` per
+    branch — each subtree gets the cheapest EMSS design meeting the
+    ``q_min`` target *at its own loss rate*.
+
+    The interface mirrors :class:`AdaptiveController` where the serve
+    loop needs it (``observe``, ``events``, ``gauges``); scheme access
+    is per group via :meth:`schemes_by_group`, which the sender's
+    grouped transmit path consumes.
+
+    Parameters
+    ----------
+    groups:
+        Subtree label -> receiver ids behind it (see
+        :meth:`~repro.topology.graph.Topology.subtree_groups`).
+    block_size, q_min_target, initial_p, and the rest:
+        Forwarded to every inner controller.
+    """
+
+    def __init__(self, groups: Dict[str, Sequence[str]], block_size: int,
+                 q_min_target: float = 0.75, initial_p: float = 0.05,
+                 **controller_kwargs) -> None:
+        if not groups:
+            raise SimulationError("need at least one subtree group")
+        self.group_of: Dict[str, str] = {}
+        for group, receiver_ids in groups.items():
+            for receiver_id in receiver_ids:
+                if receiver_id in self.group_of:
+                    raise SimulationError(
+                        f"receiver {receiver_id!r} in two subtrees")
+                self.group_of[receiver_id] = group
+        self.controllers: Dict[str, AdaptiveController] = {
+            group: AdaptiveController(block_size=block_size,
+                                      q_min_target=q_min_target,
+                                      initial_p=initial_p, group=group,
+                                      **controller_kwargs)
+            for group in sorted(groups)
+        }
+        self.events: List[AdaptationEvent] = []
+
+    def schemes_by_group(self) -> Dict[str, Scheme]:
+        """Each subtree's current scheme, keyed by group label."""
+        return {group: controller.scheme
+                for group, controller in self.controllers.items()}
+
+    def scheme_for(self, group: str) -> Scheme:
+        """The scheme the named subtree's next block uses."""
+        try:
+            return self.controllers[group].scheme
+        except KeyError:
+            raise SimulationError(f"unknown subtree group {group!r}")
+
+    def observe(self, block_id: int,
+                reports: Sequence[LossReport]) -> List[AdaptationEvent]:
+        """Fold one block's reports per subtree, in sorted group order."""
+        by_group: Dict[str, List[LossReport]] = {}
+        for report in reports:
+            group = report.subtree or self.group_of.get(report.receiver_id)
+            if group not in self.controllers:
+                raise SimulationError(
+                    f"report from {report.receiver_id!r} names unknown "
+                    f"subtree {group!r}")
+            by_group.setdefault(group, []).append(report)
+        events: List[AdaptationEvent] = []
+        for group in sorted(by_group):
+            events.append(
+                self.controllers[group].observe(block_id, by_group[group]))
+        self.events.extend(events)
+        return events
+
+    def gauges(self) -> Dict[str, object]:
+        """Flat timeseries row: every inner gauge, group-prefixed."""
+        row: Dict[str, object] = {"groups": len(self.controllers)}
+        for group in sorted(self.controllers):
+            for name, value in self.controllers[group].gauges().items():
+                row[f"{group}.{name}"] = value
+        return row

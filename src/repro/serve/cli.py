@@ -69,6 +69,20 @@ def _build_parser(prog: str, soak: bool) -> argparse.ArgumentParser:
     parser.add_argument("--attack", default=None, metavar="MIX",
                         help="adversarial mix on every channel "
                              "(pollution or dos; default none)")
+    parser.add_argument("--topology", default=None, metavar="SPEC",
+                        help="stream over a distribution tree with "
+                             "correlated per-link loss instead of "
+                             "independent channels (star, spine:<groups>, "
+                             "dualspine:<groups>; default none)")
+    parser.add_argument("--trees", type=_positive_int, default=1,
+                        metavar="K",
+                        help="redundant edge-disjoint-biased trees per "
+                             "packet, deduplicated at the receiver "
+                             "(default 1; needs --topology)")
+    parser.add_argument("--subtree-adaptive", action="store_true",
+                        dest="subtree_adaptive",
+                        help="run one adaptive controller per subtree "
+                             "instead of pool-wide (needs --topology)")
     parser.add_argument("--transport", choices=("local", "udp"),
                         default="local",
                         help="delivery fabric (default local: in-process, "
@@ -156,6 +170,9 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         timeout_s=args.timeout_s,
         batch_size=args.batch_size,
         flush_deadline=args.flush_deadline,
+        topology=args.topology,
+        trees=args.trees,
+        subtree_adaptive=args.subtree_adaptive,
     )
 
 

@@ -139,6 +139,11 @@ def run_loadgen(config: ServeConfig,
         "adaptation_switches": switches,
         "phases": phases,
     }
+    if config.topology is not None:
+        summary["topology"] = config.topology
+        summary["trees"] = config.trees
+        summary["subtree_adaptive"] = config.subtree_adaptive
+        summary["duplicates_suppressed"] = session.duplicates_suppressed
     if lifecycle is not None:
         summary["lifecycle_events"] = lifecycle.events_recorded
     if timeseries is not None:

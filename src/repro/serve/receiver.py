@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.crypto.hashing import HashFunction, sha256
 from repro.crypto.signatures import Signer
@@ -43,7 +43,14 @@ __all__ = ["LossReport", "ReceiverSession", "ReceiverPool"]
 
 @dataclass(frozen=True)
 class LossReport:
-    """One receiver's per-block feedback to the adaptive loop."""
+    """One receiver's per-block feedback to the adaptive loop.
+
+    ``subtree`` names the distribution-tree branch the receiver sits
+    behind (its root-child on the primary tree) when the session runs
+    over a topology; independent-channel sessions leave it equal to
+    the receiver id, so folding by subtree degenerates to folding per
+    receiver.
+    """
 
     receiver_id: str
     block_id: int
@@ -51,6 +58,7 @@ class LossReport:
     received: int
     window_rate: float
     ewma_rate: float
+    subtree: str = ""
 
     @property
     def block_loss_rate(self) -> float:
@@ -76,13 +84,19 @@ class ReceiverSession:
         a fresh default-window estimator if omitted.
     max_buffered:
         DoS cap forwarded to the underlying verifier.
+    subtree:
+        Distribution-tree branch label stamped on every
+        :class:`LossReport`; defaults to the receiver id (independent
+        channels — every receiver is its own branch).
     """
 
     def __init__(self, receiver_id: str, signer: Signer,
                  hash_function: HashFunction = sha256,
                  estimator: Optional[LossEstimator] = None,
-                 max_buffered: Optional[int] = None) -> None:
+                 max_buffered: Optional[int] = None,
+                 subtree: Optional[str] = None) -> None:
         self.receiver_id = receiver_id
+        self.subtree = subtree if subtree is not None else receiver_id
         self._hash = hash_function
         self.stream = StreamReceiver(signer, hash_function,
                                      max_buffered=max_buffered)
@@ -228,6 +242,7 @@ class ReceiverSession:
             expected=expected, received=arrived,
             window_rate=self.estimator.window_rate,
             ewma_rate=self.estimator.ewma_rate,
+            subtree=self.subtree,
         )
         self.reports.append(report)
         registry = get_registry()
@@ -255,24 +270,31 @@ class ReceiverPool:
     hash_function, estimator_factory, max_buffered:
         Forwarded to each session; ``estimator_factory`` builds one
         private estimator per receiver.
+    subtree_of:
+        Receiver id -> distribution-tree branch label; receivers not
+        in the mapping (or all of them, when it is omitted) report
+        under their own id.
     """
 
     def __init__(self, receiver_ids: Sequence[str], signer: Signer,
                  hash_function: HashFunction = sha256,
                  estimator_factory: Optional[
                      Callable[[], LossEstimator]] = None,
-                 max_buffered: Optional[int] = None) -> None:
+                 max_buffered: Optional[int] = None,
+                 subtree_of: Optional[Mapping[str, str]] = None) -> None:
         if not receiver_ids:
             raise SimulationError("need at least one receiver")
         if len(set(receiver_ids)) != len(receiver_ids):
             raise SimulationError("receiver ids must be unique")
+        subtree_of = subtree_of if subtree_of is not None else {}
         self.sessions: Dict[str, ReceiverSession] = {}
         for receiver_id in receiver_ids:
             estimator = (estimator_factory() if estimator_factory is not None
                          else LossEstimator())
             self.sessions[receiver_id] = ReceiverSession(
                 receiver_id, signer, hash_function, estimator=estimator,
-                max_buffered=max_buffered)
+                max_buffered=max_buffered,
+                subtree=subtree_of.get(receiver_id))
         self._reports: Dict[int, Dict[str, LossReport]] = {}
         self._events: Dict[int, asyncio.Event] = {}
         self._tasks: List[asyncio.Task] = []

@@ -225,6 +225,9 @@ class SenderService:
         self._next_seq = 1
         self._next_block = 0
         self._send_clock = 0.0  # virtual send-time base, paper pacing
+        #: Redundant-path copies suppressed across all topology
+        #: channels of the session (0 on independent channels).
+        self.duplicates_suppressed = 0
 
     @property
     def next_block_id(self) -> int:
@@ -310,23 +313,26 @@ class SenderService:
             results[pending.block_id] = await self._transmit_block(pending)
         return results
 
-    def _packetize(self, scheme: Scheme, payloads: Sequence[bytes],
-                   loss_rate: float, phase: str,
-                   signer: Signer) -> _PendingBlock:
-        """Build and stamp one block; advances seq/block/send-time state."""
+    def _packetize_at(self, scheme: Scheme, payloads: Sequence[bytes],
+                      loss_rate: float, phase: str, signer: Signer,
+                      block_id: int, base_seq: int,
+                      send_base: float) -> _PendingBlock:
+        """Build and stamp one block at explicit coordinates (no state).
+
+        The grouped transmit path packetizes the *same* block id, seq
+        range and send times once per subtree scheme; committing the
+        stream state is the caller's job.
+        """
         if not payloads:
             raise SimulationError("empty block")
-        block_id = self._next_block
-        base_seq = self._next_seq
         packets = scheme.make_block(list(payloads), signer,
                                     self.hash_function, block_id=block_id,
                                     base_seq=base_seq)
-        self._next_block += 1
-        self._next_seq += len(packets)
         stamped = []
+        send_clock = send_base
         for packet in packets:
-            stamped.append(packet.with_send_time(self._send_clock))
-            self._send_clock += self.t_transmit
+            stamped.append(packet.with_send_time(send_clock))
+            send_clock += self.t_transmit
         digests = {
             packet.seq: self.hash_function.digest(packet.auth_bytes()).hex()
             for packet in stamped
@@ -336,94 +342,170 @@ class SenderService:
             last_seq=base_seq + len(packets) - 1,
             scheme_name=scheme.name, phase=phase, loss_rate=loss_rate,
             stamped=stamped, digests=digests,
-            control_time=self._send_clock)
+            control_time=send_clock)
 
-    async def _transmit_block(self, pending: _PendingBlock
-                              ) -> Dict[str, BlockTruth]:
-        """Push one packetized block through every receiver's channel."""
+    def _packetize(self, scheme: Scheme, payloads: Sequence[bytes],
+                   loss_rate: float, phase: str,
+                   signer: Signer) -> _PendingBlock:
+        """Build and stamp one block; advances seq/block/send-time state."""
+        pending = self._packetize_at(scheme, payloads, loss_rate, phase,
+                                     signer, self._next_block,
+                                     self._next_seq, self._send_clock)
+        self._next_block += 1
+        self._next_seq += len(pending.stamped)
+        self._send_clock = pending.control_time
+        return pending
+
+    async def _transmit_to_receiver(self, pending: _PendingBlock,
+                                    index: int,
+                                    receiver_id: str) -> BlockTruth:
+        """Push one packetized block through one receiver's channel."""
         block_id = pending.block_id
         base_seq = pending.base_seq
         last_seq = pending.last_seq
         stamped = pending.stamped
         digests = pending.digests
-        loss_rate = pending.loss_rate
         registry = get_registry()
         tracer = get_lifecycle()
+        channel = self.channel_factory(index, block_id, pending.loss_rate)
+        if isinstance(channel, AdversarialChannel):
+            deliveries = channel.transmit_wire(stamped)
+            corrupted = channel.corrupted
+            injected = channel.injected
+            replayed = channel.replayed
+        else:
+            deliveries = [
+                WireDelivery(arrival_time=delivery.arrival_time,
+                             data=delivery.packet.to_wire(),
+                             kind="genuine", seq_hint=delivery.packet.seq,
+                             block_hint=delivery.packet.block_id)
+                for delivery in channel.transmit(stamped)
+            ]
+            corrupted = injected = replayed = 0
+        inner = getattr(channel, "channel", channel)
+        duplicates = getattr(inner, "duplicates_suppressed", 0)
+        self.duplicates_suppressed += duplicates
+        if tracer.enabled:
+            surviving = {d.seq_hint for d in deliveries
+                         if d.seq_hint is not None}
+            for packet in stamped:
+                tracer.record(receiver_id, block_id, packet.seq,
+                              "sign", "signed", packet.send_time,
+                              scheme=pending.scheme_name)
+                tracer.record(receiver_id, block_id, packet.seq,
+                              "frame", "framed", packet.send_time)
+                if packet.seq not in surviving:
+                    tracer.record(receiver_id, block_id, packet.seq,
+                                  "transport", "drop", packet.send_time)
+            for delivery in deliveries:
+                seq = (delivery.seq_hint if delivery.seq_hint is not None
+                       else NOISE_SEQ)
+                tag = delivery.attack_tag
+                if tag is None:
+                    tracer.record(receiver_id, block_id, seq,
+                                  "transport", "deliver",
+                                  delivery.arrival_time)
+                else:
+                    tracer.record(receiver_id, block_id, seq,
+                                  "transport", "deliver",
+                                  delivery.arrival_time, kind=tag)
+        transport_dropped = await self.transport.send(receiver_id,
+                                                      deliveries)
+        dropped_genuine = {d.seq_hint for d in transport_dropped
+                           if d.kind == "genuine"}
+        intact = frozenset(
+            d.seq_hint for d in deliveries
+            if d.kind == "genuine" and d.seq_hint is not None
+            and d.seq_hint not in dropped_genuine)
+        truth = BlockTruth(
+            receiver_id=receiver_id, block_id=block_id,
+            base_seq=base_seq, last_seq=last_seq, phase=pending.phase,
+            scheme=pending.scheme_name, intact=intact, digests=digests,
+            sent=channel.sent, dropped=channel.dropped,
+            corrupted=corrupted, injected=injected, replayed=replayed,
+            queue_dropped=len(transport_dropped),
+        )
+        frame = ControlFrame(
+            block_id=block_id, base_seq=base_seq, last_seq=last_seq,
+            scheme=pending.scheme_name, phase=pending.phase,
+            intact=tuple(sorted(intact)),
+            digests=tuple(sorted(digests.items())),
+        )
+        control = WireDelivery(
+            arrival_time=pending.control_time, data=encode_control(frame),
+            kind="control", seq_hint=None)
+        await self.transport.send(receiver_id, [control])
+        if registry.enabled:
+            registry.count("serve.packets.sent", channel.sent)
+            registry.count("serve.packets.dropped", channel.dropped)
+            if duplicates:
+                registry.count("serve.topology.duplicates", duplicates)
+            if corrupted or injected or replayed:
+                registry.count("serve.attack.corrupted", corrupted)
+                registry.count("serve.attack.injected", injected)
+                registry.count("serve.attack.replayed", replayed)
+        return truth
+
+    async def _transmit_block(self, pending: _PendingBlock
+                              ) -> Dict[str, BlockTruth]:
+        """Push one packetized block through every receiver's channel."""
         truths: Dict[str, BlockTruth] = {}
         for index, receiver_id in enumerate(self.receiver_ids):
-            channel = self.channel_factory(index, block_id, loss_rate)
-            if isinstance(channel, AdversarialChannel):
-                deliveries = channel.transmit_wire(stamped)
-                corrupted = channel.corrupted
-                injected = channel.injected
-                replayed = channel.replayed
-            else:
-                deliveries = [
-                    WireDelivery(arrival_time=delivery.arrival_time,
-                                 data=delivery.packet.to_wire(),
-                                 kind="genuine", seq_hint=delivery.packet.seq,
-                                 block_hint=delivery.packet.block_id)
-                    for delivery in channel.transmit(stamped)
-                ]
-                corrupted = injected = replayed = 0
-            if tracer.enabled:
-                surviving = {d.seq_hint for d in deliveries
-                             if d.seq_hint is not None}
-                for packet in stamped:
-                    tracer.record(receiver_id, block_id, packet.seq,
-                                  "sign", "signed", packet.send_time,
-                                  scheme=pending.scheme_name)
-                    tracer.record(receiver_id, block_id, packet.seq,
-                                  "frame", "framed", packet.send_time)
-                    if packet.seq not in surviving:
-                        tracer.record(receiver_id, block_id, packet.seq,
-                                      "transport", "drop", packet.send_time)
-                for delivery in deliveries:
-                    seq = (delivery.seq_hint if delivery.seq_hint is not None
-                           else NOISE_SEQ)
-                    tag = delivery.attack_tag
-                    if tag is None:
-                        tracer.record(receiver_id, block_id, seq,
-                                      "transport", "deliver",
-                                      delivery.arrival_time)
-                    else:
-                        tracer.record(receiver_id, block_id, seq,
-                                      "transport", "deliver",
-                                      delivery.arrival_time, kind=tag)
-            transport_dropped = await self.transport.send(receiver_id,
-                                                          deliveries)
-            dropped_genuine = {d.seq_hint for d in transport_dropped
-                               if d.kind == "genuine"}
-            intact = frozenset(
-                d.seq_hint for d in deliveries
-                if d.kind == "genuine" and d.seq_hint is not None
-                and d.seq_hint not in dropped_genuine)
-            truth = BlockTruth(
-                receiver_id=receiver_id, block_id=block_id,
-                base_seq=base_seq, last_seq=last_seq, phase=pending.phase,
-                scheme=pending.scheme_name, intact=intact, digests=digests,
-                sent=channel.sent, dropped=channel.dropped,
-                corrupted=corrupted, injected=injected, replayed=replayed,
-                queue_dropped=len(transport_dropped),
-            )
-            truths[receiver_id] = truth
-            frame = ControlFrame(
-                block_id=block_id, base_seq=base_seq, last_seq=last_seq,
-                scheme=pending.scheme_name, phase=pending.phase,
-                intact=tuple(sorted(intact)),
-                digests=tuple(sorted(digests.items())),
-            )
-            control = WireDelivery(
-                arrival_time=pending.control_time, data=encode_control(frame),
-                kind="control", seq_hint=None)
-            await self.transport.send(receiver_id, [control])
-            if registry.enabled:
-                registry.count("serve.packets.sent", channel.sent)
-                registry.count("serve.packets.dropped", channel.dropped)
-                if corrupted or injected or replayed:
-                    registry.count("serve.attack.corrupted", corrupted)
-                    registry.count("serve.attack.injected", injected)
-                    registry.count("serve.attack.replayed", replayed)
+            truths[receiver_id] = await self._transmit_to_receiver(
+                pending, index, receiver_id)
+        return truths
+
+    async def send_block_grouped(self, schemes_by_group: Mapping[str, Scheme],
+                                 group_of: Mapping[str, str],
+                                 payloads: Sequence[bytes], loss_rate: float,
+                                 phases_by_group: Mapping[str, str]
+                                 ) -> Dict[str, BlockTruth]:
+        """One block, packetized per subtree scheme, one seq range.
+
+        Every group's packetization shares the block id, base sequence
+        and send times (EMSS packet counts are independent of
+        ``(m, d)``, so the layouts line up slot for slot); each
+        receiver's channel then carries its own subtree's packets.
+        Stream state advances exactly once, so block ids, sequence
+        numbers and virtual time stay identical to the ungrouped path.
+        """
+        if self.batch_size != 1:
+            raise SimulationError(
+                "grouped transmit requires per-block signing "
+                "(batch_size == 1)")
+        if not schemes_by_group:
+            raise SimulationError("need at least one scheme group")
+        for receiver_id in self.receiver_ids:
+            group = group_of.get(receiver_id)
+            if group is None or group not in schemes_by_group:
+                raise SimulationError(
+                    f"receiver {receiver_id!r} has no scheme group")
+        block_id = self._next_block
+        base_seq = self._next_seq
+        send_base = self._send_clock
+        pendings: Dict[str, _PendingBlock] = {}
+        packet_count: Optional[int] = None
+        for group in sorted(schemes_by_group):
+            pending = self._packetize_at(
+                schemes_by_group[group], payloads, loss_rate,
+                phases_by_group[group], self.signer, block_id, base_seq,
+                send_base)
+            if packet_count is None:
+                packet_count = len(pending.stamped)
+            elif len(pending.stamped) != packet_count:
+                raise SimulationError(
+                    f"group {group!r} packetized {len(pending.stamped)} "
+                    f"packets, expected {packet_count}; grouped schemes "
+                    f"must share a block layout")
+            pendings[group] = pending
+        self._next_block += 1
+        self._next_seq += packet_count
+        self._send_clock = send_base + packet_count * self.t_transmit
+        truths: Dict[str, BlockTruth] = {}
+        for index, receiver_id in enumerate(self.receiver_ids):
+            truths[receiver_id] = await self._transmit_to_receiver(
+                pendings[group_of[receiver_id]], index, receiver_id)
+        await self.clock.sleep(packet_count * self.t_transmit)
         return truths
 
     async def send_final(self) -> None:

@@ -39,12 +39,21 @@ from repro.network.clock import Clock, MonotonicClock, VirtualClock
 from repro.obs import RunManifest, get_registry
 from repro.obs.lifecycle import LifecycleTracer, use_lifecycle
 from repro.obs.timeseries import CONTROLLER_ROW, TimeseriesSampler
-from repro.serve.adaptive import AdaptationEvent, AdaptiveController
+from repro.serve.adaptive import (
+    AdaptationEvent,
+    AdaptiveController,
+    SubtreeAdaptiveController,
+)
 from repro.serve.receiver import LossReport, ReceiverPool
 from repro.serve.sender import SenderService, default_channel_factory
 from repro.serve.transport import LocalTransport, Transport, UdpTransport
 from repro.simulation.sender import make_payloads
 from repro.simulation.stats import SimulationStats
+from repro.topology import (
+    make_topology,
+    redundant_trees,
+    topology_channel_factory,
+)
 
 __all__ = ["ServeConfig", "SessionResult", "run_live_session"]
 
@@ -57,6 +66,14 @@ class ServeConfig:
     steps; the rate in force for block ``b`` is the last step with
     ``first_block <= b``.  A ramp like ``((0, 0.05), (20, 0.3))``
     drives the adaptation staircase the acceptance test asserts on.
+
+    ``topology`` switches the session from independent per-receiver
+    channels to correlated link loss over a distribution tree (spec
+    grammar: ``star`` | ``spine:<groups>`` | ``dualspine:<groups>``);
+    ``trees`` streams every packet down that many redundant
+    (edge-disjoint-biased) trees with receiver-side deduplication, and
+    ``subtree_adaptive`` replaces the pool-wide controller with one
+    controller per subtree.
     """
 
     receivers: int = 8
@@ -74,6 +91,9 @@ class ServeConfig:
     timeout_s: Optional[float] = None
     batch_size: int = 1
     flush_deadline: Optional[float] = None
+    topology: Optional[str] = None
+    trees: int = 1
+    subtree_adaptive: bool = False
 
     def __post_init__(self) -> None:
         if self.receivers < 1:
@@ -83,6 +103,23 @@ class ServeConfig:
         if self.batch_size < 1:
             raise SimulationError(
                 f"batch_size must be >= 1, got {self.batch_size}")
+        if self.trees < 1:
+            raise SimulationError(
+                f"trees must be >= 1, got {self.trees}")
+        if self.trees > 1 and self.topology is None:
+            raise SimulationError(
+                "redundant trees need a topology (--topology)")
+        if self.subtree_adaptive:
+            if self.topology is None:
+                raise SimulationError(
+                    "subtree adaptation needs a topology (--topology)")
+            if not self.adaptive:
+                raise SimulationError(
+                    "subtree adaptation contradicts --no-adaptive")
+            if self.batch_size != 1:
+                raise SimulationError(
+                    "subtree adaptation requires per-block signing "
+                    "(batch_size == 1)")
         if self.flush_deadline is not None and self.flush_deadline <= 0:
             raise SimulationError(
                 f"flush_deadline must be > 0, got {self.flush_deadline}")
@@ -132,6 +169,9 @@ class ServeConfig:
             "adaptive": self.adaptive,
             "batch_size": self.batch_size,
             "flush_deadline": self.flush_deadline,
+            "topology": self.topology,
+            "trees": self.trees,
+            "subtree_adaptive": self.subtree_adaptive,
         }
 
 
@@ -147,6 +187,7 @@ class SessionResult:
     queue_drops: Dict[str, int] = field(default_factory=dict)
     forged_accepted: int = 0
     delivered: int = 0
+    duplicates_suppressed: int = 0
 
     @property
     def schemes_used(self) -> List[str]:
@@ -170,8 +211,7 @@ def default_serve_signer(seed: int) -> Signer:
     return HmacStubSigner(key=b"repro-serve-%016d" % seed)
 
 
-def _gauge_rows(pool: ReceiverPool,
-                controller: AdaptiveController) -> List[Dict[str, object]]:
+def _gauge_rows(pool: ReceiverPool, controller) -> List[Dict[str, object]]:
     """One timeseries row per receiver (sorted) plus the controller row."""
     rows: List[Dict[str, object]] = []
     for receiver_id in sorted(pool.sessions):
@@ -196,10 +236,11 @@ def _gauge_rows(pool: ReceiverPool,
 
 async def _drive_session(config: ServeConfig, transport: Transport,
                          sender: SenderService, pool: ReceiverPool,
-                         controller: AdaptiveController, clock: Clock,
+                         controller, clock: Clock,
                          timeseries: Optional[TimeseriesSampler] = None
                          ) -> None:
     registry = get_registry()
+    grouped = isinstance(controller, SubtreeAdaptiveController)
     await transport.start(config.receiver_ids())
     pool.start(transport)
 
@@ -215,10 +256,21 @@ async def _drive_session(config: ServeConfig, transport: Transport,
     try:
         for block_id in range(config.blocks):
             loss_rate = config.loss_for_block(block_id)
-            scheme = controller.scheme
-            phase = f"{scheme.name}@p={loss_rate:g}"
             payloads = make_payloads(config.block_size, config.payload_size,
                                      tag=b"blk%04d" % block_id)
+            if grouped:
+                schemes = controller.schemes_by_group()
+                phases = {
+                    group: f"{scheme.name}@{group}@p={loss_rate:g}"
+                    for group, scheme in schemes.items()
+                }
+                await sender.send_block_grouped(
+                    schemes, controller.group_of, payloads, loss_rate,
+                    phases)
+                await settle(block_id)
+                continue
+            scheme = controller.scheme
+            phase = f"{scheme.name}@p={loss_rate:g}"
             flushed = await sender.submit_block(scheme, payloads, loss_rate,
                                                 phase)
             for flushed_id in sorted(flushed):
@@ -259,24 +311,44 @@ def run_live_session(config: ServeConfig,
     if config.attack is not None:
         attack_name = config.attack
         attack_plan_factory = lambda: attack_mix(attack_name)  # noqa: E731
-    channel_factory = default_channel_factory(config.seed,
-                                              attack_plan_factory)
-    controller = AdaptiveController(
-        block_size=config.block_size, q_min_target=config.q_min_target,
-        initial_p=config.loss_for_block(0))
+    topology = None
+    subtree_of = None
+    if config.topology is not None:
+        topology = make_topology(config.topology, config.receiver_ids())
+        trees = redundant_trees(topology, config.trees)
+        channel_factory = topology_channel_factory(
+            config.seed, topology, trees, attack_plan_factory)
+        subtree_of = {leaf: topology.subtree_of(leaf)
+                      for leaf in topology.leaves}
+    else:
+        channel_factory = default_channel_factory(config.seed,
+                                                  attack_plan_factory)
+    if config.subtree_adaptive:
+        controller = SubtreeAdaptiveController(
+            topology.subtree_groups(), block_size=config.block_size,
+            q_min_target=config.q_min_target,
+            initial_p=config.loss_for_block(0))
+    else:
+        controller = AdaptiveController(
+            block_size=config.block_size, q_min_target=config.q_min_target,
+            initial_p=config.loss_for_block(0))
     # Receivers always verify through a BatchVerifier: plain signatures
     # pass straight through to the inner signer, batch attachments get
     # the proof walk plus one cached root verification per batch.  The
     # pool shares one session signer, so the root cache is shared too.
-    pool = ReceiverPool(config.receiver_ids(), BatchVerifier(signer))
+    pool = ReceiverPool(config.receiver_ids(), BatchVerifier(signer),
+                        subtree_of=subtree_of)
     sender = SenderService(transport, config.receiver_ids(), signer,
                            channel_factory, clock,
                            t_transmit=config.t_transmit,
                            batch_size=config.batch_size,
                            flush_deadline=config.flush_deadline)
+    parameters = config.to_parameters()
+    if topology is not None:
+        parameters["topology_detail"] = topology.describe()
     manifest_clock = RunManifest.start(
         "serve", f"live-{config.transport}",
-        parameters=config.to_parameters(), seed_root=config.seed, workers=1)
+        parameters=parameters, seed_root=config.seed, workers=1)
     if registry.enabled:
         registry.count("serve.receiver.sessions", config.receivers)
 
@@ -320,6 +392,7 @@ def run_live_session(config: ServeConfig,
     result.stats = pool.merged_stats()
     result.events = list(controller.events)
     result.forged_accepted = pool.forged_accepted
+    result.duplicates_suppressed = sender.duplicates_suppressed
     for receiver_id in sorted(pool.sessions):
         session_obj = pool.sessions[receiver_id]
         result.transcripts[receiver_id] = session_obj.transcript_bytes()

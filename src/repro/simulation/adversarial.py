@@ -37,7 +37,7 @@ across workers bit-for-bit (:func:`repro.parallel.wire
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.hashing import HashFunction, sha256
 from repro.crypto.signatures import HmacStubSigner, Signer
@@ -329,7 +329,9 @@ def run_adversarial_trials(scheme: Scheme, block_size: int,
                            t_transmit: float = 0.01,
                            hash_function: HashFunction = sha256,
                            signer: Optional[Signer] = None,
-                           max_buffered: Optional[int] = None
+                           max_buffered: Optional[int] = None,
+                           channel_factory: Optional[
+                               Callable[[int], Channel]] = None
                            ) -> SimulationStats:
     """Run attacked trials ``first_trial .. first_trial+trial_count-1``.
 
@@ -344,6 +346,12 @@ def run_adversarial_trials(scheme: Scheme, block_size: int,
     ``delay_mean`` / ``delay_std`` apply to TESLA only (its analytic
     ``q_i`` depends on the delay model); other schemes use a zero-delay
     channel like the passive conformance runs.
+
+    ``channel_factory`` overrides the inner (pre-attack) channel:
+    called with the global trial index, it must return a fresh
+    :class:`~repro.network.channel.Channel` — the hook topology
+    conformance uses to run the whole attacked matrix over correlated
+    link loss.  The attack-plan reseed schedule is unchanged.
     """
     if trial_count < 0:
         raise SimulationError(f"trial count must be >= 0, got {trial_count}")
@@ -381,19 +389,25 @@ def run_adversarial_trials(scheme: Scheme, block_size: int,
 
     with span("wire.adversarial_trials"):
         for trial in range(first_trial, first_trial + trial_count):
-            if is_tesla:
-                loss = BernoulliLoss(loss_rate, seed=seed + trial * 104729)
-                if delay_std > 0 or delay_mean > 0:
-                    delay: DelayModel = GaussianDelay(
-                        delay_mean, delay_std, seed=seed + trial * 1299709)
-                else:
-                    delay = ConstantDelay(0.0)
+            if channel_factory is not None:
+                inner = channel_factory(trial)
             else:
-                loss = BernoulliLoss(loss_rate, seed=seed + trial * 7919)
-                delay = ConstantDelay(0.0)
+                if is_tesla:
+                    loss = BernoulliLoss(loss_rate,
+                                         seed=seed + trial * 104729)
+                    if delay_std > 0 or delay_mean > 0:
+                        delay: DelayModel = GaussianDelay(
+                            delay_mean, delay_std,
+                            seed=seed + trial * 1299709)
+                    else:
+                        delay = ConstantDelay(0.0)
+                else:
+                    loss = BernoulliLoss(loss_rate, seed=seed + trial * 7919)
+                    delay = ConstantDelay(0.0)
+                inner = Channel(loss=loss, delay=delay)
             plan.reseed(seed + _ATTACK_SEED_OFFSET
                         + trial * _ATTACK_SEED_STRIDE)
-            adv = AdversarialChannel(Channel(loss=loss, delay=delay), plan)
+            adv = AdversarialChannel(inner, plan)
             if is_tesla:
                 _tesla_trial(scheme, bootstrap, data_packets, flush, adv,
                              signer, hash_function, clock_offset, stats)

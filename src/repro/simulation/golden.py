@@ -62,6 +62,8 @@ __all__ = [
     "replay_golden",
     "trace_path",
     "expected_path",
+    "record_topology_session",
+    "topology_session_path",
     "write_golden_files",
 ]
 
@@ -242,6 +244,55 @@ def record_golden(name: str) -> GoldenCase:
 
 
 # ---------------------------------------------------------------------
+# Pinned topology session: serve-layer golden over correlated loss
+# ---------------------------------------------------------------------
+
+def record_topology_session() -> Dict[str, object]:
+    """Run the pinned topology serve session and distill its identity.
+
+    One fixed shared-spine session — subtree-adaptive controllers, the
+    pollution adversary on every channel, a mid-stream loss ramp —
+    reduced to a JSON record: per-receiver transcript SHA-256 digests
+    plus the headline counters.  Every byte of the transcripts derives
+    from seeds and virtual time, so the record regenerates exactly;
+    any change to edge-seed derivation, tree construction, grouped
+    packetization or receiver bookkeeping shows up as a digest diff
+    against the versioned file.
+    """
+    # Imported lazily: the serve layer composes on top of simulation,
+    # and this helper is the one place golden recording reaches up.
+    from repro.serve.service import ServeConfig, run_live_session
+
+    config = ServeConfig(
+        receivers=6, blocks=10, block_size=12,
+        loss_schedule=((0, 0.1), (5, 0.25)),
+        attack="pollution", seed=GOLDEN_CHANNEL_SEED,
+        topology="spine:2", trees=1, subtree_adaptive=True,
+    )
+    result = run_live_session(config)
+    return {
+        "config": config.to_parameters(),
+        "seed": config.seed,
+        "transcript_sha256": {
+            receiver_id: sha256.digest(transcript).hex()
+            for receiver_id, transcript in sorted(
+                result.transcripts.items())
+        },
+        "delivered": result.delivered,
+        "forged_accepted": result.forged_accepted,
+        "duplicates_suppressed": result.duplicates_suppressed,
+        "adaptation_events": [event.to_dict() for event in result.events],
+        "subtrees": sorted({report.subtree
+                            for reports in result.reports.values()
+                            for report in reports}),
+    }
+
+
+def topology_session_path(directory: str) -> str:
+    return os.path.join(directory, "topology-session.expected.json")
+
+
+# ---------------------------------------------------------------------
 # File layout + regeneration entry point
 # ---------------------------------------------------------------------
 
@@ -267,6 +318,12 @@ def write_golden_files(directory: str) -> List[str]:
             json.dump(case.expected, handle, indent=2, sort_keys=True)
             handle.write("\n")
         written.append(path)
+    path = topology_session_path(directory)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record_topology_session(), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    written.append(path)
     return written
 
 

@@ -1,0 +1,120 @@
+"""`Channel` adapter: topology-correlated loss behind the existing API.
+
+:class:`TopologyChannel` is a plain
+:class:`~repro.network.channel.Channel` whose loss model is a
+:class:`~repro.topology.linkloss.PathLoss` — transmit semantics,
+protected signature packets, arrival-ordered delivery and the
+ground-truth estimator are all inherited, so every consumer of the
+`Channel` interface (:mod:`repro.simulation`, :mod:`repro.faults`,
+the serve sender) works unchanged.
+
+:func:`topology_channel_factory` is the topology twin of
+:func:`repro.serve.sender.default_channel_factory`: same
+``(receiver_index, block_id, loss_rate) -> Channel`` signature, same
+attack-plan seed derivation, but all channels of a session share one
+:class:`~repro.topology.linkloss.EdgeLossBank`, which is where the
+cross-receiver correlation lives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.faults import AdversarialChannel, AttackPlan
+from repro.network.channel import Channel
+from repro.network.delay import ConstantDelay, DelayModel
+from repro.network.loss import LossEstimator
+from repro.topology.graph import Topology
+from repro.topology.linkloss import EdgeLossBank, PathLoss
+from repro.topology.trees import DistTree, union_paths
+
+__all__ = ["TopologyChannel", "topology_channel_factory"]
+
+# Attack-plan seed derivation — identical to default_channel_factory.
+_STRIDE_RECEIVER = 7919
+_STRIDE_BLOCK = 104729
+_ATTACK_OFFSET = 15485863
+
+
+class TopologyChannel(Channel):
+    """One receiver's view of the distribution tree(s), as a Channel.
+
+    Everything is standard :class:`~repro.network.channel.Channel`
+    behaviour; the only additions are introspection handles — which
+    leaf this channel serves and how many redundant-path duplicate
+    copies its :class:`~repro.topology.linkloss.PathLoss` suppressed.
+    """
+
+    def __init__(self, loss: PathLoss, leaf: str,
+                 delay: Optional[DelayModel] = None,
+                 protect_signature_packets: bool = True,
+                 estimator: Optional[LossEstimator] = None) -> None:
+        if not isinstance(loss, PathLoss):
+            raise SimulationError("TopologyChannel requires a PathLoss")
+        super().__init__(loss=loss,
+                         delay=delay if delay is not None
+                         else ConstantDelay(0.0),
+                         protect_signature_packets=protect_signature_packets,
+                         estimator=estimator)
+        self.leaf = leaf
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        """Redundant-path copies deduplicated at this receiver."""
+        return self.loss.duplicates_suppressed
+
+
+def topology_channel_factory(seed: int, topology: Topology,
+                             trees: Sequence[DistTree],
+                             attack_plan_factory: Optional[
+                                 Callable[[], AttackPlan]] = None,
+                             edge_model: str = "bernoulli",
+                             mean_burst: float = 4.0
+                             ) -> Callable[[int, int, float], Channel]:
+    """Per-(receiver, block) channels over a shared edge-loss bank.
+
+    Drop-in replacement for
+    :func:`repro.serve.sender.default_channel_factory`: the returned
+    factory has the same signature and the same attack-plan seed
+    derivation (so a star session under attack is byte-identical to
+    the independent-channel session), but all receivers consult one
+    :class:`~repro.topology.linkloss.EdgeLossBank`, giving correlated
+    delivery wherever root→leaf paths share edges.
+
+    ``receiver_index`` indexes ``topology.leaves`` — the factory is
+    only valid for the leaf ordering the topology was built with.
+    The shared bank is exposed as the ``bank`` attribute of the
+    returned factory for observability and tests.
+    """
+    if not trees:
+        raise SimulationError("need at least one distribution tree")
+    for tree in trees:
+        if tree.topology is not topology:
+            raise SimulationError("tree built for a different topology")
+    bank = EdgeLossBank(topology, seed, model=edge_model,
+                        mean_burst=mean_burst)
+    paths_by_leaf: Dict[str, Tuple[Tuple[int, ...], ...]] = {
+        leaf: union_paths(trees, leaf) for leaf in topology.leaves
+    }
+
+    def build(receiver_index: int, block_id: int, loss_rate: float):
+        try:
+            leaf = topology.leaves[receiver_index]
+        except IndexError:
+            raise SimulationError(
+                f"receiver index {receiver_index} outside topology "
+                f"({len(topology.leaves)} leaves)")
+        loss = PathLoss(bank, block_id, paths_by_leaf[leaf], loss_rate)
+        channel = TopologyChannel(loss, leaf)
+        if attack_plan_factory is None:
+            return channel
+        plan = attack_plan_factory()
+        cell_seed = (seed + _STRIDE_RECEIVER * (receiver_index + 1)
+                     + _STRIDE_BLOCK * (block_id + 1))
+        plan.reseed(cell_seed + _ATTACK_OFFSET)
+        return AdversarialChannel(channel, plan)
+
+    build.bank = bank
+    build.paths_by_leaf = paths_by_leaf
+    return build

@@ -1,0 +1,198 @@
+"""Multicast distribution trees over a :class:`~repro.topology.graph.Topology`.
+
+A distribution tree is the set of edges packets actually traverse: the
+root pushes one copy down the tree and routers replicate at branch
+points, so a leaf receives a packet iff *every* edge on its root→leaf
+path is up at that instant.  :class:`DistTree` stores exactly what the
+loss layer needs — per-leaf tuples of edge indices — plus the edge set
+for redundancy accounting.
+
+Two constructions are provided, both deterministic:
+
+* :func:`shortest_path_tree` — union of weighted shortest root→leaf
+  paths (Dijkstra); the classic source-based multicast tree;
+* :func:`steiner_tree` — networkx's Steiner-approximation over
+  ``{root} ∪ leaves``, which can share more edges on graphs with
+  useful intermediate nodes.
+
+:func:`redundant_trees` builds ``k`` edge-disjoint-*biased* trees by
+re-running the chosen construction with used edges penalized (the
+technique of the multicast-redundancy exemplar in SNIPPETS.md):
+perfect disjointness is impossible whenever a leaf has one incident
+edge, so instead of failing we multiply the weight of every used edge
+by a large penalty and let the next round route around the previous
+trees wherever the graph allows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import networkx as nx
+from networkx.algorithms.approximation import steiner_tree as _nx_steiner
+
+from repro.exceptions import SimulationError
+from repro.topology.graph import Topology
+
+__all__ = [
+    "DistTree",
+    "shortest_path_tree",
+    "steiner_tree",
+    "build_tree",
+    "redundant_trees",
+    "TREE_ALGORITHMS",
+]
+
+#: Algorithms accepted by :func:`build_tree` / :func:`redundant_trees`.
+TREE_ALGORITHMS = ("shortest-path", "steiner")
+
+#: Weight multiplier applied to edges already used by an earlier tree
+#: when building the next redundant tree.  Large enough that any
+#: all-fresh detour beats a single reused edge on canonical graphs.
+_REDUNDANCY_PENALTY = 1000.0
+
+
+class DistTree:
+    """One distribution tree: per-leaf root→leaf paths as edge indices.
+
+    ``paths[leaf]`` is the tuple of edge indices on the root→leaf
+    path, in root-to-leaf order.  ``edges`` is the union of all path
+    edges — the tree's footprint, used to measure redundancy between
+    trees.  Instances are immutable in practice; treat them as values.
+    """
+
+    def __init__(self, topology: Topology,
+                 paths: Dict[str, Tuple[int, ...]]) -> None:
+        missing = [leaf for leaf in topology.leaves if leaf not in paths]
+        if missing:
+            raise SimulationError(f"tree misses leaves: {missing}")
+        self.topology = topology
+        self.paths = {leaf: tuple(paths[leaf]) for leaf in topology.leaves}
+        self.edges: FrozenSet[int] = frozenset(
+            index for path in self.paths.values() for index in path)
+
+    def path(self, leaf: str) -> Tuple[int, ...]:
+        """Edge indices on the root→leaf path."""
+        try:
+            return self.paths[leaf]
+        except KeyError:
+            raise SimulationError(f"{leaf!r} is not a leaf of this tree")
+
+    def describe(self) -> Dict[str, object]:
+        """Manifest-ready summary."""
+        depths = [len(path) for path in self.paths.values()]
+        return {
+            "edges": len(self.edges),
+            "max_depth": max(depths),
+            "min_depth": min(depths),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<DistTree edges={len(self.edges)} "
+                f"leaves={len(self.paths)}>")
+
+
+def _single_source_paths(topology: Topology, graph: nx.Graph,
+                         missing_hint: str) -> Dict[str, Tuple[int, ...]]:
+    """Root→leaf edge-index paths from one single-source Dijkstra run.
+
+    A single run shares one predecessor structure across every leaf,
+    so the union of the returned paths is a *tree* by construction —
+    per-leaf queries could tie-break equal-cost paths differently and
+    union into a cycle.
+    """
+    _, node_paths = nx.single_source_dijkstra(graph, topology.root,
+                                              weight="weight")
+    paths: Dict[str, Tuple[int, ...]] = {}
+    for leaf in topology.leaves:
+        nodes = node_paths.get(leaf)
+        if nodes is None:
+            raise SimulationError(f"{missing_hint} {leaf!r}")
+        paths[leaf] = tuple(topology.edge_index(u, v)
+                            for u, v in zip(nodes, nodes[1:]))
+    return paths
+
+
+def _paths_from_subgraph(topology: Topology,
+                         subgraph: nx.Graph) -> Dict[str, Tuple[int, ...]]:
+    """Root→leaf edge-index paths through ``subgraph``."""
+    if topology.root not in subgraph:
+        raise SimulationError("tree subgraph does not contain the root")
+    return _single_source_paths(topology, subgraph,
+                                "tree subgraph does not reach leaf")
+
+
+def shortest_path_tree(topology: Topology,
+                       graph: nx.Graph = None) -> DistTree:
+    """Union of weighted shortest root→leaf paths (source-based tree)."""
+    work = topology.graph if graph is None else graph
+    return DistTree(topology,
+                    _single_source_paths(topology, work,
+                                         "no path from root to leaf"))
+
+
+def steiner_tree(topology: Topology, graph: nx.Graph = None) -> DistTree:
+    """Steiner-approximation tree over ``{root} ∪ leaves``."""
+    work = topology.graph if graph is None else graph
+    terminals = [topology.root] + list(topology.leaves)
+    sub = _nx_steiner(work, terminals, weight="weight")
+    return DistTree(topology, _paths_from_subgraph(topology, sub))
+
+
+_BUILDERS = {
+    "shortest-path": shortest_path_tree,
+    "steiner": steiner_tree,
+}
+
+
+def build_tree(topology: Topology,
+               algorithm: str = "shortest-path",
+               graph: nx.Graph = None) -> DistTree:
+    """Build one tree with the named algorithm."""
+    try:
+        builder = _BUILDERS[algorithm]
+    except KeyError:
+        raise SimulationError(
+            f"unknown tree algorithm {algorithm!r} "
+            f"(known: {', '.join(TREE_ALGORITHMS)})")
+    return builder(topology, graph)
+
+
+def redundant_trees(topology: Topology, k: int,
+                    algorithm: str = "shortest-path") -> List[DistTree]:
+    """``k`` edge-disjoint-biased trees via used-edge weight penalties.
+
+    Tree 0 is the plain construction; each later tree is built on a
+    copy of the graph where every edge already used by an earlier tree
+    has its weight multiplied by a large penalty, so the construction
+    routes around prior trees wherever an alternative exists.  Shared
+    edges are allowed (a single-homed leaf forces its last hop into
+    every tree); full disjointness emerges only where the graph
+    provides it, e.g. the two planes of a ``dualspine`` topology.
+    """
+    if k < 1:
+        raise SimulationError(f"need k >= 1 trees, got {k}")
+    work = topology.graph.copy()
+    trees: List[DistTree] = []
+    for _ in range(k):
+        tree = build_tree(topology, algorithm, graph=work)
+        trees.append(tree)
+        for index in tree.edges:
+            u, v, _scale = topology._index_table()[index]
+            work.edges[u, v]["weight"] *= _REDUNDANCY_PENALTY
+    return trees
+
+
+def union_paths(trees: Sequence[DistTree],
+                leaf: str) -> Tuple[Tuple[int, ...], ...]:
+    """Distinct root→leaf paths across ``trees``, first-seen order.
+
+    Two trees that route a leaf identically contribute one path; the
+    loss layer ORs over whatever remains.
+    """
+    seen: List[Tuple[int, ...]] = []
+    for tree in trees:
+        path = tree.path(leaf)
+        if path not in seen:
+            seen.append(path)
+    return tuple(seen)

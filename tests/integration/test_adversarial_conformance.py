@@ -32,6 +32,11 @@ from repro.crypto.signatures import HmacStubSigner
 from repro.exceptions import AnalysisError
 from repro.faults import AttackPlan, BatchRootForgery
 from repro.schemes.registry import available_schemes
+from repro.topology import (
+    shortest_path_tree,
+    spine_topology,
+    topology_adversarial_stats,
+)
 
 BLOCK = 12
 TRIALS = 200
@@ -155,3 +160,32 @@ def test_sharded_attack_is_bit_for_bit_deterministic(name):
                         "replayed", "undecodable", "forged_rejected",
                         "replays_dropped", "forged_accepted"):
             assert getattr(stats, counter) == getattr(baseline, counter)
+
+
+@pytest.mark.parametrize("mix", ADVERSARIAL_MIXES)
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_topology_channel_soundness_under_attack(name, mix):
+    """Soundness survives the move from flat channels to tree paths.
+
+    The attack layer wraps a :class:`~repro.topology.TopologyChannel`
+    whose loss is the AND of a shared spine edge and a private leaf
+    edge — a different wire stream than the flat Bernoulli channel,
+    so a verifier that only held up under independent loss would be
+    caught here.  Zero forged acceptances, for every scheme, under
+    every canonical mix.
+    """
+    topo = spine_topology([f"r{i:02d}" for i in range(4)], 2)
+    trees = [shortest_path_tree(topo)]
+    stats = topology_adversarial_stats(
+        default_scheme(name), topo, trees, "r00", BLOCK, LOSS_RATE,
+        attack_mix(mix), 60, seed=SEED)
+    assert stats.forged_accepted == 0, (
+        f"{name} under {mix!r} on a spine topology accepted "
+        f"{stats.forged_accepted} forged packets")
+    assert stats.replayed > 0
+    assert stats.replays_dropped > 0
+    # Schemes whose every packet carries a signature (sign-each,
+    # wong-lam) are fully loss-protected by the channel contract, so
+    # only assert real link drops for the rest.
+    if any(tally.received < 60 for tally in stats.tallies.values()):
+        assert stats.dropped > 0, "the shared spine path must drop"

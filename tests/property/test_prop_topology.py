@@ -1,0 +1,169 @@
+"""Property fuzz: multicast tree construction and path-loss semantics.
+
+Invariants over randomly generated rooted graphs, redundancy degrees
+and loss rates:
+
+* every distribution tree spans all leaves, is acyclic, and is
+  connected through the root (the union of root→leaf paths from one
+  single-source Dijkstra run is a tree by construction);
+* ``k``-redundant trees differ in at least one edge whenever the
+  graph still connects root to every leaf with the first tree's edges
+  removed (the used-edge penalty makes any fully fresh route cheaper
+  than a single reused edge);
+* a packet is delivered iff *some* tree's root→leaf path has every
+  edge up at that slot, and suppressed-duplicate accounting matches
+  the number of extra fully-up paths;
+* on a single private edge, :class:`~repro.topology.linkloss.PathLoss`
+  reproduces the independent :class:`~repro.network.loss.BernoulliLoss`
+  stream bit-for-bit at the documented per-(edge, block) seed.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.loss import BernoulliLoss
+from repro.topology import (
+    EdgeLossBank,
+    PathLoss,
+    Topology,
+    build_tree,
+    redundant_trees,
+    union_paths,
+)
+
+ALGORITHMS = ("shortest-path", "steiner")
+
+
+@st.composite
+def topologies(draw):
+    """A random connected rooted graph with a few optional cycles.
+
+    Internal nodes form a random tree under the root; each leaf hangs
+    off a random node; extra internal edges (when drawn) create the
+    alternative routes redundant trees can exploit.
+    """
+    internal = draw(st.integers(min_value=0, max_value=4))
+    leaf_count = draw(st.integers(min_value=1, max_value=6))
+    nodes = ["root"] + [f"n{i}" for i in range(internal)]
+    edges = []
+    for i in range(1, len(nodes)):
+        parent = nodes[draw(st.integers(min_value=0, max_value=i - 1))]
+        edges.append((parent, nodes[i]))
+    leaves = [f"l{j}" for j in range(leaf_count)]
+    for leaf in leaves:
+        parent = nodes[draw(st.integers(min_value=0,
+                                        max_value=len(nodes) - 1))]
+        edges.append((parent, leaf))
+    seen = {frozenset(edge) for edge in edges}
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        a = draw(st.sampled_from(nodes))
+        b = draw(st.sampled_from(nodes + leaves))
+        if a != b and frozenset((a, b)) not in seen:
+            seen.add(frozenset((a, b)))
+            edges.append((a, b))
+    graph = nx.Graph()
+    graph.add_node("root")
+    for index, (u, v) in enumerate(edges):
+        weight = 1.0 + draw(st.integers(min_value=0, max_value=3)) * 0.25
+        graph.add_edge(u, v, index=index, loss_scale=1.0, weight=weight)
+    return Topology(graph, "root", leaves, name="fuzz")
+
+
+def _tree_subgraph(topology, tree):
+    sub = nx.Graph()
+    sub.add_node(topology.root)
+    for index in tree.edges:
+        u, v, _scale = topology._index_table()[index]
+        sub.add_edge(u, v)
+    return sub
+
+
+class TestTreeShape:
+    @given(topology=topologies(), algorithm=st.sampled_from(ALGORITHMS))
+    @settings(max_examples=120, deadline=None)
+    def test_tree_spans_all_leaves_acyclic_root_connected(
+            self, topology, algorithm):
+        tree = build_tree(topology, algorithm)
+        assert set(tree.paths) == set(topology.leaves)
+        sub = _tree_subgraph(topology, tree)
+        assert nx.is_connected(sub)
+        assert nx.is_tree(sub)
+        assert topology.root in sub
+        for leaf in topology.leaves:
+            assert leaf in sub
+            path = tree.path(leaf)
+            assert len(path) == len(set(path)), "path repeats an edge"
+            # The path must actually walk root -> leaf through the graph.
+            table = topology._index_table()
+            node = topology.root
+            for index in path:
+                u, v, _scale = table[index]
+                assert node in (u, v)
+                node = v if node == u else u
+            assert node == leaf
+
+    @given(topology=topologies(), k=st.integers(min_value=2, max_value=3),
+           algorithm=st.sampled_from(ALGORITHMS))
+    @settings(max_examples=120, deadline=None)
+    def test_redundant_trees_differ_when_graph_allows(
+            self, topology, k, algorithm):
+        trees = redundant_trees(topology, k, algorithm)
+        assert len(trees) == k
+        first = trees[0]
+        stripped = topology.graph.copy()
+        table = topology._index_table()
+        stripped.remove_edges_from(
+            (table[index][0], table[index][1]) for index in first.edges)
+        fully_avoidable = all(
+            stripped.has_node(leaf) and nx.has_path(stripped, topology.root,
+                                                    leaf)
+            for leaf in topology.leaves
+            if topology.root in stripped
+        ) and topology.root in stripped
+        if fully_avoidable:
+            assert trees[1].edges != first.edges, (
+                "an entirely fresh route existed but tree 1 reused tree 0")
+
+
+class TestDeliverySemantics:
+    @given(topology=topologies(), k=st.integers(min_value=1, max_value=3),
+           rate=st.floats(min_value=0.0, max_value=0.9),
+           seed=st.integers(min_value=0, max_value=2 ** 20),
+           slots=st.integers(min_value=1, max_value=24))
+    @settings(max_examples=120, deadline=None)
+    def test_delivered_iff_some_path_fully_up(self, topology, k, rate, seed,
+                                              slots):
+        trees = redundant_trees(topology, k)
+        leaf = topology.leaves[0]
+        paths = union_paths(trees, leaf)
+        bank = EdgeLossBank(topology, seed)
+        loss = PathLoss(bank, 0, paths, rate)
+        lost = [loss.is_lost() for _ in range(slots)]
+        # The bank caches every draw, so re-querying reconstructs the
+        # exact per-edge fates the PathLoss consumed.
+        expected_duplicates = 0
+        for slot, was_lost in enumerate(lost):
+            up_paths = sum(
+                all(bank.up(edge, 0, rate, slot) for edge in path)
+                for path in paths)
+            assert was_lost == (up_paths == 0)
+            expected_duplicates += max(0, up_paths - 1)
+        assert loss.duplicates_suppressed == expected_duplicates
+
+    @given(rate=st.floats(min_value=0.0, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=2 ** 20),
+           block=st.integers(min_value=0, max_value=40),
+           slots=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=120, deadline=None)
+    def test_single_edge_path_matches_bernoulli_stream(self, rate, seed,
+                                                       block, slots):
+        from repro.topology import star_topology
+
+        topology = star_topology(["r00", "r01"])
+        bank = EdgeLossBank(topology, seed)
+        edge = topology.edge_index("root", "r01")
+        loss = PathLoss(bank, block, ((edge,),), rate)
+        reference = BernoulliLoss(rate, seed=bank.edge_seed(edge, block))
+        assert ([loss.is_lost() for _ in range(slots)]
+                == [reference.is_lost() for _ in range(slots)])

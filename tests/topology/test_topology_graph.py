@@ -1,0 +1,143 @@
+"""Topology construction: validation, edge identity, subtree structure."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.topology import (
+    TOPOLOGY_SPECS,
+    Topology,
+    dualspine_topology,
+    make_topology,
+    spine_topology,
+    star_topology,
+)
+
+LEAVES = [f"r{i:02d}" for i in range(8)]
+
+
+class TestStar:
+    def test_leaf_edges_indexed_by_receiver_order(self):
+        topo = star_topology(LEAVES)
+        for index, leaf in enumerate(LEAVES):
+            assert topo.edge_index("root", leaf) == index
+        assert topo.edge_count == len(LEAVES)
+
+    def test_subtree_of_is_the_leaf_itself(self):
+        topo = star_topology(LEAVES)
+        for leaf in LEAVES:
+            assert topo.subtree_of(leaf) == leaf
+        assert topo.subtree_groups() == {leaf: [leaf] for leaf in LEAVES}
+
+
+class TestSpine:
+    def test_spine_edges_come_first_then_leaf_edges(self):
+        topo = spine_topology(LEAVES, 2)
+        assert topo.edge_index("root", "s00") == 0
+        assert topo.edge_index("root", "s01") == 1
+        assert topo.edge_index("s00", "r00") == 2
+        assert topo.edge_index("s01", "r07") == 9
+
+    def test_contiguous_group_assignment(self):
+        topo = spine_topology(LEAVES, 2)
+        groups = topo.subtree_groups()
+        assert groups == {"s00": LEAVES[:4], "s01": LEAVES[4:]}
+
+    def test_spine_scales_apply_per_router(self):
+        topo = spine_topology(LEAVES, 2, spine_scales=(3.0, 1.0))
+        assert topo.edge_scale("root", "s00") == 3.0
+        assert topo.edge_scale("root", "s01") == 1.0
+        assert topo.scale_of_index(0) == 3.0
+
+    def test_rejects_more_groups_than_leaves(self):
+        with pytest.raises(SimulationError):
+            spine_topology(LEAVES[:2], 3)
+        with pytest.raises(SimulationError):
+            spine_topology(LEAVES, 0)
+        with pytest.raises(SimulationError):
+            spine_topology(LEAVES, 2, spine_scales=(1.0,))
+
+
+class TestDualspine:
+    def test_two_planes_reach_every_router(self):
+        topo = dualspine_topology(LEAVES, 2)
+        assert topo.edge_index("root", "pA") == 0
+        assert topo.edge_index("root", "pB") == 1
+        for router in ("s00", "s01"):
+            assert topo.graph.has_edge("pA", router)
+            assert topo.graph.has_edge("pB", router)
+        # Plane B is weighted epsilon heavier so deterministic
+        # construction prefers plane A first.
+        assert topo.graph.edges["root", "pB"]["weight"] > \
+            topo.graph.edges["root", "pA"]["weight"]
+
+
+class TestValidation:
+    def test_root_must_be_in_graph_and_not_a_leaf(self):
+        graph = nx.Graph()
+        graph.add_edge("root", "a", index=0)
+        with pytest.raises(SimulationError):
+            Topology(graph, "missing", ["a"])
+        with pytest.raises(SimulationError):
+            Topology(graph, "root", ["root"])
+
+    def test_edges_need_dense_unique_indices(self):
+        graph = nx.Graph()
+        graph.add_edge("root", "a", index=0)
+        graph.add_edge("a", "b", index=2)  # gap
+        with pytest.raises(SimulationError):
+            Topology(graph, "root", ["b"])
+
+    def test_graph_must_be_connected(self):
+        graph = nx.Graph()
+        graph.add_edge("root", "a", index=0)
+        graph.add_edge("x", "y", index=1)
+        with pytest.raises(SimulationError):
+            Topology(graph, "root", ["a"])
+
+    def test_negative_loss_scale_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("root", "a", index=0, loss_scale=-0.5)
+        with pytest.raises(SimulationError):
+            Topology(graph, "root", ["a"])
+
+    def test_duplicate_and_unknown_leaves_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("root", "a", index=0)
+        with pytest.raises(SimulationError):
+            Topology(graph, "root", ["a", "a"])
+        with pytest.raises(SimulationError):
+            Topology(graph, "root", ["ghost"])
+        with pytest.raises(SimulationError):
+            Topology(graph, "root", [])
+
+    def test_subtree_of_rejects_non_leaf(self):
+        topo = spine_topology(LEAVES, 2)
+        with pytest.raises(SimulationError):
+            topo.subtree_of("s00")
+
+
+class TestMakeTopology:
+    def test_spec_grammar(self):
+        assert make_topology("star", LEAVES).name == "star"
+        assert make_topology("spine:2", LEAVES).name == "spine:2"
+        assert make_topology("dualspine:4", LEAVES).name == "dualspine:4"
+        assert make_topology("  SPINE:2 ", LEAVES).name == "spine:2"
+
+    @pytest.mark.parametrize("spec", ["ring", "spine:", "spine:x",
+                                      "dualspine:1.5", ""])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(SimulationError):
+            make_topology(spec, LEAVES)
+
+    def test_spec_table_is_accurate(self):
+        assert "star" in TOPOLOGY_SPECS
+        assert any(spec.startswith("spine:") for spec in TOPOLOGY_SPECS)
+        assert any(spec.startswith("dualspine:") for spec in TOPOLOGY_SPECS)
+
+    def test_describe_is_manifest_ready(self):
+        detail = make_topology("spine:2", LEAVES).describe()
+        assert detail["name"] == "spine:2"
+        assert detail["leaves"] == len(LEAVES)
+        assert detail["subtrees"] == 2
+        assert detail["root"] == "root"

@@ -1,0 +1,102 @@
+"""Distribution trees: construction, redundancy bias, path dedup."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.topology import (
+    TREE_ALGORITHMS,
+    build_tree,
+    dualspine_topology,
+    redundant_trees,
+    shortest_path_tree,
+    spine_topology,
+    star_topology,
+    steiner_tree,
+    union_paths,
+)
+
+LEAVES = [f"r{i:02d}" for i in range(8)]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("algorithm", TREE_ALGORITHMS)
+    def test_tree_covers_every_leaf(self, algorithm):
+        topo = spine_topology(LEAVES, 2)
+        tree = build_tree(topo, algorithm)
+        assert set(tree.paths) == set(LEAVES)
+        for leaf in LEAVES:
+            path = tree.path(leaf)
+            assert len(path) == 2  # root -> router -> leaf
+            assert path[0] in (0, 1)  # a spine edge
+
+    def test_star_paths_are_single_private_edges(self):
+        topo = star_topology(LEAVES)
+        tree = shortest_path_tree(topo)
+        for index, leaf in enumerate(LEAVES):
+            assert tree.path(leaf) == (index,)
+
+    def test_steiner_matches_shortest_path_on_trees(self):
+        # On a graph that *is* a tree both constructions are forced.
+        topo = spine_topology(LEAVES, 4)
+        assert steiner_tree(topo).paths == shortest_path_tree(topo).paths
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(SimulationError):
+            build_tree(star_topology(LEAVES), "mst")
+
+    def test_path_of_unknown_leaf_raises(self):
+        tree = shortest_path_tree(star_topology(LEAVES))
+        with pytest.raises(SimulationError):
+            tree.path("ghost")
+
+    def test_describe_reports_depths(self):
+        detail = shortest_path_tree(spine_topology(LEAVES, 2)).describe()
+        assert detail["max_depth"] == 2
+        assert detail["min_depth"] == 2
+        assert detail["edges"] == 10
+
+
+class TestRedundancy:
+    def test_dualspine_trees_are_plane_disjoint(self):
+        topo = dualspine_topology(LEAVES, 2)
+        trees = redundant_trees(topo, 2)
+        leaf_edges = frozenset(
+            topo.edge_index(u, v)
+            for leaf in LEAVES for u, v in topo.graph.edges(leaf))
+        interior_0 = trees[0].edges - leaf_edges
+        interior_1 = trees[1].edges - leaf_edges
+        assert interior_0 and interior_1
+        assert not interior_0 & interior_1, (
+            "redundant trees share interior edges on a dual-plane graph")
+
+    def test_tree_zero_is_the_plain_construction(self):
+        topo = dualspine_topology(LEAVES, 2)
+        trees = redundant_trees(topo, 2)
+        assert trees[0].paths == shortest_path_tree(topo).paths
+
+    def test_penalty_does_not_mutate_the_topology_graph(self):
+        topo = dualspine_topology(LEAVES, 2)
+        before = {(u, v): data["weight"]
+                  for u, v, data in topo.graph.edges(data=True)}
+        redundant_trees(topo, 3)
+        after = {(u, v): data["weight"]
+                 for u, v, data in topo.graph.edges(data=True)}
+        assert before == after
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            redundant_trees(star_topology(LEAVES), 0)
+
+    def test_union_paths_dedups_identical_routes(self):
+        # On a star there is only one route; k=2 must collapse to it.
+        topo = star_topology(LEAVES)
+        trees = redundant_trees(topo, 2)
+        for index, leaf in enumerate(LEAVES):
+            assert union_paths(trees, leaf) == ((index,),)
+
+    def test_union_paths_keeps_distinct_routes_in_tree_order(self):
+        topo = dualspine_topology(LEAVES, 2)
+        trees = redundant_trees(topo, 2)
+        for leaf in LEAVES:
+            paths = union_paths(trees, leaf)
+            assert paths == (trees[0].path(leaf), trees[1].path(leaf))
