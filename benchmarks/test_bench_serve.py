@@ -63,6 +63,56 @@ def test_serve_throughput(benchmark, show, receivers):
     show(result)
 
 
+CHURN_RECEIVERS = 16
+CHURN_BLOCKS = 12
+
+
+def test_bench_churn(benchmark, show):
+    """Packets/sec with the seeded membership storm live.
+
+    Same shape as the fan-out series but with the churn machinery on
+    the hot path: plan execution at every boundary, mid-block crash
+    strikes, barrier reshaping and membership-aware estimator folds.
+    The gate work stays the same: zero forged acceptances and a
+    transcript for every member that was ever active.
+    """
+    config = ServeConfig(receivers=CHURN_RECEIVERS, blocks=CHURN_BLOCKS,
+                         block_size=BLOCK_SIZE,
+                         loss_schedule=((0, 0.05),), churn="storm",
+                         seed=17)
+    session = benchmark(run_live_session, config)
+
+    assert session.forged_accepted == 0
+    assert session.delivered > 0
+    membership = session.manifest.parameters["membership"]
+    assert sum(membership["counts"].values()) > 0
+    # Churned transcripts cover each member's active interval, so the
+    # total line count is the sum of those intervals — deterministic
+    # at this seed, bounded by the full roster's.
+    total_lines = sum(len(t.splitlines())
+                      for t in session.transcripts.values())
+    assert 0 < total_lines <= 2 * CHURN_RECEIVERS * CHURN_BLOCKS
+
+    seconds = benchmark.stats.stats.mean
+    result = ExperimentResult(
+        experiment_id="bench-serve-churn",
+        title=f"churned serving, {CHURN_RECEIVERS}+spares, storm plan",
+    )
+    counts = membership["counts"]
+    result.rows.append({
+        "receivers": CHURN_RECEIVERS,
+        "blocks": CHURN_BLOCKS,
+        "joins": counts["join"],
+        "departures": counts["leave"] + counts["crash"],
+        "delivered pkts": session.delivered,
+        "session s": seconds,
+        "pkts/sec": session.delivered / seconds,
+    })
+    result.note("local transport, seeded storm churn, membership-aware "
+                "estimator folding")
+    show(result)
+
+
 @pytest.fixture(scope="module")
 def rsa_signer():
     """One RSA-2048 key pair shared by both arms of the comparison."""

@@ -77,6 +77,7 @@ from repro.schemes.wong_lam import WongLamScheme
 from repro.faults import (
     AttackPlan,
     BitFlipCorruption,
+    BootstrapBurstForgery,
     ForgedInjection,
     KNOWN_ATTACK_MIXES,
     ReorderJitter,
@@ -440,6 +441,14 @@ COMPLETENESS_POLICY: Dict[tuple, tuple] = {
         "skip",
         "reorder jitter shifts arrival times, perturbing the Eq. 6 "
         "safety term independently of loss"),
+    ("storm", "saida"): (
+        "lower-bound",
+        "leave-one-out reconstruction salvages packets whose flips land "
+        "in the share, and tampered packets still donate intact shares"),
+    ("storm", "tesla"): (
+        "lower-bound",
+        "flips confined to the key-disclosure field leave the MAC "
+        "verifiable once a later packet re-discloses the key"),
 }
 
 
@@ -450,8 +459,12 @@ def attack_mix(name: str) -> AttackPlan:
     authenticated region, sequence-colliding forged injections and
     replays — pressure on trust-state integrity.  ``dos`` models a
     resource attacker: truncation, heavier replay and reorder jitter —
-    pressure on buffers and decoders.  Rates are fixed so the
-    effective loss rate is reproducible across the suite, the
+    pressure on buffers and decoders.  ``storm`` models the
+    churn-storm adversary: a dense seq-colliding forgery burst over
+    the first deliveries after every (re)seed — a bootstrap window,
+    i.e. a fresh join race per trial or per (receiver, block) — over
+    light corruption and replay.  Rates are fixed so the effective
+    loss rate is reproducible across the suite, the
     ``ext-adversarial`` experiment and CI.
     """
     if name == "pollution":
@@ -465,6 +478,13 @@ def attack_mix(name: str) -> AttackPlan:
             TruncationCorruption(0.10),
             ReplayDuplication(0.15, copies=2),
             ReorderJitter(0.02),
+        ))
+    if name == "storm":
+        return AttackPlan((
+            BitFlipCorruption(0.05),
+            BootstrapBurstForgery(burst_rate=0.6, window=8,
+                                  tail_rate=0.05, collide=True),
+            ReplayDuplication(0.05),
         ))
     raise AnalysisError(
         f"unknown attack mix {name!r} (known: {', '.join(ADVERSARIAL_MIXES)})")

@@ -33,6 +33,7 @@ from repro.faults.channel import (ATTACK_KINDS, AdversarialChannel,
 from repro.faults.models import (
     BatchRootForgery,
     BitFlipCorruption,
+    BootstrapBurstForgery,
     FaultModel,
     ForgedInjection,
     ReorderJitter,
@@ -45,6 +46,7 @@ __all__ = [
     "FaultModel",
     "BatchRootForgery",
     "BitFlipCorruption",
+    "BootstrapBurstForgery",
     "TruncationCorruption",
     "ForgedInjection",
     "ReplayDuplication",
@@ -60,8 +62,12 @@ __all__ = [
 
 #: Attack-mix names the conformance layer knows how to build; the CLI
 #: validates ``--attack`` against this list without importing the
-#: (heavier) analysis package.
-KNOWN_ATTACK_MIXES = ("pollution", "dos")
+#: (heavier) analysis package.  ``storm`` is the churn-storm mix:
+#: light corruption plus :class:`BootstrapBurstForgery` bursts timed
+#: at bootstrap windows (the membership event stream itself lives in
+#: :mod:`repro.faults.churn`, kept out of this namespace because it
+#: pulls in :mod:`repro.parallel` for its seed tree).
+KNOWN_ATTACK_MIXES = ("pollution", "dos", "storm")
 
 _default_attack: Optional[List[str]] = None
 

@@ -1,0 +1,169 @@
+"""Churn-storm fault injection: deterministic membership event streams.
+
+The passive and active faults in this package attack *packets*; churn
+attacks the **membership protocol** — join floods, join/leave
+flapping, and crashes timed against block boundaries.  This module is
+the pure generator half: :func:`churn_storm` draws a Poisson-like
+join/leave/crash event stream for a whole session from the same
+deterministic seed tree the Monte-Carlo shards use
+(:func:`repro.parallel.seeds.spawn_seed_tree` — one child sequence
+per block, so the stream for block ``b`` never depends on how many
+events earlier blocks drew).  Events name abstract *member indices*;
+binding indices to receiver identities, validating protocol
+invariants and executing the events mid-session is the serve layer's
+job (:mod:`repro.serve.membership`).
+
+The packet-level half of the storm — forged bursts timed exactly at
+bootstrap windows — is :class:`repro.faults.models.\
+BootstrapBurstForgery`, composed into the ``storm`` attack mix by
+:func:`repro.analysis.conformance.attack_mix`.
+
+This module deliberately imports nothing from :mod:`repro.serve`, so
+the fault layer stays usable from the offline trial runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.parallel.seeds import spawn_seed_tree
+
+__all__ = ["ChurnEvent", "churn_storm"]
+
+#: Event kinds, in the order they apply at a block boundary: graceful
+#: leaves release barrier slots before joins claim new ones, and
+#: crashes strike *after* the block is on the wire.
+CHURN_KINDS = ("leave", "join", "crash")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership transition, at block-boundary granularity.
+
+    ``member`` is a stable universe index: initial members occupy
+    ``0 .. initial-1``, joinable spares follow.  ``join`` and
+    ``leave`` apply at the boundary *before* ``block`` streams;
+    ``crash`` strikes after ``block`` is on the wire but before the
+    member processes it — the mid-block failure mode.
+    """
+
+    block: int
+    kind: str
+    member: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHURN_KINDS:
+            raise SimulationError(
+                f"unknown churn kind {self.kind!r} "
+                f"(known: {', '.join(CHURN_KINDS)})")
+        if self.block < 1:
+            raise SimulationError(
+                f"churn events start at block 1, got block {self.block}")
+        if self.member < 0:
+            raise SimulationError(
+                f"member index must be >= 0, got {self.member}")
+
+
+def churn_storm(seed: int, initial: int, spare: int, blocks: int,
+                join_rate: float = 0.5, leave_rate: float = 0.25,
+                crash_rate: float = 0.125, flappers: int = 0,
+                flood_block: Optional[int] = None) -> List[ChurnEvent]:
+    """Draw one deterministic churn storm for a session.
+
+    Per block ``b >= 1`` a dedicated seed-tree child drives three
+    Poisson draws: joins (capped by the remaining spare pool), then
+    graceful leaves, then crashes — departures are capped so at least
+    one member always survives.  Victims are drawn without
+    replacement from the sorted active set, so the event stream is a
+    pure function of ``(seed, initial, spare, blocks, rates)``.
+
+    ``flappers`` reserves the first spare indices for a staggered
+    join-then-leave wave (flapper ``k`` joins at block ``1 + k`` and
+    leaves one block later) — the one-block membership that stresses
+    bootstrap/teardown back to back.  ``flood_block`` joins the whole
+    remaining spare pool at once on that block (the join-flood case).
+
+    Every member joins at most once and departs at most once; the
+    serve layer's plan validation relies on that.
+    """
+    if initial < 1:
+        raise SimulationError(f"need >= 1 initial member, got {initial}")
+    if spare < 0:
+        raise SimulationError(f"spare pool must be >= 0, got {spare}")
+    if blocks < 1:
+        raise SimulationError(f"need >= 1 block, got {blocks}")
+    for name, rate in (("join_rate", join_rate), ("leave_rate", leave_rate),
+                       ("crash_rate", crash_rate)):
+        if rate < 0:
+            raise SimulationError(f"{name} must be >= 0, got {rate}")
+    if not 0 <= flappers <= spare:
+        raise SimulationError(
+            f"flappers must be in [0, spare={spare}], got {flappers}")
+    if flood_block is not None and not 1 <= flood_block < blocks:
+        raise SimulationError(
+            f"flood_block must be in [1, {blocks - 1}], got {flood_block}")
+
+    events: List[ChurnEvent] = []
+    active: Set[int] = set(range(initial))
+    pool: List[int] = list(range(initial + flappers, initial + spare))
+    departed: Set[int] = set()
+
+    # Deterministic flapper wave, no RNG: one-block memberships.
+    flap_leaves: dict = {}
+    for k in range(flappers):
+        member = initial + k
+        join_at = 1 + k
+        if join_at >= blocks:
+            break
+        events.append(ChurnEvent(join_at, "join", member))
+        if join_at + 1 < blocks:
+            flap_leaves.setdefault(join_at + 1, []).append(member)
+
+    tree = spawn_seed_tree(seed, blocks)
+    for block in range(1, blocks):
+        joined_now: Set[int] = set()
+        for member in flap_leaves.get(block, ()):
+            events.append(ChurnEvent(block, "leave", member))
+            departed.add(member)
+        rng = np.random.default_rng(tree[block])
+        if flood_block is not None and block == flood_block:
+            joins = len(pool)
+        else:
+            joins = min(int(rng.poisson(join_rate)), len(pool))
+        for _ in range(joins):
+            member = pool.pop(0)
+            events.append(ChurnEvent(block, "join", member))
+            active.add(member)
+            joined_now.add(member)
+        # Flappers live in `events`, not `active`: they are exempt
+        # from random departures, their exits are scripted above.
+        candidates = sorted(active - joined_now)
+        leaves = int(rng.poisson(leave_rate))
+        crashes = int(rng.poisson(crash_rate))
+        # Survivor floor: joiners this block count toward it, crashers
+        # still see the block on the wire but never settle it.
+        headroom = max(0, len(active) - 1)
+        leaves = min(leaves, len(candidates), headroom)
+        headroom -= leaves
+        victims = ([] if leaves == 0 else
+                   [int(v) for v in rng.choice(candidates, size=leaves,
+                                               replace=False)])
+        for member in sorted(victims):
+            events.append(ChurnEvent(block, "leave", member))
+            active.discard(member)
+            departed.add(member)
+        candidates = sorted(active - joined_now - set(victims))
+        crashes = min(crashes, len(candidates), headroom)
+        crashed = ([] if crashes == 0 else
+                   [int(v) for v in rng.choice(candidates, size=crashes,
+                                               replace=False)])
+        for member in sorted(crashed):
+            events.append(ChurnEvent(block, "crash", member))
+            active.discard(member)
+            departed.add(member)
+    events.sort(key=lambda e: (e.block, CHURN_KINDS.index(e.kind), e.member))
+    return events

@@ -47,6 +47,7 @@ __all__ = [
     "ReplayDuplication",
     "ReorderJitter",
     "BatchRootForgery",
+    "BootstrapBurstForgery",
 ]
 
 #: Sequence-number displacement for non-colliding forged packets: far
@@ -288,6 +289,62 @@ class BatchRootForgery(FaultModel):
             leaf_index=position, leaf_count=self.batch_size,
             proof=tree.proof(position), root_signature=fake_signature))
         forged = replace(forged, signature=attachment)
+        offset = self.epsilon * (1.0 + self._rng.random())
+        return [(offset, forged.to_wire())]
+
+
+class BootstrapBurstForgery(FaultModel):
+    """Forged-injection burst timed at a receiver's bootstrap window.
+
+    The churn-storm adversary races a late joiner's first deliveries:
+    before the receiver has anchored any trust state (a verified
+    signed root, an authenticated TESLA key), forged packets are
+    cheapest to slip in.  The first ``window`` genuine deliveries
+    observed after a :meth:`~FaultModel.reset` are forged with the
+    high ``burst_rate``; afterwards the model settles to ``tail_rate``
+    (0 by default — a pure transition attack).
+
+    Placement comes entirely from the reseed discipline: the serve
+    layer reseeds plans per (receiver, block), so a plan armed on a
+    joiner's join block bursts exactly inside its bootstrap window;
+    the conformance harness reseeds per trial, so *every* trial opens
+    with a bootstrap-shaped burst — each attacked block is a fresh
+    join race.  Forgeries clone the observed packet's framing and
+    collide on its sequence number (slot-stealing pressure), exactly
+    like :class:`ForgedInjection`, and never corrupt — the
+    ``corruption_rate`` stays 0 so the effective-loss model is
+    untouched.
+    """
+
+    def __init__(self, burst_rate: float = 0.5, window: int = 8,
+                 tail_rate: float = 0.0, collide: bool = True,
+                 epsilon: float = 1e-6, seed: Optional[int] = None) -> None:
+        self.burst_rate = _check_rate(burst_rate, "burst rate")
+        self.tail_rate = _check_rate(tail_rate, "tail rate")
+        if window < 1:
+            raise SimulationError(f"window must be >= 1, got {window}")
+        if epsilon <= 0:
+            raise SimulationError(f"epsilon must be > 0, got {epsilon}")
+        self.window = window
+        self.collide = collide
+        self.epsilon = epsilon
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind the RNG *and* reopen the bootstrap window."""
+        super().reset()
+        self._observed = 0
+
+    def forge(self, packet: Packet) -> List[Tuple[float, bytes]]:
+        rate = (self.burst_rate if self._observed < self.window
+                else self.tail_rate)
+        self._observed += 1
+        if self._rng.random() >= rate:
+            return []
+        seq = packet.seq if self.collide else packet.seq + FRESH_SEQ_OFFSET
+        payload = b"storm:" + self._rng.getrandbits(64).to_bytes(8, "big")
+        forged = replace(packet, seq=seq, payload=payload)
         offset = self.epsilon * (1.0 + self._rng.random())
         return [(offset, forged.to_wire())]
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,7 @@ __all__ = [
     "TraceLoss",
     "NoLoss",
     "LossEstimator",
+    "PooledLossEstimator",
 ]
 
 
@@ -352,18 +353,22 @@ class LossEstimator:
         """Fold an aggregate report: ``lost`` of ``total`` packets lost.
 
         The aggregate erases ordering, so a deterministic one is
-        chosen: losses are spread evenly across the ``total`` slots.
-        A clustered order (e.g. losses-last) would bias every sliding
-        window that truncates an aggregate mid-way — a window holding
-        the tail of a clean-then-lossy block reads a rate the channel
-        never had.
+        chosen: losses are spread evenly across the ``total`` slots,
+        *centered* within their strides (slot ``i`` is lost iff the
+        rounded cumulative count ``(2*i*lost + total) // (2*total)``
+        advances at ``i + 1``).  A clustered order would bias every
+        sliding window that truncates an aggregate mid-way — an
+        end-of-stride placement puts a ``lost=1`` aggregate's loss in
+        the final slot, so a window cut at a membership change reads
+        either a clean or a doubly-lossy tail the channel never had.
         """
         if total < 0 or not 0 <= lost <= total:
             raise SimulationError(
                 f"need 0 <= lost <= total, got lost={lost}, total={total}")
         for index in range(total):
-            step = ((index + 1) * lost) // total - (index * lost) // total
-            self.observe(step > 0)
+            before = (2 * index * lost + total) // (2 * total)
+            after = (2 * (index + 1) * lost + total) // (2 * total)
+            self.observe(after > before)
 
     def reset(self) -> None:
         """Forget everything (new trial)."""
@@ -372,6 +377,25 @@ class LossEstimator:
         self._recent.clear()
         self._recent_lost = 0
         self._ewma = None
+
+    def forget_oldest(self, count: Optional[int] = None) -> int:
+        """Age the oldest ``count`` window samples out (all if ``None``).
+
+        The explicit purge for membership changes: samples leave the
+        window (and its rate) immediately instead of waiting to be
+        displaced, while the lifetime counters and the EWMA keep their
+        history.  Returns how many samples were actually dropped.
+        """
+        if count is None:
+            count = len(self._recent)
+        if count < 0:
+            raise SimulationError(f"count must be >= 0, got {count}")
+        dropped = 0
+        while dropped < count and self._recent:
+            if self._recent.popleft():
+                self._recent_lost -= 1
+            dropped += 1
+        return dropped
 
     @property
     def lifetime_rate(self) -> float:
@@ -393,6 +417,11 @@ class LossEstimator:
         return len(self._recent)
 
     @property
+    def window_lost(self) -> int:
+        """Losses currently inside the window (exact integer count)."""
+        return self._recent_lost
+
+    @property
     def ewma_rate(self) -> float:
         """EWMA loss rate (0.0 before any observation)."""
         return self._ewma if self._ewma is not None else 0.0
@@ -401,3 +430,95 @@ class LossEstimator:
         return (f"<LossEstimator observed={self.observed} "
                 f"lifetime={self.lifetime_rate:.3f} "
                 f"window={self.window_rate:.3f} ewma={self.ewma_rate:.3f}>")
+
+
+class PooledLossEstimator:
+    """Membership-aware pooling: one private window per report source.
+
+    A single shared :class:`LossEstimator` cannot forget a departed
+    receiver — its samples sit in the window until displaced, biasing
+    every pooled rate toward a channel that no longer exists.  This
+    estimator keys one private window per source and derives the
+    pooled views from the *current* membership only, so
+    :meth:`retire` folds a leaver (and its stale samples) out of the
+    estimate in O(1), exactly at the membership boundary.
+
+    The pooled surface mirrors the :class:`LossEstimator` attributes
+    the adaptive layer reads (``window_rate`` / ``window_fill`` /
+    ``ewma_rate``), and stays purely arithmetic — as deterministic as
+    the report stream.
+    """
+
+    def __init__(self, window: int = 256, alpha: float = 0.125) -> None:
+        if window < 1:
+            raise SimulationError(f"window must be >= 1, got {window}")
+        if not 0.0 < alpha <= 1.0:
+            raise SimulationError(f"alpha must be in (0, 1], got {alpha}")
+        self.window = window
+        self.alpha = alpha
+        self._members: Dict[str, LossEstimator] = {}
+        self.retired = 0
+
+    def estimator_for(self, source: str) -> LossEstimator:
+        """The named source's private estimator (created on first use)."""
+        estimator = self._members.get(source)
+        if estimator is None:
+            estimator = LossEstimator(window=self.window, alpha=self.alpha)
+            self._members[source] = estimator
+        return estimator
+
+    def observe_block(self, source: str, lost: int, total: int) -> None:
+        """Fold one source's aggregate report into its private window."""
+        self.estimator_for(source).observe_block(lost, total)
+
+    def retire(self, source: str) -> bool:
+        """Drop a source and every sample it ever contributed.
+
+        Returns whether the source had a window to drop; retiring an
+        unknown source is a no-op (a receiver may depart before its
+        first report).
+        """
+        if self._members.pop(source, None) is None:
+            return False
+        self.retired += 1
+        return True
+
+    @property
+    def members(self) -> List[str]:
+        """Currently pooled sources, sorted."""
+        return sorted(self._members)
+
+    @property
+    def window_fill(self) -> int:
+        """Observations inside all current members' windows."""
+        return sum(e.window_fill for e in self._members.values())
+
+    @property
+    def window_rate(self) -> float:
+        """Exact pooled loss rate over current members' windows."""
+        fill = self.window_fill
+        if fill == 0:
+            return 0.0
+        lost = sum(e.window_lost for e in self._members.values())
+        return lost / fill
+
+    @property
+    def ewma_rate(self) -> float:
+        """Fill-weighted mean of current members' EWMA rates.
+
+        Weighting by window fill keeps a just-joined receiver's short
+        history from swinging the pooled smoothed signal; summation
+        runs in sorted member order so the float fold is independent
+        of join order.
+        """
+        fill = self.window_fill
+        if fill == 0:
+            return 0.0
+        weighted = sum(self._members[name].ewma_rate
+                       * self._members[name].window_fill
+                       for name in sorted(self._members))
+        return weighted / fill
+
+    def __repr__(self) -> str:
+        return (f"<PooledLossEstimator members={len(self._members)} "
+                f"retired={self.retired} window={self.window_rate:.3f}>")

@@ -364,6 +364,11 @@ class TeslaReceiver:
         #: Disclosed keys rejected: failed authentication or an index
         #: beyond the committed chain.
         self.rejected_keys = 0
+        #: The subset of ``rejected_keys`` stopped by the chain-length
+        #: guard specifically (index beyond the commitment) — the
+        #: late-join catch-up path must reject these *before* walking
+        #: the chain, so the counter doubles as a CPU-exhaustion probe.
+        self.guard_rejections = 0
 
     # ------------------------------------------------------------------
 
@@ -382,6 +387,7 @@ class TeslaReceiver:
             # The commitment covers chain_length keys; a larger index
             # is forged, and authenticating it would walk the chain
             # attacker-many steps (CPU exhaustion) before failing.
+            self.guard_rejections += 1
             return False
         if index <= self._highest_key:
             return True  # already known (or older than the anchor)

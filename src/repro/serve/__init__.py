@@ -27,6 +27,11 @@ receivers and re-designs its dependence graph on the fly:
   the pool's loss reports into
   :mod:`repro.design.optimizer` and re-selects scheme parameters per
   block against a ``q_min``/overhead budget;
+* :mod:`repro.serve.membership` — :class:`MembershipPlan`: seeded,
+  validated join/leave/crash trajectories executed at block
+  boundaries (late joiners bootstrap per :data:`BOOTSTRAP_RULES`),
+  plus the bootstrap-window forgery wrapper
+  :func:`storm_channel_factory`;
 * :mod:`repro.serve.service` — :func:`run_live_session`: the
   block-barrier orchestration loop tying the four together, emitting
   a :class:`~repro.obs.RunManifest` and per-phase
@@ -44,6 +49,13 @@ receiver count.
 
 from repro.serve.adaptive import AdaptationEvent, AdaptiveController
 from repro.serve.loadgen import run_loadgen
+from repro.serve.membership import (
+    BOOTSTRAP_RULES,
+    MembershipEvent,
+    MembershipPlan,
+    parse_churn_spec,
+    storm_channel_factory,
+)
 from repro.serve.receiver import LossReport, ReceiverPool, ReceiverSession
 from repro.serve.sender import BlockTruth, SenderService
 from repro.serve.service import ServeConfig, SessionResult, run_live_session
@@ -59,10 +71,13 @@ from repro.serve.transport import (
 __all__ = [
     "AdaptationEvent",
     "AdaptiveController",
+    "BOOTSTRAP_RULES",
     "BlockTruth",
     "ControlFrame",
     "LocalTransport",
     "LossReport",
+    "MembershipEvent",
+    "MembershipPlan",
     "ReceiverPool",
     "ReceiverSession",
     "SenderService",
@@ -72,6 +87,8 @@ __all__ = [
     "UdpTransport",
     "decode_control",
     "encode_control",
+    "parse_churn_spec",
     "run_live_session",
     "run_loadgen",
+    "storm_channel_factory",
 ]

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.design.optimizer import ParameterChoice, optimize_emss
 from repro.exceptions import DesignError, SimulationError
-from repro.network.loss import LossEstimator
+from repro.network.loss import LossEstimator, PooledLossEstimator
 from repro.schemes.base import Scheme
 from repro.schemes.registry import make_scheme
 from repro.serve.receiver import LossReport
@@ -109,6 +109,12 @@ class AdaptiveController:
     group:
         Subtree label stamped on every event this controller emits
         (``None`` for the classic pool-wide controller).
+    membership_aware:
+        Use a :class:`~repro.network.loss.PooledLossEstimator` keyed
+        by receiver id instead of one flat window, so a member that
+        leaves can be retired (:meth:`retire_receiver`) and its stale
+        samples fold out of the pooled estimate immediately rather
+        than aging out over the next ``window`` slots.
     """
 
     def __init__(self, block_size: int, q_min_target: float = 0.75,
@@ -120,7 +126,8 @@ class AdaptiveController:
                  m_values: Sequence[int] = tuple(range(1, 7)),
                  d_values: Sequence[int] = (1, 2, 4, 8),
                  max_delay_slots: Optional[int] = 8,
-                 group: Optional[str] = None) -> None:
+                 group: Optional[str] = None,
+                 membership_aware: bool = False) -> None:
         if block_size < 1:
             raise SimulationError(f"block_size must be >= 1, got {block_size}")
         if not p_grid or list(p_grid) != sorted(set(p_grid)):
@@ -135,7 +142,18 @@ class AdaptiveController:
         self.group = group
         self.block_size = block_size
         self.q_min_target = q_min_target
-        self.estimator = estimator if estimator is not None else LossEstimator()
+        self.membership_aware = membership_aware
+        if estimator is not None:
+            if membership_aware and not isinstance(estimator,
+                                                   PooledLossEstimator):
+                raise SimulationError(
+                    "membership_aware controllers need a "
+                    "PooledLossEstimator")
+            self.estimator = estimator
+        elif membership_aware:
+            self.estimator = PooledLossEstimator()
+        else:
+            self.estimator = LossEstimator()
         self.p_grid = tuple(p_grid)
         self.m_values = tuple(m_values)
         self.d_values = tuple(d_values)
@@ -217,9 +235,14 @@ class AdaptiveController:
         Reports are folded in sorted receiver order so the pooled
         estimator's state is independent of task scheduling.
         """
+        pooled = isinstance(self.estimator, PooledLossEstimator)
         for report in sorted(reports, key=lambda r: r.receiver_id):
-            self.estimator.observe_block(report.expected - report.received,
-                                         report.expected)
+            lost = report.expected - report.received
+            if pooled:
+                self.estimator.observe_block(report.receiver_id, lost,
+                                             report.expected)
+            else:
+                self.estimator.observe_block(lost, report.expected)
         if self.estimate == "window":
             p_hat = self.estimator.window_rate
         else:
@@ -254,6 +277,19 @@ class AdaptiveController:
         )
         self.events.append(event)
         return event
+
+    def retire_receiver(self, receiver_id: str) -> bool:
+        """Fold a departed member's samples out of the pooled estimate.
+
+        Only meaningful with a membership-aware estimator — there the
+        leaver's per-receiver window is dropped wholesale, so its last
+        (possibly stale or partial) blocks cannot bias the next design
+        decision.  Returns whether anything was removed; a flat
+        estimator always answers ``False`` (samples age out instead).
+        """
+        if isinstance(self.estimator, PooledLossEstimator):
+            return self.estimator.retire(receiver_id)
+        return False
 
 
 class SubtreeAdaptiveController:
@@ -331,6 +367,13 @@ class SubtreeAdaptiveController:
                 self.controllers[group].observe(block_id, by_group[group]))
         self.events.extend(events)
         return events
+
+    def retire_receiver(self, receiver_id: str) -> bool:
+        """Retire a leaver from its subtree's estimator (see inner)."""
+        group = self.group_of.get(receiver_id)
+        if group is None:
+            return False
+        return self.controllers[group].retire_receiver(receiver_id)
 
     def gauges(self) -> Dict[str, object]:
         """Flat timeseries row: every inner gauge, group-prefixed."""

@@ -68,7 +68,12 @@ def _build_parser(prog: str, soak: bool) -> argparse.ArgumentParser:
                              "e.g. --ramp 20:0.3")
     parser.add_argument("--attack", default=None, metavar="MIX",
                         help="adversarial mix on every channel "
-                             "(pollution or dos; default none)")
+                             "(pollution, dos or storm; default none)")
+    parser.add_argument("--churn", default=None, metavar="SPEC",
+                        help="dynamic membership: late joins, graceful "
+                             "leaves and mid-block crashes from a seeded "
+                             "plan (storm[:J,L,C], flood:BLOCK or "
+                             "flap:COUNT; default none)")
     parser.add_argument("--topology", default=None, metavar="SPEC",
                         help="stream over a distribution tree with "
                              "correlated per-link loss instead of "
@@ -173,6 +178,7 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         topology=args.topology,
         trees=args.trees,
         subtree_adaptive=args.subtree_adaptive,
+        churn=args.churn,
     )
 
 

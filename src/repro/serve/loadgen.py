@@ -144,6 +144,11 @@ def run_loadgen(config: ServeConfig,
         summary["trees"] = config.trees
         summary["subtree_adaptive"] = config.subtree_adaptive
         summary["duplicates_suppressed"] = session.duplicates_suppressed
+    if config.churn is not None:
+        membership = session.manifest.parameters.get("membership", {})
+        summary["churn"] = config.churn
+        summary["membership_counts"] = membership.get("counts", {})
+        summary["final_active"] = len(membership.get("final_active", []))
     if lifecycle is not None:
         summary["lifecycle_events"] = lifecycle.events_recorded
     if timeseries is not None:

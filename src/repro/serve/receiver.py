@@ -259,17 +259,32 @@ class ReceiverSession:
 
 
 class ReceiverPool:
-    """N concurrent receiver sessions plus the per-block barrier.
+    """Concurrent receiver sessions plus the per-block barrier.
+
+    The pool owns the session *roster*, which churn makes dynamic:
+    :meth:`admit` brings a late joiner up mid-session, :meth:`retire`
+    detaches a graceful leaver (its task drains and exits), and
+    :meth:`crash` kills a member mid-block.  ``sessions`` keeps every
+    member that ever ran — departed receivers' transcripts, stats and
+    audits stay part of the session record — while the barrier in
+    :meth:`wait_block` releases on the *currently running* set only,
+    so departures can never wedge it.
+
+    Failure safety: a session task that raises records the first
+    error, cancels its sibling tasks, and surfaces through
+    :meth:`wait_block` / :meth:`join` — a crashing receiver fails the
+    session loudly instead of hanging the barrier.
 
     Parameters
     ----------
     receiver_ids:
-        Session identities, one task each.
+        Initial session identities, one task each.
     signer:
         Shared verifier (stateless verification; safe to share).
     hash_function, estimator_factory, max_buffered:
-        Forwarded to each session; ``estimator_factory`` builds one
-        private estimator per receiver.
+        Forwarded to each session (including later admissions);
+        ``estimator_factory`` builds one private estimator per
+        receiver.
     subtree_of:
         Receiver id -> distribution-tree branch label; receivers not
         in the mapping (or all of them, when it is omitted) report
@@ -286,33 +301,129 @@ class ReceiverPool:
             raise SimulationError("need at least one receiver")
         if len(set(receiver_ids)) != len(receiver_ids):
             raise SimulationError("receiver ids must be unique")
-        subtree_of = subtree_of if subtree_of is not None else {}
+        self._signer = signer
+        self._hash = hash_function
+        self._estimator_factory = estimator_factory
+        self._max_buffered = max_buffered
+        self._subtree_of = subtree_of if subtree_of is not None else {}
         self.sessions: Dict[str, ReceiverSession] = {}
         for receiver_id in receiver_ids:
-            estimator = (estimator_factory() if estimator_factory is not None
-                         else LossEstimator())
-            self.sessions[receiver_id] = ReceiverSession(
-                receiver_id, signer, hash_function, estimator=estimator,
-                max_buffered=max_buffered,
-                subtree=subtree_of.get(receiver_id))
+            self.sessions[receiver_id] = self._build_session(receiver_id)
         self._reports: Dict[int, Dict[str, LossReport]] = {}
         self._events: Dict[int, asyncio.Event] = {}
-        self._tasks: List[asyncio.Task] = []
+        self._active: Dict[str, asyncio.Task] = {}
+        self._transport: Optional[Transport] = None
+        self._started = False
+        self._failure: Optional[BaseException] = None
+        self._failed = asyncio.Event()
+
+    def _build_session(self, receiver_id: str) -> ReceiverSession:
+        estimator = (self._estimator_factory()
+                     if self._estimator_factory is not None
+                     else LossEstimator())
+        return ReceiverSession(
+            receiver_id, self._signer, self._hash, estimator=estimator,
+            max_buffered=self._max_buffered,
+            subtree=self._subtree_of.get(receiver_id))
 
     def start(self, transport: Transport) -> None:
         """Spawn one task per session (requires a running event loop)."""
-        if self._tasks:
+        if self._started:
             raise SimulationError("pool already started")
+        self._started = True
+        self._transport = transport
         for session in self.sessions.values():
-            self._tasks.append(
-                asyncio.create_task(session.run(transport, self._on_report),
-                                    name=f"serve-{session.receiver_id}"))
+            self._spawn(session)
+
+    def _spawn(self, session: ReceiverSession) -> None:
+        task = asyncio.create_task(
+            session.run(self._transport, self._on_report),
+            name=f"serve-{session.receiver_id}")
+        self._active[session.receiver_id] = task
+        task.add_done_callback(
+            lambda done, rid=session.receiver_id: self._on_task_done(
+                rid, done))
+
+    def _on_task_done(self, receiver_id: str, task: asyncio.Task) -> None:
+        if self._active.get(receiver_id) is task:
+            del self._active[receiver_id]
+        if task.cancelled():
+            return
+        error = task.exception()
+        if error is None:
+            return
+        if self._failure is None:
+            self._failure = error
+        self._failed.set()
+        # Cancel the siblings: one broken receiver must not leave the
+        # rest of the pool (and the barrier) waiting forever.
+        for other in self._active.values():
+            other.cancel()
+
+    @property
+    def active_ids(self) -> List[str]:
+        """Currently running session identities, sorted."""
+        return sorted(self._active)
+
+    # -- membership ----------------------------------------------------
+
+    def admit(self, receiver_id: str) -> ReceiverSession:
+        """Bring a late joiner up (its transport endpoint must exist).
+
+        The new session joins the barrier set immediately; its first
+        block is whichever streams next.
+        """
+        if receiver_id in self.sessions:
+            raise SimulationError(
+                f"receiver {receiver_id!r} already has a session "
+                f"(members never rejoin under one identity)")
+        session = self._build_session(receiver_id)
+        self.sessions[receiver_id] = session
+        if self._started:
+            self._spawn(session)
+        return session
+
+    async def retire(self, receiver_id: str) -> None:
+        """Detach a graceful leaver: drain its task and keep its record.
+
+        Call after the transport endpoint is closed — the close
+        sentinel is what ends the subscription.  The leaver's
+        transcript, stats and audit counters stay in ``sessions``.
+        """
+        task = self._active.pop(receiver_id, None)
+        if task is None:
+            if receiver_id not in self.sessions:
+                raise SimulationError(f"unknown receiver {receiver_id!r}")
+            return  # already finished (e.g. failure path)
+        await task
+
+    async def crash(self, receiver_id: str) -> None:
+        """Kill a member mid-block: cancel its task, abandon its queue.
+
+        The victim never settles the in-flight block — no report, no
+        transcript line — exactly a process that died without notice.
+        """
+        task = self._active.pop(receiver_id, None)
+        if task is None:
+            raise SimulationError(
+                f"receiver {receiver_id!r} is not running")
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    # -- the barrier ---------------------------------------------------
 
     async def _on_report(self, report: LossReport) -> None:
         per_block = self._reports.setdefault(report.block_id, {})
         per_block[report.receiver_id] = report
-        if len(per_block) == len(self.sessions):
-            self._event(report.block_id).set()
+        self._maybe_release(report.block_id)
+
+    def _maybe_release(self, block_id: int) -> None:
+        per_block = self._reports.get(block_id, {})
+        if self._active and set(self._active) <= set(per_block):
+            self._event(block_id).set()
 
     def _event(self, block_id: int) -> asyncio.Event:
         event = self._events.get(block_id)
@@ -321,17 +432,60 @@ class ReceiverPool:
             self._events[block_id] = event
         return event
 
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+
     async def wait_block(self, block_id: int) -> List[LossReport]:
-        """Barrier: every session's report for ``block_id``, sorted by id."""
-        await self._event(block_id).wait()
+        """Barrier: every *running* session's report, sorted by id.
+
+        Re-evaluates the running set on entry (a crash just before
+        settling shrinks it) and races the barrier against session
+        failure — a receiver that raises mid-block surfaces here
+        instead of deadlocking the loop.
+        """
+        self._check_failure()
+        self._maybe_release(block_id)
+        event = self._event(block_id)
+        if not event.is_set():
+            barrier = asyncio.ensure_future(event.wait())
+            failed = asyncio.ensure_future(self._failed.wait())
+            try:
+                await asyncio.wait((barrier, failed),
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                barrier.cancel()
+                failed.cancel()
+            self._check_failure()
         self._events.pop(block_id, None)
-        reports = self._reports.pop(block_id)
+        reports = self._reports.pop(block_id, {})
         return [reports[receiver_id] for receiver_id in sorted(reports)]
 
     async def join(self) -> None:
-        """Wait for every session task to finish (after the final frame)."""
-        if self._tasks:
-            await asyncio.gather(*self._tasks)
+        """Wait for the surviving session tasks (after the final frame).
+
+        Surfaces the first session error and cancels the rest — the
+        teardown counterpart of :meth:`wait_block`'s failure race.
+        """
+        self._check_failure()
+        tasks = list(self._active.values())
+        if not tasks:
+            return
+        done, pending = await asyncio.wait(
+            tasks, return_when=asyncio.FIRST_EXCEPTION)
+        failure: Optional[BaseException] = None
+        for task in done:
+            if task.cancelled():
+                continue
+            error = task.exception()
+            if error is not None and failure is None:
+                failure = error
+        if failure is not None:
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+            raise failure
 
     def merged_stats(self) -> Dict[str, SimulationStats]:
         """Per-phase stats folded across receivers (sorted, exact)."""

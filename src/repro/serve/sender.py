@@ -26,6 +26,7 @@ folds stay exact because all accounting is integer.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
@@ -190,6 +191,13 @@ class SenderService:
         Virtual seconds the oldest pending block may wait before a
         partial batch is flushed anyway (bounds latency); ``None``
         flushes only on a full batch or at end of session.
+    receiver_indices:
+        Receiver id -> channel-seeding index.  Defaults to each id's
+        position in ``receiver_ids``; churn sessions pass the
+        membership universe's indices instead, so a receiver's loss
+        and attack draws are pinned to its identity rather than to
+        the shifting roster order (and a no-churn session seeds
+        exactly as before).
     """
 
     def __init__(self, transport: Transport, receiver_ids: Sequence[str],
@@ -198,7 +206,9 @@ class SenderService:
                  clock: Clock, t_transmit: float = 0.001,
                  hash_function: HashFunction = sha256,
                  batch_size: int = 1,
-                 flush_deadline: Optional[float] = None) -> None:
+                 flush_deadline: Optional[float] = None,
+                 receiver_indices: Optional[Mapping[str, int]] = None
+                 ) -> None:
         if not receiver_ids:
             raise SimulationError("need at least one receiver")
         if t_transmit <= 0:
@@ -212,6 +222,17 @@ class SenderService:
                 f"flush_deadline must be > 0, got {flush_deadline}")
         self.transport = transport
         self.receiver_ids = list(receiver_ids)
+        if receiver_indices is None:
+            self._index_of = {receiver_id: index
+                              for index, receiver_id
+                              in enumerate(self.receiver_ids)}
+        else:
+            missing = [r for r in self.receiver_ids
+                       if r not in receiver_indices]
+            if missing:
+                raise SimulationError(
+                    f"receiver_indices is missing {', '.join(missing)}")
+            self._index_of = dict(receiver_indices)
         self.signer = signer
         self.channel_factory = channel_factory
         self.clock = clock
@@ -233,6 +254,34 @@ class SenderService:
     def next_block_id(self) -> int:
         """Block id the next :meth:`send_block` will use."""
         return self._next_block
+
+    def add_receiver(self, receiver_id: str,
+                     index: Optional[int] = None) -> None:
+        """Start streaming to a late joiner from the next block on.
+
+        ``index`` pins the joiner's channel-seeding index (the
+        membership universe position); without it the joiner gets the
+        next unused index.  The canonical sorted roster order is
+        preserved, so transmit order — and therefore virtual-time
+        interleaving — is a pure function of the active set.
+        """
+        if receiver_id in self.receiver_ids:
+            raise SimulationError(
+                f"receiver {receiver_id!r} already subscribed")
+        if index is None:
+            # A preloaded universe mapping pins the index; otherwise
+            # the joiner extends the roster.
+            index = self._index_of.get(
+                receiver_id, 1 + max(self._index_of.values(), default=-1))
+        self._index_of[receiver_id] = index
+        bisect.insort(self.receiver_ids, receiver_id)
+
+    def remove_receiver(self, receiver_id: str) -> None:
+        """Stop streaming to a leaver (its seeding index stays reserved)."""
+        if receiver_id not in self.receiver_ids:
+            raise SimulationError(
+                f"receiver {receiver_id!r} is not subscribed")
+        self.receiver_ids.remove(receiver_id)
 
     async def send_block(self, scheme: Scheme, payloads: Sequence[bytes],
                          loss_rate: float, phase: str
@@ -450,9 +499,9 @@ class SenderService:
                               ) -> Dict[str, BlockTruth]:
         """Push one packetized block through every receiver's channel."""
         truths: Dict[str, BlockTruth] = {}
-        for index, receiver_id in enumerate(self.receiver_ids):
+        for receiver_id in self.receiver_ids:
             truths[receiver_id] = await self._transmit_to_receiver(
-                pending, index, receiver_id)
+                pending, self._index_of[receiver_id], receiver_id)
         return truths
 
     async def send_block_grouped(self, schemes_by_group: Mapping[str, Scheme],
@@ -502,9 +551,10 @@ class SenderService:
         self._next_seq += packet_count
         self._send_clock = send_base + packet_count * self.t_transmit
         truths: Dict[str, BlockTruth] = {}
-        for index, receiver_id in enumerate(self.receiver_ids):
+        for receiver_id in self.receiver_ids:
             truths[receiver_id] = await self._transmit_to_receiver(
-                pendings[group_of[receiver_id]], index, receiver_id)
+                pendings[group_of[receiver_id]],
+                self._index_of[receiver_id], receiver_id)
         await self.clock.sleep(packet_count * self.t_transmit)
         return truths
 

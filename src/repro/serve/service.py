@@ -44,6 +44,11 @@ from repro.serve.adaptive import (
     AdaptiveController,
     SubtreeAdaptiveController,
 )
+from repro.serve.membership import (
+    MembershipPlan,
+    parse_churn_spec,
+    storm_channel_factory,
+)
 from repro.serve.receiver import LossReport, ReceiverPool
 from repro.serve.sender import SenderService, default_channel_factory
 from repro.serve.transport import LocalTransport, Transport, UdpTransport
@@ -74,6 +79,14 @@ class ServeConfig:
     (edge-disjoint-biased) trees with receiver-side deduplication, and
     ``subtree_adaptive`` replaces the pool-wide controller with one
     controller per subtree.
+
+    ``churn`` makes membership dynamic (spec grammar: ``storm[:J,L,C]``
+    | ``flood:BLOCK`` | ``flap:COUNT``): a seeded
+    :class:`~repro.serve.membership.MembershipPlan` admits late
+    joiners, drains graceful leavers and kills crash victims
+    mid-session.  Churn requires per-block signing — joins and leaves
+    apply at block boundaries, which must coincide with flush
+    boundaries for the barrier bookkeeping to stay exact.
     """
 
     receivers: int = 8
@@ -94,6 +107,7 @@ class ServeConfig:
     topology: Optional[str] = None
     trees: int = 1
     subtree_adaptive: bool = False
+    churn: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.receivers < 1:
@@ -123,6 +137,12 @@ class ServeConfig:
         if self.flush_deadline is not None and self.flush_deadline <= 0:
             raise SimulationError(
                 f"flush_deadline must be > 0, got {self.flush_deadline}")
+        if self.churn is not None:
+            parse_churn_spec(self.churn)  # fail on bad specs eagerly
+            if self.batch_size != 1:
+                raise SimulationError(
+                    "churn requires per-block signing (batch_size == 1); "
+                    "membership changes apply at block boundaries")
         if self.transport not in ("local", "udp"):
             raise SimulationError(
                 f"unknown transport {self.transport!r} (local|udp)")
@@ -172,6 +192,7 @@ class ServeConfig:
             "topology": self.topology,
             "trees": self.trees,
             "subtree_adaptive": self.subtree_adaptive,
+            "churn": self.churn,
         }
 
 
@@ -237,11 +258,14 @@ def _gauge_rows(pool: ReceiverPool, controller) -> List[Dict[str, object]]:
 async def _drive_session(config: ServeConfig, transport: Transport,
                          sender: SenderService, pool: ReceiverPool,
                          controller, clock: Clock,
-                         timeseries: Optional[TimeseriesSampler] = None
+                         timeseries: Optional[TimeseriesSampler] = None,
+                         plan: Optional[MembershipPlan] = None
                          ) -> None:
     registry = get_registry()
     grouped = isinstance(controller, SubtreeAdaptiveController)
-    await transport.start(config.receiver_ids())
+    initial_ids = (plan.initial_ids if plan is not None
+                   else config.receiver_ids())
+    await transport.start(initial_ids)
     pool.start(transport)
 
     async def settle(flushed_block_id: int) -> None:
@@ -253,8 +277,49 @@ async def _drive_session(config: ServeConfig, transport: Transport,
         if registry.enabled:
             registry.count("serve.block.runs", 1)
 
+    async def apply_boundary(block_id: int) -> None:
+        # Leaves drain before joins admit (the plan sorts them so);
+        # both complete before the block streams, which is what makes
+        # a block boundary the universal bootstrap point.
+        for event in plan.boundary_events(block_id):
+            if event.kind == "leave":
+                sender.remove_receiver(event.receiver_id)
+                await transport.close_endpoint(event.receiver_id)
+                await pool.retire(event.receiver_id)
+                if config.adaptive:
+                    controller.retire_receiver(event.receiver_id)
+            else:
+                await transport.open_endpoint(event.receiver_id)
+                sender.add_receiver(event.receiver_id)
+                pool.admit(event.receiver_id)
+            if registry.enabled:
+                registry.count(f"serve.membership.{event.kind}", 1)
+
+    async def strike_crashes(block_id: int) -> List[str]:
+        # The victim's task dies before it can read the block; the
+        # sender, not yet aware, still streams to the dead endpoint.
+        victims = [e.receiver_id for e in plan.crash_events(block_id)]
+        for receiver_id in victims:
+            await pool.crash(receiver_id)
+            if config.adaptive:
+                controller.retire_receiver(receiver_id)
+            if registry.enabled:
+                registry.count("serve.membership.crash", 1)
+        return victims
+
+    async def detach_crashed(victims: List[str]) -> None:
+        # The boundary after the block is when the sender notices the
+        # death: unsubscribe and reclaim the endpoint.
+        for receiver_id in victims:
+            sender.remove_receiver(receiver_id)
+            await transport.close_endpoint(receiver_id)
+
     try:
         for block_id in range(config.blocks):
+            victims: List[str] = []
+            if plan is not None:
+                await apply_boundary(block_id)
+                victims = await strike_crashes(block_id)
             loss_rate = config.loss_for_block(block_id)
             payloads = make_payloads(config.block_size, config.payload_size,
                                      tag=b"blk%04d" % block_id)
@@ -267,12 +332,14 @@ async def _drive_session(config: ServeConfig, transport: Transport,
                 await sender.send_block_grouped(
                     schemes, controller.group_of, payloads, loss_rate,
                     phases)
+                await detach_crashed(victims)
                 await settle(block_id)
                 continue
             scheme = controller.scheme
             phase = f"{scheme.name}@p={loss_rate:g}"
             flushed = await sender.submit_block(scheme, payloads, loss_rate,
                                                 phase)
+            await detach_crashed(victims)
             for flushed_id in sorted(flushed):
                 await settle(flushed_id)
         for flushed_id in sorted(await sender.flush_pending()):
@@ -311,10 +378,21 @@ def run_live_session(config: ServeConfig,
     if config.attack is not None:
         attack_name = config.attack
         attack_plan_factory = lambda: attack_mix(attack_name)  # noqa: E731
+    plan = None
+    if config.churn is not None:
+        plan = MembershipPlan.from_spec(config.churn, config.receivers,
+                                        config.blocks, config.seed)
+    # With churn, topology, channel seeding and subtree labels span the
+    # whole membership universe — a joiner's channel draws key on its
+    # stable universe index, never on who happens to be active.
+    member_ids = (list(plan.universe) if plan is not None
+                  else config.receiver_ids())
+    initial_ids = (plan.initial_ids if plan is not None
+                   else config.receiver_ids())
     topology = None
     subtree_of = None
     if config.topology is not None:
-        topology = make_topology(config.topology, config.receiver_ids())
+        topology = make_topology(config.topology, member_ids)
         trees = redundant_trees(topology, config.trees)
         channel_factory = topology_channel_factory(
             config.seed, topology, trees, attack_plan_factory)
@@ -323,29 +401,42 @@ def run_live_session(config: ServeConfig,
     else:
         channel_factory = default_channel_factory(config.seed,
                                                   attack_plan_factory)
+    if plan is not None and attack_plan_factory is not None:
+        # Adversarial churn: forged bursts timed at every join's
+        # bootstrap window, on top of whatever mix is configured.
+        channel_factory = storm_channel_factory(channel_factory, plan,
+                                                config.seed)
     if config.subtree_adaptive:
         controller = SubtreeAdaptiveController(
             topology.subtree_groups(), block_size=config.block_size,
             q_min_target=config.q_min_target,
-            initial_p=config.loss_for_block(0))
+            initial_p=config.loss_for_block(0),
+            membership_aware=plan is not None)
     else:
         controller = AdaptiveController(
             block_size=config.block_size, q_min_target=config.q_min_target,
-            initial_p=config.loss_for_block(0))
+            initial_p=config.loss_for_block(0),
+            membership_aware=plan is not None)
     # Receivers always verify through a BatchVerifier: plain signatures
     # pass straight through to the inner signer, batch attachments get
     # the proof walk plus one cached root verification per batch.  The
     # pool shares one session signer, so the root cache is shared too.
-    pool = ReceiverPool(config.receiver_ids(), BatchVerifier(signer),
+    pool = ReceiverPool(initial_ids, BatchVerifier(signer),
                         subtree_of=subtree_of)
-    sender = SenderService(transport, config.receiver_ids(), signer,
+    sender = SenderService(transport, initial_ids, signer,
                            channel_factory, clock,
                            t_transmit=config.t_transmit,
                            batch_size=config.batch_size,
-                           flush_deadline=config.flush_deadline)
+                           flush_deadline=config.flush_deadline,
+                           receiver_indices={
+                               receiver_id: index
+                               for index, receiver_id
+                               in enumerate(member_ids)})
     parameters = config.to_parameters()
     if topology is not None:
         parameters["topology_detail"] = topology.describe()
+    if plan is not None:
+        parameters["membership"] = plan.describe()
     manifest_clock = RunManifest.start(
         "serve", f"live-{config.transport}",
         parameters=parameters, seed_root=config.seed, workers=1)
@@ -353,7 +444,7 @@ def run_live_session(config: ServeConfig,
         registry.count("serve.receiver.sessions", config.receivers)
 
     session = _drive_session(config, transport, sender, pool, controller,
-                             clock, timeseries)
+                             clock, timeseries, plan=plan)
     try:
         with use_lifecycle(lifecycle):
             if config.timeout_s is not None:

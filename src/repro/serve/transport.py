@@ -137,6 +137,20 @@ class Transport(ABC):
         """Provision per-receiver endpoints before any send."""
 
     @abstractmethod
+    async def open_endpoint(self, receiver_id: str) -> None:
+        """Provision one endpoint mid-session (a late joiner)."""
+
+    @abstractmethod
+    async def close_endpoint(self, receiver_id: str) -> None:
+        """End one subscription gracefully (a leaver).
+
+        The subscriber's iterator terminates after draining whatever
+        was already queued; subsequent :meth:`send` calls to the id
+        are the caller's bug to avoid (the sender drops a leaver from
+        its active list at the same boundary).
+        """
+
+    @abstractmethod
     async def send(self, receiver_id: str,
                    deliveries: Sequence[WireDelivery]) -> List[WireDelivery]:
         """Push ``deliveries`` toward one receiver, in order.
@@ -187,11 +201,21 @@ class LocalTransport(Transport):
 
     async def start(self, receiver_ids: Sequence[str]) -> None:
         for receiver_id in receiver_ids:
-            if receiver_id in self._queues:
-                raise SimulationError(
-                    f"duplicate receiver id {receiver_id!r}")
-            self._queues[receiver_id] = asyncio.Queue(maxsize=self.queue_size)
-            self._drops[receiver_id] = 0
+            await self.open_endpoint(receiver_id)
+
+    async def open_endpoint(self, receiver_id: str) -> None:
+        if receiver_id in self._queues:
+            raise SimulationError(
+                f"duplicate receiver id {receiver_id!r}")
+        self._queues[receiver_id] = asyncio.Queue(maxsize=self.queue_size)
+        self._drops[receiver_id] = 0
+
+    async def close_endpoint(self, receiver_id: str) -> None:
+        queue = self._queue(receiver_id)
+        # Same bypass as close(): the sentinel must land even if the
+        # queue is full, or the leaver's task never drains.
+        queue._queue.append(_CLOSE)  # noqa: SLF001 (stdlib deque)
+        queue._wakeup_next(queue._getters)  # noqa: SLF001
 
     def _queue(self, receiver_id: str) -> asyncio.Queue:
         queue = self._queues.get(receiver_id)
@@ -297,27 +321,42 @@ class UdpTransport(Transport):
         self._queues: Dict[str, asyncio.Queue] = {}
         self._drops: Dict[str, int] = {}
         self._addresses: Dict[str, Tuple[str, int]] = {}
-        self._endpoints: List[asyncio.DatagramTransport] = []
+        self._endpoints: Dict[str, asyncio.DatagramTransport] = {}
         self._sender: Optional[asyncio.DatagramTransport] = None
         self._closed = False
 
     async def start(self, receiver_ids: Sequence[str]) -> None:
         loop = asyncio.get_running_loop()
         for receiver_id in receiver_ids:
-            if receiver_id in self._queues:
-                raise SimulationError(
-                    f"duplicate receiver id {receiver_id!r}")
-            self._queues[receiver_id] = asyncio.Queue()
-            self._drops[receiver_id] = 0
-            transport, _ = await loop.create_datagram_endpoint(
-                lambda rid=receiver_id: _ReceiverProtocol(self, rid),
-                local_addr=(self.host, 0))
-            self._endpoints.append(transport)
-            sockname = transport.get_extra_info("sockname")
-            self._addresses[receiver_id] = (sockname[0], sockname[1])
+            await self.open_endpoint(receiver_id)
         sender, _ = await loop.create_datagram_endpoint(
             asyncio.DatagramProtocol, local_addr=(self.host, 0))
         self._sender = sender
+
+    async def open_endpoint(self, receiver_id: str) -> None:
+        loop = asyncio.get_running_loop()
+        if receiver_id in self._queues:
+            raise SimulationError(
+                f"duplicate receiver id {receiver_id!r}")
+        self._queues[receiver_id] = asyncio.Queue()
+        self._drops[receiver_id] = 0
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda rid=receiver_id: _ReceiverProtocol(self, rid),
+            local_addr=(self.host, 0))
+        self._endpoints[receiver_id] = transport
+        sockname = transport.get_extra_info("sockname")
+        self._addresses[receiver_id] = (sockname[0], sockname[1])
+
+    async def close_endpoint(self, receiver_id: str) -> None:
+        queue = self._queues.get(receiver_id)
+        if queue is None:
+            raise SimulationError(f"unknown receiver {receiver_id!r}")
+        endpoint = self._endpoints.pop(receiver_id, None)
+        if endpoint is not None:
+            endpoint.close()
+        self._addresses.pop(receiver_id, None)
+        queue.put_nowait(_CLOSE)
+        await asyncio.sleep(0)
 
     def _deliver(self, receiver_id: str, data: bytes) -> None:
         queue = self._queues[receiver_id]
@@ -364,7 +403,7 @@ class UdpTransport(Transport):
         if self._closed:
             return
         self._closed = True
-        for endpoint in self._endpoints:
+        for endpoint in self._endpoints.values():
             endpoint.close()
         if self._sender is not None:
             self._sender.close()

@@ -1,0 +1,174 @@
+"""Churn-storm fault injection: the generator and the bootstrap burst."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.faults import AttackPlan, BootstrapBurstForgery
+from repro.faults.churn import CHURN_KINDS, ChurnEvent, churn_storm
+from repro.faults.models import FRESH_SEQ_OFFSET
+from repro.packets import Packet, packet_from_wire
+
+
+def _packet(seq=5, block_id=0):
+    return Packet(seq=seq, block_id=block_id, payload=b"payload",
+                  send_time=0.0)
+
+
+class TestChurnEvent:
+    def test_valid_event(self):
+        event = ChurnEvent(3, "join", 2)
+        assert (event.block, event.kind, event.member) == (3, "join", 2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            ChurnEvent(1, "rejoin", 0)
+
+    def test_block_zero_rejected(self):
+        # Block 0 membership is the initial set, not an event.
+        with pytest.raises(SimulationError):
+            ChurnEvent(0, "join", 0)
+
+    def test_negative_member_rejected(self):
+        with pytest.raises(SimulationError):
+            ChurnEvent(1, "leave", -1)
+
+
+class TestChurnStorm:
+    def test_same_seed_same_stream(self):
+        a = churn_storm(7, 4, 4, 16)
+        b = churn_storm(7, 4, 4, 16)
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        a = churn_storm(7, 4, 4, 16)
+        b = churn_storm(8, 4, 4, 16)
+        assert a != b
+
+    def test_each_member_joins_and_departs_at_most_once(self):
+        events = churn_storm(3, 4, 8, 24, join_rate=1.0, leave_rate=0.5,
+                             crash_rate=0.5)
+        joins = [e.member for e in events if e.kind == "join"]
+        departures = [e.member for e in events if e.kind != "join"]
+        assert len(joins) == len(set(joins))
+        assert len(departures) == len(set(departures))
+        # Initial members never join; spares depart only after joining.
+        assert all(m >= 4 for m in joins)
+        join_blocks = {e.member: e.block for e in events if e.kind == "join"}
+        for event in events:
+            if event.kind != "join" and event.member >= 4:
+                assert join_blocks[event.member] < event.block
+
+    def test_survivor_floor_holds_every_block(self):
+        events = churn_storm(11, 2, 2, 32, join_rate=0.1, leave_rate=2.0,
+                             crash_rate=2.0)
+        active = set(range(2))
+        for block in range(1, 32):
+            for event in [e for e in events if e.block == block]:
+                if event.kind == "join":
+                    active.add(event.member)
+                else:
+                    active.discard(event.member)
+            assert active, f"block {block} emptied the session"
+
+    def test_sorted_by_block_then_kind_order(self):
+        events = churn_storm(5, 4, 6, 20, join_rate=1.0, leave_rate=1.0,
+                             crash_rate=0.5)
+        keys = [(e.block, CHURN_KINDS.index(e.kind), e.member)
+                for e in events]
+        assert keys == sorted(keys)
+
+    def test_flood_block_joins_entire_pool(self):
+        events = churn_storm(7, 4, 4, 12, join_rate=0.0, leave_rate=0.0,
+                             crash_rate=0.0, flood_block=3)
+        assert [e.kind for e in events] == ["join"] * 4
+        assert all(e.block == 3 for e in events)
+        assert sorted(e.member for e in events) == [4, 5, 6, 7]
+
+    def test_flappers_join_then_leave_one_block_later(self):
+        events = churn_storm(7, 4, 4, 12, join_rate=0.0, leave_rate=0.0,
+                             crash_rate=0.0, flappers=2)
+        by_member = {}
+        for event in events:
+            by_member.setdefault(event.member, []).append(event)
+        assert set(by_member) == {4, 5}
+        for k, member in enumerate((4, 5)):
+            join, leave = by_member[member]
+            assert (join.kind, join.block) == ("join", 1 + k)
+            assert (leave.kind, leave.block) == ("leave", 2 + k)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            churn_storm(7, 0, 4, 12)
+        with pytest.raises(SimulationError):
+            churn_storm(7, 4, -1, 12)
+        with pytest.raises(SimulationError):
+            churn_storm(7, 4, 4, 12, join_rate=-0.1)
+        with pytest.raises(SimulationError):
+            churn_storm(7, 4, 4, 12, flappers=5)
+        with pytest.raises(SimulationError):
+            churn_storm(7, 4, 4, 12, flood_block=12)
+
+
+class TestBootstrapBurstForgery:
+    def test_burst_confined_to_window(self):
+        model = BootstrapBurstForgery(burst_rate=1.0, window=4,
+                                      tail_rate=0.0, seed=3)
+        forged = [model.forge(_packet(seq=i + 1)) for i in range(10)]
+        assert all(len(f) == 1 for f in forged[:4])
+        assert all(f == [] for f in forged[4:])
+
+    def test_reset_rearms_the_burst(self):
+        model = BootstrapBurstForgery(burst_rate=1.0, window=2, seed=3)
+        assert model.forge(_packet()) and model.forge(_packet())
+        assert model.forge(_packet()) == []
+        model.reset()
+        assert len(model.forge(_packet())) == 1
+
+    def test_forgery_collides_on_sequence_by_default(self):
+        model = BootstrapBurstForgery(burst_rate=1.0, window=1, seed=3)
+        (offset, wire), = model.forge(_packet(seq=9))
+        assert offset > 0
+        forged = packet_from_wire(wire)
+        assert forged.seq == 9
+        assert forged.payload != _packet(seq=9).payload
+
+    def test_fresh_sequence_mode(self):
+        model = BootstrapBurstForgery(burst_rate=1.0, window=1,
+                                      collide=False, seed=3)
+        (_, wire), = model.forge(_packet(seq=9))
+        assert packet_from_wire(wire).seq == 9 + FRESH_SEQ_OFFSET
+
+    def test_corruption_rate_is_zero(self):
+        # The burst injects, never tampers: the effective-loss model
+        # must not shift under the storm mix.
+        assert BootstrapBurstForgery(seed=1).corruption_rate == 0.0
+
+    def test_reseed_determinism_and_divergence(self):
+        one = BootstrapBurstForgery(burst_rate=0.5, window=8, seed=0)
+        two = BootstrapBurstForgery(burst_rate=0.5, window=8, seed=0)
+        one.reseed(41)
+        two.reseed(41)
+        packets = [_packet(seq=i + 1) for i in range(8)]
+        assert [one.forge(p) for p in packets] == [
+            two.forge(p) for p in packets]
+        two.reseed(42)
+        assert [one.forge(p) for p in packets] != [
+            two.forge(p) for p in packets]
+
+    def test_plan_pickles(self):
+        # Worker-sharded trial runners ship plans to subprocesses.
+        plan = AttackPlan((BootstrapBurstForgery(burst_rate=0.6, window=8,
+                                                 seed=5),))
+        clone = pickle.loads(pickle.dumps(plan))
+        plan.reseed(17)
+        clone.reseed(17)
+        packet = _packet()
+        assert clone.faults[0].forge(packet) == plan.faults[0].forge(packet)
+
+    def test_rate_validation(self):
+        with pytest.raises(SimulationError):
+            BootstrapBurstForgery(burst_rate=1.5)
+        with pytest.raises(SimulationError):
+            BootstrapBurstForgery(tail_rate=-0.1)

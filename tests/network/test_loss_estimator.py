@@ -5,7 +5,7 @@ import pytest
 from repro.exceptions import SimulationError
 from repro.network.channel import Channel
 from repro.network.delay import ConstantDelay
-from repro.network.loss import BernoulliLoss, LossEstimator
+from repro.network.loss import BernoulliLoss, LossEstimator, PooledLossEstimator
 from repro.packets import Packet
 
 
@@ -77,10 +77,27 @@ class TestRates:
         aggregate = LossEstimator(window=8)
         manual = LossEstimator(window=8)
         aggregate.observe_block(lost=2, total=5)
-        for fate in (False, False, True, False, True):  # evenly spread
+        # Centered spread: losses land mid-stride, not at stride ends.
+        for fate in (False, True, False, True, False):
             manual.observe(fate)
         assert aggregate.window_rate == manual.window_rate
         assert aggregate.ewma_rate == pytest.approx(manual.ewma_rate)
+
+    def test_observe_block_single_loss_lands_mid_stride(self):
+        # The end-of-stride bias this pins down: lost=1 must not fall
+        # in the final slot, or windows straddling a membership change
+        # systematically blame the newest samples.
+        estimator = LossEstimator(window=4)
+        estimator.observe_block(lost=1, total=2)
+        assert list(estimator._recent) == [True, False]
+
+    def test_observe_block_preserves_totals(self):
+        estimator = LossEstimator(window=64)
+        for lost, total in ((1, 3), (2, 7), (5, 5), (0, 4), (3, 8)):
+            estimator.observe_block(lost, total)
+        assert estimator.lost == 11
+        assert estimator.observed == 27
+        assert estimator.window_lost == 11
 
     def test_unaligned_window_sees_unbiased_rate(self):
         # Window (16) not a multiple of the aggregate size (10): the
@@ -98,6 +115,95 @@ class TestRates:
         assert estimator.lifetime_rate == 0.0
         assert estimator.window_rate == 0.0
         assert estimator.ewma_rate == 0.0
+
+
+class TestForgetOldest:
+    def test_purges_window_keeps_lifetime(self):
+        estimator = LossEstimator(window=8, alpha=0.5)
+        estimator.observe_block(lost=4, total=8)
+        ewma_before = estimator.ewma_rate
+        purged = estimator.forget_oldest()
+        assert purged == 8
+        assert estimator.window_rate == 0.0
+        assert estimator.window_lost == 0
+        # Lifetime and EWMA are history, not window state.
+        assert estimator.lost == 4
+        assert estimator.observed == 8
+        assert estimator.ewma_rate == ewma_before
+
+    def test_partial_purge_drops_oldest_first(self):
+        estimator = LossEstimator(window=8)
+        estimator.observe(True)
+        estimator.observe(False)
+        estimator.observe(False)
+        assert estimator.forget_oldest(1) == 1
+        # The loss was oldest, so the window is clean now.
+        assert estimator.window_lost == 0
+        assert estimator.window_rate == 0.0
+
+    def test_purge_beyond_fill_stops_at_empty(self):
+        estimator = LossEstimator(window=8)
+        estimator.observe(True)
+        assert estimator.forget_oldest(5) == 1
+        assert estimator.window_rate == 0.0
+
+    def test_negative_count_rejected(self):
+        estimator = LossEstimator()
+        with pytest.raises(SimulationError):
+            estimator.forget_oldest(-1)
+
+    def test_window_straddling_membership_change(self):
+        # A window filled by two members' blocks: purging the first
+        # member's share leaves exactly the second member's fates, as
+        # if the survivor had been alone all along.
+        merged = LossEstimator(window=16)
+        merged.observe_block(lost=5, total=6)   # the lossy leaver
+        merged.observe_block(lost=1, total=6)   # the healthy survivor
+        alone = LossEstimator(window=16)
+        alone.observe_block(lost=1, total=6)
+        merged.forget_oldest(6)
+        assert list(merged._recent) == list(alone._recent)
+        assert merged.window_rate == alone.window_rate
+
+
+class TestPooledLossEstimator:
+    def test_per_member_windows_merge(self):
+        pool = PooledLossEstimator(window=8)
+        pool.observe_block("a", lost=2, total=4)
+        pool.observe_block("b", lost=0, total=4)
+        assert pool.members == ["a", "b"]
+        assert pool.window_fill == 8
+        assert pool.window_rate == pytest.approx(0.25)
+
+    def test_retire_folds_member_out_immediately(self):
+        pool = PooledLossEstimator(window=8)
+        pool.observe_block("lossy", lost=4, total=4)
+        pool.observe_block("clean", lost=0, total=4)
+        assert pool.window_rate == pytest.approx(0.5)
+        assert pool.retire("lossy") is True
+        # No aging out: the leaver's samples are gone at once.
+        assert pool.window_rate == 0.0
+        assert pool.members == ["clean"]
+        assert pool.retired == 1
+
+    def test_retire_unknown_is_noop(self):
+        pool = PooledLossEstimator()
+        assert pool.retire("ghost") is False
+        assert pool.retired == 0
+
+    def test_ewma_is_fill_weighted(self):
+        pool = PooledLossEstimator(window=8, alpha=0.5)
+        pool.observe_block("a", lost=4, total=4)
+        pool.observe_block("b", lost=0, total=4)
+        a = pool.estimator_for("a").ewma_rate
+        b = pool.estimator_for("b").ewma_rate
+        assert pool.ewma_rate == pytest.approx((a + b) / 2)
+
+    def test_empty_pool_reads_zero(self):
+        pool = PooledLossEstimator()
+        assert pool.window_rate == 0.0
+        assert pool.ewma_rate == 0.0
+        assert pool.window_fill == 0
 
 
 class TestChannelIntegration:

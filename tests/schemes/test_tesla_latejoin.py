@@ -1,0 +1,154 @@
+"""TESLA late-join edges: boundary timing, forged keys, the guard.
+
+TESLA is the one scheme where a late joiner has real catch-up work:
+the serve layer's block boundaries give it the signed anchor
+commitment for free, but the key chain must then be walked from the
+first disclosed key back to that anchor.  These tests pin the three
+edges the membership layer leans on:
+
+* a packet arriving exactly at its key's disclosure boundary is
+  rejected as unsafe — equality is the attacker's side of the
+  security condition;
+* a forged disclosure racing the joiner's first authentic key (the
+  bootstrap-burst scenario) is rejected without poisoning the chain
+  state, and genuine traffic still verifies afterwards;
+* the chain-length guard stops beyond-commitment indices *before*
+  walking the chain, counted separately in ``guard_rejections``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.signatures import HmacStubSigner
+from repro.packets import Packet
+from repro.schemes.tesla import (
+    TeslaParameters,
+    TeslaReceiver,
+    TeslaSender,
+    _decode_extra,
+    _encode_extra,
+)
+
+INTERVAL = 0.05
+LAG = 2
+CHAIN = 16
+
+
+@pytest.fixture
+def signer():
+    return HmacStubSigner(key=b"tesla-latejoin")
+
+
+def _session(signer, lag=LAG, chain=CHAIN):
+    parameters = TeslaParameters(interval=INTERVAL, lag=lag,
+                                 chain_length=chain)
+    sender = TeslaSender(parameters, signer, seed=b"\x2a" * 16)
+    receiver = TeslaReceiver(sender.bootstrap_packet(), signer)
+    return sender, receiver
+
+
+class TestDisclosureBoundary:
+    def test_arrival_exactly_at_disclosure_is_unsafe(self, signer):
+        sender, receiver = _session(signer)
+        packet = sender.send(b"edge", 0.0)  # interval 1
+        boundary = receiver.parameters.disclosure_time(1)
+        receiver.receive(packet, boundary)
+        # At t == T_disclose the key is public: the condition must
+        # reject on equality, not only strictly after.
+        assert receiver.verdicts[packet.seq].status == "unsafe"
+
+    def test_arrival_just_before_disclosure_verifies(self, signer):
+        sender, receiver = _session(signer)
+        packet = sender.send(b"edge", 0.0)
+        boundary = receiver.parameters.disclosure_time(1)
+        receiver.receive(packet, boundary - 1e-9)
+        assert receiver.verdicts[packet.seq].status == "pending"
+        for disclosure in sender.flush_keys(1):
+            receiver.receive(disclosure, disclosure.send_time + 1e-3)
+        assert receiver.verdicts[packet.seq].status == "verified"
+
+    def test_join_at_boundary_catches_up_the_whole_chain(self, signer):
+        # The joiner misses intervals 1..6 entirely; its first packet
+        # is interval 7, whose disclosure (K_5) must authenticate by
+        # walking five steps back to the signed anchor commitment.
+        sender, receiver = _session(signer)
+        missed = [sender.send(b"m%d" % i, i * INTERVAL) for i in range(6)]
+        assert missed  # streamed, never delivered to the late joiner
+        post_join = [sender.send(b"p%d" % i, (6 + i) * INTERVAL)
+                     for i in range(6)]
+        for packet in post_join:
+            receiver.receive(packet, packet.send_time + 1e-3)
+        for disclosure in sender.flush_keys(12):
+            receiver.receive(disclosure, disclosure.send_time + 1e-3)
+        for packet in post_join:
+            assert receiver.verdicts[packet.seq].status == "verified"
+        assert receiver.rejected_keys == 0
+        # The catch-up walked past the missed intervals' keys too.
+        assert receiver._highest_key >= 10
+
+
+class TestForgedKeyBeforeFirstAuthentic:
+    def test_forged_disclosure_rejected_without_poisoning_state(
+            self, signer):
+        sender, receiver = _session(signer)
+        # Interval 1: below the lag, so no key has been disclosed yet.
+        data = sender.send(b"real", 0.0)
+        receiver.receive(data, data.send_time + 1e-3)
+        assert receiver._highest_key == 0
+        # The burst forger races the join: a disclosure-only packet
+        # for a real in-range index with attacker bytes, arriving
+        # before the joiner has ever seen an authentic key.
+        poisoned = Packet(
+            seq=data.seq + 1000, block_id=0, payload=b"",
+            extra=_encode_extra(0, b"\x00" * receiver.mac.tag_size,
+                                3, b"\xee" * 16),
+            send_time=data.send_time)
+        receiver.receive(poisoned, data.send_time + 2e-3)
+        assert receiver.rejected_keys == 1
+        assert receiver.guard_rejections == 0
+        assert receiver._highest_key == 0  # anchor untouched
+        # Genuine disclosures afterwards still verify everything.
+        for disclosure in sender.flush_keys(2):
+            receiver.receive(disclosure, disclosure.send_time + 1e-3)
+        assert receiver.verdicts[data.seq].status == "verified"
+
+
+class TestChainLengthGuard:
+    def test_beyond_commitment_index_counts_as_guard_rejection(
+            self, signer):
+        sender, receiver = _session(signer)
+        packet = sender.send(b"x", 0.0)
+        interval, tag, _index, _key = _decode(receiver, packet)
+        hostile = replace(packet, extra=_encode_extra(
+            interval, tag, CHAIN + 10_000, b"\xaa" * 16))
+        receiver.receive(hostile, 1e-3)
+        assert receiver.guard_rejections == 1
+        assert receiver.rejected_keys == 1
+        # The guard fired before any chain walk: no key state changed.
+        assert receiver._highest_key == 0
+
+    def test_in_range_forgery_is_not_a_guard_rejection(self, signer):
+        sender, receiver = _session(signer)
+        packet = sender.send(b"x", 4 * INTERVAL)  # discloses K_3
+        interval, tag, index, _key = _decode(receiver, packet)
+        forged = replace(packet, extra=_encode_extra(
+            interval, tag, index, b"\xbb" * 16))
+        receiver.receive(forged, packet.send_time + 1e-3)
+        assert receiver.rejected_keys == 1
+        assert receiver.guard_rejections == 0
+
+    def test_guard_counter_accumulates(self, signer):
+        sender, receiver = _session(signer)
+        for attempt in range(3):
+            packet = sender.send(b"x", attempt * INTERVAL)
+            interval, tag, _index, _key = _decode(receiver, packet)
+            hostile = replace(packet, extra=_encode_extra(
+                interval, tag, CHAIN + 1 + attempt, b"\xcc" * 16))
+            receiver.receive(hostile, packet.send_time + 1e-3)
+        assert receiver.guard_rejections == 3
+        assert receiver.rejected_keys == 3
+
+
+def _decode(receiver, packet):
+    return _decode_extra(packet.extra, receiver.mac.tag_size)

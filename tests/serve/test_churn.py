@@ -1,0 +1,257 @@
+"""End-to-end dynamic membership: the churn acceptance criteria.
+
+One storm session — 4 initial receivers plus 4 joinable spares on the
+local transport, the seeded :class:`~repro.serve.membership.\
+MembershipPlan` admitting, draining and killing members mid-stream —
+is the module fixture; the tests assert the PR's acceptance criteria
+against it and against the attacked/flood/flap variants:
+
+* two runs of any churn config produce byte-identical per-receiver
+  transcripts and adaptation traces (departures included);
+* every member's transcript covers exactly its active interval: first
+  line at its join block, last line at the block before it departed —
+  a crash victim never settles the block it died under;
+* no forged content is ever accepted across the attack-mix x
+  churn-spec matrix (bootstrap bursts riding on every join);
+* a late joiner's post-join ``q_i`` sits within 3 standard errors of
+  the analytic model — joining mid-session costs bootstrap alignment,
+  not authentication probability.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.conformance import analytic_q_profile, deviation_rows
+from repro.exceptions import SimulationError
+from repro.schemes.registry import make_scheme
+from repro.serve.adaptive import AdaptiveController
+from repro.serve.cli import _build_parser, config_from_args
+from repro.serve.loadgen import run_loadgen
+from repro.serve.membership import MembershipPlan
+from repro.serve.receiver import LossReport
+from repro.serve.service import ServeConfig, run_live_session
+from repro.simulation.stats import SimulationStats
+
+CONFIG = ServeConfig(receivers=4, blocks=24, block_size=10,
+                     loss_schedule=((0, 0.1),), churn="storm", seed=2003)
+
+ATTACKED = replace(CONFIG, attack="storm")
+
+#: Constant loss, fixed scheme, no adversary: the clean bootstrap
+#: conformance setting for the 3-SE late-joiner gate.
+FLOOD = ServeConfig(receivers=4, blocks=48, block_size=12,
+                    loss_schedule=((0, 0.1),), churn="flood:8",
+                    adaptive=False, seed=2003)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return run_live_session(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def rerun():
+    return run_live_session(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return MembershipPlan.from_spec(CONFIG.churn, CONFIG.receivers,
+                                    CONFIG.blocks, CONFIG.seed)
+
+
+@pytest.fixture(scope="module")
+def flood_session():
+    return run_live_session(FLOOD)
+
+
+def _blocks_settled(transcript):
+    """The sorted block ids a member's transcript settles."""
+    return [json.loads(line)["b"]
+            for line in transcript.decode("utf-8").splitlines()]
+
+
+class TestDeterminism:
+    def test_transcripts_byte_identical_across_runs(self, session, rerun):
+        assert set(session.transcripts) == set(rerun.transcripts)
+        for receiver_id in session.transcripts:
+            assert (session.transcripts[receiver_id]
+                    == rerun.transcripts[receiver_id])
+
+    def test_adaptation_trace_identical_across_runs(self, session, rerun):
+        assert ([e.to_dict() for e in session.events]
+                == [e.to_dict() for e in rerun.events])
+
+    def test_attacked_churn_is_deterministic_too(self):
+        small = replace(ATTACKED, blocks=12)
+        one = run_live_session(small)
+        two = run_live_session(small)
+        assert one.transcripts == two.transcripts
+        assert one.forged_accepted == two.forged_accepted == 0
+
+
+class TestMembershipExecution:
+    def test_manifest_records_the_plan(self, session, plan):
+        membership = session.manifest.parameters["membership"]
+        assert membership == plan.describe()
+        assert session.manifest.parameters["churn"] == "storm"
+
+    def test_plan_actually_churned(self, plan):
+        # The fixture seed must exercise all three transition kinds,
+        # or the remaining assertions are vacuous.
+        counts = plan.counts()
+        assert counts["join"] > 0
+        assert counts["leave"] + counts["crash"] > 0
+
+    def test_departed_members_keep_their_records(self, session, plan):
+        ever_active = set(plan.initial_ids) | set(plan.join_blocks)
+        assert set(session.transcripts) == ever_active
+
+    def test_transcripts_cover_exactly_the_active_interval(
+            self, session, plan):
+        joins = plan.join_blocks
+        departures = {e.receiver_id: e.block for e in plan.events
+                      if e.kind in ("leave", "crash")}
+        for receiver_id, transcript in session.transcripts.items():
+            settled = _blocks_settled(transcript)
+            first = joins.get(receiver_id, 0)
+            # A leaver detaches at the boundary before its block; a
+            # crash victim dies before reading it: either way the
+            # last settled block is the one before the departure.
+            last = departures.get(receiver_id, CONFIG.blocks) - 1
+            assert settled == list(range(first, last + 1)), receiver_id
+
+    def test_membership_counters_match_the_plan(self):
+        # Counters need a live registry, which loadgen installs.
+        result = run_loadgen(replace(CONFIG, blocks=12))
+        run = result.metrics_payload["runs"][0]
+        counts = run["manifest"]["parameters"]["membership"]["counts"]
+        assert sum(counts.values()) > 0
+        counters = run["metrics"]["counters"]
+        for kind, total in counts.items():
+            if total:
+                assert counters[f"serve.membership.{kind}"] == total
+
+
+class TestSoundnessUnderChurn:
+    @pytest.mark.parametrize("attack", ["pollution", "dos", "storm"])
+    @pytest.mark.parametrize("churn", ["storm", "flood:3", "flap:2"])
+    def test_no_forged_content_accepted(self, attack, churn):
+        config = ServeConfig(receivers=4, blocks=10, block_size=8,
+                             loss_schedule=((0, 0.1),), attack=attack,
+                             churn=churn, seed=2003)
+        result = run_live_session(config)
+        assert result.forged_accepted == 0
+        for stats in result.stats.values():
+            assert stats.forged_accepted == 0
+
+    def test_bootstrap_burst_is_live_on_join_blocks(self):
+        # The flood boundary admits every spare at once under the
+        # pollution mix; the per-join bootstrap bursts must inject
+        # *more* attack traffic than the same session's base mix
+        # alone would (the wrapper arms one extra plan per join cell).
+        config = ServeConfig(receivers=2, blocks=6, block_size=8,
+                             loss_schedule=((0, 0.1),), attack="pollution",
+                             churn="flood:3", seed=2003)
+        burst = run_loadgen(config)
+        injected = burst.metrics_payload["runs"][0]["metrics"]["counters"][
+            "serve.attack.injected"]
+        assert injected > 0
+        assert burst.ok
+
+
+class TestLateJoinConformance:
+    def test_joiners_settle_every_post_join_block(self, flood_session):
+        plan = MembershipPlan.from_spec(FLOOD.churn, FLOOD.receivers,
+                                        FLOOD.blocks, FLOOD.seed)
+        for joiner, block in plan.join_blocks.items():
+            settled = _blocks_settled(flood_session.transcripts[joiner])
+            assert settled == list(range(block, FLOOD.blocks))
+
+    def test_late_joiner_q_profile_within_3_se(self, flood_session):
+        plan = MembershipPlan.from_spec(FLOOD.churn, FLOOD.receivers,
+                                        FLOOD.blocks, FLOOD.seed)
+        p = FLOOD.loss_schedule[0][1]
+        for joiner in plan.join_blocks:
+            transcript = flood_session.transcripts[joiner]
+            stats = SimulationStats()
+            phases = set()
+            for line in transcript.decode("utf-8").splitlines():
+                record = json.loads(line)
+                phases.add(record["phase"])
+                for position, (seq, status, when) in enumerate(
+                        record["events"], start=1):
+                    stats.record(position, status in ("a", "v"),
+                                 status == "v")
+            # adaptive=False pins one scheme, hence one phase.
+            assert len(phases) == 1
+            phase = phases.pop()
+            scheme = make_scheme(phase.split("@p=")[0])
+            analytic = analytic_q_profile(scheme, FLOOD.block_size, p)
+            rows = deviation_rows(stats, analytic, label=f"{joiner}:{phase}")
+            worst = max(row["deviation_se"] for row in rows)
+            assert worst <= 3.0, (
+                f"{joiner}: post-join q_i off the model by "
+                f"{worst:.2f} SE at p={p}")
+
+
+class TestLeaverFolding:
+    @staticmethod
+    def _report(receiver_id, block_id, received, expected=10):
+        return LossReport(receiver_id=receiver_id, block_id=block_id,
+                          expected=expected, received=received,
+                          window_rate=0.0, ewma_rate=0.0)
+
+    def test_retired_member_folds_out_of_the_design_estimate(self):
+        controller = AdaptiveController(block_size=8, membership_aware=True)
+        for block_id in range(3):
+            controller.observe(block_id, [
+                self._report("lossy", block_id, received=2),
+                self._report("clean", block_id, received=10),
+            ])
+        assert controller.estimator.window_rate == pytest.approx(0.4)
+        assert controller.retire_receiver("lossy") is True
+        # The leaver's stale samples are gone at once, not aged out.
+        assert controller.estimator.window_rate == 0.0
+        assert controller.retire_receiver("lossy") is False
+
+    def test_flat_controller_declines_to_retire(self):
+        controller = AdaptiveController(block_size=8)
+        controller.observe(0, [self._report("r00", 0, received=9)])
+        assert controller.retire_receiver("r00") is False
+
+
+class TestConfigAndCli:
+    def test_churn_requires_per_block_signing(self):
+        with pytest.raises(SimulationError) as err:
+            ServeConfig(receivers=2, churn="storm", batch_size=4)
+        assert "batch_size" in str(err.value)
+
+    def test_bad_spec_fails_at_construction(self):
+        with pytest.raises(SimulationError):
+            ServeConfig(receivers=2, churn="drizzle")
+
+    @pytest.mark.parametrize("soak", [False, True])
+    def test_cli_round_trip(self, soak):
+        parser = _build_parser("test", soak=soak)
+        args = parser.parse_args(["--receivers", "2", "--blocks", "4",
+                                  "--churn", "flap:1"])
+        assert config_from_args(args).churn == "flap:1"
+        bare = parser.parse_args(["--receivers", "2"])
+        assert config_from_args(bare).churn is None
+
+    def test_loadgen_summary_reports_membership(self):
+        config = ServeConfig(receivers=2, blocks=6, block_size=8,
+                             churn="flap:1", seed=5)
+        result = run_loadgen(config)
+        assert result.summary["churn"] == "flap:1"
+        assert result.summary["membership_counts"]["join"] == 1
+        assert result.summary["final_active"] == 2
+
+    def test_loadgen_summary_omits_membership_without_churn(self):
+        result = run_loadgen(ServeConfig(receivers=2, blocks=3,
+                                         block_size=8, seed=5))
+        assert "churn" not in result.summary
+        assert "membership_counts" not in result.summary
