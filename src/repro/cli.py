@@ -10,6 +10,8 @@ Installed as ``repro-experiments``::
     repro-experiments fig8 --trace-out trace.jsonl
     repro-experiments bench-report .benchmarks --out BENCH_today.json
     repro-experiments bench-diff BENCH_BASELINE.json BENCH_today.json
+    repro-experiments design-table build --out table.json --workers 4
+    repro-experiments design-table show table.json
     repro-experiments serve --receivers 8 --ramp 20:0.3 --attack pollution
     repro-experiments loadgen --receivers 64 --attack pollution \
         --metrics-out soak.json --lifecycle-out lifecycle.jsonl
@@ -61,8 +63,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids (see --list), or the "
-                             "'bench-report', 'bench-diff', 'serve' and "
-                             "'loadgen' subcommands")
+                             "'bench-report', 'bench-diff', 'design-table', "
+                             "'serve' and 'loadgen' subcommands")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
     parser.add_argument("--fast", action="store_true",
@@ -198,6 +200,113 @@ def _bench_diff_main(argv: List[str]) -> int:
     return 0
 
 
+def _build_design_table_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments design-table",
+        description=(
+            "Build and inspect precomputed design tables: the whole "
+            "(p x n x q_target x delay) lattice evaluated offline so "
+            "the live control plane answers scheme selection with an "
+            "O(1) lookup (see docs/design_service.md)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser(
+        "build", help="evaluate the lattice and write a table file")
+    build.add_argument("--out", metavar="FILE", default="design_table.json",
+                       help="output path (default design_table.json)")
+    build.add_argument("--p-grid", metavar="P[,P...]", default=None,
+                       help="comma-separated loss-rate grid (default: the "
+                            "controller grid)")
+    build.add_argument("--block-sizes", metavar="N[,N...]", default="12",
+                       help="comma-separated block sizes (default 12)")
+    build.add_argument("--q-targets", metavar="Q[,Q...]", default="0.75",
+                       help="comma-separated q_min targets (default 0.75)")
+    build.add_argument("--delay-budgets", metavar="D[,D...]", default="8",
+                       help="comma-separated delay budgets in packet "
+                            "slots (default 8)")
+    build.add_argument("--families", metavar="F[,F...]",
+                       default="emss,ac,offset",
+                       help="comma-separated design families "
+                            "(default emss,ac,offset)")
+    build.add_argument("--seed", type=int, default=7, metavar="S",
+                       help="seed-tree root for the sampled families "
+                            "(default 7)")
+    build.add_argument("--mc-trials", type=int, default=1500, metavar="N",
+                       dest="mc_trials",
+                       help="Monte Carlo trials per sampled-family cell "
+                            "(default 1500)")
+    build.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool size (default: all CPUs; "
+                            "output is byte-identical for any value)")
+
+    show = commands.add_parser(
+        "show", help="validate a table file and print its summary")
+    show.add_argument("table", help="design-table JSON file to inspect")
+    show.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the summary as JSON")
+    return parser
+
+
+def _parse_axis(text: str, caster) -> tuple:
+    return tuple(caster(part.strip())
+                 for part in text.split(",") if part.strip())
+
+
+def _design_table_main(argv: List[str]) -> int:
+    from repro.design import DesignTable, TableSpec
+    from repro.design.table import DEFAULT_TABLE_P_GRID
+    from repro.exceptions import ReproError
+
+    args = _build_design_table_parser().parse_args(argv)
+    try:
+        if args.command == "build":
+            p_grid = (DEFAULT_TABLE_P_GRID if args.p_grid is None
+                      else _parse_axis(args.p_grid, float))
+            spec = TableSpec(
+                p_grid=p_grid,
+                block_sizes=_parse_axis(args.block_sizes, int),
+                q_targets=_parse_axis(args.q_targets, float),
+                delay_budgets=_parse_axis(args.delay_budgets, int),
+                families=_parse_axis(args.families, str),
+                seed=args.seed,
+                mc_trials=args.mc_trials,
+            )
+            table = DesignTable.build(spec, workers=args.workers)
+            table.save(args.out)
+            print(f"design table written to {args.out}: "
+                  f"{len(table.cells)} cells "
+                  f"({table.feasible_count()} feasible), "
+                  f"hash {table.content_hash}")
+            return 0
+        table = DesignTable.load(args.table)
+        summary = table.describe()
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"design table {args.table}: schema "
+                  f"v{summary['schema_version']}, "
+                  f"hash {summary['content_hash']}")
+            print(f"  cells    : {summary['cells']} "
+                  f"({summary['feasible']} feasible)")
+            for family, stats in summary["families"].items():
+                print(f"  {family:<9}: {stats['feasible']}/"
+                      f"{stats['cells']} feasible")
+            spec = summary["spec"]
+            print(f"  p_grid   : {', '.join(str(p) for p in spec['p_grid'])}")
+            print(f"  n        : "
+                  f"{', '.join(str(n) for n in spec['block_sizes'])}")
+            print(f"  q targets: "
+                  f"{', '.join(str(q) for q in spec['q_targets'])}")
+            print(f"  delay    : "
+                  f"{', '.join(str(d) for d in spec['delay_budgets'])}")
+        return 0
+    except (ReproError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+
 def _run_one(experiment_id: str, fast: bool, workers: int,
              collect: Optional[list]) -> ExperimentResult:
     """Run one experiment, instrumented when ``collect`` is a list.
@@ -233,6 +342,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_report_main(raw_argv[1:])
     if raw_argv and raw_argv[0] == "bench-diff":
         return _bench_diff_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "design-table":
+        return _design_table_main(raw_argv[1:])
     if raw_argv and raw_argv[0] == "serve":
         from repro.serve.cli import serve_main
 

@@ -14,6 +14,7 @@ from repro.experiments import (
     ext_audience,
     ext_burst_loss,
     ext_design,
+    ext_design_service,
     ext_erasure,
     ext_independence_gap,
     ext_live,
@@ -54,6 +55,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-audience": ext_audience.run,
     "ext-burst": ext_burst_loss.run,
     "ext-design": ext_design.run,
+    "ext-design-service": ext_design_service.run,
     "ext-erasure": ext_erasure.run,
     "ext-gap": ext_independence_gap.run,
     "ext-live": ext_live.run,

@@ -1,0 +1,82 @@
+"""Extension: the precomputed design-table service, end to end.
+
+Builds a :class:`~repro.design.table.DesignTable` over the controller
+grid (twice, at different worker counts, to demonstrate byte-identical
+builds), then runs the adaptation staircase three ways: the classic
+inline-optimizer control plane, the same session answered entirely
+from the table, and an AC-family session flying on the same table.
+The rows assert the properties the service is sold on — identical
+transcripts with zero inline optimizer calls, and one table serving
+multiple scheme families.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.design.table import DesignTable, TableSpec
+from repro.experiments.common import ExperimentResult
+from repro.serve.service import ServeConfig, run_live_session
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Serve the staircase from a precomputed table and prove parity."""
+    result = ExperimentResult(
+        experiment_id="ext-design-service",
+        title="Design-table service: O(1) selection vs inline optimizer",
+    )
+    blocks = 20 if fast else 40
+    spec = TableSpec(families=("emss", "ac"))
+    table = DesignTable.build(spec, workers=1)
+    rebuilt = DesignTable.build(spec, workers=2)
+    result.rows.append({
+        "check": "table build determinism (workers 1 vs 2)",
+        "value": table.content_hash,
+        "ok": table.to_bytes() == rebuilt.to_bytes(),
+    })
+
+    def staircase(family: str, table_path: str = None) -> ServeConfig:
+        return ServeConfig(
+            receivers=4 if fast else 8, blocks=blocks, block_size=12,
+            loss_schedule=((0, 0.05), (blocks // 2, 0.3)),
+            seed=2003, design_table=table_path, scheme_family=family)
+
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", delete=False)
+    handle.close()
+    try:
+        table.save(handle.name)
+        inline = run_live_session(staircase("emss"))
+        served = run_live_session(staircase("emss", handle.name))
+        detail = served.manifest.parameters["design_table_detail"]
+        result.rows.append({
+            "check": "transcripts identical (inline vs table)",
+            "value": f"{len(served.transcripts)} receivers",
+            "ok": served.transcripts == inline.transcripts,
+        })
+        result.rows.append({
+            "check": "table coverage (hits / misses)",
+            "value": f"{detail['lookup_hits']} / {detail['lookup_misses']}",
+            "ok": detail["lookup_hits"] > 0 and detail["lookup_misses"] == 0,
+        })
+        ac = run_live_session(staircase("ac", handle.name))
+        ac_detail = ac.manifest.parameters["design_table_detail"]
+        result.rows.append({
+            "check": "AC family from the same table",
+            "value": ", ".join(ac.schemes_used),
+            "ok": (all(spec.startswith("ac(") for spec in ac.schemes_used)
+                   and ac_detail["lookup_misses"] == 0),
+        })
+    finally:
+        os.unlink(handle.name)
+    result.note(
+        "the table answers every grid-point crossing of the staircase "
+        "(misses = 0, so the inline optimizer never ran), and the "
+        "transcripts match the inline control plane byte for byte — "
+        "precomputation changes the cost of adaptation, not its "
+        "decisions.  The same table serves the AC family."
+    )
+    return result

@@ -165,7 +165,7 @@ class _ManifestClock:
             self.manifest.trial_counts = {
                 name: value for name, value in sorted(registry.counters.items())
                 if name.endswith((".trials", ".tasks", ".points",
-                                  ".runs", ".sessions"))
+                                  ".runs", ".sessions", ".lookups"))
             }
         return self.manifest
 

@@ -5,12 +5,21 @@ choosing these parameters" — was answered offline by
 :mod:`repro.design.optimizer`.  :class:`AdaptiveController` makes the
 choice *live*: it folds every receiver's per-block loss report into a
 pool-wide :class:`~repro.network.loss.LossEstimator`, quantizes the
-EWMA rate up onto a design grid, and re-runs the optimizer whenever
+EWMA rate up onto a design grid, and re-selects the design whenever
 the grid point moves.  Quantizing up keeps the adaptation
 conservative (design for at least the observed loss) and, more
 importantly, deterministic: tiny float differences in the estimate
 cannot flip the chosen parameters, only a genuine grid-point crossing
 can.
+
+Selection prefers a precomputed
+:class:`~repro.design.service.DesignService` when one is wired in
+(``--design-table``): a grid-point crossing then costs one O(1) table
+lookup instead of an inline optimizer run, with the inline search kept
+only as a *counted* cold-miss fallback (``design.inline.calls`` /
+``design.service.fallbacks`` on the live registry — a warm-table soak
+asserts both stay zero).  Without a service the controller optimizes
+inline exactly as before, byte-for-byte.
 
 Every decision is recorded as an :class:`AdaptationEvent` so sessions
 can assert on the switching behaviour (the acceptance test pins the
@@ -23,17 +32,28 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.design.optimizer import ParameterChoice, optimize_emss
+from repro.design.grid import quantize_up
+from repro.design.optimizer import ParameterChoice, optimize_ac, optimize_emss
+from repro.design.service import DesignCoverageError, DesignService
 from repro.exceptions import DesignError, SimulationError
 from repro.network.loss import LossEstimator, PooledLossEstimator
+from repro.obs.registry import get_registry
 from repro.schemes.base import Scheme
 from repro.schemes.registry import make_scheme
 from repro.serve.receiver import LossReport
 
 __all__ = ["AdaptationEvent", "AdaptiveController",
-           "SubtreeAdaptiveController", "DEFAULT_P_GRID"]
+           "SubtreeAdaptiveController", "CONTROLLER_FAMILIES",
+           "DEFAULT_P_GRID"]
 
 DEFAULT_P_GRID = (0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5)
+
+#: Design families the live controllers can fly: schemes whose
+#: parameters are an integer pair the registry can instantiate from
+#: a ``family(x,y)`` spec.  The wider zoo (offset policies,
+#: probabilistic graphs) is served by the same table to offline
+#: consumers via :class:`~repro.design.service.DesignService` directly.
+CONTROLLER_FAMILIES = ("emss", "ac")
 
 
 @dataclass(frozen=True)
@@ -103,9 +123,24 @@ class AdaptiveController:
         errors *below* the estimate.  Without it, a channel running at
         exactly a grid-point rate hovers epsilon above it by sampling
         noise and flaps a full grid step.  ``0`` disables the slack.
+    family:
+        Scheme family the controller designs within: ``"emss"``
+        (default) or ``"ac"`` (see :data:`CONTROLLER_FAMILIES`).
+    design_service:
+        Precomputed :class:`~repro.design.service.DesignService` to
+        consult before any inline search.  Covered lookups (including
+        authoritative infeasibility) never run an optimizer; uncovered
+        points fall back inline and are counted
+        (``design.service.fallbacks``).  ``None`` keeps the classic
+        always-inline behaviour.
     m_values, d_values, max_delay_slots:
         Search space forwarded to
-        :func:`~repro.design.optimizer.optimize_emss`.
+        :func:`~repro.design.optimizer.optimize_emss` (inline EMSS
+        path; ``max_delay_slots`` also bounds table lookups and the
+        inline AC search).
+    a_values, b_values:
+        Search space forwarded to
+        :func:`~repro.design.optimizer.optimize_ac` (inline AC path).
     group:
         Subtree label stamped on every event this controller emits
         (``None`` for the classic pool-wide controller).
@@ -123,8 +158,12 @@ class AdaptiveController:
                  initial_p: float = 0.05,
                  estimate: str = "window",
                  slack_se: float = 1.0,
+                 family: str = "emss",
+                 design_service: Optional[DesignService] = None,
                  m_values: Sequence[int] = tuple(range(1, 7)),
                  d_values: Sequence[int] = (1, 2, 4, 8),
+                 a_values: Sequence[int] = tuple(range(2, 11)),
+                 b_values: Sequence[int] = tuple(range(1, 11)),
                  max_delay_slots: Optional[int] = 8,
                  group: Optional[str] = None,
                  membership_aware: bool = False) -> None:
@@ -137,6 +176,15 @@ class AdaptiveController:
                 f"estimate must be 'window' or 'ewma', got {estimate!r}")
         if slack_se < 0:
             raise SimulationError(f"slack_se must be >= 0, got {slack_se}")
+        if family not in CONTROLLER_FAMILIES:
+            raise SimulationError(
+                f"controller family must be one of "
+                f"{', '.join(CONTROLLER_FAMILIES)}, got {family!r}")
+        self.family = family
+        self.design_service = design_service
+        self.table_hits = 0
+        self.table_misses = 0
+        self.inline_calls = 0
         self.estimate = estimate
         self.slack_se = slack_se
         self.group = group
@@ -157,6 +205,8 @@ class AdaptiveController:
         self.p_grid = tuple(p_grid)
         self.m_values = tuple(m_values)
         self.d_values = tuple(d_values)
+        self.a_values = tuple(a_values)
+        self.b_values = tuple(b_values)
         self.max_delay_slots = max_delay_slots
         self.events: List[AdaptationEvent] = []
         self._p_design = self.quantize(initial_p)
@@ -170,18 +220,49 @@ class AdaptiveController:
 
     def quantize(self, p_hat: float) -> float:
         """Round a loss estimate up onto the design grid (clamped)."""
-        for point in self.p_grid:
-            if p_hat <= point:
-                return point
-        return self.p_grid[-1]
+        return quantize_up(p_hat, self.p_grid, clamp=True)
 
     @staticmethod
     def _spec(choice: ParameterChoice) -> str:
-        m, d = choice.parameters
-        return f"emss({m},{d})"
+        x, y = choice.parameters
+        return f"{choice.scheme}({x},{y})"
 
     def _optimize(self, p_design: float) -> Optional[ParameterChoice]:
+        """Select parameters for ``p_design``: table first, inline last.
+
+        A covered table cell is authoritative either way — a feasible
+        cell becomes the choice, an infeasible one returns ``None``
+        (keep flying, retry next block) without ever running an
+        optimizer.  Only an *uncovered* request falls through to the
+        inline search, and that fallback is counted so warm-table
+        sessions can assert it never happened.
+        """
+        registry = get_registry()
+        if self.design_service is not None:
+            try:
+                point = self.design_service.lookup(
+                    p_design, self.block_size, self.q_min_target,
+                    family=self.family,
+                    max_delay_slots=self.max_delay_slots)
+            except DesignCoverageError:
+                self.table_misses += 1
+                if registry.enabled:
+                    registry.count("design.service.fallbacks")
+            else:
+                self.table_hits += 1
+                if point is None:
+                    return None
+                return point.to_parameter_choice()
+        self.inline_calls += 1
+        if registry.enabled:
+            registry.count("design.inline.calls")
         try:
+            if self.family == "ac":
+                return optimize_ac(self.block_size, p_design,
+                                   self.q_min_target,
+                                   a_values=self.a_values,
+                                   b_values=self.b_values,
+                                   max_delay_slots=self.max_delay_slots)
             return optimize_emss(self.block_size, p_design,
                                  self.q_min_target,
                                  m_values=self.m_values,
@@ -226,6 +307,9 @@ class AdaptiveController:
             "cost": self._choice.cost,
             "decisions": len(self.events),
             "switches": sum(1 for e in self.events if e.switched),
+            "table_hits": self.table_hits,
+            "table_misses": self.table_misses,
+            "inline_fallbacks": self.inline_calls,
         }
 
     def observe(self, block_id: int,

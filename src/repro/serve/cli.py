@@ -88,6 +88,17 @@ def _build_parser(prog: str, soak: bool) -> argparse.ArgumentParser:
                         dest="subtree_adaptive",
                         help="run one adaptive controller per subtree "
                              "instead of pool-wide (needs --topology)")
+    parser.add_argument("--design-table", default=None, metavar="FILE",
+                        dest="design_table",
+                        help="serve scheme selections from a precomputed "
+                             "design table (see 'repro-experiments "
+                             "design-table build') instead of running "
+                             "the optimizer inline; uncovered points "
+                             "still fall back inline, counted")
+    parser.add_argument("--scheme-family", choices=("emss", "ac"),
+                        default="emss", dest="scheme_family",
+                        help="scheme family the controller designs "
+                             "within (default emss)")
     parser.add_argument("--transport", choices=("local", "udp"),
                         default="local",
                         help="delivery fabric (default local: in-process, "
@@ -179,6 +190,8 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         trees=args.trees,
         subtree_adaptive=args.subtree_adaptive,
         churn=args.churn,
+        design_table=args.design_table,
+        scheme_family=args.scheme_family,
     )
 
 

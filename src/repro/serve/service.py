@@ -39,7 +39,9 @@ from repro.network.clock import Clock, MonotonicClock, VirtualClock
 from repro.obs import RunManifest, get_registry
 from repro.obs.lifecycle import LifecycleTracer, use_lifecycle
 from repro.obs.timeseries import CONTROLLER_ROW, TimeseriesSampler
+from repro.design.service import DesignService
 from repro.serve.adaptive import (
+    CONTROLLER_FAMILIES,
     AdaptationEvent,
     AdaptiveController,
     SubtreeAdaptiveController,
@@ -108,6 +110,8 @@ class ServeConfig:
     trees: int = 1
     subtree_adaptive: bool = False
     churn: Optional[str] = None
+    design_table: Optional[str] = None
+    scheme_family: str = "emss"
 
     def __post_init__(self) -> None:
         if self.receivers < 1:
@@ -146,6 +150,10 @@ class ServeConfig:
         if self.transport not in ("local", "udp"):
             raise SimulationError(
                 f"unknown transport {self.transport!r} (local|udp)")
+        if self.scheme_family not in CONTROLLER_FAMILIES:
+            raise SimulationError(
+                f"unknown scheme family {self.scheme_family!r} "
+                f"({'|'.join(CONTROLLER_FAMILIES)})")
         if self.attack is not None and self.attack not in KNOWN_ATTACK_MIXES:
             raise SimulationError(
                 f"unknown attack mix {self.attack!r}; "
@@ -193,6 +201,8 @@ class ServeConfig:
             "trees": self.trees,
             "subtree_adaptive": self.subtree_adaptive,
             "churn": self.churn,
+            "design_table": self.design_table,
+            "scheme_family": self.scheme_family,
         }
 
 
@@ -406,16 +416,22 @@ def run_live_session(config: ServeConfig,
         # bootstrap window, on top of whatever mix is configured.
         channel_factory = storm_channel_factory(channel_factory, plan,
                                                 config.seed)
+    design_service = (DesignService.load(config.design_table)
+                      if config.design_table is not None else None)
     if config.subtree_adaptive:
         controller = SubtreeAdaptiveController(
             topology.subtree_groups(), block_size=config.block_size,
             q_min_target=config.q_min_target,
             initial_p=config.loss_for_block(0),
+            family=config.scheme_family,
+            design_service=design_service,
             membership_aware=plan is not None)
     else:
         controller = AdaptiveController(
             block_size=config.block_size, q_min_target=config.q_min_target,
             initial_p=config.loss_for_block(0),
+            family=config.scheme_family,
+            design_service=design_service,
             membership_aware=plan is not None)
     # Receivers always verify through a BatchVerifier: plain signatures
     # pass straight through to the inner signer, batch attachments get
@@ -465,6 +481,9 @@ def run_live_session(config: ServeConfig,
     manifest = manifest_clock.finish(registry if registry.enabled else None)
     manifest.parameters["adaptation"] = [
         event.to_dict() for event in controller.events]
+    if design_service is not None:
+        # Recorded post-session so the lookup traffic is the session's.
+        manifest.parameters["design_table_detail"] = design_service.describe()
     observability: Dict[str, object] = {}
     if lifecycle is not None:
         observability["lifecycle"] = {

@@ -1,10 +1,22 @@
 """Unit tests for the offset-policy (dynamic programming) search."""
 
+from itertools import combinations
+
 import pytest
 
 from repro.core.recurrence import solve_recurrence
 from repro.design.dp import search_offset_policy
 from repro.exceptions import DesignError
+
+
+def _brute_minimal_edges(n, p, target, max_offset, max_edges=3):
+    """Exhaustive minimal ``|A|`` meeting the target, or ``None``."""
+    candidates = range(1, min(max_offset, n - 1) + 1)
+    for size in range(1, max_edges + 1):
+        for combo in combinations(candidates, size):
+            if solve_recurrence(n, list(combo), p).q_min >= target:
+                return size
+    return None
 
 
 class TestSearch:
@@ -49,3 +61,42 @@ class TestSearch:
             search_offset_policy(100, 0.2, 0.0)
         with pytest.raises(DesignError):
             search_offset_policy(100, 0.2, 0.9, beam_width=0)
+
+    def test_lossless_channel_needs_one_edge(self):
+        # p = 0: any single offset authenticates everything.
+        policy = search_offset_policy(30, 0.0, 1.0, max_offset=8)
+        assert policy.edges_per_packet == 1
+        assert policy.q_min == 1.0
+
+    def test_minimal_block(self):
+        # n = 2 leaves a single candidate offset.
+        policy = search_offset_policy(2, 0.0, 1.0, max_offset=8)
+        assert policy.offsets == (1,)
+
+    def test_offsets_are_strictly_increasing(self):
+        policy = search_offset_policy(60, 0.3, 0.9, max_offset=12)
+        assert list(policy.offsets) == sorted(set(policy.offsets))
+
+    def test_tight_delay_budget_matches_explicit_max_offset(self):
+        capped = search_offset_policy(100, 0.2, 0.9, max_offset=64,
+                                      max_delay_slots=6)
+        explicit = search_offset_policy(100, 0.2, 0.9, max_offset=6)
+        assert capped.offsets == explicit.offsets
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("n,p,target,max_offset", [
+        (20, 0.1, 0.85, 8),
+        (30, 0.2, 0.8, 8),
+        (24, 0.3, 0.75, 6),
+        (16, 0.05, 0.9, 5),
+        (40, 0.25, 0.9, 10),
+    ])
+    def test_search_matches_brute_force_minimum(self, n, p, target,
+                                                max_offset):
+        # Stage-minimality against exhaustive subset enumeration: the
+        # beam search's first satisfying stage is the true minimum |A|.
+        expected = _brute_minimal_edges(n, p, target, max_offset)
+        assert expected is not None
+        policy = search_offset_policy(n, p, target, max_offset=max_offset)
+        assert policy.edges_per_packet == expected

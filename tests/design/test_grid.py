@@ -1,0 +1,68 @@
+"""Unit tests for the shared quantization helpers."""
+
+import pytest
+
+from repro.design.grid import quantize_down, quantize_up, validate_grid
+from repro.exceptions import DesignError
+
+GRID = (0.02, 0.05, 0.1, 0.2, 0.5)
+
+
+class TestValidateGrid:
+    def test_returns_tuple(self):
+        assert validate_grid([1, 2, 3], "axis") == (1, 2, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignError):
+            validate_grid((), "axis")
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(DesignError):
+            validate_grid((2, 1, 3), "axis")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DesignError):
+            validate_grid((1, 2, 2, 3), "axis")
+
+    def test_error_names_the_axis(self):
+        with pytest.raises(DesignError, match="p_grid"):
+            validate_grid((), "p_grid")
+
+
+class TestQuantizeUp:
+    def test_exact_point_maps_to_itself(self):
+        assert quantize_up(0.1, GRID) == 0.1
+
+    def test_between_points_rounds_up(self):
+        assert quantize_up(0.11, GRID) == 0.2
+
+    def test_below_bottom_takes_first_point(self):
+        assert quantize_up(0.001, GRID) == 0.02
+
+    def test_above_top_raises_without_clamp(self):
+        with pytest.raises(DesignError):
+            quantize_up(0.6, GRID)
+
+    def test_above_top_clamps_when_asked(self):
+        assert quantize_up(0.6, GRID, clamp=True) == 0.5
+
+    def test_integer_grids(self):
+        assert quantize_up(13, (8, 12, 16)) == 16
+
+
+class TestQuantizeDown:
+    def test_exact_point_maps_to_itself(self):
+        assert quantize_down(0.1, GRID) == 0.1
+
+    def test_between_points_rounds_down(self):
+        assert quantize_down(0.19, GRID) == 0.1
+
+    def test_above_top_takes_last_point(self):
+        assert quantize_down(0.9, GRID) == 0.5
+
+    def test_below_bottom_raises(self):
+        with pytest.raises(DesignError):
+            quantize_down(0.01, GRID)
+
+    def test_integer_grids(self):
+        assert quantize_down(15, (8, 12, 16)) == 12

@@ -50,3 +50,43 @@ class TestGreedyDesign:
         constraints = _constraints(q_min_target=0.999, max_mean_hashes=1.5)
         result = greedy_design(30, constraints)
         assert result.graph.edge_count <= 45  # 1.5 * 30
+
+    def test_seeded_runs_are_identical(self):
+        first = greedy_design(30, _constraints(), max_extra_edges=200)
+        again = greedy_design(30, _constraints(), max_extra_edges=200)
+        assert sorted(first.graph.edges()) == sorted(again.graph.edges())
+        assert first.q_min == again.q_min
+
+    def test_minimal_viable_block(self):
+        result = greedy_design(2, _constraints(q_min_target=0.1))
+        assert result.satisfied
+        result.graph.validate()
+
+    def test_lossless_channel_satisfied_by_the_tree(self):
+        result = greedy_design(25, _constraints(loss_rate=0.0,
+                                                q_min_target=1.0))
+        assert result.satisfied
+        assert result.added_edges == ()
+
+
+class TestDifferentialVsOffsetPolicy:
+    @pytest.mark.parametrize("n,p,target", [
+        (30, 0.1, 0.8),
+        (30, 0.2, 0.8),
+        (24, 0.2, 0.85),
+    ])
+    def test_heuristic_never_beaten_by_uniform_policy(self, n, p, target):
+        # Where both programs are feasible, the greedy designer (free
+        # graph shape, exact MC evaluator) should meet the target with
+        # no more edges per packet than the DP's uniform offset policy
+        # (Eq. 9 independence approximation) — and never fewer than the
+        # connectivity floor of (n-1)/n.
+        from repro.design.dp import search_offset_policy
+
+        policy = search_offset_policy(n, p, target, max_offset=8)
+        constraints = _constraints(loss_rate=p, q_min_target=target,
+                                   mc_trials=2000, mc_seed=11)
+        built = greedy_design(n, constraints, max_extra_edges=8 * n)
+        assert built.satisfied
+        per_packet = built.graph.edge_count / n
+        assert (n - 1) / n <= per_packet <= policy.edges_per_packet

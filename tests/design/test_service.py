@@ -1,0 +1,103 @@
+"""Unit tests for the O(1) design-service lookup."""
+
+import pytest
+
+from repro.design.frontend import DesignPoint, design_point
+from repro.design.service import DesignCoverageError, DesignService
+from repro.design.table import DesignTable, TableSpec
+from repro.exceptions import DesignError
+from repro.obs.registry import MetricsRegistry, use_registry
+
+SPEC = TableSpec(p_grid=(0.05, 0.2, 0.4), block_sizes=(12, 24),
+                 q_targets=(0.75, 0.9), delay_budgets=(4, 8),
+                 families=("emss", "ac"))
+
+
+@pytest.fixture(scope="module")
+def service():
+    return DesignService(DesignTable.build(SPEC, workers=1))
+
+
+class TestLookup:
+    def test_on_grid_point_matches_direct_program(self, service):
+        point = service.lookup(0.2, 12, 0.75, family="emss",
+                               max_delay_slots=8)
+        assert point == design_point("emss", 12, 0.2, 0.75,
+                                     max_delay_slots=8)
+
+    def test_quantizes_conservatively(self, service):
+        # p and q round up, delay rounds down: the answered cell is at
+        # least as hard as the request on every axis.
+        assert (service.resolve_cell(0.1, 13, 0.8, max_delay_slots=7)
+                == (0.2, 24, 0.9, 4))
+
+    def test_default_delay_takes_largest_budget(self, service):
+        assert service.resolve_cell(0.05, 12, 0.75)[-1] == 8
+
+    def test_returns_design_points(self, service):
+        point = service.lookup(0.1, 12, 0.8, family="ac")
+        assert isinstance(point, DesignPoint)
+        assert point.family == "ac"
+
+    def test_off_grid_raises_coverage_error(self, service):
+        with pytest.raises(DesignCoverageError):
+            service.lookup(0.45, 12, 0.75)  # above top of p grid
+        with pytest.raises(DesignCoverageError):
+            service.lookup(0.2, 48, 0.75)  # above top block size
+        with pytest.raises(DesignCoverageError):
+            service.lookup(0.2, 12, 0.95)  # above top q target
+        with pytest.raises(DesignCoverageError):
+            service.lookup(0.2, 12, 0.75, max_delay_slots=2)  # below delay
+
+    def test_unbuilt_family_raises_coverage_error(self, service):
+        with pytest.raises(DesignCoverageError, match="family"):
+            service.lookup(0.2, 12, 0.75, family="offset")
+
+    def test_coverage_error_is_a_design_error(self):
+        assert issubclass(DesignCoverageError, DesignError)
+
+    def test_covered_infeasible_answers_none(self):
+        spec = TableSpec(p_grid=(0.5,), block_sizes=(12,),
+                         q_targets=(0.9999,), delay_budgets=(1,),
+                         families=("emss",))
+        infeasible = DesignService(DesignTable.build(spec, workers=1))
+        assert infeasible.lookup(0.5, 12, 0.9999) is None
+        assert infeasible.hits == 1
+
+
+class TestCounters:
+    def test_instance_counters(self, service):
+        before_hits, before_misses = service.hits, service.misses
+        service.lookup(0.05, 12, 0.75)
+        with pytest.raises(DesignCoverageError):
+            service.lookup(0.9, 12, 0.75)
+        assert service.hits == before_hits + 1
+        assert service.misses == before_misses + 1
+
+    def test_registry_counters(self, service):
+        with use_registry(MetricsRegistry()) as registry:
+            service.lookup(0.05, 12, 0.75)
+            service.lookup(0.2, 12, 0.75)
+            with pytest.raises(DesignCoverageError):
+                service.lookup(0.9, 12, 0.75)
+        assert registry.counters["design.service.lookups"] == 3
+        assert registry.counters["design.service.hits"] == 2
+        assert registry.counters["design.service.misses"] == 1
+
+    def test_describe_reports_traffic(self):
+        fresh = DesignService(DesignTable.build(
+            TableSpec(p_grid=(0.1,), families=("emss",)), workers=1))
+        fresh.lookup(0.1, 12, 0.75)
+        summary = fresh.describe()
+        assert summary["lookup_hits"] == 1
+        assert summary["lookup_misses"] == 0
+        assert summary["content_hash"] == fresh.table.content_hash
+
+
+class TestLoad:
+    def test_load_round_trip(self, tmp_path, service):
+        path = str(tmp_path / "table.json")
+        service.table.save(path)
+        loaded = DesignService.load(path)
+        assert (loaded.lookup(0.2, 12, 0.75)
+                == service.lookup(0.2, 12, 0.75))
