@@ -1,0 +1,88 @@
+"""Health-plane overhead: monitored serve vs the null fast path.
+
+The guard rail for the online health monitors: the same live session
+runs (a) with no health plane, (b) with the full plane (SLO CUSUM per
+receiver, drift detection, sentinels) on a clean stream, and (c) on a
+lossy ramp where the detectors actually fire.  The test asserts the
+monitored runs stay within a bounded slowdown of the null run — block-
+boundary health checks are a handful of integer ops and must never
+dominate the serving stack — and all three land in the bench report so
+the regression gate watches the overhead itself.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.obs.health import HealthMonitor
+from repro.serve.service import ServeConfig, run_live_session
+
+RECEIVERS = 4
+BLOCKS = 6
+BLOCK_SIZE = 8
+
+#: Monitored runs must stay within this factor of the null run.
+#: Generous on purpose: CI machines are noisy and the point is to
+#: catch order-of-magnitude accidents (per-packet work on the block
+#: path, alert storms), not a few percent of integer arithmetic.
+MAX_SLOWDOWN = 5.0
+
+_BASELINE_S = {}
+
+
+def _config(ramp=None):
+    schedule = ((0, 0.1),) if ramp is None else ((0, 0.1), ramp)
+    return ServeConfig(receivers=RECEIVERS, blocks=BLOCKS,
+                       block_size=BLOCK_SIZE,
+                       loss_schedule=schedule, seed=23)
+
+
+def _run_monitored(ramp=None, q_target="3/4"):
+    health = HealthMonitor(q_target=q_target, deficit=8)
+    session = run_live_session(_config(ramp), health=health)
+    return session, health
+
+
+def test_health_overhead_null(benchmark, show):
+    session = benchmark(run_live_session, _config())
+    assert session.forged_accepted == 0
+    _BASELINE_S["null"] = benchmark.stats.stats.min
+
+    result = ExperimentResult(
+        experiment_id="bench-health-overhead",
+        title="serve baseline: no health plane")
+    result.rows.append({"mode": "null",
+                        "session s": benchmark.stats.stats.mean})
+    show(result)
+
+
+@pytest.mark.parametrize("mode", ("clean", "firing"))
+def test_health_overhead_monitored(benchmark, show, mode):
+    ramp = None if mode == "clean" else (2, 0.6)
+    q_target = "3/4" if mode == "clean" else "9/10"
+    session, health = benchmark(_run_monitored, ramp, q_target)
+
+    assert session.forged_accepted == 0
+    assert health.slo  # the monitors actually ran
+    if mode == "firing":
+        assert health.alerts  # the lossy ramp must trip detectors
+    else:
+        assert health.counts()["critical"] == 0
+
+    seconds = benchmark.stats.stats.min
+    baseline = _BASELINE_S.get("null")
+    if baseline is not None and baseline > 0:
+        slowdown = seconds / baseline
+        assert slowdown < MAX_SLOWDOWN, (
+            f"health plane ({mode}) slowed serving by x{slowdown:.2f} "
+            f"(budget x{MAX_SLOWDOWN})")
+
+    result = ExperimentResult(
+        experiment_id="bench-health-overhead",
+        title=f"serve monitored: {mode} stream")
+    result.rows.append({
+        "mode": mode,
+        "session s": benchmark.stats.stats.mean,
+        "alerts": len(health.alerts),
+        "slo scopes": len(health.slo),
+    })
+    show(result)

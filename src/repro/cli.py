@@ -158,6 +158,12 @@ def _build_bench_diff_parser() -> argparse.ArgumentParser:
                              "noise-robust)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the full diff as JSON")
+    parser.add_argument("--fail-on-missing", action="store_true",
+                        dest="fail_on_missing",
+                        help="also exit non-zero when a baseline "
+                             "benchmark is absent from the current "
+                             "report (a silently-dropped benchmark "
+                             "cannot regress)")
     return parser
 
 
@@ -192,9 +198,17 @@ def _bench_diff_main(argv: List[str]) -> int:
             print(f"  ? missing from current: {name}")
         for name in diff["added"]:
             print(f"  * new benchmark: {name}")
+    failed = False
     if diff["regressions"]:
         print(f"FAIL: {len(diff['regressions'])} benchmark(s) regressed "
               f"beyond {diff['threshold']:.0%}", file=sys.stderr)
+        failed = True
+    if args.fail_on_missing and diff["missing"]:
+        print(f"FAIL: {len(diff['missing'])} baseline benchmark(s) "
+              f"missing from current report: "
+              f"{', '.join(diff['missing'])}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("no regressions beyond threshold", file=sys.stderr)
     return 0

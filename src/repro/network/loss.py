@@ -494,13 +494,17 @@ class PooledLossEstimator:
         return sum(e.window_fill for e in self._members.values())
 
     @property
+    def window_lost(self) -> int:
+        """Losses inside all current members' windows (exact integer)."""
+        return sum(e.window_lost for e in self._members.values())
+
+    @property
     def window_rate(self) -> float:
         """Exact pooled loss rate over current members' windows."""
         fill = self.window_fill
         if fill == 0:
             return 0.0
-        lost = sum(e.window_lost for e in self._members.values())
-        return lost / fill
+        return self.window_lost / fill
 
     @property
     def ewma_rate(self) -> float:

@@ -15,6 +15,10 @@ never touch an RNG) and zero-cost when disabled:
   byte-identical across runs of the same config;
 * :mod:`repro.obs.timeseries` — per-receiver gauges on a fixed
   virtual-time grid for watching a live session evolve;
+* :mod:`repro.obs.health` — online health plane for live serving:
+  integer-CUSUM SLO monitors, envelope drift detection against the
+  design lattice, soundness sentinels, and a deterministic JSON-lines
+  alert pipeline with exact state ``merge()``;
 * :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON and
   Prometheus text renderings of the above;
 * :mod:`repro.obs.manifest` — per-run provenance manifests and the
@@ -35,6 +39,17 @@ from repro.obs.export import (
     prometheus_text,
     write_chrome_trace,
     write_prometheus,
+)
+from repro.obs.health import (
+    ALERT_DETECTORS,
+    ALERT_SEVERITIES,
+    AlertEvent,
+    AlertSink,
+    HealthMonitor,
+    SloSpec,
+    max_severity,
+    parse_slo_spec,
+    validate_alerts_file,
 )
 from repro.obs.lifecycle import (
     LIFECYCLE_STAGES,
@@ -77,6 +92,12 @@ from repro.obs.timeseries import (
 )
 
 __all__ = [
+    "ALERT_DETECTORS",
+    "ALERT_SEVERITIES",
+    "AlertEvent",
+    "AlertSink",
+    "HealthMonitor",
+    "SloSpec",
     "Histogram",
     "LIFECYCLE_STAGES",
     "LifecycleTracer",
@@ -99,7 +120,9 @@ __all__ = [
     "lifecycle_sampled",
     "lifecycle_trace_id",
     "load_bench_report",
+    "max_severity",
     "metrics_enabled",
+    "parse_slo_spec",
     "profile_report",
     "prometheus_text",
     "set_lifecycle",
@@ -108,6 +131,7 @@ __all__ = [
     "span",
     "use_lifecycle",
     "use_registry",
+    "validate_alerts_file",
     "validate_lifecycle_file",
     "validate_metrics_file",
     "validate_metrics_payload",

@@ -37,7 +37,8 @@ __all__ = [
 _MICRO = 1e6  # trace-event timestamps are microseconds
 
 
-def chrome_trace_payload(events: Iterable[dict]) -> dict:
+def chrome_trace_payload(events: Iterable[dict],
+                         alerts: Optional[Iterable[dict]] = None) -> dict:
     """Fold lifecycle events into a Chrome trace-event JSON payload.
 
     ``events`` are lifecycle records (dicts with ``trace``/``r``/``b``/
@@ -52,6 +53,12 @@ def chrome_trace_payload(events: Iterable[dict]) -> dict:
     always balanced, the invariant the property suite pins.  Receivers
     map to ``pid`` (sorted order) so Perfetto groups tracks per
     receiver; ``tid`` is the packet sequence number.
+
+    ``alerts`` are health-plane alert records
+    (:meth:`~repro.obs.health.AlertEvent.to_dict` dicts); each renders
+    as one process-scoped instant (``alert:<kind>``) on a dedicated
+    ``pid 0`` "health" track, so Perfetto shows the breaches on the
+    same timeline as the packet lifecycles that caused them.
     """
     by_trace: Dict[str, List[dict]] = {}
     receivers: List[str] = []
@@ -97,13 +104,31 @@ def chrome_trace_payload(events: Iterable[dict]) -> dict:
          "args": {"name": f"receiver {receiver}"}}
         for receiver, pid in sorted(pid_of.items())
     ]
-    return {"traceEvents": metadata + trace_events,
+    alert_events: List[dict] = []
+    if alerts is not None:
+        for alert in sorted(alerts, key=lambda a: (a["block"],
+                                                   a["detector"],
+                                                   a["kind"], a["scope"])):
+            alert_events.append({
+                "ph": "i", "name": f"alert:{alert['kind']}", "cat": "alert",
+                "ts": alert["t"] * _MICRO, "pid": 0, "tid": 0, "s": "p",
+                "args": {"severity": alert["severity"],
+                         "detector": alert["detector"],
+                         "scope": alert["scope"],
+                         "block": alert["block"]},
+            })
+        if alert_events:
+            metadata.append(
+                {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+                 "args": {"name": "health"}})
+    return {"traceEvents": metadata + alert_events + trace_events,
             "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(path: str, events: Iterable[dict]) -> int:
+def write_chrome_trace(path: str, events: Iterable[dict],
+                       alerts: Optional[Iterable[dict]] = None) -> int:
     """Write the Perfetto-loadable trace JSON; returns the event count."""
-    payload = chrome_trace_payload(events)
+    payload = chrome_trace_payload(events, alerts=alerts)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, sort_keys=True,
                   separators=(",", ":"))

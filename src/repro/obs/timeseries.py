@@ -25,10 +25,14 @@ from repro.exceptions import AnalysisError
 from repro.obs.sinks import TraceSink
 
 __all__ = ["TimeseriesSampler", "validate_timeseries_file",
-           "CONTROLLER_ROW"]
+           "CONTROLLER_ROW", "HEALTH_ROW"]
 
 #: Reserved "receiver" id for the controller-state row of each tick.
 CONTROLLER_ROW = "_controller"
+
+#: Reserved "receiver" id for the health-monitor row of each tick
+#: (present only when a session runs with the health plane enabled).
+HEALTH_ROW = "_health"
 
 
 class TimeseriesSampler:

@@ -185,6 +185,7 @@ class AdaptiveController:
         self.table_hits = 0
         self.table_misses = 0
         self.inline_calls = 0
+        self.refresh_requests = 0
         self.estimate = estimate
         self.slack_se = slack_se
         self.group = group
@@ -310,6 +311,7 @@ class AdaptiveController:
             "table_hits": self.table_hits,
             "table_misses": self.table_misses,
             "inline_fallbacks": self.inline_calls,
+            "refresh_requests": self.refresh_requests,
         }
 
     def observe(self, block_id: int,
@@ -361,6 +363,51 @@ class AdaptiveController:
         )
         self.events.append(event)
         return event
+
+    def envelope_counts(self) -> Tuple[int, int]:
+        """Exact pooled window counts ``(lost, fill)`` for drift checks.
+
+        These are the integer counts inside the estimator's sliding
+        window — the health plane's drift detector compares them
+        against :meth:`lattice_top` in cross-multiplied integers so no
+        float rounding can flip an off-lattice verdict.
+        """
+        return (self.estimator.window_lost, self.estimator.window_fill)
+
+    def lattice_top(self) -> float:
+        """Top of the design lattice this controller can serve.
+
+        The design table's grid when a service is wired (its coverage
+        is what "off-lattice" means operationally), the controller's
+        own quantization grid otherwise.
+        """
+        if self.design_service is not None:
+            return self.design_service.p_grid[-1]
+        return self.p_grid[-1]
+
+    def request_refresh(self) -> bool:
+        """Counted re-lookup hook for off-lattice drift alerts.
+
+        The health plane calls this when the observed envelope leaves
+        the lattice: the controller re-runs its selection at the
+        current design point (a table re-lookup when a service is
+        wired — the seam a future *background table rebuild* lands in)
+        and the request is counted on the instance and the live
+        registry (``design.refresh.requests``), so soaks can assert
+        the hook fired.  Returns whether a feasible selection came
+        back.
+        """
+        self.refresh_requests += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.count("design.refresh.requests")
+        choice = self._optimize(self._p_design)
+        if choice is None:
+            return False
+        if choice.parameters != self._choice.parameters:
+            self._scheme = make_scheme(self._spec(choice))
+        self._choice = choice
+        return True
 
     def retire_receiver(self, receiver_id: str) -> bool:
         """Fold a departed member's samples out of the pooled estimate.
@@ -451,6 +498,32 @@ class SubtreeAdaptiveController:
                 self.controllers[group].observe(block_id, by_group[group]))
         self.events.extend(events)
         return events
+
+    def envelope_counts(self) -> Tuple[int, int]:
+        """Pooled window counts summed over every subtree controller."""
+        lost = 0
+        fill = 0
+        for group in sorted(self.controllers):
+            group_lost, group_fill = self.controllers[group].envelope_counts()
+            lost += group_lost
+            fill += group_fill
+        return (lost, fill)
+
+    def lattice_top(self) -> float:
+        """Shared lattice top (every inner controller is configured alike)."""
+        first = min(self.controllers)
+        return self.controllers[first].lattice_top()
+
+    @property
+    def refresh_requests(self) -> int:
+        """Refresh requests summed over every subtree controller."""
+        return sum(c.refresh_requests for c in self.controllers.values())
+
+    def request_refresh(self) -> bool:
+        """Forward the drift refresh hook to every subtree controller."""
+        results = [self.controllers[group].request_refresh()
+                   for group in sorted(self.controllers)]
+        return all(results)
 
     def retire_receiver(self, receiver_id: str) -> bool:
         """Retire a leaver from its subtree's estimator (see inner)."""

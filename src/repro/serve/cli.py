@@ -17,7 +17,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.exceptions import ReproError
-from repro.serve.loadgen import ObsOptions, run_loadgen
+from repro.serve.loadgen import LoadgenResult, ObsOptions, run_loadgen
 from repro.serve.service import ServeConfig
 
 __all__ = ["serve_main", "loadgen_main", "config_from_args",
@@ -157,6 +157,30 @@ def _build_parser(prog: str, soak: bool) -> argparse.ArgumentParser:
                      metavar="S",
                      help="virtual seconds between timeseries ticks "
                           "(default 0.05)")
+    health = parser.add_argument_group(
+        "online health plane",
+        "streaming SLO monitors, envelope-drift detection and soundness "
+        "sentinels evaluated at block boundaries; alerts are "
+        "deterministic and byte-identical across reruns")
+    health.add_argument("--alerts-out", metavar="FILE", default=None,
+                        dest="alerts_out",
+                        help="write health alerts as canonical JSON "
+                             "lines (implies --health)")
+    health.add_argument("--slo", metavar="SPEC", default=None,
+                        help="SLO spec 'q:<target>[:<deficit>]' — monitor "
+                             "per-receiver verified fraction against "
+                             "<target> with a CUSUM that fires after "
+                             "<deficit> cumulative packet shortfall "
+                             "(default: the --q-min target, deficit 24; "
+                             "implies --health)")
+    health.add_argument("--health", action="store_true",
+                        help="run the health monitors even without an "
+                             "alerts file (alerts land in the summary, "
+                             "manifest and Prometheus/Perfetto outputs)")
+    health.add_argument("--strict-health", action="store_true",
+                        dest="strict_health",
+                        help="also exit non-zero (status 3) when "
+                             "warning-severity alerts fired")
     if not soak:
         parser.add_argument("--json", action="store_true", dest="as_json",
                             help="emit the session summary as JSON")
@@ -198,7 +222,8 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
 def obs_from_args(args: argparse.Namespace) -> Optional[ObsOptions]:
     """Translate observability flags; ``None`` when nothing is requested."""
     if not (args.lifecycle_out or args.timeseries_out or args.prom_out
-            or args.perfetto_out):
+            or args.perfetto_out or args.alerts_out or args.slo
+            or args.health):
         return None
     return ObsOptions(
         lifecycle_out=args.lifecycle_out,
@@ -207,6 +232,9 @@ def obs_from_args(args: argparse.Namespace) -> Optional[ObsOptions]:
         perfetto_out=args.perfetto_out,
         trace_sample=args.trace_sample,
         timeseries_interval=args.timeseries_interval,
+        alerts_out=args.alerts_out,
+        slo=args.slo,
+        health=args.health,
     )
 
 
@@ -251,7 +279,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(_render_summary(summary))
-    return 0 if session.forged_accepted == 0 else 1
+    if session.forged_accepted != 0:
+        return 1
+    return _health_exit(result, args.strict_health)
 
 
 def loadgen_main(argv: Optional[List[str]] = None) -> int:
@@ -273,6 +303,19 @@ def loadgen_main(argv: Optional[List[str]] = None) -> int:
               f"{result.session.forged_accepted} (must be 0)",
               file=sys.stderr)
         return 1
+    return _health_exit(result, args.strict_health)
+
+
+def _health_exit(result: LoadgenResult, strict: bool) -> int:
+    """Exit status from the health plane: 0 ok, 1 critical, 3 strict."""
+    if result.critical_alerts:
+        print(f"FAIL: {result.critical_alerts} critical health alert(s)",
+              file=sys.stderr)
+        return 1
+    if strict and result.warning_alerts:
+        print(f"FAIL (strict-health): {result.warning_alerts} warning "
+              f"health alert(s)", file=sys.stderr)
+        return 3
     return 0
 
 

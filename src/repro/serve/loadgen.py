@@ -25,6 +25,12 @@ from typing import Dict, List, Optional
 from repro.crypto.signatures import Signer
 from repro.obs import MetricsRegistry, use_registry
 from repro.obs.export import write_chrome_trace, write_prometheus
+from repro.obs.health import (
+    DEFAULT_SLO_DEFICIT,
+    AlertSink,
+    HealthMonitor,
+    parse_slo_spec,
+)
 from repro.obs.lifecycle import LifecycleTracer
 from repro.obs.manifest import METRICS_FILE_VERSION
 from repro.obs.timeseries import TimeseriesSampler
@@ -41,6 +47,11 @@ class ObsOptions:
     ``1/N`` of the lifecycle traces (selected deterministically by
     trace-ID hash) and ``timeseries_interval`` is the virtual-time
     gauge grid in seconds.
+
+    The health plane runs when any of ``alerts_out`` (canonical
+    JSON-lines alert file), ``slo`` (a ``q:<target>[:<deficit>]``
+    spec overriding the config's ``q_min_target``) or the ``health``
+    toggle asks for it.
     """
 
     lifecycle_out: Optional[str] = None
@@ -49,11 +60,20 @@ class ObsOptions:
     perfetto_out: Optional[str] = None
     trace_sample: int = 1
     timeseries_interval: float = 0.05
+    alerts_out: Optional[str] = None
+    slo: Optional[str] = None
+    health: bool = False
 
     @property
     def wants_lifecycle(self) -> bool:
         """Whether any output needs the lifecycle tracer running."""
         return self.lifecycle_out is not None or self.perfetto_out is not None
+
+    @property
+    def wants_health(self) -> bool:
+        """Whether the run should evaluate the health monitors."""
+        return (self.health or self.alerts_out is not None
+                or self.slo is not None)
 
 
 @dataclass
@@ -63,11 +83,26 @@ class LoadgenResult:
     session: SessionResult
     metrics_payload: dict
     summary: Dict[str, object] = field(default_factory=dict)
+    health: Optional[HealthMonitor] = None
 
     @property
     def ok(self) -> bool:
         """The soak gate: no attacker content ever verified."""
         return self.session.forged_accepted == 0
+
+    @property
+    def critical_alerts(self) -> int:
+        """Critical health alerts fired (0 when the plane was off)."""
+        if self.health is None:
+            return 0
+        return self.health.counts()["critical"]
+
+    @property
+    def warning_alerts(self) -> int:
+        """Warning health alerts fired (0 when the plane was off)."""
+        if self.health is None:
+            return 0
+        return self.health.counts()["warning"]
 
 
 def run_loadgen(config: ServeConfig,
@@ -77,20 +112,36 @@ def run_loadgen(config: ServeConfig,
     registry = MetricsRegistry()
     lifecycle: Optional[LifecycleTracer] = None
     timeseries: Optional[TimeseriesSampler] = None
+    health: Optional[HealthMonitor] = None
     if obs is not None and obs.wants_lifecycle:
         lifecycle = LifecycleTracer(config.seed, sample=obs.trace_sample,
                                     sink=obs.lifecycle_out)
     if obs is not None and obs.timeseries_out is not None:
         timeseries = TimeseriesSampler(interval_s=obs.timeseries_interval,
                                        sink=obs.timeseries_out)
+    if obs is not None and obs.wants_health:
+        if obs.slo is not None:
+            spec = parse_slo_spec(obs.slo)
+            q_target: object = f"{spec.q_num}/{spec.q_den}"
+            deficit = spec.deficit
+        else:
+            q_target = config.q_min_target
+            deficit = DEFAULT_SLO_DEFICIT
+        health = HealthMonitor(
+            q_target=q_target, deficit=deficit,
+            sink=AlertSink(obs.alerts_out) if obs.alerts_out else None)
     try:
         with use_registry(registry):
             session = run_live_session(config, signer=signer,
                                        lifecycle=lifecycle,
-                                       timeseries=timeseries)
+                                       timeseries=timeseries,
+                                       health=health)
         if obs is not None and obs.perfetto_out is not None:
             # Export before flushing: flush drains the event buffer.
-            write_chrome_trace(obs.perfetto_out, lifecycle.events())
+            write_chrome_trace(
+                obs.perfetto_out, lifecycle.events(),
+                alerts=([alert.to_dict() for alert in health.alerts]
+                        if health is not None else None))
     finally:
         # Closing flushes whatever is still buffered — on the success
         # path and on every error path alike (satellite invariant: a
@@ -99,6 +150,8 @@ def run_loadgen(config: ServeConfig,
             lifecycle.close()
         if timeseries is not None:
             timeseries.close()
+        if health is not None:
+            health.close()
     metrics_payload = {
         "format": METRICS_FILE_VERSION,
         "runs": [{
@@ -114,6 +167,9 @@ def run_loadgen(config: ServeConfig,
                     if name == "r" or isinstance(value, (str, bool)):
                         continue
                     gauges[f"serve_{receiver}_{name}"] = value
+        if health is not None:
+            for name, value in sorted(health.gauges().items()):
+                gauges[f"health_{name}"] = value
         write_prometheus(obs.prom_out, registry=registry,
                          gauges=gauges or None)
     phases: List[Dict[str, object]] = []
@@ -153,5 +209,15 @@ def run_loadgen(config: ServeConfig,
         summary["lifecycle_events"] = lifecycle.events_recorded
     if timeseries is not None:
         summary["timeseries_samples"] = len(timeseries.samples)
+    if health is not None:
+        summary["health"] = {
+            "alerts": health.counts(),
+            "kinds": health.counts_by_kind(),
+            "worst_severity": health.worst_severity(),
+            "slo_breaches": sum(s.breaches for s in health.slo.values()),
+            "off_lattice_blocks": health.off_lattice_blocks,
+            "refresh_requests": registry.counters.get(
+                "design.refresh.requests", 0),
+        }
     return LoadgenResult(session=session, metrics_payload=metrics_payload,
-                         summary=summary)
+                         summary=summary, health=health)

@@ -50,6 +50,10 @@ class LossReport:
     over a topology; independent-channel sessions leave it equal to
     the receiver id, so folding by subtree degenerates to folding per
     receiver.
+
+    ``verified`` counts the block's slots that actually authenticated
+    (arrived *and* verified) — the numerator the health plane's SLO
+    monitors test against the design's ``q`` target.
     """
 
     receiver_id: str
@@ -59,6 +63,7 @@ class LossReport:
     window_rate: float
     ewma_rate: float
     subtree: str = ""
+    verified: int = 0
 
     @property
     def block_loss_rate(self) -> float:
@@ -170,6 +175,7 @@ class ReceiverSession:
         intact = set(frame.intact)
         expected = frame.last_seq - frame.base_seq + 1
         arrived = 0
+        verified_count = 0
         events: List[list] = []
         stats = self.stats.setdefault(frame.phase, SimulationStats())
         tracer = get_lifecycle()
@@ -187,6 +193,7 @@ class ReceiverSession:
             if outcome is not None:
                 arrived += 1
             if verified:
+                verified_count += 1
                 accepted = verifier.accepted_digest(seq)
                 authentic = digests.get(seq)
                 if (accepted is None or authentic is None
@@ -243,6 +250,7 @@ class ReceiverSession:
             window_rate=self.estimator.window_rate,
             ewma_rate=self.estimator.ewma_rate,
             subtree=self.subtree,
+            verified=verified_count,
         )
         self.reports.append(report)
         registry = get_registry()

@@ -241,6 +241,11 @@ class SenderService:
         self.batch_size = batch_size
         self.flush_deadline = flush_deadline
         self._batch = BatchSigner(signer, hash_function)
+        #: Instance counters mirroring the ``serve.batch.*`` registry
+        #: series — readable even when metrics are disabled, which is
+        #: what the health sentinels difference per block.
+        self.batch_signs = 0
+        self.batch_flushes = 0
         self._pending: List[_PendingBlock] = []
         self._pending_since: Optional[float] = None
         self._next_seq = 1
@@ -341,6 +346,8 @@ class SenderService:
                     self._batch.append(packet.auth_bytes())
                     signature_slots.append((p_index, k_index))
         attachments = self._batch.flush()
+        self.batch_signs += 1
+        self.batch_flushes += 1
         registry = get_registry()
         if registry.enabled:
             registry.count("serve.batch.signs", 1)

@@ -37,8 +37,9 @@ from repro.exceptions import SimulationError
 from repro.faults import KNOWN_ATTACK_MIXES
 from repro.network.clock import Clock, MonotonicClock, VirtualClock
 from repro.obs import RunManifest, get_registry
+from repro.obs.health import HealthMonitor
 from repro.obs.lifecycle import LifecycleTracer, use_lifecycle
-from repro.obs.timeseries import CONTROLLER_ROW, TimeseriesSampler
+from repro.obs.timeseries import CONTROLLER_ROW, HEALTH_ROW, TimeseriesSampler
 from repro.design.service import DesignService
 from repro.serve.adaptive import (
     CONTROLLER_FAMILIES,
@@ -242,10 +243,17 @@ def default_serve_signer(seed: int) -> Signer:
     return HmacStubSigner(key=b"repro-serve-%016d" % seed)
 
 
-def _gauge_rows(pool: ReceiverPool, controller) -> List[Dict[str, object]]:
-    """One timeseries row per receiver (sorted) plus the controller row."""
+def _gauge_rows(pool: ReceiverPool, controller,
+                health: Optional[HealthMonitor] = None
+                ) -> List[Dict[str, object]]:
+    """One timeseries row per *active* receiver plus the control rows.
+
+    Iterating the active set (not ``pool.sessions``, which keeps every
+    member that ever ran) is what stops retired and crashed receivers
+    from emitting gauge rows after their departure block.
+    """
     rows: List[Dict[str, object]] = []
-    for receiver_id in sorted(pool.sessions):
+    for receiver_id in pool.active_ids:
         session = pool.sessions[receiver_id]
         verifier = session.stream.verifier
         rows.append({
@@ -262,14 +270,67 @@ def _gauge_rows(pool: ReceiverPool, controller) -> List[Dict[str, object]]:
     row: Dict[str, object] = {"r": CONTROLLER_ROW}
     row.update(controller.gauges())
     rows.append(row)
+    if health is not None:
+        health_row: Dict[str, object] = {"r": HEALTH_ROW}
+        health_row.update(health.gauges())
+        rows.append(health_row)
     return rows
+
+
+def _observe_health(health: HealthMonitor, block_id: int,
+                    reports: List[LossReport], pool: ReceiverPool,
+                    sender: SenderService, batch_verifier: BatchVerifier,
+                    controller, now: float) -> None:
+    """Feed one settled block to every health detector, deterministically.
+
+    Everything handed over is an exact integer (report slot counts,
+    estimator window counts, cumulative verifier/sender counters), and
+    iteration is in sorted order throughout — the alert stream must be
+    a pure function of the config, like every other serve artifact.
+    """
+    for report in sorted(reports, key=lambda r: r.receiver_id):
+        health.observe_slo(block_id, f"r:{report.receiver_id}",
+                           report.expected, report.verified, t=now)
+    by_subtree: Dict[str, List[int]] = {}
+    for report in reports:
+        if report.subtree and report.subtree != report.receiver_id:
+            totals = by_subtree.setdefault(report.subtree, [0, 0])
+            totals[0] += report.expected
+            totals[1] += report.verified
+    for label in sorted(by_subtree):
+        expected, verified = by_subtree[label]
+        health.observe_slo(block_id, f"st:{label}", expected, verified,
+                           t=now)
+    if controller is not None:
+        lost, fill = controller.envelope_counts()
+        if health.envelope_top is not None:
+            drifted = health.observe_envelope(block_id, lost, fill, t=now)
+            if drifted is not None:
+                controller.request_refresh()
+    undecodable = 0
+    cap_evictions = 0
+    for receiver_id in sorted(pool.sessions):
+        verifier = pool.sessions[receiver_id].stream.verifier
+        undecodable += verifier.undecodable
+        cap_evictions += verifier.cap_evictions
+    health.observe_sentinels(
+        block_id,
+        forged=pool.forged_accepted,
+        undecodable=undecodable,
+        cap_evictions=cap_evictions,
+        root_verifies=batch_verifier.root_verifies,
+        batch_signs=sender.batch_signs,
+        expected_delta=sum(report.expected for report in reports),
+        t=now)
 
 
 async def _drive_session(config: ServeConfig, transport: Transport,
                          sender: SenderService, pool: ReceiverPool,
                          controller, clock: Clock,
                          timeseries: Optional[TimeseriesSampler] = None,
-                         plan: Optional[MembershipPlan] = None
+                         plan: Optional[MembershipPlan] = None,
+                         health: Optional[HealthMonitor] = None,
+                         batch_verifier: Optional[BatchVerifier] = None
                          ) -> None:
     registry = get_registry()
     grouped = isinstance(controller, SubtreeAdaptiveController)
@@ -282,8 +343,14 @@ async def _drive_session(config: ServeConfig, transport: Transport,
         reports = await pool.wait_block(flushed_block_id)
         if config.adaptive:
             controller.observe(flushed_block_id, reports)
+        if health is not None:
+            _observe_health(health, flushed_block_id, reports, pool,
+                            sender, batch_verifier,
+                            controller if config.adaptive else None,
+                            clock.now())
         if timeseries is not None and timeseries.due(clock.now()):
-            timeseries.record(clock.now(), _gauge_rows(pool, controller))
+            timeseries.record(clock.now(),
+                              _gauge_rows(pool, controller, health))
         if registry.enabled:
             registry.count("serve.block.runs", 1)
 
@@ -363,18 +430,26 @@ async def _drive_session(config: ServeConfig, transport: Transport,
 def run_live_session(config: ServeConfig,
                      signer: Optional[Signer] = None,
                      lifecycle: Optional[LifecycleTracer] = None,
-                     timeseries: Optional[TimeseriesSampler] = None
+                     timeseries: Optional[TimeseriesSampler] = None,
+                     health: Optional[HealthMonitor] = None
                      ) -> SessionResult:
     """Run one complete live session and return its results.
 
     With the default local transport and any fixed config this is a
     pure function of ``config`` — including every transcript byte, and
-    (when a ``lifecycle`` tracer or ``timeseries`` sampler is passed)
-    every observability byte too.  The tracer is installed process-wide
-    for the session's duration; on an exception both collectors are
-    flushed to their sinks before re-raising, so a crashed run still
-    leaves parseable artifacts.  Closing the sinks stays with the
-    caller (they may want to export the buffered events first).
+    (when a ``lifecycle`` tracer, ``timeseries`` sampler or ``health``
+    monitor is passed) every observability byte too.  The tracer is
+    installed process-wide for the session's duration; on an exception
+    all collectors are flushed to their sinks before re-raising, so a
+    crashed run still leaves parseable artifacts.  Closing the sinks
+    stays with the caller (they may want to export the buffered events
+    first).
+
+    A ``health`` monitor is evaluated at every block boundary (SLO
+    CUSUMs per receiver and subtree, envelope drift against the design
+    lattice, soundness sentinels); its drift detector is wired to the
+    controller's lattice automatically and its alerts fold into the
+    manifest under ``parameters["health"]``.
     """
     registry = get_registry()
     signer = signer if signer is not None else default_serve_signer(config.seed)
@@ -433,11 +508,16 @@ def run_live_session(config: ServeConfig,
             family=config.scheme_family,
             design_service=design_service,
             membership_aware=plan is not None)
+    if health is not None and config.adaptive and health.envelope_top is None:
+        # The drift detector's envelope is whatever lattice the active
+        # controller can actually serve from.
+        health.configure_envelope(controller.lattice_top())
     # Receivers always verify through a BatchVerifier: plain signatures
     # pass straight through to the inner signer, batch attachments get
     # the proof walk plus one cached root verification per batch.  The
     # pool shares one session signer, so the root cache is shared too.
-    pool = ReceiverPool(initial_ids, BatchVerifier(signer),
+    batch_verifier = BatchVerifier(signer)
+    pool = ReceiverPool(initial_ids, batch_verifier,
                         subtree_of=subtree_of)
     sender = SenderService(transport, initial_ids, signer,
                            channel_factory, clock,
@@ -458,9 +538,20 @@ def run_live_session(config: ServeConfig,
         parameters=parameters, seed_root=config.seed, workers=1)
     if registry.enabled:
         registry.count("serve.receiver.sessions", config.receivers)
+        # Zero-initialise the batch/design series so a plain serve
+        # still *exposes* them: a Prometheus scrape must distinguish
+        # "zero signs" from "series missing" (the export-gap fix).
+        registry.count("serve.batch.signs", 0)
+        registry.count("serve.batch.flushes", 0)
+        if design_service is not None:
+            for name in ("design.service.lookups", "design.service.hits",
+                         "design.service.misses", "design.service.fallbacks",
+                         "design.inline.calls", "design.refresh.requests"):
+                registry.count(name, 0)
 
     session = _drive_session(config, transport, sender, pool, controller,
-                             clock, timeseries, plan=plan)
+                             clock, timeseries, plan=plan, health=health,
+                             batch_verifier=batch_verifier)
     try:
         with use_lifecycle(lifecycle):
             if config.timeout_s is not None:
@@ -476,8 +567,25 @@ def run_live_session(config: ServeConfig,
             lifecycle.flush()
         if timeseries is not None:
             timeseries.flush()
+        if health is not None:
+            health.flush()
         raise
 
+    if registry.enabled:
+        # The receiver-side batch verifier's counters never crossed the
+        # registry before (they lived on the shared instance only);
+        # fold them in post-session so ``--prom-out`` exposes the full
+        # ``serve.batch.*`` family.
+        registry.count("serve.batch.root_verifies",
+                       batch_verifier.root_verifies)
+        registry.count("serve.batch.root_cache_hits",
+                       batch_verifier.cache_hits)
+        registry.count("serve.batch.decode_failures",
+                       batch_verifier.decode_failures)
+        registry.count("serve.batch.proof_failures",
+                       batch_verifier.proof_failures)
+        registry.count("serve.batch.passthrough_verifies",
+                       batch_verifier.passthrough_verifies)
     manifest = manifest_clock.finish(registry if registry.enabled else None)
     manifest.parameters["adaptation"] = [
         event.to_dict() for event in controller.events]
@@ -496,6 +604,12 @@ def run_live_session(config: ServeConfig,
             "rows": len(timeseries.samples),
             "interval_s": timeseries.interval_s,
         }
+    if health is not None:
+        observability["health"] = {
+            "alerts": len(health.alerts),
+            "worst_severity": health.worst_severity(),
+        }
+        manifest.parameters["health"] = health.describe()
     if observability:
         manifest.parameters["observability"] = observability
     result = SessionResult(manifest=manifest)

@@ -120,6 +120,11 @@ class ChainReceiver:
         self._accepted: Dict[int, bytes] = {}
         self.outcomes: Dict[int, PacketOutcome] = {}
         self.evicted = 0
+        #: Evictions forced by the DoS buffer cap specifically — unlike
+        #: :attr:`evicted`, which also counts the routine block-close
+        #: reclaim, cap pressure is an anomaly the health sentinels
+        #: alert on.
+        self.cap_evictions = 0
         self.undecodable = 0
         self.forged_rejected = 0
         self.replays_dropped = 0
@@ -289,6 +294,7 @@ class ChainReceiver:
                 del self._buffered[oldest]
             self._buffered_total -= 1
             self.evicted += 1
+            self.cap_evictions += 1
         self._message_buffer_peak = max(self._message_buffer_peak,
                                         self._buffered_total)
 

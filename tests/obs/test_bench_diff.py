@@ -145,3 +145,34 @@ class TestCli:
         assert cli_main(["bench-diff", base, cur, "--metric", "mean",
                          "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["metric"] == "mean_s"
+
+    def test_missing_tolerated_by_default(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0, "gone": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 1.0})
+        assert cli_main(["bench-diff", base, cur]) == 0
+        assert "missing from current: gone" in capsys.readouterr().out
+
+    def test_fail_on_missing_gates(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0, "gone": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 1.0})
+        assert cli_main(["bench-diff", base, cur,
+                         "--fail-on-missing"]) == 1
+        err = capsys.readouterr().err
+        assert "missing from current report" in err
+        assert "gone" in err
+
+    def test_fail_on_missing_passes_when_complete(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 1.0, "new": 1.0})
+        assert cli_main(["bench-diff", base, cur,
+                         "--fail-on-missing"]) == 0
+        assert "no regressions" in capsys.readouterr().err
+
+    def test_fail_on_missing_combines_with_regression(self, tmp_path,
+                                                      capsys):
+        base = self._write(tmp_path, "base.json", {"a": 1.0, "gone": 1.0})
+        cur = self._write(tmp_path, "cur.json", {"a": 9.0})
+        assert cli_main(["bench-diff", base, cur,
+                         "--fail-on-missing"]) == 1
+        err = capsys.readouterr().err
+        assert "regressed" in err and "missing" in err

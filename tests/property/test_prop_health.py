@@ -1,0 +1,126 @@
+"""Property-based tests for the health monitor's merge algebra.
+
+The health plane promises the same exact fold as ``McResult.merge``
+and ``MetricsRegistry.merge``: every detector state is integer (or an
+exact rational config), so merging shard monitors is associative and
+commutative with a fresh same-config monitor as identity — and a
+cohort split across any number of shards, each shard owning its own
+receivers, folds back bit-for-bit to the unsharded monitor.  These are
+the guarantees the sharded-serving plan leans on; Hypothesis probes
+them over random observation streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.health import HealthMonitor
+
+# One shared config so merges are legal; exact rationals throughout.
+Q_TARGET = "3/4"
+DEFICIT = 5
+ENVELOPE = "1/2"
+DECODE_SPIKE = "1/4"
+
+slo_events = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),       # block
+              st.sampled_from(["r:a", "r:b", "r:c", "st:left"]),
+              st.integers(min_value=0, max_value=16)),      # expected
+    max_size=40).map(lambda events: sorted(events))
+
+drift_events = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),       # block
+              st.integers(min_value=0, max_value=20),       # lost
+              st.integers(min_value=0, max_value=20)),      # extra fill
+    max_size=30).map(lambda events: sorted(events))
+
+sentinel_steps = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5),   # forged delta
+              st.integers(min_value=0, max_value=8),   # undecodable delta
+              st.integers(min_value=0, max_value=4),   # cap_evictions delta
+              st.integers(min_value=0, max_value=6),   # root_verifies delta
+              st.integers(min_value=0, max_value=6),   # batch_signs delta
+              st.integers(min_value=0, max_value=16)),  # expected delta
+    max_size=20)
+
+
+def fresh():
+    return HealthMonitor(q_target=Q_TARGET, deficit=DEFICIT,
+                         envelope_top=ENVELOPE, decode_spike=DECODE_SPIKE)
+
+
+def feed(monitor, slo, drift, sentinels, verified_seed=0):
+    for block, scope, expected in slo:
+        # Deterministic verified count in [0, expected].
+        verified = (block * 7 + expected + verified_seed) % (expected + 1)
+        monitor.observe_slo(block, scope, expected, verified)
+    for block, lost, extra in drift:
+        monitor.observe_envelope(block, lost, lost + extra)
+    totals = [0] * 5
+    for block, step in enumerate(sentinels):
+        for i in range(5):
+            totals[i] += step[i]
+        monitor.observe_sentinels(
+            block, forged=totals[0], undecodable=totals[1],
+            cap_evictions=totals[2], root_verifies=totals[3],
+            batch_signs=totals[4], expected_delta=step[5])
+    return monitor
+
+
+monitors = st.builds(
+    lambda slo, drift, sent, seed: feed(fresh(), slo, drift, sent, seed),
+    slo_events, drift_events, sentinel_steps,
+    st.integers(min_value=0, max_value=10))
+
+
+def state(monitor):
+    """Comparable full state (describe covers everything but _off_now)."""
+    return (monitor.describe(), monitor._off_now)
+
+
+@given(monitors, monitors)
+@settings(max_examples=60)
+def test_merge_commutative(a, b):
+    assert state(a.merge(b)) == state(b.merge(a))
+
+
+@given(monitors, monitors, monitors)
+@settings(max_examples=60)
+def test_merge_associative(a, b, c):
+    assert state(a.merge(b).merge(c)) == state(a.merge(b.merge(c)))
+
+
+@given(monitors)
+@settings(max_examples=60)
+def test_merge_identity(a):
+    empty = fresh()
+    assert state(a.merge(empty)) == state(a)
+    assert state(empty.merge(a)) == state(a)
+
+
+@given(slo_events, st.integers(min_value=0, max_value=10))
+@settings(max_examples=60)
+def test_shard_split_by_scope_is_exact(events, seed):
+    """Shards owning disjoint scopes fold back bit-for-bit.
+
+    The whole stream feeds one monitor; the same stream partitioned by
+    scope feeds one monitor per shard.  Because the CUSUM evolves per
+    scope, the merged shard states — alerts included — must equal the
+    unsharded monitor exactly.
+    """
+    whole = feed(fresh(), events, [], [], seed)
+    shards = {}
+    for block, scope, expected in events:
+        shards.setdefault(scope, []).append((block, scope, expected))
+    merged = fresh()
+    for scope in sorted(shards):
+        merged = merged.merge(feed(fresh(), shards[scope], [], [], seed))
+    assert merged.describe() == whole.describe()
+
+
+@given(monitors, monitors)
+@settings(max_examples=60)
+def test_merge_severity_counts_are_sums(a, b):
+    merged = a.merge(b)
+    for severity, count in merged.counts().items():
+        assert count == a.counts()[severity] + b.counts()[severity]
+    assert len(merged.alerts) == len(a.alerts) + len(b.alerts)

@@ -7,6 +7,7 @@ observability tallies, and the CLI flags drive the whole thing.
 """
 
 import json
+import re
 
 import pytest
 
@@ -129,6 +130,49 @@ class TestByteIdentity:
         lines_two = {line for line in two["lc"].splitlines()
                      if b'"r": "r00"' in line}
         assert lines_one and lines_one <= lines_two
+
+
+class TestPromCoverage:
+    """The gap regression: every serving-plane counter family reaches
+    ``--prom-out`` — as a zero-valued series when the feature idles,
+    as live counts when it runs."""
+
+    def _prom(self, tmp_path, name, **overrides):
+        path = tmp_path / f"{name}.prom"
+        config = ServeConfig(receivers=2, blocks=6, block_size=8,
+                             seed=5, **overrides)
+        run_loadgen(config, obs=ObsOptions(prom_out=str(path)))
+        return path.read_text()
+
+    def test_plain_serve_exposes_batch_series(self, tmp_path):
+        text = self._prom(tmp_path, "plain")
+        assert "repro_serve_batch_signs_total 0" in text
+        assert "repro_serve_batch_flushes_total 0" in text
+
+    def test_batched_serve_counts_signs_and_root_verifies(self, tmp_path):
+        text = self._prom(tmp_path, "batched", batch_size=3)
+        signs = int(re.search(
+            r"repro_serve_batch_signs_total (\d+)", text).group(1))
+        assert signs > 0
+        roots = int(re.search(
+            r"repro_serve_batch_root_verifies_total (\d+)", text).group(1))
+        assert roots > 0
+
+    def test_table_serve_exposes_design_series(self, tmp_path):
+        from repro.design.table import DesignTable, TableSpec
+        table = DesignTable.build(
+            TableSpec(p_grid=(0.05, 0.1, 0.3, 0.5), families=("emss",)),
+            workers=1)
+        table_file = str(tmp_path / "table.json")
+        table.save(table_file)
+        text = self._prom(tmp_path, "table", design_table=table_file)
+        for series in ("design_service_lookups", "design_service_hits",
+                       "design_service_misses", "design_service_fallbacks",
+                       "design_inline_calls", "design_refresh_requests"):
+            assert re.search(rf"repro_{series}_total \d+", text), series
+        lookups = int(re.search(
+            r"repro_design_service_lookups_total (\d+)", text).group(1))
+        assert lookups > 0
 
 
 class TestCliFlags:
